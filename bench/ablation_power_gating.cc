@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: schedule-driven PE power gating (paper Sec. 3.3's dynamic
+ * tuning knob for the Dark Silicon power wall).  Static schedules expose
+ * every PE's idle intervals at design time; this bench quantifies the
+ * energy reclaimed per computation, per robot, at the shipped operating
+ * points and at a deliberately over-provisioned one.
+ */
+
+#include "accel/power_model.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace roboshape;
+
+void
+row(const topology::RobotModel &model, const accel::AcceleratorParams &p,
+    const char *tag)
+{
+    const accel::AcceleratorDesign design(model, p);
+    const accel::PowerReport r = accel::estimate_power(design);
+    std::printf("%-8s %-24s %7.1f%% %10.1f %10.1f %9.1f %9.1f %7.1f%%\n",
+                model.name().c_str(), tag,
+                r.mean_pe_utilization * 100.0, r.avg_power_mw,
+                r.avg_power_gated_mw, r.energy_uj, r.energy_gated_uj,
+                r.gating_savings() * 100.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header("Ablation: per-PE power gating from static schedules",
+                        "paper Sec. 3.3 (power gating / Dark Silicon)");
+
+    std::printf("%-8s %-24s %8s %10s %10s %9s %9s %8s\n", "robot",
+                "operating point", "PE-util", "mW", "mW-gated", "uJ",
+                "uJ-gated", "saved");
+    for (topology::RobotId id : topology::shipped_robots()) {
+        const topology::RobotModel model = topology::build_robot(id);
+        row(model, bench::shipped_params(id), "shipped knobs");
+        const std::size_t n = model.num_links();
+        row(model, {n, n, 4}, "max PEs (overprovision)");
+        row(model, {1, 1, 4}, "min PEs");
+    }
+    std::printf("\nGating savings grow with over-provisioning: idle PEs in "
+                "a maximally allocated\ndesign burn idle power for the "
+                "whole computation unless gated, while a minimal\ndesign "
+                "keeps its PEs busy — the same utilization tradeoff Figs. "
+                "13/16 expose in\nLUTs shows up in energy.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: the scheduler design choices DESIGN.md calls out — the
+ * longest-ready-thread priority rule and PE/thread affinity (paper
+ * Sec. 4.2's modified depth-first strategy) — plus NOP skipping in the
+ * blocked multiply (paper Fig. 6).
+ */
+
+#include "bench/bench_util.h"
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+#include "topology/topology_info.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header(
+        "Ablation: scheduler policies and blocked-multiply NOP skipping",
+        "paper Sec. 4.2 scheduling strategy / Fig. 6 zero-block skipping");
+
+    const sched::TaskTiming timing{6, 4, 9, 5};
+    std::printf("%-8s | %18s | %18s | %18s\n", "", "paper policy",
+                "FIFO priority", "no affinity");
+    std::printf("%-8s | %8s %9s | %8s %9s | %8s %9s\n", "robot", "cycles",
+                "restores", "cycles", "restores", "cycles", "restores");
+    for (topology::RobotId id : topology::all_robots()) {
+        const topology::RobotModel model = topology::build_robot(id);
+        const topology::TopologyInfo topo(model);
+        const sched::TaskGraph graph(topo);
+
+        const auto run = [&](const sched::SchedulerOptions &options) {
+            return sched::schedule_pipelined(graph, 3, 3, timing, options);
+        };
+        const auto paper = run({true, true});
+        const auto fifo = run({false, true});
+        const auto no_affinity = run({true, false});
+        std::printf("%-8s | %8lld %9zu | %8lld %9zu | %8lld %9zu\n",
+                    topology::robot_name(id),
+                    static_cast<long long>(paper.makespan),
+                    paper.checkpoint_restores,
+                    static_cast<long long>(fifo.makespan),
+                    fifo.checkpoint_restores,
+                    static_cast<long long>(no_affinity.makespan),
+                    no_affinity.checkpoint_restores);
+    }
+
+    std::printf("\nBlocked multiply with and without zero-tile skipping "
+                "(block = 3, 3 units):\n");
+    std::printf("%-8s %10s %10s %9s\n", "robot", "skip(cyc)", "dense(cyc)",
+                "speedup");
+    for (topology::RobotId id : topology::all_robots()) {
+        const topology::RobotModel model = topology::build_robot(id);
+        const topology::TopologyInfo topo(model);
+        const auto a = sched::mass_inverse_mask(topo);
+        const auto b = sched::derivative_mask(topo);
+        const sched::TileTiming tile{1, 3};
+        const auto sparse =
+            sched::schedule_block_multiply(a, b, 3, 3, tile, 2, true);
+        const auto dense =
+            sched::schedule_block_multiply(a, b, 3, 3, tile, 2, false);
+        std::printf("%-8s %10lld %10lld %8.2fx\n", topology::robot_name(id),
+                    static_cast<long long>(sparse.makespan),
+                    static_cast<long long>(dense.makespan),
+                    static_cast<double>(dense.makespan) /
+                        static_cast<double>(sparse.makespan));
+    }
+    std::printf("\nThe longest-thread rule and affinity together keep "
+                "latency at the paper's\nstrategy while minimizing branch "
+                "checkpoint traffic; NOP skipping buys up to\nthe robot's "
+                "structural sparsity factor in the multiply stage.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the per-table/figure benchmark harnesses.
+ */
+
+#ifndef ROBOSHAPE_BENCH_BENCH_UTIL_H
+#define ROBOSHAPE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+
+#include "accel/params.h"
+#include "topology/robot_library.h"
+
+namespace roboshape {
+namespace bench {
+
+/** Knob settings of the paper's three shipped designs (Sec. 5.1). */
+inline accel::AcceleratorParams
+shipped_params(topology::RobotId id)
+{
+    switch (id) {
+      case topology::RobotId::kIiwa:
+        return {7, 7, 7};
+      case topology::RobotId::kHyq:
+        return {3, 3, 6};
+      case topology::RobotId::kBaxter:
+        return {4, 4, 4};
+      default:
+        return {1, 1, 1};
+    }
+}
+
+inline void
+print_header(const char *title, const char *paper_ref)
+{
+    std::printf("================================================"
+                "======================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("================================================"
+                "======================\n");
+}
+
+} // namespace bench
+} // namespace roboshape
+
+#endif // ROBOSHAPE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the CPU dynamics substrate — the
+ * measured baseline feeding Figs. 9 and 10 (RNEA, CRBA, analytical
+ * derivatives, full gradient kernel) across all six robots.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dynamics/constrained.h"
+#include "dynamics/crba.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/rnea.h"
+#include "dynamics/rnea_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace {
+
+using namespace roboshape;
+using topology::RobotId;
+
+const topology::RobotModel &
+model_for(int index)
+{
+    static const std::vector<topology::RobotModel> kModels = [] {
+        std::vector<topology::RobotModel> models;
+        for (RobotId id : topology::all_robots())
+            models.push_back(topology::build_robot(id));
+        return models;
+    }();
+    return kModels[static_cast<std::size_t>(index)];
+}
+
+void
+set_label(benchmark::State &state)
+{
+    state.SetLabel(topology::robot_name(
+        topology::all_robots()[static_cast<std::size_t>(state.range(0))]));
+}
+
+void
+BM_Rnea(benchmark::State &state)
+{
+    const auto &model = model_for(static_cast<int>(state.range(0)));
+    const auto s = dynamics::random_state(model, 1);
+    for (auto _ : state) {
+        auto tau = dynamics::rnea(model, s.q, s.qd, s.qdd);
+        benchmark::DoNotOptimize(tau);
+    }
+    set_label(state);
+}
+BENCHMARK(BM_Rnea)->DenseRange(0, 5);
+
+void
+BM_Crba(benchmark::State &state)
+{
+    const auto &model = model_for(static_cast<int>(state.range(0)));
+    const auto s = dynamics::random_state(model, 2);
+    for (auto _ : state) {
+        auto m = dynamics::crba(model, s.q);
+        benchmark::DoNotOptimize(m);
+    }
+    set_label(state);
+}
+BENCHMARK(BM_Crba)->DenseRange(0, 5);
+
+void
+BM_RneaDerivatives(benchmark::State &state)
+{
+    const auto &model = model_for(static_cast<int>(state.range(0)));
+    const topology::TopologyInfo topo(model);
+    const auto s = dynamics::random_state(model, 3);
+    dynamics::RneaCache cache;
+    dynamics::rnea(model, s.q, s.qd, s.qdd, dynamics::kDefaultGravity,
+                   &cache);
+    for (auto _ : state) {
+        auto d = dynamics::rnea_derivatives(model, topo, s.qd, cache);
+        benchmark::DoNotOptimize(d);
+    }
+    set_label(state);
+}
+BENCHMARK(BM_RneaDerivatives)->DenseRange(0, 5);
+
+void
+BM_ForwardDynamicsGradients(benchmark::State &state)
+{
+    const auto &model = model_for(static_cast<int>(state.range(0)));
+    const topology::TopologyInfo topo(model);
+    const auto s = dynamics::random_state(model, 4);
+    for (auto _ : state) {
+        auto g = dynamics::forward_dynamics_gradients(model, topo, s.q,
+                                                      s.qd, s.tau);
+        benchmark::DoNotOptimize(g);
+    }
+    set_label(state);
+}
+BENCHMARK(BM_ForwardDynamicsGradients)->DenseRange(0, 5);
+
+void
+BM_ConstrainedDynamicsHyq(benchmark::State &state)
+{
+    // Whole-body stance dynamics: the legged controller's inner solve.
+    const auto &model = model_for(1); // HyQ
+    const topology::TopologyInfo topo(model);
+    const auto s = dynamics::random_state(model, 5);
+    std::vector<dynamics::Contact> feet;
+    for (const char *name : {"lf_kfe", "rf_kfe", "lh_kfe", "rh_kfe"})
+        feet.push_back({static_cast<std::size_t>(model.find_link(name)),
+                        {0.0, 0.0, 0.33}});
+    for (auto _ : state) {
+        auto sol = dynamics::constrained_forward_dynamics(model, topo, s.q,
+                                                          s.qd, s.tau,
+                                                          feet);
+        benchmark::DoNotOptimize(sol);
+    }
+    state.SetLabel("HyQ, 4 stance feet");
+}
+BENCHMARK(BM_ConstrainedDynamicsHyq);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: the degree of parallelism of forward and
+ * backward traversal patterns per robot — forward threads launch per
+ * independent limb; backward threads scale with subtree breadth — and the
+ * thread-length bounds that justify the Max-Leaf-Depth / Max-Descendants
+ * allocation heuristics.
+ */
+
+#include "bench/bench_util.h"
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+#include "topology/topology_info.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header(
+        "Fig. 14: Traversal parallelism from robot topology",
+        "paper Fig. 14");
+
+    std::printf("%-8s %10s %10s %12s %12s %14s\n", "robot", "fwd-par",
+                "bwd-par", "fwd-thread", "bwd-thread", "saturation-PEs");
+    for (topology::RobotId id : topology::all_robots()) {
+        const topology::RobotModel model = topology::build_robot(id);
+        const topology::TopologyInfo topo(model);
+        const sched::TaskGraph graph(topo);
+        const auto metrics = topo.metrics();
+
+        // Smallest forward PE count achieving the stage's best makespan.
+        const auto saturation = [&](const std::vector<sched::TaskType> &ts) {
+            const sched::TaskTiming unit{1, 1, 1, 1};
+            const std::int64_t best =
+                sched::schedule_stage(graph, ts, model.num_links(), unit)
+                    .makespan;
+            for (std::size_t p = 1; p <= model.num_links(); ++p)
+                if (sched::schedule_stage(graph, ts, p, unit).makespan ==
+                    best)
+                    return p;
+            return model.num_links();
+        };
+        const std::size_t sat_fwd =
+            saturation({sched::TaskType::kRneaForward,
+                        sched::TaskType::kGradForward});
+        const std::size_t sat_bwd =
+            saturation({sched::TaskType::kRneaBackward,
+                        sched::TaskType::kGradBackward});
+
+        std::printf("%-8s %10zu %10zu %12zu %12zu %8zu/%zu\n",
+                    topology::robot_name(id),
+                    graph.forward_initial_parallelism(),
+                    graph.backward_initial_parallelism(),
+                    metrics.max_leaf_depth, metrics.max_descendants,
+                    sat_fwd, sat_bwd);
+    }
+    std::printf("\nfwd-par: threads launchable at forward-stage start (= "
+                "independent limbs);\nbwd-par: backward threads launchable "
+                "at stage start; fwd/bwd-thread: longest\nsequential thread "
+                "(= max leaf depth / max descendants); saturation-PEs: "
+                "fewest\nfwd/bwd PEs reaching the stage's best achievable "
+                "makespan.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: the nonlinear design space of the sparse
+ * blocked matrix multiply — block sizes 1 through 10 on HyQ's mass-matrix
+ * pattern with 3 block matrix-vector multiply units.
+ */
+
+#include <climits>
+
+#include "bench/bench_util.h"
+#include "sched/block_schedule.h"
+#include "topology/topology_info.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header(
+        "Fig. 15: Blocked multiply latency vs block size (HyQ, 3 units)",
+        "paper Fig. 15 / Insight #2 (minima at aligned sizes 3, 6, 9)");
+
+    const topology::RobotModel model =
+        topology::build_robot(topology::RobotId::kHyq);
+    const topology::TopologyInfo topo(model);
+    const auto a = sched::mass_inverse_mask(topo);
+    const auto b = sched::derivative_mask(topo);
+    const sched::TileTiming timing{1, 3};
+
+    std::printf("%-6s %10s %10s %8s %10s %s\n", "block", "cycles",
+                "tiles-run", "NOPs", "pad-zeros", "");
+    std::int64_t best = LLONG_MAX;
+    for (std::size_t bs = 1; bs <= 10; ++bs) {
+        const sched::BlockSchedule s =
+            sched::schedule_block_multiply(a, b, bs, 3, timing);
+        best = std::min(best, s.makespan);
+        std::printf("%-6zu %10lld %10zu %8zu %10zu %s\n", bs,
+                    static_cast<long long>(s.makespan), s.executed_tiles,
+                    s.nop_tiles, s.padded_zero_elements,
+                    (bs % 3 == 0) ? "<- aligned with 3-link legs" : "");
+    }
+    std::printf("\npaper: block sizes 3, 6, 9 cover the nonzero pattern "
+                "without padding; other\nsizes drag zero padding into "
+                "nonzero tiles and waste cycles — an increase in\nblock "
+                "size can decrease performance.\n");
+    return 0;
+}

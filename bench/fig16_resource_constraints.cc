@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: latency and utilization of the maximally-
+ * allocated design versus the minimum-latency design under the VCU118 and
+ * VC707 resource envelopes (80% utilization threshold).
+ */
+
+#include "bench/bench_util.h"
+#include "core/design_space.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header(
+        "Fig. 16: Resource-constrained design points (80% threshold)",
+        "paper Fig. 16 / Insight #3 (no VC707 point exists for HyQ+arm)");
+
+    for (const accel::FpgaPlatform *platform :
+         {&accel::vcu118(), &accel::vc707()}) {
+        std::printf("\n--- %s (%lld LUTs, %lld DSPs) ---\n",
+                    platform->name.c_str(),
+                    static_cast<long long>(platform->luts),
+                    static_cast<long long>(platform->dsps));
+        std::printf("%-8s %-34s %8s %7s | %-34s %8s %7s\n", "robot",
+                    "max-allocation knobs", "cycles", "LUT%",
+                    "min-latency knobs", "cycles", "LUT%");
+        for (topology::RobotId id : topology::all_robots()) {
+            const topology::RobotModel model = topology::build_robot(id);
+            const core::DesignSpace space = core::DesignSpace::sweep(model);
+            const auto maxalloc = space.max_allocation(*platform);
+            const auto best = space.constrained_min_latency(*platform);
+            if (!maxalloc || !best) {
+                std::printf("%-8s no feasible design point exists\n",
+                            topology::robot_name(id));
+                continue;
+            }
+            std::printf("%-8s %-34s %8lld %6.1f%% | %-34s %8lld %6.1f%%\n",
+                        topology::robot_name(id),
+                        maxalloc->params.to_string().c_str(),
+                        static_cast<long long>(maxalloc->cycles),
+                        maxalloc->resources.lut_utilization(*platform) *
+                            100.0,
+                        best->params.to_string().c_str(),
+                        static_cast<long long>(best->cycles),
+                        best->resources.lut_utilization(*platform) *
+                            100.0);
+        }
+    }
+    std::printf("\npaper: maximally-allocated designs often miss the "
+                "minimum achievable latency\nwhile using more resources — "
+                "dominated by the nonlinear blocked-multiply term\n"
+                "(Fig. 15); topology-based tuning beats maximum "
+                "allocation.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The headline demonstration: flexibly deploying accelerators across a
+ * fleet of topologically diverse robots (paper title / Fig. 1).  Runs the
+ * generator end to end — URDF text in, feasible design out — for every
+ * bundled robot plus parametric extras, on both platforms.
+ */
+
+#include "bench/bench_util.h"
+#include "core/generator.h"
+#include "topology/parametric_robots.h"
+#include "topology/topology_info.h"
+#include "topology/urdf_parser.h"
+
+namespace {
+
+using namespace roboshape;
+
+void
+deploy(const topology::RobotModel &model,
+       const accel::FpgaPlatform &platform)
+{
+    core::GeneratorConstraints constraints;
+    constraints.platform = &platform;
+    const core::Generator generator;
+    try {
+        const auto out = generator.from_model(model, constraints);
+        std::printf("%-11s %4zu  %-30s %7lld cyc @%4.0f ns  %5.1f%% LUT "
+                    "%5.1f%% DSP\n",
+                    model.name().c_str(), model.num_links(),
+                    out.design.params().to_string().c_str(),
+                    static_cast<long long>(
+                        out.design.cycles_no_pipelining()),
+                    out.design.clock_period_ns(),
+                    out.design.resources().lut_utilization(platform) *
+                        100.0,
+                    out.design.resources().dsp_utilization(platform) *
+                        100.0);
+    } catch (const core::GenerationError &) {
+        std::printf("%-11s %4zu  no feasible design on this platform\n",
+                    model.name().c_str(), model.num_links());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header(
+        "Fleet deployment: one generator, every robot, two platforms",
+        "paper title / Fig. 1 (scalable, flexible deployment)");
+
+    for (const accel::FpgaPlatform *platform :
+         {&accel::vcu118(), &accel::vc707()}) {
+        std::printf("\n--- %s ---\n", platform->name.c_str());
+        for (topology::RobotId id : topology::all_robots())
+            deploy(topology::build_robot(id), *platform);
+        for (topology::RobotId id : topology::extended_robots())
+            deploy(topology::build_robot(id), *platform);
+        deploy(topology::make_gantry(3), *platform);
+        deploy(topology::make_serial_chain(24), *platform);
+        deploy(topology::make_star(6, 4), *platform);
+    }
+    std::printf("\nEvery feasible deployment was auto-tuned (Hybrid PE "
+                "allocation + alignment-aware\nblock choice + shrink-to-"
+                "fit); infeasible rows show the generator refusing\n"
+                "rather than overfitting the part — the paper's scalability "
+                "and flexibility\nclaims exercised end to end.\n");
+    return 0;
+}

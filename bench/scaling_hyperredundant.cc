@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scaling study for hyper-redundant and soft-robot approximations (paper
+ * Sec. 3.3, future work): how schedules, checkpoint traffic, resources,
+ * and sparse-I/O compression scale when robots grow to 100s of links.
+ */
+
+#include <chrono>
+
+#include "accel/design.h"
+#include "bench/bench_util.h"
+#include "io/payload.h"
+#include "topology/parametric_robots.h"
+#include "topology/topology_info.h"
+
+namespace {
+
+using namespace roboshape;
+
+void
+report(const topology::RobotModel &model)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const accel::AcceleratorDesign design(model, {8, 8, 4});
+    const double gen_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const topology::TopologyInfo topo(model);
+    std::printf("%-10s %5zu %9lld %9lld %9zu %9.1fM %8.2fx %9.1f\n",
+                model.name().c_str(), model.num_links(),
+                static_cast<long long>(design.forward_stage().makespan),
+                static_cast<long long>(design.backward_stage().makespan),
+                design.forward_stage().checkpoint_restores +
+                    design.backward_stage().checkpoint_restores,
+                static_cast<double>(design.resources().luts) / 1e6,
+                io::compression_ratio(topo), gen_ms);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header(
+        "Scaling: hyper-redundant chains, walkers, and tentacle trees",
+        "paper Sec. 3.3 (100s-1000s of links; branch checkpoint locality)");
+
+    std::printf("%-10s %5s %9s %9s %9s %10s %8s %9s\n", "robot", "N",
+                "fwd(cyc)", "bwd(cyc)", "restores", "LUTs", "sparseIO",
+                "gen(ms)");
+    for (std::size_t n : {16u, 32u, 64u, 128u, 256u})
+        report(topology::make_serial_chain(n));
+    report(topology::make_star(8, 16));
+    report(topology::make_star(16, 16));
+    report(topology::make_branching_tree(5, 2));
+    report(topology::make_branching_tree(3, 4));
+
+    std::printf("\nObservations: backward work grows ~N^2 on chains "
+                "(columns x depth) while star\nrobots keep it ~limbs x "
+                "depth^2; checkpoint restores track limb count when PEs\n"
+                "< limbs; sparse-I/O compression approaches the limb count "
+                "for wide robots.\nAt 8 PEs per pool, 256-link designs "
+                "still generate in well under a second —\nthe paper's "
+                "'straightforward to implement accelerators for new "
+                "deployment\nscenarios' claim at soft-robot scale.\n");
+    return 0;
+}

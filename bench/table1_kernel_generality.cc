@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces the paper's Table 1 claim: the same two topology patterns
+ * generate accelerators for a family of robotics kernels.  For every
+ * robot x kernel pair, builds the design, runs the functional simulator,
+ * and reports task counts, stage makespans, and numerical verification
+ * against the host library.
+ */
+
+#include "accel/functional_sim.h"
+#include "accel/kernel_sim.h"
+#include "bench/bench_util.h"
+#include "dynamics/crba.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/kinematics.h"
+#include "dynamics/robot_state.h"
+#include "topology/topology_info.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    using sched::KernelKind;
+    bench::print_header(
+        "Table 1: One framework, a family of topology-based kernels",
+        "paper Table 1 / Sec. 3 (patterns shared across kernels)");
+
+    std::printf("%-8s %-20s %6s %9s %9s %8s %s\n", "robot", "kernel",
+                "tasks", "fwd(cyc)", "bwd(cyc)", "mm(cyc)", "verified");
+    for (topology::RobotId id : topology::all_robots()) {
+        const topology::RobotModel model = topology::build_robot(id);
+        const topology::TopologyInfo topo(model);
+        const auto state = dynamics::random_state(model, 99);
+
+        for (KernelKind kernel : sched::all_kernels()) {
+            const accel::AcceleratorParams params =
+                kernel == KernelKind::kDynamicsGradient
+                    ? bench::shipped_params(id)
+                    : accel::AcceleratorParams{3, 3, 1};
+            const accel::AcceleratorDesign design(
+                model, params, accel::default_timing(), kernel);
+
+            bool ok = false;
+            switch (kernel) {
+              case KernelKind::kDynamicsGradient: {
+                const auto ref = dynamics::forward_dynamics_gradients(
+                    model, topo, state.q, state.qd, state.tau);
+                const auto sim = accel::simulate(design, state.q, state.qd,
+                                                 ref.qdd, ref.mass_inv);
+                ok = linalg::max_abs_diff(sim.dqdd_dq, ref.dqdd_dq) <
+                         1e-9 &&
+                     linalg::max_abs_diff(sim.dqdd_dqd, ref.dqdd_dqd) <
+                         1e-9;
+                break;
+              }
+              case KernelKind::kMassMatrix: {
+                const auto sim =
+                    accel::simulate_mass_matrix(design, state.q);
+                ok = linalg::max_abs_diff(
+                         sim.mass, dynamics::crba(model, state.q)) < 1e-9;
+                break;
+              }
+              case KernelKind::kForwardKinematics: {
+                const auto sim = accel::simulate_forward_kinematics(
+                    design, state.q, state.qd);
+                const auto vel =
+                    dynamics::link_velocities(model, state.q, state.qd);
+                ok = true;
+                for (std::size_t i = 0; i < model.num_links(); ++i)
+                    ok = ok &&
+                         (sim.velocities[i] - vel[i]).max_abs() < 1e-9;
+                break;
+              }
+            }
+            std::printf("%-8s %-20s %6zu %9lld %9lld %8lld %s\n",
+                        topology::robot_name(id), to_string(kernel),
+                        design.task_graph().size(),
+                        static_cast<long long>(
+                            design.forward_stage().makespan),
+                        static_cast<long long>(
+                            design.backward_stage().makespan),
+                        static_cast<long long>(
+                            design.block_multiply().makespan),
+                        ok ? "PASS" : "FAIL");
+        }
+    }
+    std::printf("\npaper Table 1 lists kinematics, dynamics, their "
+                "gradients, and related state-\npropagation kernels as one "
+                "family over patterns (1) and (2); the framework\n"
+                "generates verified accelerators for each from the same "
+                "schedules and PE pools.\n");
+    return 0;
+}

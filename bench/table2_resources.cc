@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Table 2: resource utilization of the three shipped
+ * RoboShape designs on the Xilinx XCVU9P.
+ */
+
+#include "accel/design.h"
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header("Table 2: Resource Utilization of RoboShape Designs",
+                        "paper Table 2 (LUTs/DSPs on the XCVU9P)");
+
+    std::printf("%-26s %14s %14s %14s\n", "FPGA Resources (XCVU9P)",
+                "iiwa", "HyQ", "Baxter");
+    long long luts[3], dsps[3];
+    double lutp[3], dspp[3];
+    int col = 0;
+    for (topology::RobotId id : topology::shipped_robots()) {
+        const accel::AcceleratorDesign d(topology::build_robot(id),
+                                         bench::shipped_params(id));
+        luts[col] = d.resources().luts;
+        dsps[col] = d.resources().dsps;
+        lutp[col] = d.resources().lut_utilization(accel::vcu118()) * 100.0;
+        dspp[col] = d.resources().dsp_utilization(accel::vcu118()) * 100.0;
+        ++col;
+    }
+    std::printf("%-26s", "LUTs (1182k Total)");
+    for (int c = 0; c < 3; ++c)
+        std::printf(" %7lld (%4.1f%%)", luts[c], lutp[c]);
+    std::printf("\n%-26s", "DSPs (6840 Total)");
+    for (int c = 0; c < 3; ++c)
+        std::printf(" %7lld (%4.1f%%)", dsps[c], dspp[c]);
+    std::printf("\n\npaper:  LUTs 514552 (43.5%%) | 507158 (42.9%%) | "
+                "873805 (73.9%%)\n");
+    std::printf("paper:  DSPs   5448 (79.6%%) |   3008 (44.0%%) |   "
+                "3342 (48.9%%)\n");
+    return 0;
+}

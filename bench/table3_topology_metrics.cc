@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Table 3: topology metrics for the six robots of
+ * Fig. 11.
+ */
+
+#include "bench/bench_util.h"
+#include "topology/topology_info.h"
+
+int
+main()
+{
+    using namespace roboshape;
+    bench::print_header("Table 3: Topology Metrics for Robots in Fig. 11",
+                        "paper Table 3");
+
+    std::printf("%-18s", "Topology Metric");
+    for (topology::RobotId id : topology::all_robots())
+        std::printf(" %9s", topology::robot_name(id));
+    std::printf("\n");
+
+    topology::TopologyMetrics metrics[6];
+    int col = 0;
+    std::vector<topology::RobotModel> models;
+    for (topology::RobotId id : topology::all_robots())
+        models.push_back(topology::build_robot(id));
+    for (const auto &m : models)
+        metrics[col++] = topology::TopologyInfo(m).metrics();
+
+    std::printf("%-18s", "Total Links");
+    for (int c = 0; c < 6; ++c)
+        std::printf(" %9zu", metrics[c].total_links);
+    std::printf("\n%-18s", "Max Leaf Depth");
+    for (int c = 0; c < 6; ++c)
+        std::printf(" %9zu", metrics[c].max_leaf_depth);
+    std::printf("\n%-18s", "Avg. Leaf Depth");
+    for (int c = 0; c < 6; ++c)
+        std::printf(" %9.1f", metrics[c].avg_leaf_depth);
+    std::printf("\n%-18s", "Max Descendants");
+    for (int c = 0; c < 6; ++c)
+        std::printf(" %9zu", metrics[c].max_descendants);
+    std::printf("\n%-18s", "Leaf Depth StDev");
+    for (int c = 0; c < 6; ++c)
+        std::printf(" %9.2f", metrics[c].leaf_depth_stdev);
+    std::printf("\n\npaper: Total Links 7/12/15/12/15/19; Max Leaf Depth "
+                "7/3/7/9/9/7;\n       Avg Leaf Depth 7/3/5/9/9/3.8; Max "
+                "Descendants 7/3/7/12/15/7;\n       Leaf Depth StDev "
+                "0/0/2.8/0/0/1.6 (Baxter printed as 2.3 in the paper;\n"
+                "       population stdev of {1,7,7} is 2.83 — see "
+                "DESIGN.md)\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trajectory optimization end to end — the workload the accelerator is
+ * for.
+ *
+ * Solves a joint-space reaching task with the repository's iLQR solver on
+ * a chosen robot, prints the convergence history, breaks down where the
+ * solver's time goes (the paper's 30-90% gradient-bottleneck claim), and
+ * projects the wall-clock the RoboShape accelerator would recover.
+ *
+ * Usage: ./build/examples/trajectory_optimization [iiwa|hyq|baxter]
+ *        [horizon]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "accel/design.h"
+#include "baselines/cpu_baseline.h"
+#include "control/ilqr.h"
+#include "io/link_model.h"
+#include "io/payload.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace roboshape;
+
+    topology::RobotId id = topology::RobotId::kIiwa;
+    accel::AcceleratorParams knobs{7, 7, 7};
+    if (argc > 1 && std::string(argv[1]) == "hyq") {
+        id = topology::RobotId::kHyq;
+        knobs = {3, 3, 6};
+    } else if (argc > 1 && std::string(argv[1]) == "baxter") {
+        id = topology::RobotId::kBaxter;
+        knobs = {4, 4, 4};
+    }
+    const std::size_t horizon =
+        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 24;
+
+    const topology::RobotModel model = topology::build_robot(id);
+    const topology::TopologyInfo topo(model);
+    const std::size_t n = model.num_links();
+    std::printf("=== iLQR reach on %s (N=%zu, horizon %zu) ===\n",
+                topology::robot_name(id), n, horizon);
+
+    control::IlqrProblem problem;
+    problem.q0 = linalg::Vector(n);
+    problem.qd0 = linalg::Vector(n);
+    problem.q_goal = linalg::Vector(n);
+    for (std::size_t i = 0; i < n; ++i)
+        problem.q_goal[i] = 0.4 - 0.02 * static_cast<double>(i);
+    problem.horizon = horizon;
+    problem.dt = 0.02;
+
+    control::IlqrOptions options;
+    options.max_iterations = 30;
+    const control::IlqrResult r =
+        control::solve_ilqr(model, topo, problem, options);
+
+    std::printf("converged=%s after %zu iterations\n",
+                r.converged ? "yes" : "no", r.iterations);
+    std::printf("cost history:");
+    for (std::size_t k = 0; k < r.cost_history.size(); ++k)
+        std::printf(" %.3g", r.cost_history[k]);
+    std::printf("\nfinal joint error:");
+    for (std::size_t i = 0; i < n; ++i)
+        std::printf(" %+.3f", r.states.back()[i] - problem.q_goal[i]);
+    std::printf("\n\nwhere the time went:\n");
+    std::printf("  total            %10.2f ms\n", r.timing.total_us / 1e3);
+    std::printf("  dynamics grads   %10.2f ms  (%.0f%% — paper: 30-90%%)\n",
+                r.timing.linearization_us / 1e3,
+                r.timing.gradient_fraction() * 100.0);
+    std::printf("  Riccati passes   %10.2f ms\n",
+                r.timing.backward_pass_us / 1e3);
+    std::printf("  rollouts         %10.2f ms\n",
+                r.timing.rollout_us / 1e3);
+
+    // Accelerator projection for the gradient share.
+    const accel::AcceleratorDesign design(model, knobs);
+    const double cpu_grad_us =
+        baselines::measure_fd_gradients(model, 300).min_us;
+    const double grad_calls = static_cast<double>(horizon) *
+                              static_cast<double>(r.iterations);
+    const io::DirectionalPayload sparse = io::sparse_directional(topo);
+    const double accel_grads_ms =
+        io::roundtrip_us(io::fpga_link_gen1(), sparse.in_bits,
+                         sparse.out_bits, horizon,
+                         design.latency_us_pipelined() *
+                             static_cast<double>(horizon)) *
+        static_cast<double>(r.iterations) / 1e3;
+    std::printf("\nwith the RoboShape coprocessor (%s):\n",
+                design.params().to_string().c_str());
+    std::printf("  %0.0f gradient calls: CPU %.2f ms -> accelerator "
+                "%.2f ms (sparse packets)\n",
+                grad_calls, cpu_grad_us * grad_calls / 1e3,
+                accel_grads_ms);
+    std::printf("  projected solve time: %.2f ms -> %.2f ms\n",
+                r.timing.total_us / 1e3,
+                (r.timing.total_us - r.timing.linearization_us) / 1e3 +
+                    accel_grads_ms);
+    return 0;
+}

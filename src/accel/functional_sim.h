@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Functional simulator of a generated accelerator.
+ *
+ * Executes the design's schedules task by task, in scheduled order, on real
+ * floating-point data — the reproduction's substitute for RTL simulation of
+ * the paper's Verilog.  Every operand read is guarded by a written-flag, so
+ * a schedule that violated a data dependency fails loudly instead of
+ * producing silently wrong numbers; tests then assert bit-level agreement
+ * with the host-side dynamics library.
+ *
+ * Matching the paper's coprocessor dataflow, the host supplies q, qd, the
+ * linearization qdd, and the (inverse) mass matrix via I/O; the accelerator
+ * returns the two partial-derivative matrices.
+ */
+
+#ifndef ROBOSHAPE_ACCEL_FUNCTIONAL_SIM_H
+#define ROBOSHAPE_ACCEL_FUNCTIONAL_SIM_H
+
+#include <stdexcept>
+
+#include "accel/design.h"
+#include "dynamics/rnea.h"
+#include "linalg/blocked.h"
+#include "linalg/matrix.h"
+
+namespace roboshape {
+namespace accel {
+
+/** Raised when a scheduled task reads an operand that was never written. */
+class DataHazardError : public std::logic_error
+{
+  public:
+    explicit DataHazardError(const std::string &msg)
+        : std::logic_error(msg)
+    {
+    }
+};
+
+/** Outputs of one simulated accelerator run. */
+struct SimResult
+{
+    linalg::Vector tau;       ///< Inverse-dynamics torques (RNEA stage).
+    linalg::Matrix dtau_dq;   ///< Traversal-stage output.
+    linalg::Matrix dtau_dqd;  ///< Traversal-stage output.
+    linalg::Matrix dqdd_dq;   ///< After the blocked -M^-1 multiply.
+    linalg::Matrix dqdd_dqd;  ///< After the blocked -M^-1 multiply.
+    linalg::BlockMultiplyStats mm_stats; ///< Tile ops of the final stage.
+    std::size_t tasks_executed = 0;
+};
+
+/** Which schedule ordering drives execution. */
+enum class SimOrder
+{
+    kStaged,    ///< Forward stage, then backward stage (no pipelining).
+    kPipelined, ///< Joint cross-stage order.
+    /** Deliberately invalid (stages reversed): exists so tests can prove
+     *  the hazard checker rejects dependency-violating orders. */
+    kAdversarialReversed,
+};
+
+/**
+ * Runs the accelerator on one input set.
+ *
+ * @param minv the host-computed inverse mass matrix (an accelerator input,
+ *        as in the paper's coprocessor I/O).
+ * @throws DataHazardError when the driving schedule violates a dependency.
+ */
+SimResult simulate(const AcceleratorDesign &design, const linalg::Vector &q,
+                   const linalg::Vector &qd, const linalg::Vector &qdd,
+                   const linalg::Matrix &minv,
+                   const spatial::Vec3 &gravity = dynamics::kDefaultGravity,
+                   SimOrder order = SimOrder::kStaged);
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_FUNCTIONAL_SIM_H

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Implementation of the CRBA and forward-kinematics kernel simulators.
+ */
+
+#include "accel/kernel_sim.h"
+
+#include <algorithm>
+
+#include "spatial/spatial_inertia.h"
+
+namespace roboshape {
+namespace accel {
+
+using sched::Placement;
+using sched::TaskType;
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+using spatial::SpatialVector;
+using topology::kBaseParent;
+
+namespace {
+
+/** Placements of the chosen composition, in execution order. */
+std::vector<const Placement *>
+ordered_placements(const AcceleratorDesign &design, SimOrder order)
+{
+    std::vector<const Placement *> out;
+    const auto append = [&out](const sched::Schedule &s) {
+        const std::size_t begin = out.size();
+        for (const Placement &p : s.placements)
+            if (p.task != sched::kNoTask)
+                out.push_back(&p);
+        std::stable_sort(out.begin() + begin, out.end(),
+                         [](const Placement *a, const Placement *b) {
+                             return a->start < b->start;
+                         });
+    };
+    if (order == SimOrder::kPipelined) {
+        append(design.pipelined());
+    } else {
+        append(design.forward_stage());
+        append(design.backward_stage());
+    }
+    return out;
+}
+
+[[noreturn]] void
+hazard(const std::string &what)
+{
+    throw DataHazardError("data hazard: " + what);
+}
+
+} // namespace
+
+MassMatrixSimResult
+simulate_mass_matrix(const AcceleratorDesign &design,
+                     const linalg::Vector &q, SimOrder order)
+{
+    if (design.kernel() != sched::KernelKind::kMassMatrix)
+        throw std::logic_error("design kernel is not kMassMatrix");
+    const auto &model = design.model();
+    const std::size_t n = model.num_links();
+
+    std::vector<SpatialTransform> xup(n);
+    std::vector<SpatialVector> s(n);
+    // Child contributions accumulate separately from the link's own
+    // inertia so a child's backward push can land before the parent's
+    // setup task runs (legal under the pipelined composition).
+    std::vector<SpatialInertia> ic_children(n);
+    std::vector<SpatialInertia> ic_total(n);
+    std::vector<SpatialVector> f_walk(n);
+    std::vector<int> walk_link(n, -1);
+    std::vector<bool> fwd_done(n, false), bwd_done(n, false);
+    std::vector<bool> walk_done(n * n, false);
+
+    MassMatrixSimResult result;
+    result.mass.resize(n, n);
+
+    for (const Placement *p : ordered_placements(design, order)) {
+        const sched::Task &t = design.task_graph().task(p->task);
+        const auto link = static_cast<std::size_t>(t.link);
+        switch (t.type) {
+          case TaskType::kRneaForward: {
+            const auto &l = model.link(link);
+            xup[link] = l.joint.transform(q[link]) * l.x_tree;
+            s[link] = l.joint.motion_subspace();
+            fwd_done[link] = true;
+            break;
+          }
+          case TaskType::kRneaBackward: {
+            if (!fwd_done[link])
+                hazard("composite inertia before setup of link " +
+                       std::to_string(link));
+            for (int c : model.children(link))
+                if (!bwd_done[c])
+                    hazard("composite inertia before child of link " +
+                           std::to_string(link));
+            ic_total[link] = model.link(link).inertia + ic_children[link];
+            const int parent = model.parent(link);
+            if (parent != kBaseParent)
+                ic_children[parent] =
+                    ic_children[parent] +
+                    ic_total[link].expressed_in_parent(xup[link]);
+            bwd_done[link] = true;
+            break;
+          }
+          case TaskType::kGradBackward: {
+            const auto col = static_cast<std::size_t>(t.column);
+            if (link == col) {
+                if (!bwd_done[col])
+                    hazard("force walk before composite inertia of link " +
+                           std::to_string(col));
+                f_walk[col] = ic_total[col].apply(s[col]);
+            } else {
+                const int prev = walk_link[col];
+                if (prev < 0 ||
+                    model.parent(prev) != static_cast<int>(link))
+                    hazard("force walk out of order for column " +
+                           std::to_string(col));
+                if (!fwd_done[link])
+                    hazard("force walk before setup of link " +
+                           std::to_string(link));
+                f_walk[col] = xup[static_cast<std::size_t>(prev)]
+                                  .apply_transpose_to_force(f_walk[col]);
+            }
+            result.mass(col, link) = result.mass(link, col) =
+                f_walk[col].dot(s[link]);
+            walk_link[col] = static_cast<int>(link);
+            walk_done[col * n + link] = true;
+            break;
+          }
+          case TaskType::kGradForward:
+            hazard("unexpected task type in a CRBA schedule");
+        }
+        ++result.tasks_executed;
+    }
+    return result;
+}
+
+KinematicsSimResult
+simulate_forward_kinematics(const AcceleratorDesign &design,
+                            const linalg::Vector &q,
+                            const linalg::Vector &qd, SimOrder order)
+{
+    if (design.kernel() != sched::KernelKind::kForwardKinematics)
+        throw std::logic_error("design kernel is not kForwardKinematics");
+    const auto &model = design.model();
+    const auto &topo = design.topology();
+    const std::size_t n = model.num_links();
+
+    KinematicsSimResult result;
+    result.base_to_link.assign(n, SpatialTransform());
+    result.velocities.assign(n, SpatialVector::zero());
+    result.jacobians.assign(n, linalg::Matrix(6, n));
+
+    std::vector<SpatialTransform> xup(n);
+    std::vector<SpatialVector> s(n);
+    std::vector<bool> fwd_done(n, false), jc_done(n, false);
+    // carry[j * n + i]: column j's subspace expressed in link i's frame.
+    std::vector<SpatialVector> carry(n * n);
+
+    for (const Placement *p : ordered_placements(design, order)) {
+        const sched::Task &t = design.task_graph().task(p->task);
+        const auto link = static_cast<std::size_t>(t.link);
+        const int parent = model.parent(link);
+        switch (t.type) {
+          case TaskType::kRneaForward: {
+            if (parent != kBaseParent && !fwd_done[parent])
+                hazard("pose before parent pose of link " +
+                       std::to_string(link));
+            const auto &l = model.link(link);
+            xup[link] = l.joint.transform(q[link]) * l.x_tree;
+            s[link] = l.joint.motion_subspace();
+            const SpatialVector vj = s[link] * qd[link];
+            if (parent == kBaseParent) {
+                result.base_to_link[link] = xup[link];
+                result.velocities[link] = vj;
+            } else {
+                result.base_to_link[link] =
+                    xup[link] * result.base_to_link[parent];
+                result.velocities[link] =
+                    xup[link].apply(result.velocities[parent]) + vj;
+            }
+            fwd_done[link] = true;
+            break;
+          }
+          case TaskType::kGradForward: {
+            if (!fwd_done[link])
+                hazard("jacobian before pose of link " +
+                       std::to_string(link));
+            if (parent != kBaseParent && !jc_done[parent])
+                hazard("jacobian before parent jacobian of link " +
+                       std::to_string(link));
+            for (std::size_t j : topo.root_path(link)) {
+                carry[j * n + link] =
+                    j == link
+                        ? s[link]
+                        : xup[link].apply(
+                              carry[j * n +
+                                    static_cast<std::size_t>(parent)]);
+                for (std::size_t r = 0; r < 6; ++r)
+                    result.jacobians[link](r, j) = carry[j * n + link][r];
+            }
+            jc_done[link] = true;
+            break;
+          }
+          default:
+            hazard("unexpected task type in a kinematics schedule");
+        }
+        ++result.tasks_executed;
+    }
+    return result;
+}
+
+} // namespace accel
+} // namespace roboshape

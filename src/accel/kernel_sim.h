@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional simulators for the non-gradient kernels (paper Table 1).
+ *
+ * Same philosophy as functional_sim.h: execute the generated schedules
+ * task-by-task on real data with read-before-write hazard checks, so the
+ * schedules are proven correct by producing numerically identical results
+ * to the host library (CRBA / forward kinematics).
+ */
+
+#ifndef ROBOSHAPE_ACCEL_KERNEL_SIM_H
+#define ROBOSHAPE_ACCEL_KERNEL_SIM_H
+
+#include <vector>
+
+#include "accel/design.h"
+#include "accel/functional_sim.h"
+#include "linalg/matrix.h"
+#include "spatial/spatial_transform.h"
+
+namespace roboshape {
+namespace accel {
+
+/** Output of a simulated mass-matrix (CRBA) accelerator run. */
+struct MassMatrixSimResult
+{
+    linalg::Matrix mass; ///< The N x N joint-space mass matrix.
+    std::size_t tasks_executed = 0;
+};
+
+/**
+ * Runs a kMassMatrix design on @p q.
+ * @throws DataHazardError on schedule dependency violations;
+ * @throws std::logic_error when the design's kernel is not kMassMatrix.
+ */
+MassMatrixSimResult simulate_mass_matrix(const AcceleratorDesign &design,
+                                         const linalg::Vector &q,
+                                         SimOrder order = SimOrder::kStaged);
+
+/** Output of a simulated forward-kinematics accelerator run. */
+struct KinematicsSimResult
+{
+    /** Base-to-link transforms per link. */
+    std::vector<spatial::SpatialTransform> base_to_link;
+    /** Link spatial velocities. */
+    std::vector<spatial::SpatialVector> velocities;
+    /** Geometric Jacobian (6 x N) of every link, in link coordinates. */
+    std::vector<linalg::Matrix> jacobians;
+    std::size_t tasks_executed = 0;
+};
+
+/**
+ * Runs a kForwardKinematics design on (q, qd).
+ * @throws DataHazardError / std::logic_error as above.
+ */
+KinematicsSimResult
+simulate_forward_kinematics(const AcceleratorDesign &design,
+                            const linalg::Vector &q,
+                            const linalg::Vector &qd,
+                            SimOrder order = SimOrder::kStaged);
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_KERNEL_SIM_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Generator knobs and timing parameters of the templated accelerator.
+ *
+ * The paper's architecture (Fig. 8) exposes three topology-derived knobs:
+ * forward-traversal PEs, backward-traversal PEs, and the matrix-multiply
+ * block size.  The per-task cycle costs below parameterize the cycle-level
+ * model; they abstract the pipelined 6x6 robomorphic datapaths of the
+ * original RTL and were calibrated so the shipped designs land in the
+ * paper's reported cycle ranges (see EXPERIMENTS.md).
+ */
+
+#ifndef ROBOSHAPE_ACCEL_PARAMS_H
+#define ROBOSHAPE_ACCEL_PARAMS_H
+
+#include <cstddef>
+#include <string>
+
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+
+namespace roboshape {
+namespace accel {
+
+/** The three generator knobs (paper Sec. 4.4). */
+struct AcceleratorParams
+{
+    std::size_t pes_fwd = 1;    ///< Forward-traversal processing elements.
+    std::size_t pes_bwd = 1;    ///< Backward-traversal processing elements.
+    std::size_t block_size = 1; ///< Matrix-multiply tile edge, size_block.
+
+    std::string to_string() const;
+
+    bool operator==(const AcceleratorParams &o) const = default;
+};
+
+/** Cycle-cost model for all schedule components. */
+struct TimingModel
+{
+    /** Per-task costs of the traversal stages. */
+    sched::TaskTiming traversal{
+        /*rnea_forward=*/6,
+        /*rnea_backward=*/4,
+        /*grad_forward=*/9,
+        /*grad_backward=*/5,
+    };
+    /** Tile cost model of the blocked multiplier. */
+    sched::TileTiming tile{/*cycles_per_row=*/1, /*overhead=*/3};
+    /** Block matrix-vector multiply units (fixed in the Fig. 8 template). */
+    std::size_t mm_units = 3;
+};
+
+/** Default timing model shared by all benches. */
+const TimingModel &default_timing();
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_PARAMS_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * FPGA platform resource envelopes (paper Sec. 5.5).
+ */
+
+#ifndef ROBOSHAPE_ACCEL_PLATFORM_H
+#define ROBOSHAPE_ACCEL_PLATFORM_H
+
+#include <cstdint>
+#include <string>
+
+namespace roboshape {
+namespace accel {
+
+/** Resource envelope of a deployment platform. */
+struct FpgaPlatform
+{
+    std::string name;
+    std::int64_t luts = 0;
+    std::int64_t dsps = 0;
+};
+
+/** Xilinx VCU118 board (XCVU9P part) — the paper's primary target. */
+const FpgaPlatform &vcu118();
+
+/** Xilinx VC707 board — the paper's constrained second target. */
+const FpgaPlatform &vc707();
+
+/** Utilization threshold used for feasibility (paper Sec. 5.5: 80%). */
+inline constexpr double kUtilizationThreshold = 0.8;
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_PLATFORM_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Power and energy model with PE power gating.
+ *
+ * The paper (Sec. 3.3) singles out per-PE power gating as the dynamic-
+ * tuning knob the topology-based schedules unlock: schedules are static,
+ * so every PE's busy intervals are known at design time and idle PEs can
+ * be gated without any runtime decision logic.  This model turns schedule
+ * occupancy into energy per computation and average power, with and
+ * without gating — the quantitative side of the paper's Dark Silicon
+ * discussion.
+ */
+
+#ifndef ROBOSHAPE_ACCEL_POWER_MODEL_H
+#define ROBOSHAPE_ACCEL_POWER_MODEL_H
+
+#include <vector>
+
+#include "accel/design.h"
+
+namespace roboshape {
+namespace accel {
+
+/** Power model constants (milliwatts), defaults sized for a ~50 MHz
+ *  FPGA robomorphic datapath. */
+struct PowerParams
+{
+    double pe_active_mw = 320.0; ///< Traversal PE while computing.
+    double pe_idle_mw = 96.0;    ///< Traversal PE clocked but idle.
+    double pe_gated_mw = 8.0;    ///< Traversal PE power-gated (leakage).
+    double mm_unit_mw = 180.0;   ///< Block-MV unit while the stage runs.
+    double base_mw = 250.0;      ///< Control, marshalling, and storage.
+};
+
+/** Occupancy and power of one generated design. */
+struct PowerReport
+{
+    /** Busy fraction of each forward/backward PE over the computation. */
+    std::vector<double> forward_utilization;
+    std::vector<double> backward_utilization;
+    /** Mean busy fraction across both pools. */
+    double mean_pe_utilization = 0.0;
+
+    double avg_power_mw = 0.0;       ///< Clock-gating-free baseline.
+    double avg_power_gated_mw = 0.0; ///< With per-PE power gating.
+    double energy_uj = 0.0;          ///< Energy per computation, no gating.
+    double energy_gated_uj = 0.0;    ///< Energy per computation, gated.
+
+    /** Fraction of energy saved by schedule-driven power gating. */
+    double
+    gating_savings() const
+    {
+        return energy_uj > 0.0 ? 1.0 - energy_gated_uj / energy_uj : 0.0;
+    }
+};
+
+/**
+ * Computes schedule occupancy and power for one computation through
+ * @p design (no-pipelining composition).
+ */
+PowerReport estimate_power(const AcceleratorDesign &design,
+                           const PowerParams &params = PowerParams{});
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_POWER_MODEL_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the resource model and platform constants.
+ */
+
+#include "accel/resource_model.h"
+
+#include <cmath>
+
+namespace roboshape {
+namespace accel {
+
+const FpgaPlatform &
+vcu118()
+{
+    static const FpgaPlatform kPlatform{"VCU118 (XCVU9P)", 1182000, 6840};
+    return kPlatform;
+}
+
+const FpgaPlatform &
+vc707()
+{
+    static const FpgaPlatform kPlatform{"VC707", 303600, 2800};
+    return kPlatform;
+}
+
+std::string
+AcceleratorParams::to_string() const
+{
+    return "PEs_fwd=" + std::to_string(pes_fwd) +
+           " PEs_bwd=" + std::to_string(pes_bwd) +
+           " size_block=" + std::to_string(block_size);
+}
+
+const TimingModel &
+default_timing()
+{
+    static const TimingModel kDefault{};
+    return kDefault;
+}
+
+bool
+ResourceEstimate::fits(const FpgaPlatform &platform, double threshold) const
+{
+    return luts <= platform.luts * threshold &&
+           dsps <= platform.dsps * threshold;
+}
+
+double
+ResourceEstimate::lut_utilization(const FpgaPlatform &platform) const
+{
+    return static_cast<double>(luts) / static_cast<double>(platform.luts);
+}
+
+double
+ResourceEstimate::dsp_utilization(const FpgaPlatform &platform) const
+{
+    return static_cast<double>(dsps) / static_cast<double>(platform.dsps);
+}
+
+ResourceEstimate
+estimate_resources(const AcceleratorParams &params, std::size_t num_links)
+{
+    const double pes = static_cast<double>(params.pes_fwd + params.pes_bwd);
+    const double b = static_cast<double>(params.block_size);
+    const double n = static_cast<double>(num_links);
+
+    ResourceEstimate r;
+    r.dsps = std::llround(285.70968 * pes + 11.870968 * b * b + 866.38710);
+    r.luts = std::llround(1034.1255843047122 * pes *
+                              std::pow(n, 1.7084640091346546) +
+                          300.0 * b * b * b + 9378.981806026946);
+    return r;
+}
+
+ResourceEstimate
+estimate_rc_resources(std::size_t num_links)
+{
+    // RC instantiates one forward and one backward per-link datapath per
+    // link with fully unrolled schedules: resources scale linearly with N,
+    // anchored at the published iiwa (N=7) utilization.
+    ResourceEstimate r;
+    r.dsps = std::llround(757.3 * static_cast<double>(num_links));
+    r.luts = std::llround(82740.0 * static_cast<double>(num_links));
+    return r;
+}
+
+} // namespace accel
+} // namespace roboshape

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytical LUT/DSP resource model.
+ *
+ * The paper reports synthesis results for three shipped designs (Table 2);
+ * this model is anchored exactly at those points and extrapolates across
+ * the knob space:
+ *
+ *   DSPs = 285.71 * (PEs_fwd + PEs_bwd) + 11.871 * size_block^2 + 866.4
+ *   LUTs = 1034.13 * (PEs_fwd + PEs_bwd) * N^1.7085
+ *          + 300 * size_block^3 + 9379
+ *
+ * The DSP terms are per-PE 6x6 multiply datapaths plus the blocked-multiply
+ * array.  The LUT cost is dominated by each PE's schedule-driven operand
+ * marshalling network, which grows superlinearly with the number of links
+ * it must route among (N^1.71); the block multiplier contributes B^2 MACs,
+ * each with a B-deep accumulator (B^3).  Besides reproducing Table 2, the
+ * model reproduces the paper's platform-feasibility claims: every robot
+ * except HyQ+arm has VC707-feasible design points (Fig. 16), and RC cannot
+ * scale past iiwa on the XCVU9P.  See DESIGN.md for the fit derivation.
+ */
+
+#ifndef ROBOSHAPE_ACCEL_RESOURCE_MODEL_H
+#define ROBOSHAPE_ACCEL_RESOURCE_MODEL_H
+
+#include <cstdint>
+
+#include "accel/params.h"
+#include "accel/platform.h"
+
+namespace roboshape {
+namespace accel {
+
+/** Estimated FPGA resource usage of a generated design. */
+struct ResourceEstimate
+{
+    std::int64_t luts = 0;
+    std::int64_t dsps = 0;
+
+    /** True when both resources fit within @p threshold of the platform. */
+    bool fits(const FpgaPlatform &platform,
+              double threshold = kUtilizationThreshold) const;
+
+    double lut_utilization(const FpgaPlatform &platform) const;
+    double dsp_utilization(const FpgaPlatform &platform) const;
+};
+
+/**
+ * Resource estimate of a RoboShape design.
+ *
+ * @param params    generator knobs.
+ * @param num_links robot size N.
+ */
+ResourceEstimate estimate_resources(const AcceleratorParams &params,
+                                    std::size_t num_links);
+
+/**
+ * Resource estimate of the prior-work Robomorphic Computing design [32]:
+ * static per-link parallelization with no topology-aware reuse.  Anchored
+ * at the published iiwa numbers (49.0% LUTs / 77.5% DSPs of the XCVU9P).
+ */
+ResourceEstimate estimate_rc_resources(std::size_t num_links);
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_RESOURCE_MODEL_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Implementation of the CPU baseline timing harness.
+ */
+
+#include "baselines/cpu_baseline.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/rnea.h"
+#include "dynamics/robot_state.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace baselines {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+us_between(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/** Keeps results alive so the optimizer cannot delete the work. */
+volatile double g_sink = 0.0;
+
+} // namespace
+
+CpuMeasurement
+measure_fd_gradients(const topology::RobotModel &model, std::size_t trials)
+{
+    const topology::TopologyInfo topo(model);
+    const dynamics::RobotState s = dynamics::random_state(model, 1234);
+
+    // Warmup.
+    for (int i = 0; i < 16; ++i) {
+        const auto g = dynamics::forward_dynamics_gradients(model, topo, s.q,
+                                                            s.qd, s.tau);
+        g_sink = g.dqdd_dq(0, 0);
+    }
+
+    CpuMeasurement m;
+    m.trials = trials;
+    m.min_us = 1e30;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < trials; ++i) {
+        const auto a = Clock::now();
+        const auto g = dynamics::forward_dynamics_gradients(model, topo, s.q,
+                                                            s.qd, s.tau);
+        g_sink = g.dqdd_dq(0, 0);
+        const auto b = Clock::now();
+        m.min_us = std::min(m.min_us, us_between(a, b));
+    }
+    m.mean_us = us_between(t0, Clock::now()) / static_cast<double>(trials);
+    return m;
+}
+
+CpuMeasurement
+measure_fd_gradients_batch(const topology::RobotModel &model,
+                           std::size_t steps, std::size_t trials)
+{
+    const topology::TopologyInfo topo(model);
+    std::vector<dynamics::RobotState> states;
+    for (std::size_t k = 0; k < steps; ++k)
+        states.push_back(dynamics::random_state(
+            model, static_cast<std::uint32_t>(100 + k)));
+
+    CpuMeasurement m;
+    m.trials = trials;
+    m.min_us = 1e30;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < trials; ++i) {
+        const auto a = Clock::now();
+        std::vector<std::thread> workers;
+        workers.reserve(steps);
+        for (std::size_t k = 0; k < steps; ++k) {
+            workers.emplace_back([&, k] {
+                const auto g = dynamics::forward_dynamics_gradients(
+                    model, topo, states[k].q, states[k].qd, states[k].tau);
+                g_sink = g.dqdd_dq(0, 0);
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        const auto b = Clock::now();
+        m.min_us = std::min(m.min_us, us_between(a, b));
+    }
+    m.mean_us = us_between(t0, Clock::now()) / static_cast<double>(trials);
+    return m;
+}
+
+CpuMeasurement
+measure_rnea(const topology::RobotModel &model, std::size_t trials)
+{
+    const dynamics::RobotState s = dynamics::random_state(model, 77);
+
+    for (int i = 0; i < 16; ++i)
+        g_sink = dynamics::rnea(model, s.q, s.qd, s.qdd)[0];
+
+    CpuMeasurement m;
+    m.trials = trials;
+    m.min_us = 1e30;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < trials; ++i) {
+        const auto a = Clock::now();
+        g_sink = dynamics::rnea(model, s.q, s.qd, s.qdd)[0];
+        const auto b = Clock::now();
+        m.min_us = std::min(m.min_us, us_between(a, b));
+    }
+    m.mean_us = us_between(t0, Clock::now()) / static_cast<double>(trials);
+    return m;
+}
+
+} // namespace baselines
+} // namespace roboshape

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CPU baseline: real measured latency of the host dynamics library.
+ *
+ * Stands in for the paper's Pinocchio [8] numbers: a from-scratch,
+ * single-threaded, vectorizable C++ implementation of the same analytical-
+ * derivative algorithms, timed with a monotonic clock and averaged over
+ * many trials (paper methodology, Sec. 5).  Batched time-step evaluation
+ * parallelizes across threads, one per time step, exactly like the paper
+ * describes the CPU library doing.
+ */
+
+#ifndef ROBOSHAPE_BASELINES_CPU_BASELINE_H
+#define ROBOSHAPE_BASELINES_CPU_BASELINE_H
+
+#include <cstddef>
+
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace baselines {
+
+/** Measured statistics of a timing run. */
+struct CpuMeasurement
+{
+    double mean_us = 0.0;
+    double min_us = 0.0;
+    std::size_t trials = 0;
+};
+
+/**
+ * Measures a single forward-dynamics-gradient evaluation.
+ * @param trials averaging count (the paper used one million; benches
+ *        default lower to keep runtimes friendly).
+ */
+CpuMeasurement measure_fd_gradients(const topology::RobotModel &model,
+                                    std::size_t trials = 2000);
+
+/**
+ * Measures a batch of @p steps gradient evaluations run on one thread per
+ * step (the CPU library's multi-computation parallelization).
+ */
+CpuMeasurement measure_fd_gradients_batch(const topology::RobotModel &model,
+                                          std::size_t steps,
+                                          std::size_t trials = 200);
+
+/** Measures a single RNEA inverse-dynamics call (microbench support). */
+CpuMeasurement measure_rnea(const topology::RobotModel &model,
+                            std::size_t trials = 10000);
+
+} // namespace baselines
+} // namespace roboshape
+
+#endif // ROBOSHAPE_BASELINES_CPU_BASELINE_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Implementation of the GPU latency model.
+ */
+
+#include "baselines/gpu_model.h"
+
+#include <cmath>
+
+namespace roboshape {
+namespace baselines {
+
+double
+gpu_gradient_latency_us(const topology::TopologyMetrics &metrics,
+                        const GpuModelParams &params)
+{
+    const double chains =
+        2.0 * static_cast<double>(metrics.max_leaf_depth);
+    return params.launch_us + params.chain_op_us * chains +
+           params.per_link_us * static_cast<double>(metrics.total_links);
+}
+
+double
+gpu_batch_latency_us(const topology::TopologyMetrics &metrics,
+                     std::size_t steps, const GpuModelParams &params)
+{
+    const double waves = std::ceil(static_cast<double>(steps) /
+                                   static_cast<double>(params.sm_count));
+    return gpu_gradient_latency_us(metrics, params) * waves;
+}
+
+} // namespace baselines
+} // namespace roboshape

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GPU baseline latency model (the paper's GRiD [45] comparison point).
+ *
+ * GRiD dedicates one streaming multiprocessor to each dynamics-gradient
+ * evaluation and parallelizes the per-link work across that SM's CUDA
+ * threads, so single-computation latency is governed by the robot's
+ * *sequential dependency chains* — the forward/backward traversal depth —
+ * executed on pipelines optimized for throughput, not latency (paper
+ * Sec. 5.1).  The model captures exactly those structural effects:
+ *
+ *   latency_us = launch + alpha * (2 * max_leaf_depth traversal chains)
+ *                       + beta * N (per-link work serialized by SM issue)
+ *
+ * It reproduces the paper's qualitative findings: iiwa and HyQ land at
+ * similar latency (iiwa is purely sequential; HyQ has parallel limbs with
+ * short chains), and larger robots grow linearly.  Constants are
+ * calibrated against the paper's reported CPU/GPU/FPGA ratios
+ * (EXPERIMENTS.md).  Batched time steps spread across SMs, leaving
+ * latency nearly flat while I/O grows.
+ */
+
+#ifndef ROBOSHAPE_BASELINES_GPU_MODEL_H
+#define ROBOSHAPE_BASELINES_GPU_MODEL_H
+
+#include <cstddef>
+
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace baselines {
+
+/** Model constants (defaults calibrated to the RTX 3080 baseline). */
+struct GpuModelParams
+{
+    double launch_us = 2.0;      ///< Kernel launch and scheduling overhead.
+    double chain_op_us = 1.19;   ///< Per traversal-chain level.
+    double per_link_us = 1.90;   ///< Per-link serialized issue cost.
+    std::size_t sm_count = 68;   ///< RTX 3080 streaming multiprocessors.
+};
+
+/** Single dynamics-gradient latency on one SM. */
+double gpu_gradient_latency_us(const topology::TopologyMetrics &metrics,
+                               const GpuModelParams &params =
+                                   GpuModelParams{});
+
+/**
+ * Compute latency of a batch of @p steps evaluations: one SM each, so the
+ * batch is latency-flat until steps exceed the SM count.
+ */
+double gpu_batch_latency_us(const topology::TopologyMetrics &metrics,
+                            std::size_t steps,
+                            const GpuModelParams &params = GpuModelParams{});
+
+} // namespace baselines
+} // namespace roboshape
+
+#endif // ROBOSHAPE_BASELINES_GPU_MODEL_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Implementation of the RC baseline generator.
+ */
+
+#include "baselines/rc_baseline.h"
+
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace baselines {
+
+RcDesign
+generate_rc_design(const topology::RobotModel &model,
+                   const accel::FpgaPlatform &platform)
+{
+    RcDesign rc;
+    const std::size_t n = model.num_links();
+    rc.resources = accel::estimate_rc_resources(n);
+
+    const topology::TopologyInfo topo(model);
+    const bool branching = !topo.branch_links().empty() ||
+                           model.base_children().size() > 1;
+    if (branching) {
+        rc.supported = false;
+        rc.limitation = "RC has no branching support (single-chain "
+                        "parallelization only)";
+        return rc;
+    }
+    rc.supported = true;
+    if (!rc.resources.fits(platform)) {
+        rc.limitation = "RC per-link unrolling exceeds " + platform.name +
+                        " resources at N=" + std::to_string(n);
+        return rc;
+    }
+
+    // For a chain, RC's fully-unrolled per-link parallelism is what
+    // RoboShape produces at PEs_fwd = PEs_bwd = size_block = N.
+    const accel::AcceleratorDesign equivalent(model, {n, n, n});
+    rc.latency_us = equivalent.latency_us_no_pipelining();
+    return rc;
+}
+
+} // namespace baselines
+} // namespace roboshape

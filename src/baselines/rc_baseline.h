@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Robomorphic Computing baseline generator (prior work [32]).
+ *
+ * RC parallelizes statically with one processing element per robot link and
+ * a fully-unrolled dataflow — no topology-aware scheduling, no branching
+ * support, no blocked matrix reuse.  For a serial chain (iiwa) it produces
+ * the same schedule RoboShape does at PEs = N, so latency is identical
+ * (paper Fig. 9); for branching robots it is structurally unsupported, and
+ * for any robot its per-link resource scaling exhausts the FPGA beyond
+ * N = 7 (paper Sec. 5.1).
+ */
+
+#ifndef ROBOSHAPE_BASELINES_RC_BASELINE_H
+#define ROBOSHAPE_BASELINES_RC_BASELINE_H
+
+#include <optional>
+
+#include "accel/design.h"
+#include "accel/resource_model.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace baselines {
+
+/** Outcome of attempting an RC design for a robot. */
+struct RcDesign
+{
+    /** True when RC can express the robot at all (no branch support). */
+    bool supported = false;
+    /** Why RC cannot be generated, when unsupported. */
+    std::string limitation;
+    /** Resource demand of the unrolled design (always computed). */
+    accel::ResourceEstimate resources;
+    /** Latency in microseconds; present only for supported robots that
+     *  fit the platform. */
+    std::optional<double> latency_us;
+};
+
+/**
+ * Attempts to generate the RC accelerator for @p model against the
+ * given platform envelope.
+ */
+RcDesign generate_rc_design(const topology::RobotModel &model,
+                            const accel::FpgaPlatform &platform);
+
+} // namespace baselines
+} // namespace roboshape
+
+#endif // ROBOSHAPE_BASELINES_RC_BASELINE_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Verilog lowering of generated designs (paper Fig. 7d).
+ *
+ * Emits the templated architecture of paper Fig. 8 with the generated
+ * schedules baked into per-PE ROMs: schedule storage (a), control state
+ * machines (b), RNEA output buffers (c), parent-link registers (d), branch
+ * checkpoint registers (e), and blocked-multiply accumulators (f).  The
+ * datapath macro-operations (6x6 spatial arithmetic) are emitted as
+ * instantiations of library cells, mirroring how the original flow
+ * composed hand-written Bluespec datapaths under generated control.
+ */
+
+#ifndef ROBOSHAPE_CODEGEN_VERILOG_EMITTER_H
+#define ROBOSHAPE_CODEGEN_VERILOG_EMITTER_H
+
+#include <string>
+
+#include "accel/design.h"
+
+namespace roboshape {
+namespace codegen {
+
+/** Emits the synthesizable top module for @p design. */
+std::string emit_verilog(const accel::AcceleratorDesign &design);
+
+/** Emits a self-checking cycle-count testbench for the top module. */
+std::string emit_testbench(const accel::AcceleratorDesign &design);
+
+/**
+ * Emits the shared datapath cell library (behavioral models of the
+ * robomorphic traversal PE and the block matrix-vector unit) that every
+ * generated top module instantiates.  Emitted once per RTL bundle.
+ */
+std::string emit_cell_library();
+
+/** Verilog-legal identifier derived from the robot name. */
+std::string module_name(const accel::AcceleratorDesign &design);
+
+} // namespace codegen
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CODEGEN_VERILOG_EMITTER_H

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Implementation of the iLQR solver.
+ */
+
+#include "control/ilqr.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "dynamics/aba.h"
+#include "dynamics/fd_derivatives.h"
+#include "linalg/factorization.h"
+
+namespace roboshape {
+namespace control {
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using Clock = std::chrono::steady_clock;
+
+double
+us_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+        .count();
+}
+
+/** Splits x = [q; qd]. */
+void
+split(const Vector &x, Vector &q, Vector &qd)
+{
+    const std::size_t n = x.size() / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        q[i] = x[i];
+        qd[i] = x[n + i];
+    }
+}
+
+/** Semi-implicit Euler step of the true dynamics. */
+Vector
+step(const topology::RobotModel &model, const Vector &x, const Vector &u,
+     double dt)
+{
+    const std::size_t n = model.num_links();
+    Vector q(n), qd(n);
+    split(x, q, qd);
+    const Vector qdd = dynamics::aba(model, q, qd, u);
+    Vector x_next(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double qd_next = qd[i] + dt * qdd[i];
+        x_next[n + i] = qd_next;
+        x_next[i] = q[i] + dt * qd_next;
+    }
+    return x_next;
+}
+
+/** Discrete linearization x' ~ A x + B u from the analytic gradients. */
+void
+linearize(const topology::RobotModel &model,
+          const topology::TopologyInfo &topo, const Vector &x,
+          const Vector &u, double dt, Matrix &a, Matrix &b)
+{
+    const std::size_t n = model.num_links();
+    Vector q(n), qd(n);
+    split(x, q, qd);
+    const auto g =
+        dynamics::forward_dynamics_gradients(model, topo, q, qd, u);
+
+    // Semi-implicit Euler: qd' = qd + dt qdd; q' = q + dt qd'.
+    a.resize(2 * n, 2 * n);
+    b.resize(2 * n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double dq = dt * g.dqdd_dq(i, j);
+            const double dqd = dt * g.dqdd_dqd(i, j);
+            // qd' rows.
+            a(n + i, j) = dq;
+            a(n + i, n + j) = (i == j ? 1.0 : 0.0) + dqd;
+            // q' rows = q + dt qd'.
+            a(i, j) = (i == j ? 1.0 : 0.0) + dt * dq;
+            a(i, n + j) = dt * ((i == j ? 1.0 : 0.0) + dqd);
+            const double du = dt * g.mass_inv(i, j);
+            b(n + i, j) = du;
+            b(i, j) = dt * du;
+        }
+    }
+}
+
+/** Running cost and its gradients at one knot. */
+struct CostExpansion
+{
+    double value = 0.0;
+    Vector lx;  // 2n
+    Matrix lxx; // diagonal weights, 2n x 2n
+    Vector lu;  // n
+    Matrix luu; // n x n
+};
+
+CostExpansion
+running_cost(const IlqrProblem &p, const Vector &x, const Vector &u)
+{
+    const std::size_t n = u.size();
+    CostExpansion c;
+    c.lx = Vector(2 * n);
+    c.lxx.resize(2 * n, 2 * n);
+    c.lu = Vector(n);
+    c.luu.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double eq = x[i] - p.q_goal[i];
+        c.value += 0.5 * p.w_q * eq * eq + 0.5 * p.w_qd * x[n + i] * x[n + i] +
+                   0.5 * p.w_u * u[i] * u[i];
+        c.lx[i] = p.w_q * eq;
+        c.lx[n + i] = p.w_qd * x[n + i];
+        c.lxx(i, i) = p.w_q;
+        c.lxx(n + i, n + i) = p.w_qd;
+        c.lu[i] = p.w_u * u[i];
+        c.luu(i, i) = p.w_u;
+    }
+    return c;
+}
+
+CostExpansion
+terminal_cost(const IlqrProblem &p, const Vector &x)
+{
+    const std::size_t n = p.q_goal.size();
+    CostExpansion c;
+    c.lx = Vector(2 * n);
+    c.lxx.resize(2 * n, 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double eq = x[i] - p.q_goal[i];
+        c.value += 0.5 * p.w_terminal * eq * eq +
+                   0.5 * p.w_qd * x[n + i] * x[n + i];
+        c.lx[i] = p.w_terminal * eq;
+        c.lx[n + i] = p.w_qd * x[n + i];
+        c.lxx(i, i) = p.w_terminal;
+        c.lxx(n + i, n + i) = p.w_qd;
+    }
+    return c;
+}
+
+} // namespace
+
+double
+trajectory_cost(const IlqrProblem &problem,
+                const std::vector<Vector> &states,
+                const std::vector<Vector> &controls)
+{
+    assert(states.size() == controls.size() + 1);
+    double cost = 0.0;
+    for (std::size_t k = 0; k < controls.size(); ++k)
+        cost += running_cost(problem, states[k], controls[k]).value;
+    return cost + terminal_cost(problem, states.back()).value;
+}
+
+IlqrResult
+solve_ilqr(const topology::RobotModel &model,
+           const topology::TopologyInfo &topo, const IlqrProblem &problem,
+           const IlqrOptions &options)
+{
+    const std::size_t n = model.num_links();
+    const std::size_t horizon = problem.horizon;
+    assert(problem.q0.size() == n && problem.q_goal.size() == n);
+
+    IlqrResult result;
+    const auto t_total = Clock::now();
+
+    // Initial rollout: gravity-free zero torques.
+    result.controls.assign(horizon, Vector(n));
+    result.states.assign(horizon + 1, Vector(2 * n));
+    for (std::size_t i = 0; i < n; ++i) {
+        result.states[0][i] = problem.q0[i];
+        result.states[0][n + i] = problem.qd0[i];
+    }
+    {
+        const auto t0 = Clock::now();
+        for (std::size_t k = 0; k < horizon; ++k)
+            result.states[k + 1] =
+                step(model, result.states[k], result.controls[k],
+                     problem.dt);
+        result.timing.rollout_us += us_since(t0);
+    }
+    double cost = trajectory_cost(problem, result.states, result.controls);
+    result.cost_history.push_back(cost);
+
+    double mu = options.regularization;
+    std::vector<Matrix> a(horizon), b(horizon), gain_k(horizon);
+    std::vector<Vector> ff_k(horizon);
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+        ++result.iterations;
+
+        // ---- Linearization (the accelerated kernel) -------------------
+        {
+            const auto t0 = Clock::now();
+            for (std::size_t k = 0; k < horizon; ++k)
+                linearize(model, topo, result.states[k],
+                          result.controls[k], problem.dt, a[k], b[k]);
+            result.timing.linearization_us += us_since(t0);
+        }
+
+        // ---- Riccati backward pass ------------------------------------
+        bool backward_ok = true;
+        {
+            const auto t0 = Clock::now();
+            const CostExpansion terminal =
+                terminal_cost(problem, result.states[horizon]);
+            Vector vx = terminal.lx;
+            Matrix vxx = terminal.lxx;
+            for (std::size_t kk = horizon; kk-- > 0;) {
+                const CostExpansion c =
+                    running_cost(problem, result.states[kk],
+                                 result.controls[kk]);
+                const Matrix at = a[kk].transposed();
+                const Matrix bt = b[kk].transposed();
+                const Vector qx = c.lx + at * vx;
+                const Vector qu = c.lu + bt * vx;
+                const Matrix qxx = c.lxx + at * vxx * a[kk];
+                Matrix quu = c.luu + bt * vxx * b[kk];
+                const Matrix qux = bt * vxx * a[kk];
+                for (std::size_t i = 0; i < n; ++i)
+                    quu(i, i) += mu;
+                const linalg::Ldlt solver(quu);
+                if (!solver.ok()) {
+                    backward_ok = false;
+                    break;
+                }
+                ff_k[kk] = solver.solve(qu) * -1.0;
+                gain_k[kk] = solver.solve(qux) * -1.0;
+                vx = qx + gain_k[kk].transposed() * (quu * ff_k[kk]) +
+                     gain_k[kk].transposed() * qu +
+                     qux.transposed() * ff_k[kk];
+                vxx = qxx + gain_k[kk].transposed() * quu * gain_k[kk] +
+                      gain_k[kk].transposed() * qux +
+                      qux.transposed() * gain_k[kk];
+                // Symmetrize against numerical drift.
+                vxx = (vxx + vxx.transposed()) * 0.5;
+            }
+            result.timing.backward_pass_us += us_since(t0);
+        }
+        if (!backward_ok) {
+            mu *= 10.0;
+            continue;
+        }
+
+        // ---- Line-searched forward pass -------------------------------
+        bool improved = false;
+        {
+            const auto t0 = Clock::now();
+            double alpha = 1.0;
+            for (std::size_t ls = 0; ls < options.max_line_search; ++ls) {
+                std::vector<Vector> xs(horizon + 1, Vector(2 * n));
+                std::vector<Vector> us(horizon, Vector(n));
+                xs[0] = result.states[0];
+                for (std::size_t k = 0; k < horizon; ++k) {
+                    const Vector dx = xs[k] - result.states[k];
+                    us[k] = result.controls[k] + ff_k[k] * alpha +
+                            gain_k[k] * dx;
+                    xs[k + 1] = step(model, xs[k], us[k], problem.dt);
+                }
+                const double new_cost =
+                    trajectory_cost(problem, xs, us);
+                if (new_cost < cost) {
+                    result.states = std::move(xs);
+                    result.controls = std::move(us);
+                    improved = true;
+                    mu = std::max(mu * 0.5, 1e-9);
+                    const double rel = (cost - new_cost) /
+                                       std::max(1.0, std::abs(cost));
+                    cost = new_cost;
+                    result.cost_history.push_back(cost);
+                    if (rel < options.cost_tolerance)
+                        result.converged = true;
+                    break;
+                }
+                alpha *= 0.5;
+            }
+            result.timing.rollout_us += us_since(t0);
+        }
+        if (!improved) {
+            mu *= 10.0;
+            if (mu > 1e8) {
+                result.converged = true; // stalled at a local optimum
+                break;
+            }
+        }
+        if (result.converged)
+            break;
+    }
+
+    result.timing.total_us = us_since(t_total);
+    return result;
+}
+
+} // namespace control
+} // namespace roboshape

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of JSON design export.
+ */
+
+#include "core/design_export.h"
+
+#include <sstream>
+
+namespace roboshape {
+namespace core {
+
+namespace {
+
+void
+emit_roms(std::ostringstream &os, const sched::TaskGraph &graph,
+          const std::vector<std::vector<sched::TaskId>> &roms,
+          const char *name)
+{
+    os << "    \"" << name << "\": [";
+    for (std::size_t pe = 0; pe < roms.size(); ++pe) {
+        os << (pe ? ", " : "") << "[";
+        for (std::size_t k = 0; k < roms[pe].size(); ++k)
+            os << (k ? ", " : "") << "\""
+               << graph.task(roms[pe][k]).label() << "\"";
+        os << "]";
+    }
+    os << "]";
+}
+
+} // namespace
+
+std::string
+design_to_json(const accel::AcceleratorDesign &design)
+{
+    const auto &topo = design.topology();
+    const topology::TopologyMetrics m = topo.metrics();
+    const auto &params = design.params();
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"robot\": \"" << design.model().name() << "\",\n";
+    os << "  \"kernel\": \"" << to_string(design.kernel()) << "\",\n";
+    os << "  \"topology\": {\n";
+    os << "    \"total_links\": " << m.total_links << ",\n";
+    os << "    \"max_leaf_depth\": " << m.max_leaf_depth << ",\n";
+    os << "    \"avg_leaf_depth\": " << m.avg_leaf_depth << ",\n";
+    os << "    \"max_descendants\": " << m.max_descendants << ",\n";
+    os << "    \"leaf_depth_stdev\": " << m.leaf_depth_stdev << ",\n";
+    os << "    \"limbs\": " << design.model().base_children().size()
+       << ",\n";
+    os << "    \"mass_matrix_sparsity\": " << topo.mass_matrix_sparsity()
+       << "\n  },\n";
+    os << "  \"knobs\": {\n";
+    os << "    \"pes_fwd\": " << params.pes_fwd << ",\n";
+    os << "    \"pes_bwd\": " << params.pes_bwd << ",\n";
+    os << "    \"size_block\": " << params.block_size << "\n  },\n";
+    os << "  \"timing\": {\n";
+    os << "    \"clock_period_ns\": " << design.clock_period_ns() << ",\n";
+    os << "    \"cycles_no_pipelining\": " << design.cycles_no_pipelining()
+       << ",\n";
+    os << "    \"cycles_pipelined\": " << design.cycles_pipelined()
+       << ",\n";
+    os << "    \"forward_stage_cycles\": "
+       << design.forward_stage().makespan << ",\n";
+    os << "    \"backward_stage_cycles\": "
+       << design.backward_stage().makespan << ",\n";
+    os << "    \"block_multiply_cycles\": "
+       << design.block_multiply().makespan << "\n  },\n";
+    os << "  \"resources\": {\n";
+    os << "    \"luts\": " << design.resources().luts << ",\n";
+    os << "    \"dsps\": " << design.resources().dsps << "\n  },\n";
+    os << "  \"schedules\": {\n";
+    emit_roms(os, design.task_graph(), design.forward_stage().forward_rom,
+              "forward");
+    os << ",\n";
+    emit_roms(os, design.task_graph(),
+              design.backward_stage().backward_rom, "backward");
+    os << "\n  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace core
+} // namespace roboshape

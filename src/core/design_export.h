@@ -1,0 +1,27 @@
+/**
+ * @file
+ * JSON export of generated designs.
+ *
+ * Serializes everything a downstream tool needs to consume a design —
+ * knobs, topology metrics, stage latencies, clock, resources, and the
+ * per-PE schedule ROMs — so the generator can feed visualization,
+ * regression diffing, or an external RTL flow without linking the library.
+ */
+
+#ifndef ROBOSHAPE_CORE_DESIGN_EXPORT_H
+#define ROBOSHAPE_CORE_DESIGN_EXPORT_H
+
+#include <string>
+
+#include "accel/design.h"
+
+namespace roboshape {
+namespace core {
+
+/** Serializes @p design as a self-contained JSON document. */
+std::string design_to_json(const accel::AcceleratorDesign &design);
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_DESIGN_EXPORT_H

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Implementation of design-space enumeration and search.
+ */
+
+#include "core/design_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace roboshape {
+namespace core {
+
+DesignSpace
+DesignSpace::sweep(const topology::RobotModel &model,
+                   const accel::TimingModel &timing,
+                   sched::KernelKind kernel)
+{
+    DesignSpace space;
+    const std::size_t n = model.num_links();
+    // Kernels without a blocked-multiply stage have no block knob.
+    const std::size_t block_max =
+        kernel == sched::KernelKind::kDynamicsGradient ? n : 1;
+    space.points_.reserve(n * n * block_max);
+    for (std::size_t pf = 1; pf <= n; ++pf) {
+        for (std::size_t pb = 1; pb <= n; ++pb) {
+            for (std::size_t b = 1; b <= block_max; ++b) {
+                const accel::AcceleratorDesign design(model, {pf, pb, b},
+                                                      timing, kernel);
+                DesignPoint point;
+                point.params = design.params();
+                point.cycles = design.cycles_no_pipelining();
+                point.latency_us = design.latency_us_no_pipelining();
+                point.resources = design.resources();
+                space.points_.push_back(point);
+            }
+        }
+    }
+    return space;
+}
+
+std::vector<DesignPoint>
+DesignSpace::pareto_frontier_3d() const
+{
+    std::vector<DesignPoint> kept;
+    for (const DesignPoint &p : points_) {
+        bool dominated = false;
+        for (const DesignPoint &q : points_) {
+            if (q.cycles <= p.cycles && q.resources.luts <= p.resources.luts &&
+                q.resources.dsps <= p.resources.dsps &&
+                (q.cycles < p.cycles || q.resources.luts < p.resources.luts ||
+                 q.resources.dsps < p.resources.dsps)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            kept.push_back(p);
+    }
+    return kept;
+}
+
+std::vector<DesignPoint>
+DesignSpace::pareto_frontier() const
+{
+    // A point is dominated when another point has <= LUTs and <= cycles
+    // with at least one strict.  Sort by LUTs then cycles and sweep.
+    std::vector<DesignPoint> sorted = points_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  if (a.resources.luts != b.resources.luts)
+                      return a.resources.luts < b.resources.luts;
+                  return a.cycles < b.cycles;
+              });
+    std::vector<DesignPoint> frontier;
+    std::int64_t best_cycles = std::numeric_limits<std::int64_t>::max();
+    for (const DesignPoint &p : sorted) {
+        if (p.cycles < best_cycles) {
+            frontier.push_back(p);
+            best_cycles = p.cycles;
+        }
+    }
+    return frontier;
+}
+
+DesignPoint
+DesignSpace::optimal_min_latency() const
+{
+    assert(!points_.empty());
+    const DesignPoint *best = &points_.front();
+    for (const DesignPoint &p : points_) {
+        const auto key = [](const DesignPoint &d) {
+            return std::make_tuple(d.cycles, d.resources.luts,
+                                   d.resources.dsps);
+        };
+        if (key(p) < key(*best))
+            best = &p;
+    }
+    return *best;
+}
+
+std::optional<DesignPoint>
+DesignSpace::constrained_min_latency(const accel::FpgaPlatform &platform,
+                                     double threshold) const
+{
+    std::optional<DesignPoint> best;
+    for (const DesignPoint &p : points_) {
+        if (!p.resources.fits(platform, threshold))
+            continue;
+        if (!best || p.cycles < best->cycles ||
+            (p.cycles == best->cycles &&
+             p.resources.luts < best->resources.luts)) {
+            best = p;
+        }
+    }
+    return best;
+}
+
+std::optional<DesignPoint>
+DesignSpace::max_allocation(const accel::FpgaPlatform &platform,
+                            double threshold) const
+{
+    std::optional<DesignPoint> best;
+    const auto key = [](const DesignPoint &d) {
+        // Most total PEs, then the largest block, preferring balanced
+        // pools among ties.
+        return std::make_tuple(d.params.pes_fwd + d.params.pes_bwd,
+                               d.params.block_size,
+                               std::min(d.params.pes_fwd,
+                                        d.params.pes_bwd));
+    };
+    for (const DesignPoint &p : points_) {
+        if (!p.resources.fits(platform, threshold))
+            continue;
+        if (!best || key(p) > key(*best))
+            best = p;
+    }
+    return best;
+}
+
+std::int64_t
+DesignSpace::min_cycles() const
+{
+    std::int64_t v = std::numeric_limits<std::int64_t>::max();
+    for (const DesignPoint &p : points_)
+        v = std::min(v, p.cycles);
+    return v;
+}
+
+std::int64_t
+DesignSpace::max_cycles() const
+{
+    std::int64_t v = 0;
+    for (const DesignPoint &p : points_)
+        v = std::max(v, p.cycles);
+    return v;
+}
+
+std::int64_t
+DesignSpace::min_luts() const
+{
+    std::int64_t v = std::numeric_limits<std::int64_t>::max();
+    for (const DesignPoint &p : points_)
+        v = std::min(v, p.resources.luts);
+    return v;
+}
+
+std::int64_t
+DesignSpace::max_luts() const
+{
+    std::int64_t v = 0;
+    for (const DesignPoint &p : points_)
+        v = std::max(v, p.resources.luts);
+    return v;
+}
+
+std::size_t
+best_block_size(const topology::TopologyInfo &topo,
+                const accel::TimingModel &timing)
+{
+    const auto a = sched::mass_inverse_mask(topo);
+    const auto b = sched::derivative_mask(topo);
+    std::size_t best = 1;
+    std::int64_t best_ms = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t bs = 1; bs <= topo.num_links(); ++bs) {
+        const std::int64_t ms =
+            sched::schedule_block_multiply(a, b, bs, timing.mm_units,
+                                           timing.tile)
+                .makespan;
+        if (ms < best_ms) {
+            best_ms = ms;
+            best = bs;
+        }
+    }
+    return best;
+}
+
+StrategyEvaluation
+evaluate_strategy(const topology::RobotModel &model,
+                  sched::AllocationStrategy strategy,
+                  const DesignSpace &space,
+                  const accel::TimingModel &timing)
+{
+    const topology::TopologyInfo topo(model);
+    const sched::Allocation alloc =
+        sched::allocate(strategy, topo.metrics());
+    // PE pools are capped at N: allocating beyond the link count cannot
+    // create more parallelism than tasks exist per schedule slot.
+    const std::size_t n = model.num_links();
+    accel::AcceleratorParams params{std::min(alloc.pes_fwd, n),
+                                    std::min(alloc.pes_bwd, n),
+                                    best_block_size(topo, timing)};
+
+    const accel::AcceleratorDesign design(model, params, timing);
+    StrategyEvaluation eval;
+    eval.strategy = strategy;
+    eval.params = params;
+    eval.cycles = design.cycles_no_pipelining();
+    eval.resources = design.resources();
+    eval.meets_minimum_latency = eval.cycles == space.min_cycles();
+    return eval;
+}
+
+} // namespace core
+} // namespace roboshape

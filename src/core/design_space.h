@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Design-space enumeration, Pareto analysis, and optimal-point search
+ * (paper Sec. 5.3-5.5).
+ *
+ * RoboShape's knobs are topology-bounded — PE pools range over [1, N] and
+ * the block size over [1, N] — so each robot's space holds N^3 points
+ * (343-6859 for the paper's robots: "1000s of design points", Fig. 12),
+ * small enough for exhaustive search.
+ */
+
+#ifndef ROBOSHAPE_CORE_DESIGN_SPACE_H
+#define ROBOSHAPE_CORE_DESIGN_SPACE_H
+
+#include <optional>
+#include <vector>
+
+#include "accel/design.h"
+#include "sched/allocation.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace core {
+
+/** One evaluated knob combination. */
+struct DesignPoint
+{
+    accel::AcceleratorParams params;
+    std::int64_t cycles = 0; ///< No-pipelining latency in cycles.
+    double latency_us = 0.0;
+    accel::ResourceEstimate resources;
+};
+
+/** Exhaustively evaluated design space of one robot. */
+class DesignSpace
+{
+  public:
+    /**
+     * Evaluates every knob combination in [1, N]^3.
+     * @param model  evaluated robot (copied into the space).
+     * @param kernel kernel family to generate (paper Table 1).
+     */
+    static DesignSpace sweep(const topology::RobotModel &model,
+                             const accel::TimingModel &timing =
+                                 accel::default_timing(),
+                             sched::KernelKind kernel =
+                                 sched::KernelKind::kDynamicsGradient);
+
+    /**
+     * Three-objective (cycles, LUTs, DSPs) Pareto subset — the candidate
+     * set for SoC co-design pairing.
+     */
+    std::vector<DesignPoint> pareto_frontier_3d() const;
+
+    const std::vector<DesignPoint> &points() const { return points_; }
+
+    /**
+     * Latency/LUT Pareto frontier (paper Fig. 12's red crosses), sorted by
+     * ascending LUTs.
+     */
+    std::vector<DesignPoint> pareto_frontier() const;
+
+    /**
+     * The paper's "Optimal Minimum Latency" point: minimum cycles,
+     * tie-broken by fewest LUTs then fewest DSPs.
+     */
+    DesignPoint optimal_min_latency() const;
+
+    /** Optimal point among designs fitting @p platform at @p threshold;
+     *  empty when nothing fits (e.g. HyQ+arm on the VC707, Fig. 16). */
+    std::optional<DesignPoint>
+    constrained_min_latency(const accel::FpgaPlatform &platform,
+                            double threshold =
+                                accel::kUtilizationThreshold) const;
+
+    /**
+     * The maximally-allocated feasible point: largest PE pools, then
+     * largest block, that still fits (paper Fig. 16's "Max Alloc" bars).
+     */
+    std::optional<DesignPoint>
+    max_allocation(const accel::FpgaPlatform &platform,
+                   double threshold = accel::kUtilizationThreshold) const;
+
+    /** Minimum cycles over the whole space. */
+    std::int64_t min_cycles() const;
+    /** Maximum cycles over the whole space (paper Fig. 12 caption). */
+    std::int64_t max_cycles() const;
+    std::int64_t min_luts() const;
+    std::int64_t max_luts() const;
+
+  private:
+    std::vector<DesignPoint> points_;
+};
+
+/**
+ * Evaluation of one metric-based allocation strategy (paper Fig. 13): the
+ * strategy fixes the PE pools; the block size is chosen as the best
+ * unconstrained blocked-multiply setting for the robot.
+ */
+struct StrategyEvaluation
+{
+    sched::AllocationStrategy strategy;
+    accel::AcceleratorParams params;
+    std::int64_t cycles = 0;
+    accel::ResourceEstimate resources;
+    bool meets_minimum_latency = false; ///< Equals the space's min cycles.
+};
+
+/** Evaluates one strategy against @p model. */
+StrategyEvaluation evaluate_strategy(const topology::RobotModel &model,
+                                     sched::AllocationStrategy strategy,
+                                     const DesignSpace &space,
+                                     const accel::TimingModel &timing =
+                                         accel::default_timing());
+
+/** Block size in [1, N] minimizing the blocked-multiply makespan
+ *  (smallest size wins ties). */
+std::size_t best_block_size(const topology::TopologyInfo &topo,
+                            const accel::TimingModel &timing =
+                                accel::default_timing());
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_DESIGN_SPACE_H

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Implementation of the generator façade.
+ */
+
+#include "core/generator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/design_space.h"
+#include "sched/allocation.h"
+#include "topology/urdf_parser.h"
+
+namespace roboshape {
+namespace core {
+
+namespace {
+
+/** Auto-tunes knobs: Hybrid allocation and best block size, clipped to the
+ *  caller's caps, then shrunk until the design fits the platform. */
+accel::AcceleratorParams
+choose_params(const topology::RobotModel &model,
+              const GeneratorConstraints &constraints,
+              const accel::TimingModel &timing)
+{
+    const topology::TopologyInfo topo(model);
+    const std::size_t n = model.num_links();
+
+    const sched::Allocation hybrid =
+        sched::allocate(sched::AllocationStrategy::kHybrid, topo.metrics());
+    accel::AcceleratorParams params;
+    params.pes_fwd = std::min({hybrid.pes_fwd, n,
+                               constraints.max_pes_fwd.value_or(n)});
+    params.pes_bwd = std::min({hybrid.pes_bwd, n,
+                               constraints.max_pes_bwd.value_or(n)});
+
+    // Block size: the multiply stage only needs to keep up with the
+    // slowest traversal stage, so pick the *smallest* block achieving
+    // that (larger blocks pay cubic accumulator area for no end-to-end
+    // latency).  Fall back to the globally fastest block.
+    const auto pick_block = [&](std::size_t pes_fwd, std::size_t pes_bwd) {
+        const sched::TaskGraph graph(topo);
+        const std::int64_t threshold = std::max(
+            sched::schedule_stage(graph,
+                                  {sched::TaskType::kRneaForward,
+                                   sched::TaskType::kGradForward},
+                                  pes_fwd, timing.traversal)
+                .makespan,
+            sched::schedule_stage(graph,
+                                  {sched::TaskType::kRneaBackward,
+                                   sched::TaskType::kGradBackward},
+                                  pes_bwd, timing.traversal)
+                .makespan);
+        const auto a = sched::mass_inverse_mask(topo);
+        const auto b = sched::derivative_mask(topo);
+        const std::size_t cap = constraints.max_block_size.value_or(n);
+        for (std::size_t bs = 1; bs <= cap; ++bs) {
+            if (sched::schedule_block_multiply(a, b, bs, timing.mm_units,
+                                               timing.tile)
+                    .makespan <= threshold)
+                return bs;
+        }
+        return std::min(best_block_size(topo, timing), cap);
+    };
+    params.block_size = pick_block(params.pes_fwd, params.pes_bwd);
+
+    if (!constraints.platform)
+        return params;
+
+    // Feasibility loop: trim PE pools (re-picking the block to match the
+    // slower schedules) until the estimate fits.
+    for (;;) {
+        const accel::ResourceEstimate est =
+            accel::estimate_resources(params, n);
+        if (est.fits(*constraints.platform,
+                     constraints.utilization_threshold))
+            return params;
+        if (params.pes_fwd + params.pes_bwd > 2) {
+            // Shrink the larger pool first (it buys the least latency at
+            // the margin for most topologies).
+            if (params.pes_fwd >= params.pes_bwd && params.pes_fwd > 1)
+                --params.pes_fwd;
+            else if (params.pes_bwd > 1)
+                --params.pes_bwd;
+            params.block_size =
+                pick_block(params.pes_fwd, params.pes_bwd);
+        } else if (params.block_size > 1) {
+            --params.block_size;
+        } else {
+            throw GenerationError(
+                "no feasible design for robot '" + model.name() + "' on " +
+                constraints.platform->name + " within " +
+                std::to_string(constraints.utilization_threshold * 100.0) +
+                "% utilization");
+        }
+    }
+}
+
+std::string
+make_report(const accel::AcceleratorDesign &design,
+            const GeneratorConstraints &constraints)
+{
+    const auto &topo = design.topology();
+    const topology::TopologyMetrics m = topo.metrics();
+    std::ostringstream os;
+    os << "RoboShape accelerator for '" << design.model().name() << "'\n";
+    os << "  topology: N=" << m.total_links
+       << " maxLeafDepth=" << m.max_leaf_depth
+       << " maxDescendants=" << m.max_descendants
+       << " limbs=" << design.model().base_children().size()
+       << " massMatrixSparsity=" << topo.mass_matrix_sparsity() << "\n";
+    os << "  knobs: " << design.params().to_string() << "\n";
+    os << "  schedule: fwd=" << design.forward_stage().makespan
+       << "cyc bwd=" << design.backward_stage().makespan
+       << "cyc blockMM=" << design.block_multiply().makespan << "cyc\n";
+    os << "  latency: " << design.cycles_no_pipelining()
+       << " cycles (no pipelining), " << design.cycles_pipelined()
+       << " cycles (avg w/ pipelining) @ " << design.clock_period_ns()
+       << " ns\n";
+    os << "  resources: " << design.resources().luts << " LUTs, "
+       << design.resources().dsps << " DSPs";
+    if (constraints.platform) {
+        os << " (" << constraints.platform->name << ": "
+           << design.resources().lut_utilization(*constraints.platform) *
+                  100.0
+           << "% LUTs, "
+           << design.resources().dsp_utilization(*constraints.platform) *
+                  100.0
+           << "% DSPs)";
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace
+
+GeneratedAccelerator
+Generator::from_urdf(const std::string &urdf_text,
+                     const GeneratorConstraints &constraints) const
+{
+    return from_model(topology::parse_urdf(urdf_text), constraints);
+}
+
+GeneratedAccelerator
+Generator::from_model(const topology::RobotModel &model,
+                      const GeneratorConstraints &constraints) const
+{
+    const accel::AcceleratorParams params =
+        choose_params(model, constraints, timing_);
+    accel::AcceleratorDesign design(model, params, timing_);
+    std::string report = make_report(design, constraints);
+    return GeneratedAccelerator{std::move(design), std::move(report)};
+}
+
+} // namespace core
+} // namespace roboshape

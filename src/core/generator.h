@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The RoboShape generator façade (paper Fig. 7).
+ *
+ * Takes a standard robot description plus compute-resource constraints and
+ * produces a complete accelerator design: topology is parsed (Sec. 4.1),
+ * traversal patterns are scheduled onto PE pools (Sec. 4.2), the matrix
+ * block size is tuned against the topology sparsity (Sec. 4.3), and the
+ * result is lowered onto the templated architecture (Sec. 4.4).  Pair with
+ * codegen::emit_verilog to obtain the hardware description.
+ */
+
+#ifndef ROBOSHAPE_CORE_GENERATOR_H
+#define ROBOSHAPE_CORE_GENERATOR_H
+
+#include <optional>
+#include <string>
+
+#include "accel/design.h"
+#include "accel/platform.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace core {
+
+/** Compute-resource constraints accepted by the generator. */
+struct GeneratorConstraints
+{
+    /** Explicit knob caps; unset values are tuned automatically. */
+    std::optional<std::size_t> max_pes_fwd;
+    std::optional<std::size_t> max_pes_bwd;
+    std::optional<std::size_t> max_block_size;
+
+    /** Target platform; designs must fit within the threshold. */
+    const accel::FpgaPlatform *platform = nullptr;
+    double utilization_threshold = accel::kUtilizationThreshold;
+};
+
+/** Error raised when no feasible design satisfies the constraints. */
+class GenerationError : public std::runtime_error
+{
+  public:
+    explicit GenerationError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** A generated accelerator plus its human-readable generation report. */
+struct GeneratedAccelerator
+{
+    accel::AcceleratorDesign design;
+    std::string report;
+};
+
+class Generator
+{
+  public:
+    explicit Generator(const accel::TimingModel &timing =
+                           accel::default_timing())
+        : timing_(timing)
+    {
+    }
+
+    /** Generates from URDF text (the paper's primary input path). */
+    GeneratedAccelerator
+    from_urdf(const std::string &urdf_text,
+              const GeneratorConstraints &constraints = {}) const;
+
+    /** Generates from an in-memory model. */
+    GeneratedAccelerator
+    from_model(const topology::RobotModel &model,
+               const GeneratorConstraints &constraints = {}) const;
+
+  private:
+    accel::TimingModel timing_;
+};
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_GENERATOR_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of SoC co-design pairing.
+ */
+
+#include "core/soc_codesign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace roboshape {
+namespace core {
+
+std::vector<SocDesignPoint>
+codesign_pareto(const SocComponent &first, const SocComponent &second,
+                const accel::FpgaPlatform &platform, double threshold,
+                const accel::TimingModel &timing)
+{
+    assert(first.model && second.model);
+    // Only each component's own 3D-Pareto points can appear in a jointly
+    // optimal pair, which keeps the pairing quadratic in tens, not
+    // thousands.
+    const auto frontier_a =
+        DesignSpace::sweep(*first.model, timing, first.kernel)
+            .pareto_frontier_3d();
+    const auto frontier_b =
+        DesignSpace::sweep(*second.model, timing, second.kernel)
+            .pareto_frontier_3d();
+
+    const double lut_budget =
+        static_cast<double>(platform.luts) * threshold;
+    const double dsp_budget =
+        static_cast<double>(platform.dsps) * threshold;
+
+    std::vector<SocDesignPoint> feasible;
+    for (const DesignPoint &a : frontier_a) {
+        for (const DesignPoint &b : frontier_b) {
+            const double luts = static_cast<double>(a.resources.luts +
+                                                    b.resources.luts);
+            const double dsps = static_cast<double>(a.resources.dsps +
+                                                    b.resources.dsps);
+            if (luts <= lut_budget && dsps <= dsp_budget)
+                feasible.push_back({a, b});
+        }
+    }
+
+    // 2D Pareto on (first.cycles, second.cycles).
+    std::sort(feasible.begin(), feasible.end(),
+              [](const SocDesignPoint &x, const SocDesignPoint &y) {
+                  if (x.first.cycles != y.first.cycles)
+                      return x.first.cycles < y.first.cycles;
+                  return x.second.cycles < y.second.cycles;
+              });
+    std::vector<SocDesignPoint> frontier;
+    std::int64_t best_second = std::numeric_limits<std::int64_t>::max();
+    for (const SocDesignPoint &p : feasible) {
+        if (p.second.cycles < best_second) {
+            frontier.push_back(p);
+            best_second = p.second.cycles;
+        }
+    }
+    return frontier;
+}
+
+} // namespace core
+} // namespace roboshape

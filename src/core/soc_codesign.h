@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SoC co-design: sharing one resource envelope among several accelerators.
+ *
+ * The paper's forward-looking claim (abstract, Sec. 3.3, Sec. 6) is that
+ * topology-parameterized accelerators can be *co-generated*: because every
+ * design's latency and resources are analytic in its knobs, multiple
+ * accelerators — different kernels, or different robots — can be jointly
+ * sized to share a robotics SoC's budget.  This module enumerates joint
+ * design points for a pair of accelerators and extracts the latency/latency
+ * Pareto frontier under a shared platform envelope.
+ */
+
+#ifndef ROBOSHAPE_CORE_SOC_CODESIGN_H
+#define ROBOSHAPE_CORE_SOC_CODESIGN_H
+
+#include <vector>
+
+#include "accel/design.h"
+#include "accel/platform.h"
+#include "core/design_space.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace core {
+
+/** One accelerator slot in the SoC. */
+struct SocComponent
+{
+    const topology::RobotModel *model = nullptr;
+    sched::KernelKind kernel = sched::KernelKind::kDynamicsGradient;
+};
+
+/** A jointly feasible pair of design points. */
+struct SocDesignPoint
+{
+    DesignPoint first;
+    DesignPoint second;
+
+    std::int64_t
+    total_luts() const
+    {
+        return first.resources.luts + second.resources.luts;
+    }
+    std::int64_t
+    total_dsps() const
+    {
+        return first.resources.dsps + second.resources.dsps;
+    }
+};
+
+/**
+ * Enumerates the (first x second) joint design space, keeps pairs that fit
+ * @p platform at @p threshold, and returns the Pareto frontier of
+ * (first.cycles, second.cycles) sorted by the first component.
+ * Empty when no pair fits.
+ */
+std::vector<SocDesignPoint>
+codesign_pareto(const SocComponent &first, const SocComponent &second,
+                const accel::FpgaPlatform &platform,
+                double threshold = accel::kUtilizationThreshold,
+                const accel::TimingModel &timing = accel::default_timing());
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_SOC_CODESIGN_H

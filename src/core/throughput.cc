@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of multi-core throughput planning.
+ */
+
+#include "core/throughput.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roboshape {
+namespace core {
+
+MulticoreDeployment
+plan_multicore(const accel::AcceleratorDesign &design,
+               const accel::FpgaPlatform &platform, double threshold)
+{
+    MulticoreDeployment plan;
+    const auto &r = design.resources();
+    if (r.luts <= 0 || r.dsps <= 0)
+        return plan;
+
+    const double lut_budget =
+        static_cast<double>(platform.luts) * threshold;
+    const double dsp_budget =
+        static_cast<double>(platform.dsps) * threshold;
+    const std::size_t by_luts = static_cast<std::size_t>(
+        lut_budget / static_cast<double>(r.luts));
+    const std::size_t by_dsps = static_cast<std::size_t>(
+        dsp_budget / static_cast<double>(r.dsps));
+    plan.cores = std::min(by_luts, by_dsps);
+    if (plan.cores == 0)
+        return plan;
+
+    plan.per_core_interval_us = design.latency_us_pipelined();
+    plan.throughput_per_s = static_cast<double>(plan.cores) * 1e6 /
+                            plan.per_core_interval_us;
+    plan.lut_utilization = static_cast<double>(plan.cores) *
+                           static_cast<double>(r.luts) /
+                           static_cast<double>(platform.luts);
+    plan.dsp_utilization = static_cast<double>(plan.cores) *
+                           static_cast<double>(r.dsps) /
+                           static_cast<double>(platform.dsps);
+    return plan;
+}
+
+} // namespace core
+} // namespace roboshape

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multi-core throughput analysis (paper Sec. 5.2, "Parallelism Tradeoffs
+ * vs. GPU").
+ *
+ * RoboShape extracts maximal parallelism *within* one computation, while
+ * GPUs win throughput *across* computations.  The paper's answer is to
+ * instantiate multiple RoboShape cores; this module sizes how many cores a
+ * platform budget admits and compares aggregate throughput against the
+ * GPU's SM-parallel batching.
+ */
+
+#ifndef ROBOSHAPE_CORE_THROUGHPUT_H
+#define ROBOSHAPE_CORE_THROUGHPUT_H
+
+#include <cstddef>
+
+#include "accel/design.h"
+#include "accel/platform.h"
+
+namespace roboshape {
+namespace core {
+
+/** Replicated-core deployment of one design on one platform. */
+struct MulticoreDeployment
+{
+    std::size_t cores = 0;
+    double per_core_interval_us = 0.0; ///< Pipelined initiation interval.
+    double throughput_per_s = 0.0;     ///< Aggregate gradient evals/s.
+    double lut_utilization = 0.0;
+    double dsp_utilization = 0.0;
+};
+
+/**
+ * Replicates @p design across @p platform under @p threshold utilization
+ * and reports the aggregate steady-state throughput.
+ */
+MulticoreDeployment
+plan_multicore(const accel::AcceleratorDesign &design,
+               const accel::FpgaPlatform &platform,
+               double threshold = accel::kUtilizationThreshold);
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_THROUGHPUT_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Implementation of the Articulated Body Algorithm.
+ */
+
+#include "dynamics/aba.h"
+
+#include <cassert>
+#include <vector>
+
+#include "spatial/spatial_matrix.h"
+#include "spatial/spatial_transform.h"
+
+namespace roboshape {
+namespace dynamics {
+
+using spatial::SpatialMatrix;
+using spatial::SpatialTransform;
+using spatial::SpatialVector;
+using spatial::Vec3;
+using spatial::cross_force;
+using spatial::cross_motion;
+using topology::kBaseParent;
+
+namespace {
+
+/** Outer product u * v^T of two spatial vectors. */
+SpatialMatrix
+outer(const SpatialVector &u, const SpatialVector &v)
+{
+    SpatialMatrix m;
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            m(r, c) = u[r] * v[c];
+    return m;
+}
+
+} // namespace
+
+linalg::Vector
+aba(const topology::RobotModel &model, const linalg::Vector &q,
+    const linalg::Vector &qd, const linalg::Vector &tau,
+    const Vec3 &gravity)
+{
+    const std::size_t n = model.num_links();
+    assert(q.size() == n && qd.size() == n && tau.size() == n);
+
+    std::vector<SpatialTransform> xup(n);
+    std::vector<SpatialVector> s(n), v(n), c(n), pa(n), u_vec(n);
+    std::vector<SpatialMatrix> ia(n);
+    std::vector<double> d(n), u(n);
+
+    // Pass 1: velocities and velocity-product terms.
+    for (std::size_t i = 0; i < n; ++i) {
+        const topology::Link &link = model.link(i);
+        xup[i] = link.joint.transform(q[i]) * link.x_tree;
+        s[i] = link.joint.motion_subspace();
+        const SpatialVector vj = s[i] * qd[i];
+        const int p = link.parent;
+        v[i] = p == kBaseParent ? vj : xup[i].apply(v[p]) + vj;
+        c[i] = p == kBaseParent ? SpatialVector::zero()
+                                : cross_motion(v[i], vj);
+        ia[i] = link.inertia.to_matrix();
+        pa[i] = cross_force(v[i], link.inertia.apply(v[i]));
+    }
+
+    // Pass 2: articulated-body inertias, leaves to base.
+    for (std::size_t ii = n; ii-- > 0;) {
+        u_vec[ii] = ia[ii] * s[ii];
+        d[ii] = s[ii].dot(u_vec[ii]);
+        u[ii] = tau[ii] - s[ii].dot(pa[ii]);
+        const int p = model.parent(ii);
+        if (p == kBaseParent)
+            continue;
+        const SpatialMatrix ia_art =
+            ia[ii] - outer(u_vec[ii], u_vec[ii]) * (1.0 / d[ii]);
+        const SpatialVector pa_art =
+            pa[ii] + ia_art * c[ii] + u_vec[ii] * (u[ii] / d[ii]);
+        const SpatialMatrix x = xup[ii].to_matrix();
+        ia[p] += x.transposed() * ia_art * x;
+        pa[p] += xup[ii].apply_transpose_to_force(pa_art);
+    }
+
+    // Pass 3: accelerations, base to leaves.
+    const SpatialVector a_base(Vec3::zero(), -gravity);
+    std::vector<SpatialVector> a(n);
+    linalg::Vector qdd(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int p = model.parent(i);
+        const SpatialVector a_in =
+            (p == kBaseParent ? xup[i].apply(a_base)
+                              : xup[i].apply(a[p])) +
+            c[i];
+        qdd[i] = (u[i] - u_vec[i].dot(a_in)) / d[i];
+        a[i] = a_in + s[i] * qdd[i];
+    }
+    return qdd;
+}
+
+} // namespace dynamics
+} // namespace roboshape

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Articulated Body Algorithm: O(N) forward dynamics.
+ *
+ * Computes qdd = FD(q, qd, tau).  The dynamics-gradient kernel (paper
+ * Alg. 1) differentiates the *inverse* dynamics and maps through -M^-1, but
+ * it first needs the forward-dynamics solution itself as the linearization
+ * point; ABA provides it in O(N), and serves as an independent cross-check
+ * of the CRBA + bias-force route in tests.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_ABA_H
+#define ROBOSHAPE_DYNAMICS_ABA_H
+
+#include "dynamics/rnea.h"
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Forward dynamics via ABA. */
+linalg::Vector aba(const topology::RobotModel &model,
+                   const linalg::Vector &q, const linalg::Vector &qd,
+                   const linalg::Vector &tau,
+                   const spatial::Vec3 &gravity = kDefaultGravity);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_ABA_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of contact-constrained forward dynamics.
+ */
+
+#include "dynamics/constrained.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "dynamics/crba.h"
+#include "dynamics/kinematics.h"
+#include "linalg/factorization.h"
+
+namespace roboshape {
+namespace dynamics {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix
+contact_jacobian(const topology::RobotModel &model, const Vector &q,
+                 const std::vector<Contact> &contacts)
+{
+    const std::size_t n = model.num_links();
+    Matrix jac(3 * contacts.size(), n);
+    for (std::size_t c = 0; c < contacts.size(); ++c) {
+        assert(contacts[c].link < n);
+        const Matrix link_jac = link_jacobian(model, q, contacts[c].link);
+        // Point velocity (body coords): v_p = v_lin + w x p, so the point
+        // Jacobian rows are J_lin - p x J_ang.
+        const auto px = spatial::Mat3::skew(contacts[c].point);
+        for (std::size_t r = 0; r < 3; ++r) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double v = link_jac(3 + r, j);
+                for (std::size_t k = 0; k < 3; ++k)
+                    v -= px(r, k) * link_jac(k, j);
+                jac(3 * c + r, j) = v;
+            }
+        }
+    }
+    return jac;
+}
+
+Vector
+contact_bias(const topology::RobotModel &model, const Vector &q,
+             const Vector &qd, const std::vector<Contact> &contacts)
+{
+    // With qdd = 0 and zero gravity, the RNEA forward sweep's link
+    // accelerations are exactly Jdot * qd in link coordinates.
+    RneaCache cache;
+    rnea(model, q, qd, Vector(model.num_links()), spatial::Vec3::zero(),
+         &cache);
+    Vector bias(3 * contacts.size());
+    for (std::size_t c = 0; c < contacts.size(); ++c) {
+        const auto &a = cache.a[contacts[c].link];
+        // d/dt (v_lin + w x p) = a_lin + a_ang x p in body coordinates.
+        const spatial::Vec3 ap = a.lin + a.ang.cross(contacts[c].point);
+        bias[3 * c + 0] = ap.x;
+        bias[3 * c + 1] = ap.y;
+        bias[3 * c + 2] = ap.z;
+    }
+    return bias;
+}
+
+ConstrainedDynamics
+constrained_forward_dynamics(const topology::RobotModel &model,
+                             const topology::TopologyInfo &topo,
+                             const Vector &q, const Vector &qd,
+                             const Vector &tau,
+                             const std::vector<Contact> &contacts,
+                             const spatial::Vec3 &gravity, double damping)
+{
+    [[maybe_unused]] const std::size_t n = model.num_links();
+    assert(q.size() == n && qd.size() == n && tau.size() == n);
+
+    const Matrix mass = crba(model, q);
+    const Matrix minv = mass_matrix_inverse(topo, mass);
+    const Vector bias_tau = bias_forces(model, q, qd, gravity);
+    const Vector qdd_free = minv * (tau - bias_tau);
+
+    ConstrainedDynamics out;
+    if (contacts.empty()) {
+        out.qdd = qdd_free;
+        out.forces = Vector(0);
+        return out;
+    }
+
+    const Matrix jac = contact_jacobian(model, q, contacts);
+    const Vector jdot_qd = contact_bias(model, q, qd, contacts);
+
+    // Contact-space operator with Tikhonov damping, escalated until the
+    // factorization succeeds (contacts may over-constrain the mechanism,
+    // leaving Lambda rank deficient).
+    const Matrix lambda_base = jac * minv * jac.transposed();
+    const Vector rhs = jac * qdd_free + jdot_qd;
+    Vector f;
+    double mu = damping;
+    for (int attempt = 0;; ++attempt) {
+        Matrix lambda_op = lambda_base;
+        for (std::size_t i = 0; i < lambda_op.rows(); ++i)
+            lambda_op(i, i) += mu;
+        const linalg::Ldlt solver(lambda_op);
+        if (solver.ok()) {
+            // J qdd + Jdot qd = 0 => f = Lambda^-1 (J qdd_free + Jdot qd).
+            f = solver.solve(rhs);
+            break;
+        }
+        if (attempt > 20)
+            throw std::runtime_error(
+                "contact operator is numerically singular");
+        mu = std::max(mu * 100.0, 1e-12);
+    }
+    out.forces = f;
+    out.qdd = qdd_free - minv * (jac.transposed() * f);
+
+    // Certificates (f enters the joint-space balance as -J^T f because it
+    // is the force the robot exerts on the world).
+    const Vector kkt =
+        mass * out.qdd + bias_tau - tau + jac.transposed() * f;
+    out.kkt_residual = kkt.max_abs();
+    const Vector violation = jac * out.qdd + jdot_qd;
+    out.constraint_residual = violation.max_abs();
+    return out;
+}
+
+} // namespace dynamics
+} // namespace roboshape

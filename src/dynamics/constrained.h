@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Constrained forward dynamics for legged robots.
+ *
+ * The paper's motivating deployments are quadrupeds and humanoids whose
+ * whole-body controllers solve *contact-constrained* dynamics [30, 34]:
+ * stance feet are pinned, producing the KKT system
+ *
+ *     [ M  J^T ] [ qdd ]   [ tau - C ]
+ *     [ J   0  ] [ -f  ] = [ -Jdot qd ]
+ *
+ * solved here by Schur complement on the (damped) contact-space operator
+ * J M^-1 J^T.  Contacts pin the linear motion of a link's frame origin;
+ * the Jacobian rows come from the kinematics module and the velocity-
+ * product bias from a gravity-free, acceleration-free RNEA sweep.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_CONSTRAINED_H
+#define ROBOSHAPE_DYNAMICS_CONSTRAINED_H
+
+#include <vector>
+
+#include "dynamics/rnea.h"
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** One active point contact on a link. */
+struct Contact
+{
+    std::size_t link = 0;
+    /** Contact point in link coordinates (e.g. the foot tip). */
+    spatial::Vec3 point;
+};
+
+/** Solution of the contact-constrained dynamics. */
+struct ConstrainedDynamics
+{
+    linalg::Vector qdd;    ///< Joint accelerations.
+    linalg::Vector forces; ///< Stacked 3-D contact forces, link-local
+                           ///< coordinates, one triplet per contact.
+    /** KKT residual ||M qdd + C - tau - J^T f||, a solution certificate. */
+    double kkt_residual = 0.0;
+    /** Constraint violation ||J qdd + Jdot qd||. */
+    double constraint_residual = 0.0;
+};
+
+/**
+ * Stacked 3 x N linear-velocity Jacobians of the contact links
+ * (3 * contacts rows).
+ */
+linalg::Matrix contact_jacobian(const topology::RobotModel &model,
+                                const linalg::Vector &q,
+                                const std::vector<Contact> &contacts);
+
+/**
+ * Velocity-product bias Jdot * qd of the stacked contact constraint
+ * (gravity-free spatial accelerations at qdd = 0).
+ */
+linalg::Vector contact_bias(const topology::RobotModel &model,
+                            const linalg::Vector &q,
+                            const linalg::Vector &qd,
+                            const std::vector<Contact> &contacts);
+
+/**
+ * Solves contact-constrained forward dynamics.
+ *
+ * @param damping Tikhonov regularization of the contact-space operator,
+ *        needed when contacts over-constrain the mechanism.
+ */
+ConstrainedDynamics constrained_forward_dynamics(
+    const topology::RobotModel &model, const topology::TopologyInfo &topo,
+    const linalg::Vector &q, const linalg::Vector &qd,
+    const linalg::Vector &tau, const std::vector<Contact> &contacts,
+    const spatial::Vec3 &gravity = kDefaultGravity,
+    double damping = 1e-10);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_CONSTRAINED_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of CRBA.
+ */
+
+#include "dynamics/crba.h"
+
+#include <cassert>
+#include <vector>
+
+#include "linalg/factorization.h"
+#include "spatial/spatial_inertia.h"
+#include "spatial/spatial_transform.h"
+
+namespace roboshape {
+namespace dynamics {
+
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+using spatial::SpatialVector;
+using topology::kBaseParent;
+
+linalg::Matrix
+crba(const topology::RobotModel &model, const linalg::Vector &q)
+{
+    const std::size_t n = model.num_links();
+    assert(q.size() == n);
+
+    std::vector<SpatialTransform> xup(n);
+    std::vector<SpatialVector> s(n);
+    std::vector<SpatialInertia> ic(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const topology::Link &link = model.link(i);
+        xup[i] = link.joint.transform(q[i]) * link.x_tree;
+        s[i] = link.joint.motion_subspace();
+        ic[i] = link.inertia;
+    }
+
+    linalg::Matrix h(n, n);
+    // Backward traversal: accumulate composite inertias, then walk each
+    // link's root path filling in its mass-matrix row/column.
+    for (std::size_t ii = n; ii-- > 0;) {
+        const int p = model.parent(ii);
+        if (p != kBaseParent)
+            ic[p] = ic[p] + ic[ii].expressed_in_parent(xup[ii]);
+
+        SpatialVector f = ic[ii].apply(s[ii]);
+        h(ii, ii) = s[ii].dot(f);
+        std::size_t j = ii;
+        while (model.parent(j) != kBaseParent) {
+            f = xup[j].apply_transpose_to_force(f);
+            j = static_cast<std::size_t>(model.parent(j));
+            h(ii, j) = h(j, ii) = f.dot(s[j]);
+        }
+    }
+    return h;
+}
+
+linalg::Matrix
+mass_matrix_inverse(const topology::TopologyInfo &topo,
+                    const linalg::Matrix &mass_matrix)
+{
+    return linalg::block_diagonal_inverse(mass_matrix, topo.limb_spans());
+}
+
+} // namespace dynamics
+} // namespace roboshape

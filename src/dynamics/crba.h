@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Composite Rigid Body Algorithm: the joint-space mass matrix.
+ *
+ * The mass matrix M(q) is the paper's archetypal topology-based N x N
+ * matrix (pattern 2, Sec. 3.2): entry (i, j) is nonzero only when links i
+ * and j lie on a common root path, so independent limbs induce the
+ * block-diagonal sparsity the accelerator's blocked multiplier exploits.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_CRBA_H
+#define ROBOSHAPE_DYNAMICS_CRBA_H
+
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Mass matrix M(q) via CRBA. */
+linalg::Matrix crba(const topology::RobotModel &model,
+                    const linalg::Vector &q);
+
+/**
+ * Inverse mass matrix exploiting limb-induced block-diagonal structure:
+ * each base-rooted limb's diagonal block is inverted independently
+ * (the inverse of a block-diagonal SPD matrix is block diagonal,
+ * paper Sec. 3.2).  Identical to the dense inverse, cheaper for
+ * multi-limb robots.
+ */
+linalg::Matrix mass_matrix_inverse(const topology::TopologyInfo &topo,
+                                   const linalg::Matrix &mass_matrix);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_CRBA_H

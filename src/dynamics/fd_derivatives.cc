@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of the forward-dynamics gradients.
+ */
+
+#include "dynamics/fd_derivatives.h"
+
+#include "dynamics/crba.h"
+#include "dynamics/rnea_derivatives.h"
+#include "linalg/factorization.h"
+
+namespace roboshape {
+namespace dynamics {
+
+ForwardDynamicsGradients
+forward_dynamics_gradients(const topology::RobotModel &model,
+                           const topology::TopologyInfo &topo,
+                           const linalg::Vector &q, const linalg::Vector &qd,
+                           const linalg::Vector &tau,
+                           const spatial::Vec3 &gravity)
+{
+    ForwardDynamicsGradients out;
+
+    // Linearization point: solve forward dynamics with the mass matrix
+    // (M qdd = tau - C), sharing M with the gradient mapping below.
+    out.mass = crba(model, q);
+    out.mass_inv = mass_matrix_inverse(topo, out.mass);
+    const linalg::Vector bias = bias_forces(model, q, qd, gravity);
+    out.qdd = out.mass_inv * (tau - bias);
+
+    // Differentiate the inverse dynamics at (q, qd, qdd) and map through
+    // -M^-1 (paper Alg. 1, final blocked-multiply stage).
+    RneaCache cache;
+    rnea(model, q, qd, out.qdd, gravity, &cache);
+    const RneaDerivatives did = rnea_derivatives(model, topo, qd, cache);
+    out.dqdd_dq = out.mass_inv * did.dtau_dq * -1.0;
+    out.dqdd_dqd = out.mass_inv * did.dtau_dqd * -1.0;
+    return out;
+}
+
+} // namespace dynamics
+} // namespace roboshape

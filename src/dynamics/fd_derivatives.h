@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytical gradients of forward dynamics (paper Alg. 1; the motivating
+ * kernel of the whole accelerator).
+ *
+ * Following Carpentier & Mansard [7]:
+ *
+ *   qdd       = FD(q, qd, tau)
+ *   dqdd/dq   = -M(q)^-1 * (dID/dq  evaluated at (q, qd, qdd))
+ *   dqdd/dqd  = -M(q)^-1 * (dID/dqd evaluated at (q, qd, qdd))
+ *   dqdd/dtau =  M(q)^-1
+ *
+ * This is the computation whose CPU/GPU cost blocks online nonlinear
+ * optimal control for legged robots, taking 30-90% of total runtime in
+ * state-of-the-art solvers (paper Sec. 1), and the kernel every generated
+ * accelerator in this repository executes.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_FD_DERIVATIVES_H
+#define ROBOSHAPE_DYNAMICS_FD_DERIVATIVES_H
+
+#include "dynamics/rnea.h"
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Complete output of one dynamics-gradient evaluation. */
+struct ForwardDynamicsGradients
+{
+    linalg::Vector qdd;      ///< Forward-dynamics solution.
+    linalg::Matrix mass;     ///< Mass matrix M(q).
+    linalg::Matrix mass_inv; ///< M(q)^-1 (block-diagonal-aware).
+    linalg::Matrix dqdd_dq;  ///< dqdd/dq.
+    linalg::Matrix dqdd_dqd; ///< dqdd/dqd.
+};
+
+/**
+ * Computes the forward-dynamics gradients at (q, qd, tau).
+ */
+ForwardDynamicsGradients forward_dynamics_gradients(
+    const topology::RobotModel &model, const topology::TopologyInfo &topo,
+    const linalg::Vector &q, const linalg::Vector &qd,
+    const linalg::Vector &tau,
+    const spatial::Vec3 &gravity = kDefaultGravity);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_FD_DERIVATIVES_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of finite-difference reference derivatives.
+ */
+
+#include "dynamics/finite_diff.h"
+
+#include "dynamics/aba.h"
+
+namespace roboshape {
+namespace dynamics {
+
+namespace {
+
+/** Central difference of @p eval with respect to its perturbed argument. */
+template <typename Eval>
+linalg::Matrix
+central_difference(std::size_t n, const linalg::Vector &x0, double eps,
+                   Eval eval)
+{
+    linalg::Matrix jac(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        linalg::Vector hi = x0, lo = x0;
+        hi[j] += eps;
+        lo[j] -= eps;
+        const linalg::Vector fp = eval(hi);
+        const linalg::Vector fm = eval(lo);
+        for (std::size_t i = 0; i < n; ++i)
+            jac(i, j) = (fp[i] - fm[i]) / (2.0 * eps);
+    }
+    return jac;
+}
+
+} // namespace
+
+linalg::Matrix
+fd_dtau_dq(const topology::RobotModel &model, const linalg::Vector &q,
+           const linalg::Vector &qd, const linalg::Vector &qdd,
+           const spatial::Vec3 &gravity, double eps)
+{
+    return central_difference(
+        model.num_links(), q, eps,
+        [&](const linalg::Vector &qx) {
+            return rnea(model, qx, qd, qdd, gravity);
+        });
+}
+
+linalg::Matrix
+fd_dtau_dqd(const topology::RobotModel &model, const linalg::Vector &q,
+            const linalg::Vector &qd, const linalg::Vector &qdd,
+            const spatial::Vec3 &gravity, double eps)
+{
+    return central_difference(
+        model.num_links(), qd, eps,
+        [&](const linalg::Vector &qdx) {
+            return rnea(model, q, qdx, qdd, gravity);
+        });
+}
+
+linalg::Matrix
+fd_dqdd_dq(const topology::RobotModel &model, const linalg::Vector &q,
+           const linalg::Vector &qd, const linalg::Vector &tau,
+           const spatial::Vec3 &gravity, double eps)
+{
+    return central_difference(
+        model.num_links(), q, eps,
+        [&](const linalg::Vector &qx) {
+            return aba(model, qx, qd, tau, gravity);
+        });
+}
+
+linalg::Matrix
+fd_dqdd_dqd(const topology::RobotModel &model, const linalg::Vector &q,
+            const linalg::Vector &qd, const linalg::Vector &tau,
+            const spatial::Vec3 &gravity, double eps)
+{
+    return central_difference(
+        model.num_links(), qd, eps,
+        [&](const linalg::Vector &qdx) {
+            return aba(model, q, qdx, tau, gravity);
+        });
+}
+
+} // namespace dynamics
+} // namespace roboshape

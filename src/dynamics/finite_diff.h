@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Finite-difference reference derivatives.
+ *
+ * Central differences over the analytical kernels, used only to validate
+ * the exact derivatives (paper Alg. 3) in tests — never on any measured
+ * path.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_FINITE_DIFF_H
+#define ROBOSHAPE_DYNAMICS_FINITE_DIFF_H
+
+#include "dynamics/rnea.h"
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Central-difference dtau/dq. */
+linalg::Matrix fd_dtau_dq(const topology::RobotModel &model,
+                          const linalg::Vector &q, const linalg::Vector &qd,
+                          const linalg::Vector &qdd,
+                          const spatial::Vec3 &gravity = kDefaultGravity,
+                          double eps = 1e-6);
+
+/** Central-difference dtau/dqd. */
+linalg::Matrix fd_dtau_dqd(const topology::RobotModel &model,
+                           const linalg::Vector &q, const linalg::Vector &qd,
+                           const linalg::Vector &qdd,
+                           const spatial::Vec3 &gravity = kDefaultGravity,
+                           double eps = 1e-6);
+
+/** Central-difference dqdd/dq of forward dynamics (via ABA). */
+linalg::Matrix fd_dqdd_dq(const topology::RobotModel &model,
+                          const linalg::Vector &q, const linalg::Vector &qd,
+                          const linalg::Vector &tau,
+                          const spatial::Vec3 &gravity = kDefaultGravity,
+                          double eps = 1e-6);
+
+/** Central-difference dqdd/dqd of forward dynamics (via ABA). */
+linalg::Matrix fd_dqdd_dqd(const topology::RobotModel &model,
+                           const linalg::Vector &q, const linalg::Vector &qd,
+                           const linalg::Vector &tau,
+                           const spatial::Vec3 &gravity = kDefaultGravity,
+                           double eps = 1e-6);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_FINITE_DIFF_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Implementation of forward kinematics and Jacobians.
+ */
+
+#include "dynamics/kinematics.h"
+
+#include <cassert>
+
+namespace roboshape {
+namespace dynamics {
+
+using spatial::SpatialTransform;
+using spatial::SpatialVector;
+using spatial::Vec3;
+using topology::kBaseParent;
+
+Vec3
+ForwardKinematics::origin_in_base(std::size_t i) const
+{
+    // The composed transform stores the link origin expressed in the base.
+    return base_to_link[i].translation_vector();
+}
+
+ForwardKinematics
+forward_kinematics(const topology::RobotModel &model,
+                   const linalg::Vector &q)
+{
+    const std::size_t n = model.num_links();
+    assert(q.size() == n);
+    ForwardKinematics fk;
+    fk.base_to_link.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const topology::Link &link = model.link(i);
+        const SpatialTransform xup =
+            link.joint.transform(q[i]) * link.x_tree;
+        const int p = link.parent;
+        fk.base_to_link[i] =
+            p == kBaseParent ? xup : xup * fk.base_to_link[p];
+    }
+    return fk;
+}
+
+linalg::Matrix
+link_jacobian(const topology::RobotModel &model, const linalg::Vector &q,
+              std::size_t link)
+{
+    const std::size_t n = model.num_links();
+    assert(link < n);
+    const ForwardKinematics fk = forward_kinematics(model, q);
+
+    linalg::Matrix jac(6, n);
+    int j = static_cast<int>(link);
+    while (j != kBaseParent) {
+        // Carry S_j from frame j into the end link's frame.
+        const SpatialTransform x_j_to_link =
+            fk.base_to_link[link] * fk.base_to_link[j].inverse();
+        const SpatialVector col = x_j_to_link.apply(
+            model.link(j).joint.motion_subspace());
+        for (std::size_t r = 0; r < 6; ++r)
+            jac(r, static_cast<std::size_t>(j)) = col[r];
+        j = model.parent(j);
+    }
+    return jac;
+}
+
+std::vector<SpatialVector>
+link_velocities(const topology::RobotModel &model, const linalg::Vector &q,
+                const linalg::Vector &qd)
+{
+    const std::size_t n = model.num_links();
+    assert(q.size() == n && qd.size() == n);
+    std::vector<SpatialVector> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const topology::Link &link = model.link(i);
+        const SpatialTransform xup =
+            link.joint.transform(q[i]) * link.x_tree;
+        const SpatialVector vj = link.joint.motion_subspace() * qd[i];
+        v[i] = link.parent == kBaseParent
+                   ? vj
+                   : xup.apply(v[link.parent]) + vj;
+    }
+    return v;
+}
+
+Vec3
+center_of_mass(const topology::RobotModel &model, const linalg::Vector &q)
+{
+    const ForwardKinematics fk = forward_kinematics(model, q);
+    Vec3 weighted;
+    double mass = 0.0;
+    for (std::size_t i = 0; i < model.num_links(); ++i) {
+        const auto &inertia = model.link(i).inertia;
+        if (inertia.mass() <= 0.0)
+            continue;
+        const Vec3 com_link = inertia.h() * (1.0 / inertia.mass());
+        // Point map link -> base: p_base = E^T p_link + r.
+        const auto &x = fk.base_to_link[i];
+        const Vec3 com_base =
+            x.rotation_matrix().transpose_mul(com_link) +
+            x.translation_vector();
+        weighted += com_base * inertia.mass();
+        mass += inertia.mass();
+    }
+    assert(mass > 0.0);
+    return weighted * (1.0 / mass);
+}
+
+double
+total_mass(const topology::RobotModel &model)
+{
+    double mass = 0.0;
+    for (std::size_t i = 0; i < model.num_links(); ++i)
+        mass += model.link(i).inertia.mass();
+    return mass;
+}
+
+} // namespace dynamics
+} // namespace roboshape

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Forward kinematics and geometric Jacobians.
+ *
+ * Two more members of the paper's Table 1 family of topology-based
+ * kernels: forward kinematics is a pure pattern-(1) forward traversal
+ * (one transform task per link, chained parent -> child), and the
+ * geometric Jacobian is a pattern-(2) topology matrix — column j of
+ * link i's Jacobian is nonzero iff j is an ancestor of i, the same
+ * ancestor-closure sparsity the mass matrix carries.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_KINEMATICS_H
+#define ROBOSHAPE_DYNAMICS_KINEMATICS_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "spatial/spatial_transform.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Pose of every link relative to the fixed base. */
+struct ForwardKinematics
+{
+    /** X_base_to_link[i]: motion transform base frame -> link i frame. */
+    std::vector<spatial::SpatialTransform> base_to_link;
+
+    /** Position of link i's frame origin in base coordinates. */
+    spatial::Vec3 origin_in_base(std::size_t i) const;
+};
+
+/** Computes base-relative transforms of all links. */
+ForwardKinematics forward_kinematics(const topology::RobotModel &model,
+                                     const linalg::Vector &q);
+
+/**
+ * Geometric Jacobian of link @p link: the 6 x N matrix J with
+ * v_link = J(q) * qd, where v_link is the link's spatial velocity
+ * expressed in its own frame.  Column j is zero unless j is an ancestor
+ * of (or equals) @p link.
+ */
+linalg::Matrix link_jacobian(const topology::RobotModel &model,
+                             const linalg::Vector &q, std::size_t link);
+
+/**
+ * Spatial velocity of every link from q, qd (the forward-traversal half of
+ * RNEA), used to cross-check Jacobians: v_i == J_i qd.
+ */
+std::vector<spatial::SpatialVector>
+link_velocities(const topology::RobotModel &model, const linalg::Vector &q,
+                const linalg::Vector &qd);
+
+/** Center of mass of the whole robot in base coordinates. */
+spatial::Vec3 center_of_mass(const topology::RobotModel &model,
+                             const linalg::Vector &q);
+
+/** Total robot mass. */
+double total_mass(const topology::RobotModel &model);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_KINEMATICS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of RNEA inverse dynamics.
+ */
+
+#include "dynamics/rnea.h"
+
+#include <cassert>
+
+namespace roboshape {
+namespace dynamics {
+
+using spatial::SpatialTransform;
+using spatial::SpatialVector;
+using spatial::Vec3;
+using spatial::cross_force;
+using spatial::cross_motion;
+using topology::kBaseParent;
+
+void
+RneaCache::resize(std::size_t n)
+{
+    xup.assign(n, SpatialTransform());
+    s.assign(n, SpatialVector::zero());
+    v.assign(n, SpatialVector::zero());
+    a.assign(n, SpatialVector::zero());
+    f.assign(n, SpatialVector::zero());
+}
+
+linalg::Vector
+rnea(const topology::RobotModel &model, const linalg::Vector &q,
+     const linalg::Vector &qd, const linalg::Vector &qdd,
+     const Vec3 &gravity, RneaCache *cache)
+{
+    const std::size_t n = model.num_links();
+    assert(q.size() == n && qd.size() == n && qdd.size() == n);
+
+    RneaCache local;
+    RneaCache &c = cache ? *cache : local;
+    c.resize(n);
+
+    // Gravity trick: give the base a fictitious upward acceleration so all
+    // gravitational torques emerge from the same recursion.
+    const SpatialVector a_base(Vec3::zero(), -gravity);
+    c.a_base = a_base;
+
+    // Forward traversal: propagate velocity and acceleration outward.
+    for (std::size_t i = 0; i < n; ++i) {
+        const topology::Link &link = model.link(i);
+        c.xup[i] = link.joint.transform(q[i]) * link.x_tree;
+        c.s[i] = link.joint.motion_subspace();
+        const SpatialVector vj = c.s[i] * qd[i];
+
+        if (link.parent == kBaseParent) {
+            c.v[i] = vj;
+            c.a[i] = c.xup[i].apply(a_base) + c.s[i] * qdd[i];
+        } else {
+            c.v[i] = c.xup[i].apply(c.v[link.parent]) + vj;
+            c.a[i] = c.xup[i].apply(c.a[link.parent]) + c.s[i] * qdd[i] +
+                     cross_motion(c.v[i], vj);
+        }
+        c.f[i] = link.inertia.apply(c.a[i]) +
+                 cross_force(c.v[i], link.inertia.apply(c.v[i]));
+    }
+
+    // Backward traversal: accumulate forces inward (children first; the
+    // preorder numbering guarantees child indices exceed their parent's).
+    linalg::Vector tau(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        tau[ii] = c.s[ii].dot(c.f[ii]);
+        const int p = model.parent(ii);
+        if (p != kBaseParent)
+            c.f[p] += c.xup[ii].apply_transpose_to_force(c.f[ii]);
+    }
+    return tau;
+}
+
+linalg::Vector
+bias_forces(const topology::RobotModel &model, const linalg::Vector &q,
+            const linalg::Vector &qd, const Vec3 &gravity)
+{
+    return rnea(model, q, qd, linalg::Vector(model.num_links()), gravity);
+}
+
+} // namespace dynamics
+} // namespace roboshape

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Recursive Newton-Euler inverse dynamics (paper Alg. 2).
+ *
+ * RNEA makes one forward traversal of the link tree, propagating velocities
+ * and accelerations from the base out to the leaves, and one backward
+ * traversal accumulating forces from the leaves to the base — the archetype
+ * of the paper's topology-traversal computational pattern (1).
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_RNEA_H
+#define ROBOSHAPE_DYNAMICS_RNEA_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "spatial/spatial_transform.h"
+#include "spatial/spatial_vector.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Default gravity: -9.81 m/s^2 along the base z axis. */
+inline constexpr spatial::Vec3 kDefaultGravity{0.0, 0.0, -9.81};
+
+/**
+ * Per-link intermediate state of an RNEA evaluation.
+ *
+ * The derivative pass (Alg. 3) and the accelerator's dataflow both re-read
+ * these quantities, mirroring the hardware's dedicated RNEA-output storage
+ * (paper Fig. 8c).
+ */
+struct RneaCache
+{
+    /** Parent-to-link transforms X_up[i] = X_J(q_i) * X_tree[i]. */
+    std::vector<spatial::SpatialTransform> xup;
+    /** Joint motion subspaces S[i]. */
+    std::vector<spatial::SpatialVector> s;
+    /** Link spatial velocities. */
+    std::vector<spatial::SpatialVector> v;
+    /** Link spatial accelerations (gravity folded into the base). */
+    std::vector<spatial::SpatialVector> a;
+    /** Accumulated link forces after the backward pass. */
+    std::vector<spatial::SpatialVector> f;
+    /** Fictitious base acceleration encoding gravity. */
+    spatial::SpatialVector a_base;
+
+    void resize(std::size_t n);
+};
+
+/**
+ * Inverse dynamics: tau = ID(q, qd, qdd).
+ *
+ * @param cache optional output of per-link intermediates for derivative
+ *        passes; pass nullptr when only torques are needed.
+ */
+linalg::Vector rnea(const topology::RobotModel &model,
+                    const linalg::Vector &q, const linalg::Vector &qd,
+                    const linalg::Vector &qdd,
+                    const spatial::Vec3 &gravity = kDefaultGravity,
+                    RneaCache *cache = nullptr);
+
+/**
+ * Nonlinear bias forces C(q, qd) = ID(q, qd, 0): Coriolis, centrifugal, and
+ * gravity torques.
+ */
+linalg::Vector bias_forces(const topology::RobotModel &model,
+                           const linalg::Vector &q, const linalg::Vector &qd,
+                           const spatial::Vec3 &gravity = kDefaultGravity);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_RNEA_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of the analytical RNEA derivatives.
+ *
+ * Uses the exact joint-transform derivative identities (for single-DoF
+ * joints with motion subspace S and transform X(q)):
+ *
+ *     d(X u)/dq   = (X u) x S           (motion cross product)
+ *     d(X^T f)/dq = X^T (S x* f)        (force cross product)
+ */
+
+#include "dynamics/rnea_derivatives.h"
+
+#include <cassert>
+
+#include "spatial/spatial_vector.h"
+
+namespace roboshape {
+namespace dynamics {
+
+using spatial::SpatialVector;
+using spatial::cross_force;
+using spatial::cross_motion;
+using topology::kBaseParent;
+
+RneaDerivatives
+rnea_derivatives(const topology::RobotModel &model,
+                 const topology::TopologyInfo &topo,
+                 const linalg::Vector &qd, const RneaCache &cache)
+{
+    const std::size_t n = model.num_links();
+    assert(qd.size() == n && cache.v.size() == n);
+
+    RneaDerivatives out;
+    out.dtau_dq.resize(n, n);
+    out.dtau_dqd.resize(n, n);
+
+    std::vector<SpatialVector> dv(n), da(n), df(n);
+
+    // One column per differentiated joint; the two derivative kinds share
+    // the propagation skeleton and differ only in the seed and in the
+    // transform-derivative term of the backward pass.
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t sub_end = j + topo.subtree_size(j);
+
+        for (int kind = 0; kind < 2; ++kind) {
+            const bool wrt_q = kind == 0;
+
+            // Seed at joint j.
+            if (wrt_q) {
+                const int p = model.parent(j);
+                const SpatialVector xap = cache.xup[j].apply(
+                    p == kBaseParent ? cache.a_base : cache.a[p]);
+                dv[j] = cross_motion(cache.v[j], cache.s[j]);
+                da[j] = cross_motion(xap, cache.s[j]) +
+                        cross_motion(dv[j], cache.s[j] * qd[j]);
+            } else {
+                dv[j] = cache.s[j];
+                da[j] = cross_motion(cache.v[j], cache.s[j]);
+            }
+
+            // Forward sweep over the (contiguous) subtree of j.
+            for (std::size_t i = j; i < sub_end; ++i) {
+                if (i != j) {
+                    const int p = model.parent(i);
+                    dv[i] = cache.xup[i].apply(dv[p]);
+                    da[i] = cache.xup[i].apply(da[p]) +
+                            cross_motion(dv[i], cache.s[i] * qd[i]);
+                }
+                const auto &inertia = model.link(i).inertia;
+                df[i] = inertia.apply(da[i]) +
+                        cross_force(dv[i], inertia.apply(cache.v[i])) +
+                        cross_force(cache.v[i], inertia.apply(dv[i]));
+            }
+
+            // Backward sweep: through the subtree, then up the root path.
+            // Only subtree members and ancestors of j carry nonzero df.
+            for (std::size_t ii = sub_end; ii-- > 0;) {
+                const bool in_subtree = ii >= j;
+                const bool on_root_path =
+                    !in_subtree && topo.is_ancestor_or_self(ii, j);
+                if (!in_subtree && !on_root_path)
+                    continue;
+
+                const double dtau = cache.s[ii].dot(df[ii]);
+                if (wrt_q)
+                    out.dtau_dq(ii, j) = dtau;
+                else
+                    out.dtau_dqd(ii, j) = dtau;
+
+                const int p = model.parent(ii);
+                if (p != kBaseParent) {
+                    SpatialVector carried = df[ii];
+                    if (wrt_q && ii == j)
+                        carried += cross_force(cache.s[j], cache.f[j]);
+                    df[p] += cache.xup[ii].apply_transpose_to_force(carried);
+                }
+                df[ii] = SpatialVector::zero(); // reset for the next column
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dynamics
+} // namespace roboshape

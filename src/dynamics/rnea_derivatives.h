@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Analytical first-order derivatives of RNEA (paper Alg. 3, after
+ * Carpentier & Mansard, RSS 2018).
+ *
+ * For each joint j, the full RNEA recursion is differentiated exactly with
+ * respect to q_j (and qd_j), producing one column of dtau/dq (dtau/dqd).
+ * Each column makes a forward sweep over subtree(j) — seeded by the stored
+ * RNEA intermediates, exactly the dependence the accelerator's RNEA-output
+ * buffers serve (paper Fig. 8c) — and a backward sweep from the subtree up
+ * the root path.  Total work is O(N * depth): the quadratic scaling with
+ * robot size the paper attributes to pattern (1).
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_RNEA_DERIVATIVES_H
+#define ROBOSHAPE_DYNAMICS_RNEA_DERIVATIVES_H
+
+#include "dynamics/rnea.h"
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Partial derivatives of inverse dynamics torques. */
+struct RneaDerivatives
+{
+    linalg::Matrix dtau_dq;  ///< dtau/dq, N x N.
+    linalg::Matrix dtau_dqd; ///< dtau/dqd, N x N.
+};
+
+/**
+ * Computes dtau/dq and dtau/dqd at (q, qd, qdd) given the RNEA cache from
+ * an evaluation at the same state.
+ */
+RneaDerivatives rnea_derivatives(const topology::RobotModel &model,
+                                 const topology::TopologyInfo &topo,
+                                 const linalg::Vector &qd,
+                                 const RneaCache &cache);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_RNEA_DERIVATIVES_H

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Implementation of random robot states.
+ */
+
+#include "dynamics/robot_state.h"
+
+#include "linalg/random.h"
+
+namespace roboshape {
+namespace dynamics {
+
+RobotState
+random_state(const topology::RobotModel &model, std::uint32_t seed)
+{
+    const std::size_t n = model.num_links();
+    RobotState s(n);
+    s.q = linalg::random_vector(n, seed, -3.14159, 3.14159);
+    s.qd = linalg::random_vector(n, seed + 1, -2.0, 2.0);
+    s.qdd = linalg::random_vector(n, seed + 2, -2.0, 2.0);
+    s.tau = linalg::random_vector(n, seed + 3, -20.0, 20.0);
+    return s;
+}
+
+} // namespace dynamics
+} // namespace roboshape

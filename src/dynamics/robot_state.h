@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Joint-space robot state.
+ */
+
+#ifndef ROBOSHAPE_DYNAMICS_ROBOT_STATE_H
+#define ROBOSHAPE_DYNAMICS_ROBOT_STATE_H
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace dynamics {
+
+/** Joint positions, velocities, accelerations, and torques. */
+struct RobotState
+{
+    linalg::Vector q;
+    linalg::Vector qd;
+    linalg::Vector qdd;
+    linalg::Vector tau;
+
+    explicit RobotState(std::size_t n) : q(n), qd(n), qdd(n), tau(n) {}
+};
+
+/**
+ * Deterministic random state for @p model: q in [-pi, pi], qd and qdd in
+ * [-2, 2], tau in [-20, 20].
+ */
+RobotState random_state(const topology::RobotModel &model,
+                        std::uint32_t seed);
+
+} // namespace dynamics
+} // namespace roboshape
+
+#endif // ROBOSHAPE_DYNAMICS_ROBOT_STATE_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Implementation of the interconnect model.
+ */
+
+#include "io/link_model.h"
+
+namespace roboshape {
+namespace io {
+
+const LinkModel &
+fpga_link_gen1()
+{
+    // Connectal request/indication pipes at PCIe Gen-1-level efficiency.
+    static const LinkModel kLink{"Connectal PCIe (Gen1-level)", 6.0, 1.0};
+    return kLink;
+}
+
+const LinkModel &
+pcie_gen3()
+{
+    // Roughly 3x the effective rate of the Gen-1-level stack (paper
+    // Sec. 5.2) with a leaner driver path.
+    static const LinkModel kLink{"PCIe Gen3", 18.0, 0.5};
+    return kLink;
+}
+
+double
+roundtrip_us(const LinkModel &link, std::int64_t in_bits_per_step,
+             std::int64_t out_bits_per_step, std::size_t steps,
+             double compute_us)
+{
+    const auto n = static_cast<std::int64_t>(steps);
+    // Batched steps share one transfer each way.
+    return link.transfer_us(in_bits_per_step * n) + compute_us +
+           link.transfer_us(out_bits_per_step * n);
+}
+
+} // namespace io
+} // namespace roboshape

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host-coprocessor interconnect model (paper Sec. 5.2).
+ *
+ * The paper's FPGA rode a Connectal PCIe stack running at roughly PCIe
+ * Gen-1 effective rates, about 3x slower than the Gen-3 link its GPU
+ * baseline enjoyed.  Transfer time = payload / effective bandwidth plus a
+ * fixed per-direction driver overhead.
+ */
+
+#ifndef ROBOSHAPE_IO_LINK_MODEL_H
+#define ROBOSHAPE_IO_LINK_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "io/payload.h"
+
+namespace roboshape {
+namespace io {
+
+/** One direction-agnostic interconnect. */
+struct LinkModel
+{
+    std::string name;
+    double gbit_per_s = 1.0;       ///< Effective payload bandwidth.
+    double per_transfer_us = 1.0;  ///< Fixed driver/DMA setup cost per
+                                   ///< direction.
+
+    /** Microseconds to move @p bits one way. */
+    double
+    transfer_us(std::int64_t bits) const
+    {
+        return per_transfer_us +
+               static_cast<double>(bits) / (gbit_per_s * 1e3);
+    }
+};
+
+/** Connectal over PCIe at Gen-1-level effective rates (the paper's FPGA
+ *  deployment). */
+const LinkModel &fpga_link_gen1();
+
+/** The same stack at PCIe Gen-3 rates (the paper's proposed improvement
+ *  and the GPU baseline's link). */
+const LinkModel &pcie_gen3();
+
+/**
+ * Roundtrip latency of a batched coprocessor call.
+ *
+ * @param in_bits_per_step  host -> device payload of one time step.
+ * @param out_bits_per_step device -> host payload of one time step.
+ * @param steps             batch size (paper Sec. 5.2 demonstrates 4).
+ * @param compute_us        total device compute latency for the batch.
+ */
+double roundtrip_us(const LinkModel &link, std::int64_t in_bits_per_step,
+                    std::int64_t out_bits_per_step, std::size_t steps,
+                    double compute_us);
+
+} // namespace io
+} // namespace roboshape
+
+#endif // ROBOSHAPE_IO_LINK_MODEL_H

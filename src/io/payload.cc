@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of I/O payload accounting.
+ */
+
+#include "io/payload.h"
+
+namespace roboshape {
+namespace io {
+
+PayloadBits
+dense_payload(std::size_t num_links)
+{
+    const std::int64_t n = static_cast<std::int64_t>(num_links);
+    PayloadBits p;
+    p.vector_bits = kBitsPerWord * kVectorsPerStep * n;
+    p.matrix_bits = kBitsPerWord * kMatricesPerStep * n * n;
+    return p;
+}
+
+PayloadBits
+sparse_payload(const topology::TopologyInfo &topo)
+{
+    const auto mask = topo.mass_matrix_mask();
+    std::int64_t nnz = 0;
+    for (const auto &row : mask)
+        for (bool b : row)
+            nnz += b ? 1 : 0;
+
+    const std::int64_t n = static_cast<std::int64_t>(topo.num_links());
+    PayloadBits p;
+    p.vector_bits = kBitsPerWord * kVectorsPerStep * n;
+    p.matrix_bits = kBitsPerWord * kMatricesPerStep * nnz;
+    return p;
+}
+
+namespace {
+
+std::int64_t
+pattern_nonzeros(const topology::TopologyInfo &topo)
+{
+    const auto mask = topo.mass_matrix_mask();
+    std::int64_t nnz = 0;
+    for (const auto &row : mask)
+        for (bool b : row)
+            nnz += b ? 1 : 0;
+    return nnz;
+}
+
+} // namespace
+
+DirectionalPayload
+dense_directional(std::size_t num_links)
+{
+    const std::int64_t n = static_cast<std::int64_t>(num_links);
+    DirectionalPayload p;
+    p.in_bits = kBitsPerWord * (3 * n + n * n);
+    p.out_bits = kBitsPerWord * (n + 2 * n * n);
+    return p;
+}
+
+DirectionalPayload
+sparse_directional(const topology::TopologyInfo &topo)
+{
+    const std::int64_t n = static_cast<std::int64_t>(topo.num_links());
+    const std::int64_t nnz = pattern_nonzeros(topo);
+    DirectionalPayload p;
+    p.in_bits = kBitsPerWord * (3 * n + nnz);
+    p.out_bits = kBitsPerWord * (n + 2 * nnz);
+    return p;
+}
+
+double
+compression_ratio(const topology::TopologyInfo &topo)
+{
+    return static_cast<double>(dense_payload(topo.num_links()).total()) /
+           static_cast<double>(sparse_payload(topo).total());
+}
+
+} // namespace io
+} // namespace roboshape

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coprocessor I/O payload accounting (paper Sec. 5.2).
+ *
+ * Per dynamics-gradient time step the host exchanges four per-link vectors
+ * (q, qd, qdd in; tau back) and three N x N matrices (the mass matrix in;
+ * the two partial-derivative matrices out).  With 32-bit words this
+ * reproduces the paper's matrix share of total I/O — 84% / 90% / 92% for
+ * iiwa / HyQ / Baxter — and, with topology-aware zero skipping, the 3.1x
+ * (HyQ) and 2.1x (Baxter) packet-size reductions.
+ */
+
+#ifndef ROBOSHAPE_IO_PAYLOAD_H
+#define ROBOSHAPE_IO_PAYLOAD_H
+
+#include <cstdint>
+
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace io {
+
+/** Bits per transferred scalar (single-precision words). */
+inline constexpr std::int64_t kBitsPerWord = 32;
+
+/** Per-link vector quantities exchanged each step (q, qd, qdd, tau). */
+inline constexpr std::int64_t kVectorsPerStep = 4;
+
+/** N x N matrices exchanged each step (M in; dq and dqd partials out). */
+inline constexpr std::int64_t kMatricesPerStep = 3;
+
+/** Bit counts of one time step's I/O. */
+struct PayloadBits
+{
+    std::int64_t vector_bits = 0; ///< Per-link quantities.
+    std::int64_t matrix_bits = 0; ///< Topology-based N x N matrices.
+
+    std::int64_t total() const { return vector_bits + matrix_bits; }
+
+    /** Fraction of the step's bits occupied by the N^2 matrices. */
+    double matrix_share() const
+    {
+        return static_cast<double>(matrix_bits) /
+               static_cast<double>(total());
+    }
+};
+
+/** Dense payload of one time step for an N-link robot. */
+PayloadBits dense_payload(std::size_t num_links);
+
+/**
+ * Sparse payload: matrix transfers skip structurally-zero entries of the
+ * mass matrix / partial-derivative sparsity pattern (paper Sec. 3.3,
+ * "Sparse I/O Data").  No index metadata is needed because both endpoints
+ * derive the same pattern from the robot topology.
+ */
+PayloadBits sparse_payload(const topology::TopologyInfo &topo);
+
+/** Dense-over-sparse packet size ratio (3.1x for HyQ, 2.1x for Baxter). */
+double compression_ratio(const topology::TopologyInfo &topo);
+
+/** Per-direction bit counts of one time step. */
+struct DirectionalPayload
+{
+    std::int64_t in_bits = 0;  ///< Host -> device: q, qd, qdd, M.
+    std::int64_t out_bits = 0; ///< Device -> host: tau, two partials.
+};
+
+/** Direction split without zero skipping. */
+DirectionalPayload dense_directional(std::size_t num_links);
+
+/** Direction split with topology-aware zero skipping on the matrices. */
+DirectionalPayload sparse_directional(const topology::TopologyInfo &topo);
+
+} // namespace io
+} // namespace roboshape
+
+#endif // ROBOSHAPE_IO_PAYLOAD_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Implementation of deterministic random fills.
+ */
+
+#include "linalg/random.h"
+
+namespace roboshape {
+namespace linalg {
+
+Vector
+random_vector(std::size_t n, std::uint32_t seed, double lo, double hi)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(lo, hi);
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = dist(rng);
+    return v;
+}
+
+Matrix
+random_matrix(std::size_t rows, std::size_t cols, std::uint32_t seed,
+              double lo, double hi)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(lo, hi);
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            m(i, j) = dist(rng);
+    return m;
+}
+
+Matrix
+random_spd_matrix(std::size_t n, std::uint32_t seed)
+{
+    Matrix r = random_matrix(n, n, seed);
+    Matrix a = r.transposed() * r;
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+    return a;
+}
+
+} // namespace linalg
+} // namespace roboshape

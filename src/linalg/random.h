@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Deterministic random fills for matrices and vectors.
+ *
+ * Tests and benchmarks need reproducible random robot states; everything is
+ * seeded explicitly so failures replay exactly.
+ */
+
+#ifndef ROBOSHAPE_LINALG_RANDOM_H
+#define ROBOSHAPE_LINALG_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/matrix.h"
+
+namespace roboshape {
+namespace linalg {
+
+/** Uniform random vector in [lo, hi]. */
+Vector random_vector(std::size_t n, std::uint32_t seed, double lo = -1.0,
+                     double hi = 1.0);
+
+/** Uniform random matrix in [lo, hi]. */
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint32_t seed,
+                     double lo = -1.0, double hi = 1.0);
+
+/**
+ * Random symmetric positive-definite matrix, built as R^T R + n*I so the
+ * spectrum is safely bounded away from zero.
+ */
+Matrix random_spd_matrix(std::size_t n, std::uint32_t seed);
+
+} // namespace linalg
+} // namespace roboshape
+
+#endif // ROBOSHAPE_LINALG_RANDOM_H

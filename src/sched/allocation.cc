@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Implementation of allocation strategies.
+ */
+
+#include "sched/allocation.h"
+
+#include <cmath>
+
+namespace roboshape {
+namespace sched {
+
+const std::vector<AllocationStrategy> &
+all_strategies()
+{
+    static const std::vector<AllocationStrategy> kAll{
+        AllocationStrategy::kTotalLinks, AllocationStrategy::kAvgLeafDepth,
+        AllocationStrategy::kMaxLeafDepth,
+        AllocationStrategy::kMaxDescendants, AllocationStrategy::kHybrid};
+    return kAll;
+}
+
+const char *
+to_string(AllocationStrategy s)
+{
+    switch (s) {
+      case AllocationStrategy::kTotalLinks:
+        return "Total Links";
+      case AllocationStrategy::kAvgLeafDepth:
+        return "Avg Leaf Depth";
+      case AllocationStrategy::kMaxLeafDepth:
+        return "Max Leaf Depth";
+      case AllocationStrategy::kMaxDescendants:
+        return "Max Descendants";
+      case AllocationStrategy::kHybrid:
+        return "Hybrid";
+    }
+    return "?";
+}
+
+Allocation
+allocate(AllocationStrategy strategy,
+         const topology::TopologyMetrics &metrics)
+{
+    const auto uniform = [](std::size_t p) {
+        return Allocation{std::max<std::size_t>(1, p),
+                          std::max<std::size_t>(1, p)};
+    };
+    switch (strategy) {
+      case AllocationStrategy::kTotalLinks:
+        return uniform(metrics.total_links);
+      case AllocationStrategy::kAvgLeafDepth:
+        return uniform(static_cast<std::size_t>(
+            std::lround(metrics.avg_leaf_depth)));
+      case AllocationStrategy::kMaxLeafDepth:
+        return uniform(metrics.max_leaf_depth);
+      case AllocationStrategy::kMaxDescendants:
+        return uniform(metrics.max_descendants);
+      case AllocationStrategy::kHybrid:
+        return Allocation{std::max<std::size_t>(1, metrics.max_leaf_depth),
+                          std::max<std::size_t>(1,
+                                                metrics.max_descendants)};
+    }
+    return uniform(1);
+}
+
+} // namespace sched
+} // namespace roboshape

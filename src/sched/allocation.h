@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Topology-metric-driven PE allocation strategies (paper Sec. 5.4).
+ *
+ * Each strategy converts Table 3 shape metrics into PE pool sizes.  The
+ * exhaustive "Optimal Minimum Latency" search lives in core/design_space.h
+ * since it must evaluate full designs.
+ */
+
+#ifndef ROBOSHAPE_SCHED_ALLOCATION_H
+#define ROBOSHAPE_SCHED_ALLOCATION_H
+
+#include <string>
+#include <vector>
+
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace sched {
+
+/** Resource allocation strategies evaluated in paper Fig. 13. */
+enum class AllocationStrategy
+{
+    kTotalLinks,     ///< Naive robomorphic parallelism (prior work [32]).
+    kAvgLeafDepth,   ///< Average leaf depth (underprovisions asymmetry).
+    kMaxLeafDepth,   ///< Longest forward thread.
+    kMaxDescendants, ///< Longest backward thread.
+    kHybrid,         ///< Max leaf depth fwd + max descendants bwd.
+};
+
+/** All metric-based strategies in paper Fig. 13 order. */
+const std::vector<AllocationStrategy> &all_strategies();
+
+const char *to_string(AllocationStrategy s);
+
+/** PE pool sizes for the two traversal directions. */
+struct Allocation
+{
+    std::size_t pes_fwd = 1;
+    std::size_t pes_bwd = 1;
+
+    bool operator==(const Allocation &o) const = default;
+};
+
+/** Applies a metric-based strategy to a robot's shape metrics. */
+Allocation allocate(AllocationStrategy strategy,
+                    const topology::TopologyMetrics &metrics);
+
+} // namespace sched
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SCHED_ALLOCATION_H

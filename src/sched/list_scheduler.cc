@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Implementation of the list scheduler.
+ */
+
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace roboshape {
+namespace sched {
+
+std::int64_t
+TaskTiming::cost(TaskType t) const
+{
+    switch (t) {
+      case TaskType::kRneaForward:
+        return rnea_forward;
+      case TaskType::kRneaBackward:
+        return rnea_backward;
+      case TaskType::kGradForward:
+        return grad_forward;
+      case TaskType::kGradBackward:
+        return grad_backward;
+    }
+    return 1;
+}
+
+PeClass
+pe_class_of(TaskType t)
+{
+    switch (t) {
+      case TaskType::kRneaForward:
+      case TaskType::kGradForward:
+        return PeClass::kForward;
+      case TaskType::kRneaBackward:
+      case TaskType::kGradBackward:
+        return PeClass::kBackward;
+    }
+    return PeClass::kForward;
+}
+
+namespace {
+
+/** Event-driven list-scheduling engine shared by both compositions. */
+class Engine
+{
+  public:
+    Engine(const TaskGraph &graph, const TaskTiming &timing,
+           std::size_t pes_fwd, std::size_t pes_bwd,
+           std::vector<bool> active, bool cross_stage_deps,
+           const SchedulerOptions &options)
+        : graph_(graph), timing_(timing), active_(std::move(active)),
+          cross_stage_(cross_stage_deps), options_(options)
+    {
+        pool_[0].assign(pes_fwd, Pe{});
+        pool_[1].assign(pes_bwd, Pe{});
+        build_priorities();
+    }
+
+    Schedule run();
+
+  private:
+    struct Pe
+    {
+        std::int64_t busy_until = 0;
+        std::int32_t last_link = -1;
+    };
+
+    int
+    pool_index(TaskId id) const
+    {
+        return pe_class_of(graph_.task(id).type) == PeClass::kForward ? 0
+                                                                      : 1;
+    }
+
+    bool
+    counts_as_dep(TaskId task, TaskId dep) const
+    {
+        if (!active_[dep])
+            return false;
+        return cross_stage_ || pool_index(task) == pool_index(dep);
+    }
+
+    /** Tree adjacency: continuing a traversal thread without a branch
+     *  checkpoint restore. */
+    bool
+    thread_continues(std::int32_t from_link, std::int32_t to_link) const
+    {
+        if (from_link < 0 || from_link == to_link)
+            return true;
+        const auto &parents = graph_.parents();
+        if (to_link >= 0 && parents[to_link] == from_link)
+            return true;
+        if (from_link >= 0 && parents[from_link] == to_link)
+            return true;
+        return false;
+    }
+
+    /**
+     * Bottom levels over active tasks: a task's priority is its cost plus
+     * the longest chain of active dependents ("longest sequential thread").
+     * Task ids are topologically ordered by construction (every dependency
+     * has a smaller id), so one reverse sweep suffices.
+     */
+    void
+    build_priorities()
+    {
+        priority_.assign(graph_.size(), 0);
+        std::vector<std::int64_t> below(graph_.size(), 0);
+        for (std::size_t id = graph_.size(); id-- > 0;) {
+            priority_[id] =
+                below[id] + timing_.cost(graph_.task(id).type);
+            for (TaskId d : graph_.task(id).deps) {
+                assert(d < static_cast<TaskId>(id));
+                if (active_[id] && counts_as_dep(static_cast<TaskId>(id), d))
+                    below[d] = std::max(below[d], priority_[id]);
+            }
+        }
+        if (!options_.longest_thread_priority)
+            priority_.assign(graph_.size(), 1); // FIFO by task id
+    }
+
+    template <typename Set>
+    TaskId
+    pick(const Set &ready, const Pe &unit) const
+    {
+        // Among the highest-priority ready tasks, prefer one continuing
+        // this PE's current thread (minimizes checkpoint traffic).
+        const TaskId best = *ready.begin();
+        if (!options_.thread_affinity || unit.last_link < 0)
+            return best;
+        for (TaskId id : ready) {
+            if (priority_[id] < priority_[best])
+                break;
+            if (thread_continues(unit.last_link, graph_.task(id).link))
+                return id;
+        }
+        return best;
+    }
+
+    const TaskGraph &graph_;
+    const TaskTiming &timing_;
+    std::vector<bool> active_;
+    bool cross_stage_;
+    SchedulerOptions options_;
+    std::vector<Pe> pool_[2];
+    std::vector<std::int64_t> priority_;
+};
+
+Schedule
+Engine::run()
+{
+    Schedule s;
+    s.placements.assign(graph_.size(), Placement{});
+    s.forward_rom.assign(pool_[0].size(), {});
+    s.backward_rom.assign(pool_[1].size(), {});
+
+    std::vector<int> pending(graph_.size(), 0);
+    std::vector<std::vector<TaskId>> dependents(graph_.size());
+    std::size_t remaining = 0;
+    for (const Task &t : graph_.tasks()) {
+        if (!active_[t.id])
+            continue;
+        ++remaining;
+        for (TaskId d : t.deps) {
+            if (!counts_as_dep(t.id, d))
+                continue;
+            ++pending[t.id];
+            dependents[d].push_back(t.id);
+        }
+    }
+
+    const auto cmp = [this](TaskId a, TaskId b) {
+        if (priority_[a] != priority_[b])
+            return priority_[a] > priority_[b];
+        return a < b;
+    };
+    std::set<TaskId, decltype(cmp)> ready[2]{std::set<TaskId, decltype(cmp)>(
+                                                 cmp),
+                                             std::set<TaskId, decltype(cmp)>(
+                                                 cmp)};
+    for (const Task &t : graph_.tasks())
+        if (active_[t.id] && pending[t.id] == 0)
+            ready[pool_index(t.id)].insert(t.id);
+
+    std::multimap<std::int64_t, TaskId> completions;
+
+    std::int64_t now = 0;
+    while (remaining > 0 || !completions.empty()) {
+        // Dispatch onto every idle PE.
+        for (int cls = 0; cls < 2; ++cls) {
+            for (std::size_t pe = 0; pe < pool_[cls].size(); ++pe) {
+                Pe &unit = pool_[cls][pe];
+                if (unit.busy_until > now || ready[cls].empty())
+                    continue;
+                const TaskId id = pick(ready[cls], unit);
+                ready[cls].erase(id);
+                const Task &t = graph_.task(id);
+                Placement &p = s.placements[id];
+                p.task = id;
+                p.pe_class = static_cast<PeClass>(cls);
+                p.pe = static_cast<int>(pe);
+                p.start = now;
+                p.finish = now + timing_.cost(t.type);
+                unit.busy_until = p.finish;
+                if (!thread_continues(unit.last_link, t.link))
+                    ++s.checkpoint_restores;
+                unit.last_link = t.link;
+                (cls == 0 ? s.forward_rom[pe] : s.backward_rom[pe])
+                    .push_back(id);
+                (cls == 0 ? s.forward_slots : s.backward_slots) += 1;
+                completions.emplace(p.finish, id);
+                --remaining;
+            }
+        }
+
+        if (completions.empty()) {
+            assert(remaining == 0);
+            break;
+        }
+        // Advance to the next completion and release dependents.
+        now = completions.begin()->first;
+        while (!completions.empty() && completions.begin()->first == now) {
+            const TaskId done = completions.begin()->second;
+            completions.erase(completions.begin());
+            for (TaskId dep : dependents[done])
+                if (--pending[dep] == 0)
+                    ready[pool_index(dep)].insert(dep);
+        }
+    }
+
+    for (const Placement &p : s.placements) {
+        if (p.task == kNoTask)
+            continue;
+        s.makespan = std::max(s.makespan, p.finish);
+        if (p.pe_class == PeClass::kForward)
+            s.forward_makespan = std::max(s.forward_makespan, p.finish);
+        else
+            s.backward_makespan = std::max(s.backward_makespan, p.finish);
+    }
+    return s;
+}
+
+} // namespace
+
+Schedule
+schedule_stage(const TaskGraph &graph, const std::vector<TaskType> &types,
+               std::size_t pe_count, const TaskTiming &timing,
+               const SchedulerOptions &options)
+{
+    std::vector<bool> active(graph.size(), false);
+    bool fwd = false, bwd = false;
+    for (TaskType t : types) {
+        for (TaskId id : graph.tasks_of_type(t))
+            active[id] = true;
+        (pe_class_of(t) == PeClass::kForward ? fwd : bwd) = true;
+    }
+    assert(fwd != bwd && "a stage lives in exactly one PE pool");
+    Engine engine(graph, timing, fwd ? pe_count : 0, bwd ? pe_count : 0,
+                  std::move(active), /*cross_stage_deps=*/false, options);
+    return engine.run();
+}
+
+Schedule
+schedule_pipelined(const TaskGraph &graph, std::size_t pes_fwd,
+                   std::size_t pes_bwd, const TaskTiming &timing,
+                   const SchedulerOptions &options)
+{
+    std::vector<bool> active(graph.size(), true);
+    Engine engine(graph, timing, pes_fwd, pes_bwd, std::move(active),
+                  /*cross_stage_deps=*/true, options);
+    return engine.run();
+}
+
+std::string
+validate_schedule(const TaskGraph &graph, const Schedule &s)
+{
+    std::ostringstream err;
+    for (const Placement &p : s.placements) {
+        if (p.task == kNoTask)
+            continue;
+        for (TaskId d : graph.task(p.task).deps) {
+            const Placement &dp = s.placements[d];
+            if (dp.task == kNoTask)
+                continue; // dependency outside this stage schedule
+            if (p.start < dp.finish) {
+                err << graph.task(p.task).label() << " starts at " << p.start
+                    << " before dep " << graph.task(d).label()
+                    << " finishes at " << dp.finish;
+                return err.str();
+            }
+        }
+    }
+    std::map<std::pair<int, int>, std::vector<const Placement *>> by_pe;
+    for (const Placement &p : s.placements)
+        if (p.task != kNoTask)
+            by_pe[{static_cast<int>(p.pe_class), p.pe}].push_back(&p);
+    for (auto &[pe, list] : by_pe) {
+        std::sort(list.begin(), list.end(),
+                  [](const Placement *a, const Placement *b) {
+                      return a->start < b->start;
+                  });
+        for (std::size_t k = 1; k < list.size(); ++k) {
+            if (list[k]->start < list[k - 1]->finish) {
+                err << "overlap on pe(" << pe.first << "," << pe.second
+                    << ") between " << graph.task(list[k - 1]->task).label()
+                    << " and " << graph.task(list[k]->task).label();
+                return err.str();
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace sched
+} // namespace roboshape

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Implementation of topology-derived task graphs.
+ *
+ * Granularity follows the paper's traversal analysis (Fig. 14):
+ *
+ *  - Forward-stage tasks are per link: the partial-derivative state of link
+ *    i with respect to every ancestor column rides through one work item,
+ *    so forward threads run down limbs and the number of threads that can
+ *    launch scales with the number of independent limbs (allocation by max
+ *    leaf depth covers the longest thread).
+ *
+ *  - Backward-stage tasks are per (column, link): each derivative column j
+ *    accumulates forces from the bottom of subtree(j) up to the base, so
+ *    the longest backward thread scales with max descendants.
+ */
+
+#include "sched/task_graph.h"
+
+#include <cassert>
+
+namespace roboshape {
+namespace sched {
+
+using topology::TopologyInfo;
+using topology::kBaseParent;
+
+const char *
+to_string(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::kDynamicsGradient:
+        return "dynamics-gradient";
+      case KernelKind::kMassMatrix:
+        return "mass-matrix (CRBA)";
+      case KernelKind::kForwardKinematics:
+        return "forward-kinematics";
+    }
+    return "?";
+}
+
+const std::vector<KernelKind> &
+all_kernels()
+{
+    static const std::vector<KernelKind> kAll{
+        KernelKind::kDynamicsGradient, KernelKind::kMassMatrix,
+        KernelKind::kForwardKinematics};
+    return kAll;
+}
+
+const char *
+to_string(TaskType t)
+{
+    switch (t) {
+      case TaskType::kRneaForward:
+        return "rneaFwd";
+      case TaskType::kRneaBackward:
+        return "rneaBwd";
+      case TaskType::kGradForward:
+        return "gradFwd";
+      case TaskType::kGradBackward:
+        return "gradBwd";
+    }
+    return "?";
+}
+
+std::string
+Task::label() const
+{
+    std::string s = to_string(type);
+    s += "[i=" + std::to_string(link);
+    if (column >= 0)
+        s += ",j=" + std::to_string(column);
+    s += "]";
+    return s;
+}
+
+TaskId
+TaskGraph::add_task(TaskType type, std::int32_t link, std::int32_t column)
+{
+    Task t;
+    t.id = static_cast<TaskId>(tasks_.size());
+    t.type = type;
+    t.link = link;
+    t.column = column;
+    tasks_.push_back(std::move(t));
+    by_type_[static_cast<std::size_t>(type)].push_back(tasks_.back().id);
+    return tasks_.back().id;
+}
+
+TaskGraph::TaskGraph(const TopologyInfo &topo, KernelKind kernel)
+    : kernel_(kernel), by_type_(4)
+{
+    const auto &model = topo.model();
+    n_ = model.num_links();
+    parents_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        parents_[i] = model.parent(i);
+    fwd_.assign(n_, kNoTask);
+    bwd_.assign(n_, kNoTask);
+    grad_fwd_.assign(n_ * n_, kNoTask);
+    grad_bwd_.assign(n_ * n_, kNoTask);
+
+    switch (kernel_) {
+      case KernelKind::kDynamicsGradient:
+        build_dynamics_gradient(topo);
+        break;
+      case KernelKind::kMassMatrix:
+        build_mass_matrix(topo);
+        break;
+      case KernelKind::kForwardKinematics:
+        build_forward_kinematics(topo);
+        break;
+    }
+}
+
+void
+TaskGraph::build_dynamics_gradient(const TopologyInfo &topo)
+{
+    const auto &model = topo.model();
+
+    // RNEA forward: chained parent -> child down the tree.
+    for (std::size_t i = 0; i < n_; ++i) {
+        fwd_[i] = add_task(TaskType::kRneaForward,
+                           static_cast<std::int32_t>(i), -1);
+        const int p = model.parent(i);
+        if (p != kBaseParent)
+            tasks_[fwd_[i]].deps.push_back(fwd_[p]);
+    }
+
+    // RNEA backward: needs the link's forward results and every child's
+    // accumulated force.
+    for (std::size_t ii = n_; ii-- > 0;) {
+        bwd_[ii] = add_task(TaskType::kRneaBackward,
+                            static_cast<std::int32_t>(ii), -1);
+        tasks_[bwd_[ii]].deps.push_back(fwd_[ii]);
+        for (int c : model.children(ii))
+            tasks_[bwd_[ii]].deps.push_back(bwd_[c]);
+    }
+
+    // Gradient forward: one task per link, carrying all ancestor columns.
+    // Thread structure mirrors the RNEA forward traversal.
+    std::vector<TaskId> gf(n_, kNoTask);
+    for (std::size_t i = 0; i < n_; ++i) {
+        gf[i] = add_task(TaskType::kGradForward,
+                         static_cast<std::int32_t>(i), -1);
+        tasks_[gf[i]].deps.push_back(fwd_[i]);
+        const int p = model.parent(i);
+        if (p != kBaseParent)
+            tasks_[gf[i]].deps.push_back(gf[p]);
+        // Column view: this task covers every column j on i's root path.
+        for (std::size_t j : topo.root_path(i))
+            grad_fwd_[j * n_ + i] = gf[i];
+    }
+
+    // Gradient backward: per (column j, link i) for i in subtree(j) and for
+    // strict ancestors of j, accumulating from the subtree bottom to the
+    // base.
+    for (std::size_t j = 0; j < n_; ++j) {
+        const std::size_t sub_end = j + topo.subtree_size(j);
+        // Subtree members, deepest first so dependencies already exist.
+        for (std::size_t i = sub_end; i-- > j;) {
+            const TaskId id = add_task(TaskType::kGradBackward,
+                                       static_cast<std::int32_t>(i),
+                                       static_cast<std::int32_t>(j));
+            grad_bwd_[j * n_ + i] = id;
+            tasks_[id].deps.push_back(gf[i]);
+            if (i == j)
+                tasks_[id].deps.push_back(bwd_[j]); // accumulated f_j term
+            for (int c : model.children(i)) {
+                assert(grad_bwd_[j * n_ + c] != kNoTask);
+                tasks_[id].deps.push_back(grad_bwd_[j * n_ + c]);
+            }
+        }
+        // Ancestor chain above j up to the base.
+        int i = model.parent(j);
+        std::size_t below = j;
+        while (i != kBaseParent) {
+            const TaskId id = add_task(TaskType::kGradBackward, i,
+                                       static_cast<std::int32_t>(j));
+            grad_bwd_[j * n_ + i] = id;
+            tasks_[id].deps.push_back(fwd_[i]); // needs S_i, X_i
+            tasks_[id].deps.push_back(grad_bwd_[j * n_ + below]);
+            below = static_cast<std::size_t>(i);
+            i = model.parent(i);
+        }
+    }
+}
+
+void
+TaskGraph::build_mass_matrix(const TopologyInfo &topo)
+{
+    const auto &model = topo.model();
+
+    // Setup tasks: joint transforms and subspaces are per-link and
+    // independent (xup_i needs only q_i) — full width-N parallelism.
+    for (std::size_t i = 0; i < n_; ++i)
+        fwd_[i] = add_task(TaskType::kRneaForward,
+                           static_cast<std::int32_t>(i), -1);
+
+    // Composite-inertia accumulation: leaves to base (pattern 1 backward).
+    for (std::size_t ii = n_; ii-- > 0;) {
+        bwd_[ii] = add_task(TaskType::kRneaBackward,
+                            static_cast<std::int32_t>(ii), -1);
+        tasks_[bwd_[ii]].deps.push_back(fwd_[ii]);
+        for (int c : model.children(ii))
+            tasks_[bwd_[ii]].deps.push_back(bwd_[c]);
+    }
+
+    // Root-path force walks: one thread per mass-matrix column c, walking
+    // from link c up to the base and emitting H(c, j) at every ancestor —
+    // the N^2 pattern-(2) work of CRBA.
+    for (std::size_t c = 0; c < n_; ++c) {
+        TaskId prev = kNoTask;
+        int j = static_cast<int>(c);
+        while (j != kBaseParent) {
+            const TaskId id = add_task(TaskType::kGradBackward, j,
+                                       static_cast<std::int32_t>(c));
+            grad_bwd_[c * n_ + j] = id;
+            if (prev == kNoTask)
+                tasks_[id].deps.push_back(bwd_[c]); // needs Ic_c
+            else
+                tasks_[id].deps.push_back(prev);
+            tasks_[id].deps.push_back(fwd_[j]); // needs S_j / xup
+            prev = id;
+            j = model.parent(j);
+        }
+    }
+}
+
+void
+TaskGraph::build_forward_kinematics(const TopologyInfo &topo)
+{
+    const auto &model = topo.model();
+
+    // Pose/velocity traversal: chained parent -> child (pattern 1).
+    for (std::size_t i = 0; i < n_; ++i) {
+        fwd_[i] = add_task(TaskType::kRneaForward,
+                           static_cast<std::int32_t>(i), -1);
+        const int p = model.parent(i);
+        if (p != kBaseParent)
+            tasks_[fwd_[i]].deps.push_back(fwd_[p]);
+    }
+
+    // Jacobian-column threads: per-link tasks carrying every ancestor
+    // column down the tree (identical structure to the gradient forward
+    // stage — the ancestor-closure pattern 2).
+    std::vector<TaskId> jc(n_, kNoTask);
+    for (std::size_t i = 0; i < n_; ++i) {
+        jc[i] = add_task(TaskType::kGradForward,
+                         static_cast<std::int32_t>(i), -1);
+        tasks_[jc[i]].deps.push_back(fwd_[i]);
+        const int p = model.parent(i);
+        if (p != kBaseParent)
+            tasks_[jc[i]].deps.push_back(jc[p]);
+        for (std::size_t j : topo.root_path(i))
+            grad_fwd_[j * n_ + i] = jc[i];
+    }
+}
+
+const std::vector<TaskId> &
+TaskGraph::tasks_of_type(TaskType t) const
+{
+    return by_type_[static_cast<std::size_t>(t)];
+}
+
+TaskId
+TaskGraph::grad_forward(std::size_t column, std::size_t link) const
+{
+    return grad_fwd_[column * n_ + link];
+}
+
+TaskId
+TaskGraph::grad_backward(std::size_t column, std::size_t link) const
+{
+    return grad_bwd_[column * n_ + link];
+}
+
+std::size_t
+TaskGraph::forward_initial_parallelism() const
+{
+    // Forward threads start at base children and fork at branch links.
+    std::size_t count = 0;
+    for (TaskId id : tasks_of_type(TaskType::kGradForward)) {
+        bool has_same_stage_dep = false;
+        for (TaskId d : tasks_[id].deps)
+            if (tasks_[d].type == TaskType::kGradForward)
+                has_same_stage_dep = true;
+        if (!has_same_stage_dep)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+TaskGraph::backward_initial_parallelism() const
+{
+    std::size_t count = 0;
+    for (TaskId id : tasks_of_type(TaskType::kGradBackward)) {
+        bool has_same_stage_dep = false;
+        for (TaskId d : tasks_[id].deps)
+            if (tasks_[d].type == TaskType::kGradBackward)
+                has_same_stage_dep = true;
+        if (!has_same_stage_dep)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace sched
+} // namespace roboshape

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Topology-derived task graphs (paper Sec. 4.2, pattern 1).
+ *
+ * The dynamics-gradient kernel decomposes into per-link work items along
+ * the robot's topology traversals:
+ *
+ *  - RNEA forward tasks, one per link, chained parent -> child;
+ *  - RNEA backward tasks, one per link, chained child -> parent;
+ *  - gradient forward tasks, one per (column j, link i in subtree(j)),
+ *    threaded down each subtree and seeded by the RNEA outputs;
+ *  - gradient backward tasks, one per (column j, link i in
+ *    subtree(j) or ancestors(j)), threaded back up to the base.
+ *
+ * The graphs generated here are the single source of truth for the list
+ * scheduler, the cycle simulator, and the Verilog schedule ROMs.
+ */
+
+#ifndef ROBOSHAPE_SCHED_TASK_GRAPH_H
+#define ROBOSHAPE_SCHED_TASK_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace sched {
+
+/**
+ * Kernel families the generator supports (paper Table 1).  All are built
+ * from the same two topology patterns, so they share task types, PE
+ * pools, and the scheduler:
+ *
+ *  - kDynamicsGradient: RNEA + column-wise dRNEA + blocked -M^-1 multiply
+ *    (the paper's motivating example, Algs. 1-3);
+ *  - kMassMatrix: CRBA — backward composite-inertia traversal plus
+ *    root-path force walks (one per mass-matrix column);
+ *  - kForwardKinematics: forward pose/velocity traversal plus per-link
+ *    Jacobian-column threads (the ancestor-closure pattern again).
+ */
+enum class KernelKind : std::uint8_t
+{
+    kDynamicsGradient,
+    kMassMatrix,
+    kForwardKinematics,
+};
+
+/** Human-readable kernel name. */
+const char *to_string(KernelKind k);
+
+/** All supported kernels. */
+const std::vector<KernelKind> &all_kernels();
+
+/** Which traversal a task belongs to (one accelerator stage each). */
+enum class TaskType : std::uint8_t
+{
+    kRneaForward,
+    kRneaBackward,
+    kGradForward,
+    kGradBackward,
+};
+
+/** Human-readable task-type name. */
+const char *to_string(TaskType t);
+
+/** Stable identifier of a task inside its graph. */
+using TaskId = std::int32_t;
+
+inline constexpr TaskId kNoTask = -1;
+
+/** One per-link work item. */
+struct Task
+{
+    TaskId id = kNoTask;
+    TaskType type = TaskType::kRneaForward;
+    /** Link whose quantities this task computes. */
+    std::int32_t link = 0;
+    /** Derivative column j for gradient tasks; -1 for RNEA tasks. */
+    std::int32_t column = -1;
+    /** Prerequisite tasks (same or earlier stages). */
+    std::vector<TaskId> deps;
+
+    /** Short label like "dFwd[j=3,i=5]" for reports and codegen. */
+    std::string label() const;
+};
+
+/**
+ * Dependency graph over all four traversal stages of one dynamics-gradient
+ * evaluation.
+ */
+class TaskGraph
+{
+  public:
+    /** Builds the graph of @p kernel for @p topo's robot. */
+    explicit TaskGraph(const topology::TopologyInfo &topo,
+                       KernelKind kernel = KernelKind::kDynamicsGradient);
+
+    /** Which kernel this graph computes. */
+    KernelKind kernel() const { return kernel_; }
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    const Task &task(TaskId id) const { return tasks_[id]; }
+    std::size_t size() const { return tasks_.size(); }
+
+    /** Ids of all tasks of one type, in creation order. */
+    const std::vector<TaskId> &tasks_of_type(TaskType t) const;
+
+    /** Id of the RNEA forward/backward task of a link. */
+    TaskId rnea_forward(std::size_t link) const { return fwd_[link]; }
+    TaskId rnea_backward(std::size_t link) const { return bwd_[link]; }
+
+    /** Id of a gradient task, or kNoTask where none exists. */
+    TaskId grad_forward(std::size_t column, std::size_t link) const;
+    TaskId grad_backward(std::size_t column, std::size_t link) const;
+
+    /**
+     * Number of independent threads the forward gradient stage can launch
+     * immediately (tasks with no same-stage predecessor).  Paper Fig. 14:
+     * scales with the number of independent limbs.
+     */
+    std::size_t forward_initial_parallelism() const;
+
+    /** Same for the backward gradient stage: scales with leaf columns. */
+    std::size_t backward_initial_parallelism() const;
+
+    /** Parent link index per link (kBaseParent for limb roots); retained so
+     *  schedulers can reason about tree adjacency without the model. */
+    const std::vector<int> &parents() const { return parents_; }
+
+  private:
+    TaskId add_task(TaskType type, std::int32_t link, std::int32_t column);
+
+    void build_dynamics_gradient(const topology::TopologyInfo &topo);
+    void build_mass_matrix(const topology::TopologyInfo &topo);
+    void build_forward_kinematics(const topology::TopologyInfo &topo);
+
+    KernelKind kernel_ = KernelKind::kDynamicsGradient;
+    std::size_t n_ = 0;
+    std::vector<int> parents_;
+    std::vector<Task> tasks_;
+    std::vector<TaskId> fwd_, bwd_;         // per link
+    std::vector<TaskId> grad_fwd_, grad_bwd_; // n x n, kNoTask-filled
+    std::vector<std::vector<TaskId>> by_type_;
+};
+
+} // namespace sched
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SCHED_TASK_GRAPH_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of ASCII schedule rendering.
+ */
+
+#include "sched/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace roboshape {
+namespace sched {
+
+std::string
+render_timeline(const TaskGraph &graph, const Schedule &schedule,
+                std::size_t max_width, bool with_legend)
+{
+    const std::int64_t makespan = std::max<std::int64_t>(schedule.makespan,
+                                                         1);
+    const std::int64_t bucket =
+        std::max<std::int64_t>(1, (makespan + static_cast<std::int64_t>(
+                                                  max_width) -
+                                   1) /
+                                      static_cast<std::int64_t>(max_width));
+    const std::size_t width = static_cast<std::size_t>(
+        (makespan + bucket - 1) / bucket);
+
+    // Rows keyed by (class, pe).
+    const std::size_t fwd_pes = schedule.forward_rom.size();
+    const std::size_t bwd_pes = schedule.backward_rom.size();
+    std::vector<std::string> rows(fwd_pes + bwd_pes,
+                                  std::string(width, '.'));
+
+    for (const Placement &p : schedule.placements) {
+        if (p.task == kNoTask)
+            continue;
+        const std::size_t row =
+            p.pe_class == PeClass::kForward
+                ? static_cast<std::size_t>(p.pe)
+                : fwd_pes + static_cast<std::size_t>(p.pe);
+        const char glyph = "0123456789abcdef"[graph.task(p.task).link % 16];
+        for (std::int64_t c = p.start; c < p.finish; ++c) {
+            const std::size_t col = static_cast<std::size_t>(c / bucket);
+            if (col < width)
+                rows[row][col] = glyph;
+        }
+    }
+
+    std::ostringstream os;
+    os << "cycles 0.." << makespan << " (" << bucket << " cyc/char)\n";
+    for (std::size_t r = 0; r < fwd_pes; ++r)
+        os << "fwd" << r << " |" << rows[r] << "|\n";
+    for (std::size_t r = 0; r < bwd_pes; ++r)
+        os << "bwd" << r << " |" << rows[fwd_pes + r] << "|\n";
+
+    if (with_legend) {
+        os << "starts:";
+        std::vector<const Placement *> ordered;
+        for (const Placement &p : schedule.placements)
+            if (p.task != kNoTask)
+                ordered.push_back(&p);
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const Placement *a, const Placement *b) {
+                      return a->start < b->start;
+                  });
+        for (const Placement *p : ordered)
+            os << " " << graph.task(p->task).label() << "@" << p->start;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sched
+} // namespace roboshape

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ASCII timeline rendering of schedules.
+ *
+ * Renders a schedule as a per-PE Gantt chart (one row per PE, one column
+ * per cycle bucket) — the textual equivalent of the schedule diagrams in
+ * paper Fig. 7b.  Used by the examples, the debug workflow, and tests.
+ */
+
+#ifndef ROBOSHAPE_SCHED_TIMELINE_H
+#define ROBOSHAPE_SCHED_TIMELINE_H
+
+#include <string>
+
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+
+namespace roboshape {
+namespace sched {
+
+/**
+ * Renders @p schedule as text.
+ *
+ * Each PE row shows one character per bucket of cycles: '.' idle, or the
+ * last hex digit of the link whose task occupies the bucket.  A legend of
+ * task starts follows when @p with_legend is set.
+ *
+ * @param max_width maximum characters per row; cycles are bucketed to fit.
+ */
+std::string render_timeline(const TaskGraph &graph, const Schedule &schedule,
+                            std::size_t max_width = 72,
+                            bool with_legend = false);
+
+} // namespace sched
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SCHED_TIMELINE_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Implementation of rigid-body spatial inertia.
+ */
+
+#include "spatial/spatial_inertia.h"
+
+#include "spatial/spatial_transform.h"
+
+namespace roboshape {
+namespace spatial {
+
+SpatialInertia
+SpatialInertia::from_mass_com_inertia(double mass, const Vec3 &com,
+                                      const Mat3 &inertia_at_com)
+{
+    const Mat3 cx = Mat3::skew(com);
+    // Parallel-axis shift of the rotational inertia to the frame origin:
+    // I_bar = I_c + m * cx * cx^T  (cx^T == -cx).
+    const Mat3 ibar = inertia_at_com + (cx * cx.transposed()) * mass;
+    return SpatialInertia(mass, com * mass, ibar);
+}
+
+SpatialVector
+SpatialInertia::apply(const SpatialVector &v) const
+{
+    return {ibar_ * v.ang + h_.cross(v.lin), v.lin * mass_ - h_.cross(v.ang)};
+}
+
+SpatialMatrix
+SpatialInertia::to_matrix() const
+{
+    const Mat3 hx = Mat3::skew(h_);
+    return SpatialMatrix::from_blocks(ibar_, hx, hx.transposed(),
+                                      Mat3::identity() * mass_);
+}
+
+SpatialInertia
+SpatialInertia::from_matrix(const SpatialMatrix &m)
+{
+    const Mat3 hx = m.quadrant(0, 1);
+    const Vec3 h{hx(2, 1), hx(0, 2), hx(1, 0)};
+    return SpatialInertia(m(3, 3), h, m.quadrant(0, 0));
+}
+
+SpatialInertia
+SpatialInertia::expressed_in_parent(const SpatialTransform &x_parent_to_child)
+    const
+{
+    const SpatialMatrix x = x_parent_to_child.to_matrix();
+    return from_matrix(x.transposed() * to_matrix() * x);
+}
+
+} // namespace spatial
+} // namespace roboshape

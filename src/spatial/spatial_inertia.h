@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Rigid-body spatial inertia.
+ *
+ * Stored in Featherstone's compact form (mass m, first moment h = m*c,
+ * rotational inertia I about the link-frame origin); maps spatial motion to
+ * spatial force: f = I_rb * v.
+ */
+
+#ifndef ROBOSHAPE_SPATIAL_SPATIAL_INERTIA_H
+#define ROBOSHAPE_SPATIAL_SPATIAL_INERTIA_H
+
+#include "spatial/spatial_matrix.h"
+#include "spatial/spatial_vector.h"
+#include "spatial/vec3.h"
+
+namespace roboshape {
+namespace spatial {
+
+class SpatialInertia
+{
+  public:
+    /** Zero inertia (massless body). */
+    SpatialInertia() = default;
+
+    /**
+     * @param mass body mass.
+     * @param h    first mass moment m * com, in link coordinates.
+     * @param ibar rotational inertia about the link-frame origin.
+     */
+    SpatialInertia(double mass, const Vec3 &h, const Mat3 &ibar)
+        : mass_(mass), h_(h), ibar_(ibar)
+    {
+    }
+
+    /**
+     * Builds from mass, center-of-mass offset, and rotational inertia
+     * about the center of mass (the URDF convention).
+     */
+    static SpatialInertia from_mass_com_inertia(double mass, const Vec3 &com,
+                                                const Mat3 &inertia_at_com);
+
+    double mass() const { return mass_; }
+    const Vec3 &h() const { return h_; }
+    const Mat3 &ibar() const { return ibar_; }
+
+    /** f = I_rb * v. */
+    SpatialVector apply(const SpatialVector &v) const;
+
+    SpatialInertia operator+(const SpatialInertia &o) const
+    {
+        return {mass_ + o.mass_, h_ + o.h_, ibar_ + o.ibar_};
+    }
+
+    /** Dense 6x6 form [[I, hx], [hx^T, m*1]]. */
+    SpatialMatrix to_matrix() const;
+
+    /**
+     * Extracts the compact form from a dense rigid-body inertia matrix.
+     * The input must have rigid-body structure (symmetric, scalar mass
+     * block); only the structurally determined entries are read.
+     */
+    static SpatialInertia from_matrix(const SpatialMatrix &m);
+
+    /**
+     * Re-expresses this inertia (given in child coordinates) in the parent
+     * frame: I_parent = X^T I_child X, where @p x_parent_to_child is the
+     * motion transform from parent to child.  This is the composite-inertia
+     * propagation step of CRBA and of fixed-joint folding.
+     */
+    SpatialInertia
+    expressed_in_parent(const class SpatialTransform &x_parent_to_child)
+        const;
+
+  private:
+    double mass_ = 0.0;
+    Vec3 h_;
+    Mat3 ibar_{};
+};
+
+} // namespace spatial
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SPATIAL_SPATIAL_INERTIA_H

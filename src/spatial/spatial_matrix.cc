@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Implementation of dense 6x6 spatial matrices.
+ */
+
+#include "spatial/spatial_matrix.h"
+
+#include <cmath>
+
+namespace roboshape {
+namespace spatial {
+
+SpatialMatrix
+SpatialMatrix::identity()
+{
+    SpatialMatrix e;
+    for (std::size_t i = 0; i < 6; ++i)
+        e(i, i) = 1.0;
+    return e;
+}
+
+SpatialMatrix
+SpatialMatrix::from_blocks(const Mat3 &tl, const Mat3 &tr, const Mat3 &bl,
+                           const Mat3 &br)
+{
+    SpatialMatrix out;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            out(r, c) = tl(r, c);
+            out(r, c + 3) = tr(r, c);
+            out(r + 3, c) = bl(r, c);
+            out(r + 3, c + 3) = br(r, c);
+        }
+    }
+    return out;
+}
+
+SpatialMatrix
+SpatialMatrix::operator+(const SpatialMatrix &o) const
+{
+    SpatialMatrix out;
+    for (std::size_t i = 0; i < 36; ++i)
+        out.m_[i] = m_[i] + o.m_[i];
+    return out;
+}
+
+SpatialMatrix
+SpatialMatrix::operator-(const SpatialMatrix &o) const
+{
+    SpatialMatrix out;
+    for (std::size_t i = 0; i < 36; ++i)
+        out.m_[i] = m_[i] - o.m_[i];
+    return out;
+}
+
+SpatialMatrix
+SpatialMatrix::operator*(const SpatialMatrix &o) const
+{
+    SpatialMatrix out;
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t k = 0; k < 6; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < 6; ++c)
+                out(r, c) += a * o(k, c);
+        }
+    return out;
+}
+
+SpatialMatrix
+SpatialMatrix::operator*(double s) const
+{
+    SpatialMatrix out;
+    for (std::size_t i = 0; i < 36; ++i)
+        out.m_[i] = m_[i] * s;
+    return out;
+}
+
+SpatialMatrix &
+SpatialMatrix::operator+=(const SpatialMatrix &o)
+{
+    for (std::size_t i = 0; i < 36; ++i)
+        m_[i] += o.m_[i];
+    return *this;
+}
+
+SpatialMatrix &
+SpatialMatrix::operator-=(const SpatialMatrix &o)
+{
+    for (std::size_t i = 0; i < 36; ++i)
+        m_[i] -= o.m_[i];
+    return *this;
+}
+
+SpatialVector
+SpatialMatrix::operator*(const SpatialVector &v) const
+{
+    SpatialVector out;
+    const std::array<double, 6> in{v.ang.x, v.ang.y, v.ang.z,
+                                   v.lin.x, v.lin.y, v.lin.z};
+    std::array<double, 6> res{};
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            res[r] += (*this)(r, c) * in[c];
+    out.ang = {res[0], res[1], res[2]};
+    out.lin = {res[3], res[4], res[5]};
+    return out;
+}
+
+SpatialMatrix
+SpatialMatrix::transposed() const
+{
+    SpatialMatrix out;
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+double
+SpatialMatrix::max_abs() const
+{
+    double m = 0.0;
+    for (double x : m_)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+Mat3
+SpatialMatrix::quadrant(std::size_t br0, std::size_t bc0) const
+{
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            out(r, c) = (*this)(br0 * 3 + r, bc0 * 3 + c);
+    return out;
+}
+
+} // namespace spatial
+} // namespace roboshape

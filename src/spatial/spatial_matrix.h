@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Dense 6x6 spatial matrices.
+ *
+ * Used for composite rigid-body inertias (CRBA), articulated-body inertias
+ * (ABA), and as the validation form of spatial transforms.  The per-link
+ * robomorphic processing elements of the accelerator operate on exactly
+ * these 6x6 quantities (paper Sec. 3.3).
+ */
+
+#ifndef ROBOSHAPE_SPATIAL_SPATIAL_MATRIX_H
+#define ROBOSHAPE_SPATIAL_SPATIAL_MATRIX_H
+
+#include <array>
+#include <cstddef>
+
+#include "spatial/spatial_vector.h"
+#include "spatial/vec3.h"
+
+namespace roboshape {
+namespace spatial {
+
+/** Row-major 6x6 matrix acting on spatial vectors. */
+class SpatialMatrix
+{
+  public:
+    SpatialMatrix() { m_.fill(0.0); }
+
+    static SpatialMatrix identity();
+
+    /** Builds from 3x3 quadrants [[tl, tr], [bl, br]]. */
+    static SpatialMatrix from_blocks(const Mat3 &tl, const Mat3 &tr,
+                                     const Mat3 &bl, const Mat3 &br);
+
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return m_[r * 6 + c];
+    }
+    double &operator()(std::size_t r, std::size_t c) { return m_[r * 6 + c]; }
+
+    SpatialMatrix operator+(const SpatialMatrix &o) const;
+    SpatialMatrix operator-(const SpatialMatrix &o) const;
+    SpatialMatrix operator*(const SpatialMatrix &o) const;
+    SpatialMatrix operator*(double s) const;
+    SpatialMatrix &operator+=(const SpatialMatrix &o);
+    SpatialMatrix &operator-=(const SpatialMatrix &o);
+
+    SpatialVector operator*(const SpatialVector &v) const;
+
+    SpatialMatrix transposed() const;
+
+    /** Largest absolute element. */
+    double max_abs() const;
+
+    /** Extracts a 3x3 quadrant; @p br0 and @p bc0 are 0 or 1. */
+    Mat3 quadrant(std::size_t br0, std::size_t bc0) const;
+
+  private:
+    std::array<double, 36> m_;
+};
+
+} // namespace spatial
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SPATIAL_SPATIAL_MATRIX_H

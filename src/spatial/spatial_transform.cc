@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of Plücker coordinate transforms.
+ */
+
+#include "spatial/spatial_transform.h"
+
+namespace roboshape {
+namespace spatial {
+
+SpatialTransform
+SpatialTransform::rotation(const Vec3 &a, double q)
+{
+    return SpatialTransform(Mat3::coordinate_rotation(a, q), Vec3::zero());
+}
+
+SpatialTransform
+SpatialTransform::translation(const Vec3 &r)
+{
+    return SpatialTransform(Mat3::identity(), r);
+}
+
+SpatialVector
+SpatialTransform::apply(const SpatialVector &v) const
+{
+    // [E w; E (v - r x w)]
+    return {e_ * v.ang, e_ * (v.lin - r_.cross(v.ang))};
+}
+
+SpatialVector
+SpatialTransform::apply_inverse(const SpatialVector &v) const
+{
+    // [E^T w; E^T v + r x (E^T w)]
+    const Vec3 w = e_.transpose_mul(v.ang);
+    return {w, e_.transpose_mul(v.lin) + r_.cross(w)};
+}
+
+SpatialVector
+SpatialTransform::apply_to_force(const SpatialVector &f) const
+{
+    // [E (n - r x f); E f]
+    return {e_ * (f.ang - r_.cross(f.lin)), e_ * f.lin};
+}
+
+SpatialVector
+SpatialTransform::apply_transpose_to_force(const SpatialVector &f) const
+{
+    // [E^T n + r x (E^T f); E^T f]
+    const Vec3 fl = e_.transpose_mul(f.lin);
+    return {e_.transpose_mul(f.ang) + r_.cross(fl), fl};
+}
+
+SpatialTransform
+SpatialTransform::operator*(const SpatialTransform &other) const
+{
+    // this: B->C with (E2, r2 in B); other: A->B with (E1, r1 in A).
+    // Composite A->C: E = E2 E1, r = r1 + E1^T r2.
+    return SpatialTransform(e_ * other.e_,
+                            other.r_ + other.e_.transpose_mul(r_));
+}
+
+SpatialTransform
+SpatialTransform::inverse() const
+{
+    return SpatialTransform(e_.transposed(), -(e_ * r_));
+}
+
+SpatialMatrix
+SpatialTransform::to_matrix() const
+{
+    const Mat3 erx = e_ * Mat3::skew(r_);
+    return SpatialMatrix::from_blocks(e_, Mat3::zero(), erx * -1.0, e_);
+}
+
+SpatialMatrix
+SpatialTransform::to_force_matrix() const
+{
+    const Mat3 erx = e_ * Mat3::skew(r_);
+    return SpatialMatrix::from_blocks(e_, erx * -1.0, Mat3::zero(), e_);
+}
+
+} // namespace spatial
+} // namespace roboshape

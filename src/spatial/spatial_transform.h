@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Plücker coordinate transforms between link frames.
+ *
+ * A SpatialTransform X carries motion vectors from frame A into frame B,
+ * where B is displaced by @c r (expressed in A) and rotated by @c E
+ * (E maps A coordinates into B coordinates):
+ *
+ *     X = [  E        0 ]
+ *         [ -E rx     E ]
+ *
+ * Force vectors transform by the dual X* = X^-T.  The compact (E, r) storage
+ * avoids materializing 6x6 matrices on the hot dynamics paths; explicit
+ * matrix conversions exist for validation.
+ */
+
+#ifndef ROBOSHAPE_SPATIAL_SPATIAL_TRANSFORM_H
+#define ROBOSHAPE_SPATIAL_SPATIAL_TRANSFORM_H
+
+#include "spatial/spatial_matrix.h"
+#include "spatial/spatial_vector.h"
+#include "spatial/vec3.h"
+
+namespace roboshape {
+namespace spatial {
+
+class SpatialTransform
+{
+  public:
+    /** Identity transform. */
+    SpatialTransform() : e_(Mat3::identity()) {}
+
+    /**
+     * @param e rotation taking A coordinates to B coordinates.
+     * @param r position of B's origin expressed in A coordinates.
+     */
+    SpatialTransform(const Mat3 &e, const Vec3 &r) : e_(e), r_(r) {}
+
+    /** Pure rotation of angle @p q about unit axis @p a. */
+    static SpatialTransform rotation(const Vec3 &a, double q);
+
+    /** Pure translation by @p r. */
+    static SpatialTransform translation(const Vec3 &r);
+
+    const Mat3 &rotation_matrix() const { return e_; }
+    const Vec3 &translation_vector() const { return r_; }
+
+    /** Motion vector transform: v_B = X v_A. */
+    SpatialVector apply(const SpatialVector &v) const;
+
+    /** Inverse motion transform: v_A = X^-1 v_B. */
+    SpatialVector apply_inverse(const SpatialVector &v) const;
+
+    /** Force transform: f_B = X* f_A. */
+    SpatialVector apply_to_force(const SpatialVector &f) const;
+
+    /**
+     * Transpose applied to a force: f_A = X^T f_B.  This is the backward
+     * (child-to-parent) force propagation step of RNEA.
+     */
+    SpatialVector apply_transpose_to_force(const SpatialVector &f) const;
+
+    /**
+     * Composition: (this * other) first applies @p other, then this.
+     * If other: A->B and this: B->C, the result maps A->C.
+     */
+    SpatialTransform operator*(const SpatialTransform &other) const;
+
+    /** Inverse transform (B->A). */
+    SpatialTransform inverse() const;
+
+    /** Dense 6x6 motion-transform matrix (for tests and codegen). */
+    SpatialMatrix to_matrix() const;
+
+    /** Dense 6x6 force-transform matrix X* (for tests). */
+    SpatialMatrix to_force_matrix() const;
+
+  private:
+    Mat3 e_; ///< Rotation: A coordinates -> B coordinates.
+    Vec3 r_; ///< Origin of B expressed in A coordinates.
+};
+
+} // namespace spatial
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SPATIAL_SPATIAL_TRANSFORM_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Spatial (6-D) motion/force vectors and cross-product operators.
+ *
+ * A spatial motion vector stacks [angular; linear] components; a spatial
+ * force vector stacks [moment; linear force].  The motion cross product
+ * (crm) and force cross product (crf) implement Featherstone's v x and
+ * v x* operators, the workhorses of the RNEA recursion (paper Alg. 2).
+ */
+
+#ifndef ROBOSHAPE_SPATIAL_SPATIAL_VECTOR_H
+#define ROBOSHAPE_SPATIAL_SPATIAL_VECTOR_H
+
+#include "spatial/vec3.h"
+
+namespace roboshape {
+namespace spatial {
+
+/** 6-D spatial vector: [angular (or moment); linear]. */
+struct SpatialVector
+{
+    Vec3 ang;
+    Vec3 lin;
+
+    constexpr SpatialVector() = default;
+    constexpr SpatialVector(const Vec3 &a, const Vec3 &l) : ang(a), lin(l) {}
+
+    static constexpr SpatialVector zero() { return {}; }
+
+    SpatialVector operator+(const SpatialVector &o) const
+    {
+        return {ang + o.ang, lin + o.lin};
+    }
+    SpatialVector operator-(const SpatialVector &o) const
+    {
+        return {ang - o.ang, lin - o.lin};
+    }
+    SpatialVector operator-() const { return {-ang, -lin}; }
+    SpatialVector operator*(double s) const { return {ang * s, lin * s}; }
+    SpatialVector &operator+=(const SpatialVector &o)
+    {
+        ang += o.ang;
+        lin += o.lin;
+        return *this;
+    }
+    SpatialVector &operator-=(const SpatialVector &o)
+    {
+        ang -= o.ang;
+        lin -= o.lin;
+        return *this;
+    }
+
+    /** Scalar (dual) product: motion . force or force . motion. */
+    double dot(const SpatialVector &o) const
+    {
+        return ang.dot(o.ang) + lin.dot(o.lin);
+    }
+
+    /** Largest absolute component. */
+    double
+    max_abs() const
+    {
+        double m = 0.0;
+        for (double c : {ang.x, ang.y, ang.z, lin.x, lin.y, lin.z})
+            m = std::max(m, std::abs(c));
+        return m;
+    }
+
+    double operator[](std::size_t i) const
+    {
+        return i < 3 ? ang[i] : lin[i - 3];
+    }
+};
+
+inline SpatialVector operator*(double s, const SpatialVector &v)
+{
+    return v * s;
+}
+
+/**
+ * Motion cross product v x m (crm): the rate of change of motion vector
+ * @p m when carried along motion @p v.
+ */
+inline SpatialVector
+cross_motion(const SpatialVector &v, const SpatialVector &m)
+{
+    return {v.ang.cross(m.ang), v.ang.cross(m.lin) + v.lin.cross(m.ang)};
+}
+
+/**
+ * Force cross product v x* f (crf): the rate of change of force vector
+ * @p f when carried along motion @p v.  crf(v) == -crm(v)^T.
+ */
+inline SpatialVector
+cross_force(const SpatialVector &v, const SpatialVector &f)
+{
+    return {v.ang.cross(f.ang) + v.lin.cross(f.lin), v.ang.cross(f.lin)};
+}
+
+} // namespace spatial
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SPATIAL_SPATIAL_VECTOR_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Implementation of 3-D primitives.
+ */
+
+#include "spatial/vec3.h"
+
+namespace roboshape {
+namespace spatial {
+
+Mat3
+Mat3::coordinate_rotation(const Vec3 &a, double q)
+{
+    // Rodrigues rotation of vectors: R = I + sin(q) ax + (1-cos(q)) ax^2,
+    // then transpose to get the coordinate transform E = R^T.
+    const Mat3 ax = skew(a);
+    const Mat3 ax2 = ax * ax;
+    Mat3 r = identity();
+    r += ax * std::sin(q);
+    r += ax2 * (1.0 - std::cos(q));
+    return r.transposed();
+}
+
+Mat3
+Mat3::operator+(const Mat3 &o) const
+{
+    Mat3 out;
+    for (std::size_t i = 0; i < 9; ++i)
+        out.m[i] = m[i] + o.m[i];
+    return out;
+}
+
+Mat3
+Mat3::operator-(const Mat3 &o) const
+{
+    Mat3 out;
+    for (std::size_t i = 0; i < 9; ++i)
+        out.m[i] = m[i] - o.m[i];
+    return out;
+}
+
+Mat3
+Mat3::operator*(double s) const
+{
+    Mat3 out;
+    for (std::size_t i = 0; i < 9; ++i)
+        out.m[i] = m[i] * s;
+    return out;
+}
+
+Mat3
+Mat3::operator*(const Mat3 &o) const
+{
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            out(r, c) = (*this)(r, 0) * o(0, c) + (*this)(r, 1) * o(1, c) +
+                        (*this)(r, 2) * o(2, c);
+    return out;
+}
+
+Vec3
+Mat3::operator*(const Vec3 &v) const
+{
+    return {(*this)(0, 0) * v.x + (*this)(0, 1) * v.y + (*this)(0, 2) * v.z,
+            (*this)(1, 0) * v.x + (*this)(1, 1) * v.y + (*this)(1, 2) * v.z,
+            (*this)(2, 0) * v.x + (*this)(2, 1) * v.y + (*this)(2, 2) * v.z};
+}
+
+Mat3 &
+Mat3::operator+=(const Mat3 &o)
+{
+    for (std::size_t i = 0; i < 9; ++i)
+        m[i] += o.m[i];
+    return *this;
+}
+
+Mat3
+Mat3::transposed() const
+{
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Vec3
+Mat3::transpose_mul(const Vec3 &v) const
+{
+    return {(*this)(0, 0) * v.x + (*this)(1, 0) * v.y + (*this)(2, 0) * v.z,
+            (*this)(0, 1) * v.x + (*this)(1, 1) * v.y + (*this)(2, 1) * v.z,
+            (*this)(0, 2) * v.x + (*this)(1, 2) * v.y + (*this)(2, 2) * v.z};
+}
+
+} // namespace spatial
+} // namespace roboshape

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fixed-size 3-D vector and 3x3 matrix primitives.
+ *
+ * These are the scalar building blocks of the spatial (6-D) algebra in
+ * Featherstone's formulation (Rigid Body Dynamics Algorithms, 2008), which
+ * underpins every dynamics kernel in the library.
+ */
+
+#ifndef ROBOSHAPE_SPATIAL_VEC3_H
+#define ROBOSHAPE_SPATIAL_VEC3_H
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace roboshape {
+namespace spatial {
+
+/** 3-D vector. */
+struct Vec3
+{
+    double x = 0.0, y = 0.0, z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    static constexpr Vec3 zero() { return {}; }
+    static constexpr Vec3 unit_x() { return {1.0, 0.0, 0.0}; }
+    static constexpr Vec3 unit_y() { return {0.0, 1.0, 0.0}; }
+    static constexpr Vec3 unit_z() { return {0.0, 0.0, 1.0}; }
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    Vec3 &operator-=(const Vec3 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+
+    constexpr double dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Cross product this x o. */
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    /** @return this / |this|; the caller guarantees a nonzero norm. */
+    Vec3 normalized() const
+    {
+        const double n = norm();
+        return {x / n, y / n, z / n};
+    }
+
+    double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3 &v) { return v * s; }
+
+/** Row-major 3x3 matrix. */
+struct Mat3
+{
+    std::array<double, 9> m{};
+
+    constexpr double operator()(std::size_t r, std::size_t c) const
+    {
+        return m[r * 3 + c];
+    }
+    constexpr double &operator()(std::size_t r, std::size_t c)
+    {
+        return m[r * 3 + c];
+    }
+
+    static constexpr Mat3 zero() { return {}; }
+
+    static constexpr Mat3
+    identity()
+    {
+        Mat3 e;
+        e(0, 0) = e(1, 1) = e(2, 2) = 1.0;
+        return e;
+    }
+
+    /** Skew-symmetric cross-product matrix: skew(v) * u == v x u. */
+    static constexpr Mat3
+    skew(const Vec3 &v)
+    {
+        Mat3 s;
+        s(0, 1) = -v.z;
+        s(0, 2) = v.y;
+        s(1, 0) = v.z;
+        s(1, 2) = -v.x;
+        s(2, 0) = -v.y;
+        s(2, 1) = v.x;
+        return s;
+    }
+
+    /**
+     * Coordinate-transform rotation for a rotation of angle @p q about unit
+     * axis @p a (Rodrigues, transposed to Featherstone's convention: the
+     * returned E maps parent coordinates into the rotated child frame).
+     */
+    static Mat3 coordinate_rotation(const Vec3 &a, double q);
+
+    Mat3 operator+(const Mat3 &o) const;
+    Mat3 operator-(const Mat3 &o) const;
+    Mat3 operator*(double s) const;
+    Mat3 operator*(const Mat3 &o) const;
+    Vec3 operator*(const Vec3 &v) const;
+    Mat3 &operator+=(const Mat3 &o);
+
+    Mat3 transposed() const;
+
+    /** Applies the transpose without materializing it: E^T * v. */
+    Vec3 transpose_mul(const Vec3 &v) const;
+};
+
+} // namespace spatial
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SPATIAL_VEC3_H

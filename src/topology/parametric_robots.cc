@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Implementation of parametric robot generators.
+ */
+
+#include "topology/parametric_robots.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace roboshape {
+namespace topology {
+
+namespace {
+
+using spatial::JointModel;
+using spatial::JointType;
+using spatial::Mat3;
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+using spatial::Vec3;
+
+/** Rod segment with axis alternating by depth for nondegenerate dynamics. */
+void
+add_segment(RobotModelBuilder &builder, const std::string &name,
+            const std::string &parent, std::size_t depth, double length,
+            double mass, const Vec3 &offset)
+{
+    const Vec3 axis = (depth % 2 == 0) ? Vec3::unit_z() : Vec3::unit_y();
+    Mat3 ic;
+    const double r = length * 0.2 + 1e-3;
+    ic(0, 0) = ic(1, 1) = mass * (3 * r * r + length * length) / 12.0;
+    ic(2, 2) = mass * r * r / 2.0;
+    builder.add_link(name, parent, JointModel(JointType::kRevolute, axis),
+                     SpatialTransform::translation(offset),
+                     SpatialInertia::from_mass_com_inertia(
+                         mass, {0.0, 0.0, length * 0.5}, ic));
+}
+
+void
+add_chain(RobotModelBuilder &builder, const std::string &prefix,
+          const std::string &attach_to, const Vec3 &first_offset,
+          std::size_t links, double total_length, double total_mass)
+{
+    assert(links > 0);
+    const double seg_len = total_length / static_cast<double>(links);
+    const double seg_mass = total_mass / static_cast<double>(links);
+    std::string parent = attach_to;
+    for (std::size_t i = 0; i < links; ++i) {
+        const std::string name = prefix + "_" + std::to_string(i + 1);
+        const Vec3 offset =
+            i == 0 ? first_offset : Vec3{0.0, 0.0, seg_len};
+        add_segment(builder, name, parent, i, seg_len, seg_mass, offset);
+        parent = name;
+    }
+}
+
+} // namespace
+
+RobotModel
+make_serial_chain(std::size_t links, const std::string &name)
+{
+    RobotModelBuilder builder(name + std::to_string(links));
+    add_chain(builder, "seg", "", {0.0, 0.0, 0.1}, links, 1.5, 12.0);
+    return builder.finalize();
+}
+
+RobotModel
+make_star(std::size_t limbs, std::size_t links_per_limb,
+          const std::string &name)
+{
+    assert(limbs > 0);
+    RobotModelBuilder builder(name + std::to_string(limbs) + "x" +
+                              std::to_string(links_per_limb));
+    for (std::size_t l = 0; l < limbs; ++l) {
+        const double angle =
+            2.0 * 3.14159265358979 * static_cast<double>(l) /
+            static_cast<double>(limbs);
+        const Vec3 hip{0.3 * std::cos(angle), 0.3 * std::sin(angle), 0.0};
+        add_chain(builder, "limb" + std::to_string(l + 1), "", hip,
+                  links_per_limb, 0.8, 6.0);
+    }
+    return builder.finalize();
+}
+
+RobotModel
+make_branching_tree(std::size_t depth, std::size_t branching,
+                    const std::string &name)
+{
+    assert(depth > 0 && branching > 0);
+    RobotModelBuilder builder(name + std::to_string(depth) + "b" +
+                              std::to_string(branching));
+    // Breadth-first construction; names encode the path for uniqueness.
+    struct Node
+    {
+        std::string name;
+        std::size_t depth;
+    };
+    std::vector<Node> frontier{{"", 0}};
+    int counter = 0;
+    while (!frontier.empty()) {
+        std::vector<Node> next;
+        for (const Node &node : frontier) {
+            if (node.depth == depth)
+                continue;
+            for (std::size_t b = 0; b < branching; ++b) {
+                const std::string child =
+                    "n" + std::to_string(++counter);
+                const double spread =
+                    0.05 * (static_cast<double>(b) -
+                            static_cast<double>(branching - 1) / 2.0);
+                add_segment(builder, child, node.name, node.depth, 0.2,
+                            0.5, {spread, 0.0, node.name.empty() ? 0.1
+                                                                 : 0.2});
+                next.push_back({child, node.depth + 1});
+            }
+        }
+        frontier = std::move(next);
+    }
+    return builder.finalize();
+}
+
+RobotModel
+make_gantry(std::size_t wrist_links, const std::string &name)
+{
+    RobotModelBuilder builder(name + std::to_string(3 + wrist_links));
+    const Vec3 axes[3] = {Vec3::unit_x(), Vec3::unit_y(), Vec3::unit_z()};
+    const char *rail_names[3] = {"rail_x", "rail_y", "rail_z"};
+    std::string parent;
+    for (int r = 0; r < 3; ++r) {
+        Mat3 ic;
+        ic(0, 0) = ic(1, 1) = ic(2, 2) = 0.2;
+        builder.add_link(rail_names[r], parent,
+                         JointModel(JointType::kPrismatic, axes[r]),
+                         SpatialTransform::translation(
+                             {0.0, 0.0, r == 0 ? 0.5 : 0.0}),
+                         SpatialInertia::from_mass_com_inertia(
+                             8.0 - 2.0 * r, {0.0, 0.0, 0.05}, ic));
+        parent = rail_names[r];
+    }
+    add_chain(builder, "wrist", parent, {0.0, 0.0, 0.1}, wrist_links, 0.4,
+              2.0);
+    return builder.finalize();
+}
+
+} // namespace topology
+} // namespace roboshape

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parametric robot generators.
+ *
+ * The paper's Sec. 3.3 points at robots with 100s-1000s of links —
+ * hyper-redundant manipulators, continuum robots, and rigid-body
+ * approximations of soft robots [19, 47] — as the scaling frontier for
+ * topology-based accelerators.  These generators produce such topologies
+ * on demand for scaling studies and property tests:
+ *
+ *  - serial chains of arbitrary depth (continuum/snake approximations);
+ *  - multi-limb stars (walker-like breadth);
+ *  - regular branching trees (tentacle bundles, the worst case for
+ *    branch checkpoint storage).
+ */
+
+#ifndef ROBOSHAPE_TOPOLOGY_PARAMETRIC_ROBOTS_H
+#define ROBOSHAPE_TOPOLOGY_PARAMETRIC_ROBOTS_H
+
+#include <cstddef>
+
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace topology {
+
+/**
+ * Serial chain of @p links revolute segments (a rigid-body discretization
+ * of a continuum arm).  Segment length and mass shrink with the segment
+ * count so total reach and mass stay roughly constant.
+ */
+RobotModel make_serial_chain(std::size_t links,
+                             const std::string &name = "chain");
+
+/**
+ * Star robot: @p limbs independent chains of @p links_per_limb segments
+ * hanging off the base (an idealized multi-legged walker).
+ */
+RobotModel make_star(std::size_t limbs, std::size_t links_per_limb,
+                     const std::string &name = "star");
+
+/**
+ * Regular branching tree: every link at depth < @p depth has
+ * @p branching children.  Link count is (b^depth - 1) / (b - 1) for
+ * b > 1.  Dense in branch points — the stress case for checkpoint
+ * registers (paper Fig. 8e).
+ */
+RobotModel make_branching_tree(std::size_t depth, std::size_t branching,
+                               const std::string &name = "tree");
+
+/**
+ * Cartesian gantry with a wrist: three prismatic axes (x, y, z) carrying
+ * a chain of @p wrist_links revolute joints — exercises the prismatic
+ * joint model through every kernel.
+ */
+RobotModel make_gantry(std::size_t wrist_links = 3,
+                       const std::string &name = "gantry");
+
+} // namespace topology
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOPOLOGY_PARAMETRIC_ROBOTS_H

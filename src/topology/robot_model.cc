@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Implementation of the kinematic tree model and its builder.
+ */
+
+#include "topology/robot_model.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace roboshape {
+namespace topology {
+
+int
+RobotModel::find_link(const std::string &name) const
+{
+    for (std::size_t i = 0; i < links_.size(); ++i)
+        if (links_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+RobotModelBuilder::RobotModelBuilder(std::string robot_name)
+    : name_(std::move(robot_name))
+{
+}
+
+RobotModelBuilder &
+RobotModelBuilder::add_link(const std::string &name,
+                            const std::string &parent_name,
+                            const spatial::JointModel &joint,
+                            const spatial::SpatialTransform &x_tree,
+                            const spatial::SpatialInertia &inertia)
+{
+    for (const auto &p : pending_)
+        if (p.name == name)
+            throw std::invalid_argument("duplicate link name: " + name);
+    if (name.empty())
+        throw std::invalid_argument("link name must be nonempty");
+    pending_.push_back({name, parent_name, joint, x_tree, inertia});
+    return *this;
+}
+
+RobotModel
+RobotModelBuilder::finalize() const
+{
+    if (pending_.empty())
+        throw std::invalid_argument("robot '" + name_ + "' has no links");
+
+    std::map<std::string, std::size_t> by_name;
+    for (std::size_t i = 0; i < pending_.size(); ++i)
+        by_name[pending_[i].name] = i;
+
+    // Children lists over pending indices; "" keys the base.
+    std::map<std::string, std::vector<std::size_t>> kids;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const auto &p = pending_[i];
+        if (!p.parent_name.empty() && !by_name.count(p.parent_name)) {
+            throw std::invalid_argument("link '" + p.name +
+                                        "' has unknown parent '" +
+                                        p.parent_name + "'");
+        }
+        if (p.joint.type() == spatial::JointType::kFixed) {
+            throw std::invalid_argument(
+                "link '" + p.name +
+                "' uses a fixed joint; fold it before building "
+                "(see urdf parser)");
+        }
+        kids[p.parent_name].push_back(i);
+    }
+    if (!kids.count(""))
+        throw std::invalid_argument("robot '" + name_ +
+                                    "' has no link attached to the base");
+
+    // Depth-first preorder from the base; detects disconnected links.
+    std::vector<std::size_t> order;
+    std::vector<int> new_index(pending_.size(), -1);
+    std::vector<std::size_t> stack;
+    const auto &roots = kids[""];
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+        stack.push_back(*it);
+    while (!stack.empty()) {
+        const std::size_t i = stack.back();
+        stack.pop_back();
+        if (new_index[i] != -1)
+            throw std::invalid_argument("cycle detected at link '" +
+                                        pending_[i].name + "'");
+        new_index[i] = static_cast<int>(order.size());
+        order.push_back(i);
+        auto it = kids.find(pending_[i].name);
+        if (it != kids.end())
+            for (auto c = it->second.rbegin(); c != it->second.rend(); ++c)
+                stack.push_back(*c);
+    }
+    if (order.size() != pending_.size()) {
+        for (std::size_t i = 0; i < pending_.size(); ++i)
+            if (new_index[i] == -1)
+                throw std::invalid_argument("link '" + pending_[i].name +
+                                            "' is not connected to the base");
+    }
+
+    RobotModel model;
+    model.name_ = name_;
+    model.links_.resize(order.size());
+    model.children_.resize(order.size());
+    for (std::size_t n = 0; n < order.size(); ++n) {
+        const auto &p = pending_[order[n]];
+        Link &l = model.links_[n];
+        l.name = p.name;
+        l.joint = p.joint;
+        l.x_tree = p.x_tree;
+        l.inertia = p.inertia;
+        if (p.parent_name.empty()) {
+            l.parent = kBaseParent;
+            model.base_children_.push_back(static_cast<int>(n));
+        } else {
+            l.parent = new_index[by_name[p.parent_name]];
+            model.children_[l.parent].push_back(static_cast<int>(n));
+        }
+    }
+    return model;
+}
+
+} // namespace topology
+} // namespace roboshape

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Kinematic tree model of a rigid-body robot.
+ *
+ * A robot is a tree of rigid links connected by single-degree-of-freedom
+ * joints (paper Sec. 2, Fig. 4a).  Links are stored in depth-first preorder
+ * so every subtree occupies a contiguous index range — the property that
+ * makes the limb-induced mass-matrix sparsity block-contiguous (paper
+ * Sec. 3.2) and keeps schedules easy to read.
+ *
+ * The base (the URDF root link) is treated as a fixed ground body and is not
+ * counted among the N moving links, matching the paper's link counts
+ * (iiwa 7, HyQ 12, Baxter 15).
+ */
+
+#ifndef ROBOSHAPE_TOPOLOGY_ROBOT_MODEL_H
+#define ROBOSHAPE_TOPOLOGY_ROBOT_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "spatial/joint.h"
+#include "spatial/spatial_inertia.h"
+#include "spatial/spatial_transform.h"
+
+namespace roboshape {
+namespace topology {
+
+/** Index of a link's parent when the parent is the fixed base. */
+inline constexpr int kBaseParent = -1;
+
+/** One moving link and the joint that connects it to its parent. */
+struct Link
+{
+    std::string name;
+    int parent = kBaseParent;       ///< Parent link index or kBaseParent.
+    spatial::JointModel joint;      ///< Joint connecting parent -> this link.
+    /** Fixed transform from the parent link frame to this joint's frame. */
+    spatial::SpatialTransform x_tree;
+    /** Rigid-body inertia expressed in this link's frame. */
+    spatial::SpatialInertia inertia;
+};
+
+/**
+ * Immutable kinematic tree, built through RobotModelBuilder.
+ */
+class RobotModel
+{
+  public:
+    /** Robot display name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of moving links, N. */
+    std::size_t num_links() const { return links_.size(); }
+
+    const Link &link(std::size_t i) const { return links_[i]; }
+
+    /** Parent index of link @p i (kBaseParent for root children). */
+    int parent(std::size_t i) const { return links_[i].parent; }
+
+    /** Children of link @p i, in index order. */
+    const std::vector<int> &children(std::size_t i) const
+    {
+        return children_[i];
+    }
+
+    /** Children of the fixed base (the robot's independent limbs' roots). */
+    const std::vector<int> &base_children() const { return base_children_; }
+
+    /** Link index by name; -1 when absent. */
+    int find_link(const std::string &name) const;
+
+  private:
+    friend class RobotModelBuilder;
+
+    std::string name_;
+    std::vector<Link> links_;
+    std::vector<std::vector<int>> children_;
+    std::vector<int> base_children_;
+};
+
+/**
+ * Builder that accepts links in any tree order and canonicalizes to
+ * depth-first preorder on finalize().
+ */
+class RobotModelBuilder
+{
+  public:
+    explicit RobotModelBuilder(std::string robot_name);
+
+    /**
+     * Adds a link attached to @p parent_name (empty string = fixed base).
+     * @return builder for chaining.
+     * @throws std::invalid_argument on duplicate names or unknown parents
+     *         (unknown parents are checked at finalize, so declaration order
+     *         is free).
+     */
+    RobotModelBuilder &add_link(const std::string &name,
+                                const std::string &parent_name,
+                                const spatial::JointModel &joint,
+                                const spatial::SpatialTransform &x_tree,
+                                const spatial::SpatialInertia &inertia);
+
+    /**
+     * Validates the tree (single connected tree rooted at the base, no
+     * cycles, no fixed joints on moving links) and produces the model with
+     * links renumbered in depth-first preorder.
+     */
+    RobotModel finalize() const;
+
+  private:
+    struct PendingLink
+    {
+        std::string name;
+        std::string parent_name;
+        spatial::JointModel joint;
+        spatial::SpatialTransform x_tree;
+        spatial::SpatialInertia inertia;
+    };
+
+    std::string name_;
+    std::vector<PendingLink> pending_;
+};
+
+} // namespace topology
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOPOLOGY_ROBOT_MODEL_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of topology queries and Table 3 metrics.
+ */
+
+#include "topology/topology_info.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roboshape {
+namespace topology {
+
+TopologyInfo::TopologyInfo(const RobotModel &model) : model_(&model)
+{
+    const std::size_t n = model.num_links();
+    depth_.resize(n);
+    subtree_size_.assign(n, 1);
+
+    // Depths: parents precede children in preorder.
+    for (std::size_t i = 0; i < n; ++i) {
+        const int p = model.parent(i);
+        depth_[i] = p == kBaseParent ? 1 : depth_[p] + 1;
+    }
+
+    // Subtree sizes: accumulate bottom-up (children have larger indices).
+    for (std::size_t ii = n; ii-- > 0;) {
+        const int p = model.parent(ii);
+        if (p != kBaseParent)
+            subtree_size_[p] += subtree_size_[ii];
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (model.children(i).empty())
+            leaves_.push_back(i);
+        if (model.children(i).size() > 1)
+            branch_links_.push_back(i);
+    }
+
+    for (int root : model.base_children()) {
+        const std::size_t b = static_cast<std::size_t>(root);
+        limb_spans_.emplace_back(b, b + subtree_size_[b]);
+    }
+}
+
+bool
+TopologyInfo::is_leaf(std::size_t i) const
+{
+    return model_->children(i).empty();
+}
+
+bool
+TopologyInfo::is_ancestor_or_self(std::size_t a, std::size_t b) const
+{
+    // In preorder, a's subtree is the contiguous range starting at a.
+    return b >= a && b < a + subtree_size_[a];
+}
+
+std::vector<std::size_t>
+TopologyInfo::root_path(std::size_t i) const
+{
+    std::vector<std::size_t> path;
+    int cur = static_cast<int>(i);
+    while (cur != kBaseParent) {
+        path.push_back(static_cast<std::size_t>(cur));
+        cur = model_->parent(cur);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<std::vector<bool>>
+TopologyInfo::mass_matrix_mask() const
+{
+    const std::size_t n = num_links();
+    std::vector<std::vector<bool>> mask(n, std::vector<bool>(n, false));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            mask[i][j] = is_ancestor_or_self(i, j) ||
+                         is_ancestor_or_self(j, i);
+    return mask;
+}
+
+double
+TopologyInfo::mass_matrix_sparsity() const
+{
+    const auto mask = mass_matrix_mask();
+    const std::size_t n = num_links();
+    if (n == 0)
+        return 0.0;
+    std::size_t zeros = 0;
+    for (const auto &row : mask)
+        for (bool nz : row)
+            zeros += nz ? 0 : 1;
+    return static_cast<double>(zeros) / static_cast<double>(n * n);
+}
+
+TopologyMetrics
+TopologyInfo::metrics() const
+{
+    TopologyMetrics m;
+    m.total_links = num_links();
+    if (leaves_.empty())
+        return m;
+
+    double sum = 0.0;
+    for (std::size_t leaf : leaves_) {
+        m.max_leaf_depth = std::max(m.max_leaf_depth, depth_[leaf]);
+        sum += static_cast<double>(depth_[leaf]);
+    }
+    m.avg_leaf_depth = sum / static_cast<double>(leaves_.size());
+
+    for (std::size_t i = 0; i < num_links(); ++i)
+        m.max_descendants = std::max(m.max_descendants, subtree_size_[i]);
+
+    double var = 0.0;
+    for (std::size_t leaf : leaves_) {
+        const double d = static_cast<double>(depth_[leaf]) - m.avg_leaf_depth;
+        var += d * d;
+    }
+    m.leaf_depth_stdev =
+        std::sqrt(var / static_cast<double>(leaves_.size()));
+    return m;
+}
+
+} // namespace topology
+} // namespace roboshape

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Topology queries and shape metrics.
+ *
+ * Precomputes the structural facts RoboShape's scheduler, blocker, and
+ * resource allocator consume: depths, subtree spans, ancestor relations,
+ * branch points, independent-limb spans, and the Table 3 shape metrics
+ * (total links, max/avg leaf depth, max descendants, leaf-depth stdev).
+ */
+
+#ifndef ROBOSHAPE_TOPOLOGY_TOPOLOGY_INFO_H
+#define ROBOSHAPE_TOPOLOGY_TOPOLOGY_INFO_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace topology {
+
+/**
+ * Shape metrics reported in paper Table 3.
+ *
+ * max_descendants follows the paper's convention of counting the subtree
+ * root itself (so a 7-link serial chain has max_descendants 7);
+ * leaf_depth_stdev is the population standard deviation of leaf depths.
+ */
+struct TopologyMetrics
+{
+    std::size_t total_links = 0;
+    std::size_t max_leaf_depth = 0;
+    double avg_leaf_depth = 0.0;
+    std::size_t max_descendants = 0;
+    double leaf_depth_stdev = 0.0;
+};
+
+/**
+ * Immutable precomputed topology facts for one robot model.
+ *
+ * Link indices refer to the model's depth-first preorder, so every subtree
+ * is the contiguous range [i, i + subtree_size(i)).
+ */
+class TopologyInfo
+{
+  public:
+    explicit TopologyInfo(const RobotModel &model);
+
+    /** The info keeps a pointer into @p model; temporaries are rejected. */
+    explicit TopologyInfo(RobotModel &&) = delete;
+
+    const RobotModel &model() const { return *model_; }
+
+    std::size_t num_links() const { return depth_.size(); }
+
+    /** Depth of link @p i; children of the base have depth 1. */
+    std::size_t depth(std::size_t i) const { return depth_[i]; }
+
+    /** Number of links in the subtree rooted at @p i, including @p i. */
+    std::size_t subtree_size(std::size_t i) const { return subtree_size_[i]; }
+
+    /** True when link @p i has no children. */
+    bool is_leaf(std::size_t i) const;
+
+    /** All leaf links in index order. */
+    const std::vector<std::size_t> &leaves() const { return leaves_; }
+
+    /** True when @p a == @p b or @p a is a (strict) ancestor of @p b. */
+    bool is_ancestor_or_self(std::size_t a, std::size_t b) const;
+
+    /** Chain of ancestors of @p i from its limb root down to @p i,
+     *  inclusive. */
+    std::vector<std::size_t> root_path(std::size_t i) const;
+
+    /**
+     * Links with more than one child — the branch points where the
+     * accelerator's checkpoint registers save traversal state (paper
+     * Sec. 4.4e).  The base itself is not a link and is excluded; use
+     * model().base_children().size() > 1 to detect base branching.
+     */
+    const std::vector<std::size_t> &branch_links() const
+    {
+        return branch_links_;
+    }
+
+    /**
+     * Contiguous [begin, end) index spans of the base-rooted independent
+     * limbs.  Because no dynamic coupling crosses the fixed base, the mass
+     * matrix is always block diagonal over these spans (paper Sec. 3.2).
+     */
+    const std::vector<std::pair<std::size_t, std::size_t>> &
+    limb_spans() const
+    {
+        return limb_spans_;
+    }
+
+    /**
+     * Structural N x N mass-matrix sparsity mask: entry (i, j) can be
+     * nonzero iff i and j lie on a common root path (one is an ancestor of
+     * the other or they are equal).
+     */
+    std::vector<std::vector<bool>> mass_matrix_mask() const;
+
+    /** Structural sparsity (zero fraction) of the mass matrix. */
+    double mass_matrix_sparsity() const;
+
+    /** Table 3 metrics. */
+    TopologyMetrics metrics() const;
+
+  private:
+    const RobotModel *model_;
+    std::vector<std::size_t> depth_;
+    std::vector<std::size_t> subtree_size_;
+    std::vector<std::size_t> leaves_;
+    std::vector<std::size_t> branch_links_;
+    std::vector<std::pair<std::size_t, std::size_t>> limb_spans_;
+};
+
+} // namespace topology
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOPOLOGY_TOPOLOGY_INFO_H

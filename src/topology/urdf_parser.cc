@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Implementation of the URDF parser.
+ */
+
+#include "topology/urdf_parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "topology/xml.h"
+
+namespace roboshape {
+namespace topology {
+
+namespace {
+
+using spatial::JointModel;
+using spatial::JointType;
+using spatial::Mat3;
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+using spatial::Vec3;
+
+Vec3
+parse_vec3(const std::string &s, const char *what)
+{
+    std::istringstream is(s);
+    Vec3 v;
+    if (!(is >> v.x >> v.y >> v.z))
+        throw UrdfError(std::string("malformed 3-vector in ") + what + ": '" +
+                        s + "'");
+    double extra;
+    if (is >> extra)
+        throw UrdfError(std::string("too many components in ") + what +
+                        ": '" + s + "'");
+    return v;
+}
+
+/** Vector-rotation matrix for URDF fixed-axis roll-pitch-yaw. */
+Mat3
+rotation_from_rpy(const Vec3 &rpy)
+{
+    const Mat3 rx =
+        Mat3::coordinate_rotation(Vec3::unit_x(), rpy.x).transposed();
+    const Mat3 ry =
+        Mat3::coordinate_rotation(Vec3::unit_y(), rpy.y).transposed();
+    const Mat3 rz =
+        Mat3::coordinate_rotation(Vec3::unit_z(), rpy.z).transposed();
+    return rz * ry * rx;
+}
+
+/** URDF <origin>: placement of a child frame within a parent frame. */
+struct Pose
+{
+    Mat3 r = Mat3::identity(); ///< Rotates child coordinates into parent.
+    Vec3 p;                    ///< Child origin in parent coordinates.
+
+    /** Featherstone motion transform parent -> child. */
+    SpatialTransform
+    to_transform() const
+    {
+        return SpatialTransform(r.transposed(), p);
+    }
+
+    /** this: A<-B placement; inner: B<-C placement; result: A<-C. */
+    Pose
+    compose(const Pose &inner) const
+    {
+        return {r * inner.r, p + r * inner.p};
+    }
+};
+
+Pose
+parse_origin(const XmlElement *el)
+{
+    Pose pose;
+    if (!el)
+        return pose;
+    if (el->has_attribute("xyz"))
+        pose.p = parse_vec3(el->attribute("xyz"), "origin xyz");
+    if (el->has_attribute("rpy"))
+        pose.r = rotation_from_rpy(
+            parse_vec3(el->attribute("rpy"), "origin rpy"));
+    return pose;
+}
+
+SpatialInertia
+parse_inertial(const XmlElement *el, const std::string &link_name)
+{
+    if (!el)
+        return SpatialInertia(); // massless link
+    const XmlElement *mass_el = el->child("mass");
+    const XmlElement *inertia_el = el->child("inertia");
+    if (!mass_el || !inertia_el)
+        throw UrdfError("link '" + link_name +
+                        "' inertial requires <mass> and <inertia>");
+    const double mass = std::stod(mass_el->attribute("value", "0"));
+    if (mass < 0.0)
+        throw UrdfError("link '" + link_name + "' has negative mass");
+
+    Mat3 ic;
+    ic(0, 0) = std::stod(inertia_el->attribute("ixx", "0"));
+    ic(1, 1) = std::stod(inertia_el->attribute("iyy", "0"));
+    ic(2, 2) = std::stod(inertia_el->attribute("izz", "0"));
+    ic(0, 1) = ic(1, 0) = std::stod(inertia_el->attribute("ixy", "0"));
+    ic(0, 2) = ic(2, 0) = std::stod(inertia_el->attribute("ixz", "0"));
+    ic(1, 2) = ic(2, 1) = std::stod(inertia_el->attribute("iyz", "0"));
+
+    const Pose pose = parse_origin(el->child("origin"));
+    // Rotate the inertia tensor from the inertial frame into link axes.
+    const Mat3 ic_link = pose.r * ic * pose.r.transposed();
+    return SpatialInertia::from_mass_com_inertia(mass, pose.p, ic_link);
+}
+
+struct RawJoint
+{
+    std::string name;
+    JointType type;
+    std::string parent;
+    std::string child;
+    Pose origin;
+    Vec3 axis = Vec3::unit_z();
+};
+
+/** DFS work item: a raw joint plus its articulated-ancestor context. */
+struct Visit
+{
+    std::size_t joint;          ///< Raw joint leading into a link.
+    std::string moving_parent;  ///< Nearest articulated ancestor ("": base).
+    Pose accum;                 ///< Placement of the joint's parent frame in
+                                ///< the moving parent's frame.
+};
+
+} // namespace
+
+RobotModel
+parse_urdf(const std::string &urdf_text)
+{
+    auto root = parse_xml(urdf_text);
+    if (root->name != "robot")
+        throw UrdfError("root element must be <robot>, got <" + root->name +
+                        ">");
+    const std::string robot_name = root->attribute("name", "robot");
+
+    std::map<std::string, SpatialInertia> link_inertia;
+    for (const XmlElement *link_el : root->children_named("link")) {
+        const std::string name = link_el->attribute("name");
+        if (name.empty())
+            throw UrdfError("link without a name");
+        if (link_inertia.count(name))
+            throw UrdfError("duplicate link '" + name + "'");
+        link_inertia[name] = parse_inertial(link_el->child("inertial"), name);
+    }
+    if (link_inertia.empty())
+        throw UrdfError("robot has no links");
+
+    std::vector<RawJoint> joints;
+    std::map<std::string, bool> is_joint_child;
+    for (const XmlElement *joint_el : root->children_named("joint")) {
+        RawJoint j;
+        j.name = joint_el->attribute("name");
+        j.type = spatial::joint_type_from_string(joint_el->attribute("type"));
+        const XmlElement *parent_el = joint_el->child("parent");
+        const XmlElement *child_el = joint_el->child("child");
+        if (!parent_el || !child_el)
+            throw UrdfError("joint '" + j.name +
+                            "' requires <parent> and <child>");
+        j.parent = parent_el->attribute("link");
+        j.child = child_el->attribute("link");
+        if (!link_inertia.count(j.parent))
+            throw UrdfError("joint '" + j.name + "' parent link '" +
+                            j.parent + "' is undefined");
+        if (!link_inertia.count(j.child))
+            throw UrdfError("joint '" + j.name + "' child link '" + j.child +
+                            "' is undefined");
+        j.origin = parse_origin(joint_el->child("origin"));
+        if (const XmlElement *axis_el = joint_el->child("axis"))
+            j.axis = parse_vec3(axis_el->attribute("xyz", "0 0 1"),
+                                "joint axis");
+        if (j.type != JointType::kFixed && j.axis.norm() == 0.0)
+            throw UrdfError("joint '" + j.name + "' has a zero axis");
+        if (is_joint_child[j.child])
+            throw UrdfError("link '" + j.child +
+                            "' is the child of multiple joints");
+        is_joint_child[j.child] = true;
+        joints.push_back(j);
+    }
+
+    // The root link is the one that is never a joint child.
+    std::string root_link;
+    for (const auto &[name, unused] : link_inertia) {
+        (void)unused;
+        if (!is_joint_child[name]) {
+            if (!root_link.empty())
+                throw UrdfError("multiple root links: '" + root_link +
+                                "' and '" + name + "'");
+            root_link = name;
+        }
+    }
+    if (root_link.empty())
+        throw UrdfError("no root link (kinematic loop)");
+
+    std::map<std::string, std::vector<std::size_t>> kids;
+    for (std::size_t ji = 0; ji < joints.size(); ++ji)
+        kids[joints[ji].parent].push_back(ji);
+
+    // Pass 1: fold fixed joints — merge each rigidly attached link's inertia
+    // into its nearest articulated ancestor (parents are visited before
+    // their fixed descendants, so merges land on final moving links).
+    std::map<std::string, SpatialInertia> merged = link_inertia;
+    std::vector<Visit> stack;
+    auto push_children = [&](const std::string &link,
+                             const std::string &moving_parent,
+                             const Pose &accum) {
+        auto it = kids.find(link);
+        if (it == kids.end())
+            return;
+        for (auto ji = it->second.rbegin(); ji != it->second.rend(); ++ji)
+            stack.push_back({*ji, moving_parent, accum});
+    };
+
+    push_children(root_link, "", Pose{});
+    std::size_t visited = 0;
+    while (!stack.empty()) {
+        const Visit v = stack.back();
+        stack.pop_back();
+        ++visited;
+        const RawJoint &j = joints[v.joint];
+        const Pose placement = v.accum.compose(j.origin);
+        if (j.type == JointType::kFixed) {
+            if (!v.moving_parent.empty()) {
+                merged[v.moving_parent] =
+                    merged[v.moving_parent] +
+                    merged[j.child].expressed_in_parent(
+                        placement.to_transform());
+            }
+            // Ground-mounted fixed structure contributes no dynamics.
+            push_children(j.child, v.moving_parent, placement);
+        } else {
+            push_children(j.child, j.child, Pose{});
+        }
+    }
+    if (visited != joints.size())
+        throw UrdfError("kinematic graph is not a tree rooted at '" +
+                        root_link + "'");
+
+    // Pass 2: emit articulated links with their merged inertias.
+    RobotModelBuilder builder(robot_name);
+    push_children(root_link, "", Pose{});
+    while (!stack.empty()) {
+        const Visit v = stack.back();
+        stack.pop_back();
+        const RawJoint &j = joints[v.joint];
+        const Pose placement = v.accum.compose(j.origin);
+        if (j.type == JointType::kFixed) {
+            push_children(j.child, v.moving_parent, placement);
+        } else {
+            builder.add_link(j.child, v.moving_parent,
+                             JointModel(j.type, j.axis),
+                             placement.to_transform(), merged[j.child]);
+            push_children(j.child, j.child, Pose{});
+        }
+    }
+    return builder.finalize();
+}
+
+RobotModel
+parse_urdf_file(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open URDF file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_urdf(ss.str());
+}
+
+} // namespace topology
+} // namespace roboshape

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * URDF robot-description parser (paper Sec. 4.1).
+ *
+ * Parses the standard XML robot description format that manufacturers ship
+ * and simulators consume, producing a RobotModel kinematic tree.  The root
+ * link (the one that never appears as a joint child) becomes the fixed base;
+ * fixed joints are folded away by merging the rigidly attached link's
+ * inertia into its moving ancestor and re-rooting its children, so N always
+ * counts articulated links like the paper does.
+ */
+
+#ifndef ROBOSHAPE_TOPOLOGY_URDF_PARSER_H
+#define ROBOSHAPE_TOPOLOGY_URDF_PARSER_H
+
+#include <stdexcept>
+#include <string>
+
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace topology {
+
+/** Error raised on structurally invalid URDF input. */
+class UrdfError : public std::runtime_error
+{
+  public:
+    explicit UrdfError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Parses URDF text. @throws UrdfError / XmlError on invalid input. */
+RobotModel parse_urdf(const std::string &urdf_text);
+
+/** Parses a URDF file. */
+RobotModel parse_urdf_file(const std::string &path);
+
+} // namespace topology
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOPOLOGY_URDF_PARSER_H

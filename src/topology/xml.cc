@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Implementation of the minimal XML parser.
+ */
+
+#include "topology/xml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace roboshape {
+namespace topology {
+
+XmlError::XmlError(const std::string &msg, std::size_t offset)
+    : std::runtime_error(msg + " (at byte " + std::to_string(offset) + ")"),
+      offset_(offset)
+{
+}
+
+bool
+XmlElement::has_attribute(const std::string &key) const
+{
+    return attributes.count(key) > 0;
+}
+
+std::string
+XmlElement::attribute(const std::string &key, const std::string &fallback)
+    const
+{
+    auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second;
+}
+
+const XmlElement *
+XmlElement::child(const std::string &tag) const
+{
+    for (const auto &c : children)
+        if (c->name == tag)
+            return c.get();
+    return nullptr;
+}
+
+std::vector<const XmlElement *>
+XmlElement::children_named(const std::string &tag) const
+{
+    std::vector<const XmlElement *> out;
+    for (const auto &c : children)
+        if (c->name == tag)
+            out.push_back(c.get());
+    return out;
+}
+
+namespace {
+
+/** Streaming cursor over the raw document text. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &s) : s_(s) {}
+
+    bool eof() const { return pos_ >= s_.size(); }
+    char peek() const { return eof() ? '\0' : s_[pos_]; }
+    char get() { return eof() ? '\0' : s_[pos_++]; }
+    std::size_t pos() const { return pos_; }
+
+    bool
+    starts_with(const std::string &prefix) const
+    {
+        return s_.compare(pos_, prefix.size(), prefix) == 0;
+    }
+
+    void advance(std::size_t n) { pos_ += n; }
+
+    void
+    skip_whitespace()
+    {
+        while (!eof() && std::isspace(static_cast<unsigned char>(peek())))
+            ++pos_;
+    }
+
+    /** Skips to just past the next occurrence of @p needle. */
+    void
+    skip_past(const std::string &needle, const char *what)
+    {
+        const std::size_t found = s_.find(needle, pos_);
+        if (found == std::string::npos)
+            throw XmlError(std::string("unterminated ") + what, pos_);
+        pos_ = found + needle.size();
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+bool
+is_name_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+}
+
+std::string
+decode_entities(const std::string &raw, std::size_t offset)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] != '&') {
+            out.push_back(raw[i]);
+            continue;
+        }
+        const std::size_t semi = raw.find(';', i);
+        if (semi == std::string::npos)
+            throw XmlError("unterminated entity", offset + i);
+        const std::string ent = raw.substr(i + 1, semi - i - 1);
+        if (ent == "lt")
+            out.push_back('<');
+        else if (ent == "gt")
+            out.push_back('>');
+        else if (ent == "amp")
+            out.push_back('&');
+        else if (ent == "quot")
+            out.push_back('"');
+        else if (ent == "apos")
+            out.push_back('\'');
+        else
+            throw XmlError("unknown entity &" + ent + ";", offset + i);
+        i = semi;
+    }
+    return out;
+}
+
+std::string
+parse_name(Cursor &c)
+{
+    const std::size_t start = c.pos();
+    std::string name;
+    while (!c.eof() && is_name_char(c.peek()))
+        name.push_back(c.get());
+    if (name.empty())
+        throw XmlError("expected name", start);
+    return name;
+}
+
+void
+parse_attributes(Cursor &c, XmlElement &el)
+{
+    for (;;) {
+        c.skip_whitespace();
+        const char p = c.peek();
+        if (p == '>' || p == '/' || p == '?' || c.eof())
+            return;
+        const std::string key = parse_name(c);
+        c.skip_whitespace();
+        if (c.get() != '=')
+            throw XmlError("expected '=' after attribute name", c.pos());
+        c.skip_whitespace();
+        const char quote = c.get();
+        if (quote != '"' && quote != '\'')
+            throw XmlError("expected quoted attribute value", c.pos());
+        std::string value;
+        const std::size_t vstart = c.pos();
+        while (!c.eof() && c.peek() != quote)
+            value.push_back(c.get());
+        if (c.eof())
+            throw XmlError("unterminated attribute value", vstart);
+        c.get(); // closing quote
+        el.attributes[key] = decode_entities(value, vstart);
+    }
+}
+
+std::unique_ptr<XmlElement> parse_element(Cursor &c);
+
+/** Parses children + text until the matching close tag of @p el. */
+void
+parse_content(Cursor &c, XmlElement &el)
+{
+    std::string text;
+    for (;;) {
+        if (c.eof())
+            throw XmlError("unexpected end of input inside <" + el.name + ">",
+                           c.pos());
+        if (c.peek() != '<') {
+            text.push_back(c.get());
+            continue;
+        }
+        if (c.starts_with("<!--")) {
+            c.skip_past("-->", "comment");
+            continue;
+        }
+        if (c.starts_with("</")) {
+            c.advance(2);
+            const std::string close = parse_name(c);
+            if (close != el.name)
+                throw XmlError("mismatched close tag </" + close +
+                                   "> for <" + el.name + ">",
+                               c.pos());
+            c.skip_whitespace();
+            if (c.get() != '>')
+                throw XmlError("malformed close tag", c.pos());
+            // Trim surrounding whitespace from accumulated text.
+            const auto b = text.find_first_not_of(" \t\r\n");
+            if (b != std::string::npos) {
+                const auto e = text.find_last_not_of(" \t\r\n");
+                el.text = decode_entities(text.substr(b, e - b + 1), 0);
+            }
+            return;
+        }
+        el.children.push_back(parse_element(c));
+    }
+}
+
+std::unique_ptr<XmlElement>
+parse_element(Cursor &c)
+{
+    if (c.get() != '<')
+        throw XmlError("expected '<'", c.pos());
+    auto el = std::make_unique<XmlElement>();
+    el->name = parse_name(c);
+    parse_attributes(c, *el);
+    c.skip_whitespace();
+    if (c.starts_with("/>")) {
+        c.advance(2);
+        return el;
+    }
+    if (c.get() != '>')
+        throw XmlError("malformed open tag <" + el->name + ">", c.pos());
+    parse_content(c, *el);
+    return el;
+}
+
+} // namespace
+
+std::unique_ptr<XmlElement>
+parse_xml(const std::string &input)
+{
+    Cursor c(input);
+    for (;;) {
+        c.skip_whitespace();
+        if (c.eof())
+            throw XmlError("no root element", c.pos());
+        if (c.starts_with("<?")) {
+            c.skip_past("?>", "declaration");
+            continue;
+        }
+        if (c.starts_with("<!--")) {
+            c.skip_past("-->", "comment");
+            continue;
+        }
+        if (c.starts_with("<!")) {
+            c.skip_past(">", "doctype");
+            continue;
+        }
+        break;
+    }
+    auto root = parse_element(c);
+    c.skip_whitespace();
+    while (!c.eof() && c.starts_with("<!--")) {
+        c.skip_past("-->", "comment");
+        c.skip_whitespace();
+    }
+    if (!c.eof())
+        throw XmlError("trailing content after root element", c.pos());
+    return root;
+}
+
+std::unique_ptr<XmlElement>
+parse_xml_file(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_xml(ss.str());
+}
+
+} // namespace topology
+} // namespace roboshape

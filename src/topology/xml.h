@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal XML document parser.
+ *
+ * URDF robot description files are plain XML; this self-contained parser
+ * covers the subset URDF uses: nested elements, attributes, self-closing
+ * tags, comments, and XML declarations.  It intentionally omits namespaces,
+ * CDATA, DTDs, and entity expansion beyond the five predefined entities.
+ */
+
+#ifndef ROBOSHAPE_TOPOLOGY_XML_H
+#define ROBOSHAPE_TOPOLOGY_XML_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace roboshape {
+namespace topology {
+
+/** Error raised on malformed XML input. */
+class XmlError : public std::runtime_error
+{
+  public:
+    XmlError(const std::string &msg, std::size_t offset);
+
+    /** Byte offset into the input where the error was detected. */
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** A parsed XML element. */
+class XmlElement
+{
+  public:
+    std::string name;
+    std::map<std::string, std::string> attributes;
+    std::vector<std::unique_ptr<XmlElement>> children;
+    std::string text;
+
+    /** True when attribute @p key is present. */
+    bool has_attribute(const std::string &key) const;
+
+    /** Attribute value, or @p fallback when absent. */
+    std::string attribute(const std::string &key,
+                          const std::string &fallback = "") const;
+
+    /** First child element named @p tag, or nullptr. */
+    const XmlElement *child(const std::string &tag) const;
+
+    /** All child elements named @p tag. */
+    std::vector<const XmlElement *> children_named(const std::string &tag)
+        const;
+};
+
+/**
+ * Parses an XML document and returns its root element.
+ * @throws XmlError on malformed input.
+ */
+std::unique_ptr<XmlElement> parse_xml(const std::string &input);
+
+/** Reads a whole file and parses it. @throws std::runtime_error on I/O. */
+std::unique_ptr<XmlElement> parse_xml_file(const std::string &path);
+
+} // namespace topology
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOPOLOGY_XML_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the CPU timing harness, the GPU latency model, and the
+ * Robomorphic Computing baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_baseline.h"
+#include "baselines/gpu_model.h"
+#include "baselines/rc_baseline.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace baselines {
+namespace {
+
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+using topology::build_robot;
+
+TEST(CpuBaseline, ProducesPositiveStableTimings)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const CpuMeasurement a = measure_fd_gradients(m, 50);
+    EXPECT_GT(a.min_us, 0.0);
+    EXPECT_GE(a.mean_us, a.min_us * 0.5); // mean cannot undercut min by 2x
+    EXPECT_EQ(a.trials, 50u);
+}
+
+TEST(CpuBaseline, LatencyGrowsWithRobotSize)
+{
+    // CPU compute latency scales roughly with total links (paper Sec. 5.1).
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    const RobotModel baxter = build_robot(RobotId::kBaxter);
+    const double t_small = measure_fd_gradients(iiwa, 200).min_us;
+    const double t_large = measure_fd_gradients(baxter, 200).min_us;
+    EXPECT_GT(t_large, t_small);
+}
+
+TEST(CpuBaseline, RneaIsCheaperThanGradients)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const double rnea_us = measure_rnea(m, 500).min_us;
+    const double grad_us = measure_fd_gradients(m, 100).min_us;
+    EXPECT_LT(rnea_us, grad_us);
+}
+
+TEST(CpuBaseline, BatchRunsAllSteps)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const CpuMeasurement b = measure_fd_gradients_batch(m, 4, 5);
+    EXPECT_GT(b.min_us, 0.0);
+}
+
+TEST(GpuModel, IiwaAndHyqLandClose)
+{
+    // Paper Sec. 5.1: GPU latency is similar for iiwa and HyQ — iiwa is
+    // fully sequential while HyQ has parallel limbs with short chains.
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    const double gi =
+        gpu_gradient_latency_us(TopologyInfo(iiwa).metrics());
+    const double gh = gpu_gradient_latency_us(TopologyInfo(hyq).metrics());
+    EXPECT_NEAR(gi / gh, 1.0, 0.1);
+}
+
+TEST(GpuModel, BaxterIsSlowerThanIiwa)
+{
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    const RobotModel baxter = build_robot(RobotId::kBaxter);
+    EXPECT_GT(gpu_gradient_latency_us(TopologyInfo(baxter).metrics()),
+              gpu_gradient_latency_us(TopologyInfo(iiwa).metrics()));
+}
+
+TEST(GpuModel, BatchIsLatencyFlatUntilSmCountExceeded)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const auto metrics = TopologyInfo(m).metrics();
+    const double single = gpu_gradient_latency_us(metrics);
+    EXPECT_NEAR(gpu_batch_latency_us(metrics, 4), single, 1e-12);
+    EXPECT_NEAR(gpu_batch_latency_us(metrics, 68), single, 1e-12);
+    EXPECT_NEAR(gpu_batch_latency_us(metrics, 69), 2.0 * single, 1e-12);
+}
+
+TEST(RcBaseline, SupportsIiwaWithMatchingRoboShapeLatency)
+{
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    const RcDesign rc = generate_rc_design(iiwa, accel::vcu118());
+    ASSERT_TRUE(rc.supported);
+    ASSERT_TRUE(rc.latency_us.has_value());
+    // Paper Fig. 9: RoboShape gives identical latency to RC for iiwa.
+    const accel::AcceleratorDesign rs(iiwa, {7, 7, 7});
+    EXPECT_NEAR(*rc.latency_us, rs.latency_us_no_pipelining(), 1e-9);
+}
+
+TEST(RcBaseline, RejectsBranchingRobots)
+{
+    for (RobotId id : {RobotId::kHyq, RobotId::kBaxter, RobotId::kJaco2}) {
+        const RobotModel m = build_robot(id);
+        const RcDesign rc = generate_rc_design(m, accel::vcu118());
+        EXPECT_FALSE(rc.supported) << topology::robot_name(id);
+        EXPECT_FALSE(rc.limitation.empty());
+    }
+}
+
+TEST(RcBaseline, ResourceBlowupBeyondIiwa)
+{
+    // Even a hypothetical 12-link chain exceeds the XCVU9P under RC's
+    // per-link unrolling (paper Sec. 5.1).
+    const RcDesign rc = generate_rc_design(
+        build_robot(RobotId::kHyq), accel::vcu118());
+    EXPECT_GT(rc.resources.dsps, accel::vcu118().dsps);
+}
+
+} // namespace
+} // namespace baselines
+} // namespace roboshape

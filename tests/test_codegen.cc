@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the Verilog emitter: structural well-formedness and fidelity
+ * of the schedule ROMs to the generated schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "codegen/verilog_emitter.h"
+#include "topology/robot_library.h"
+
+namespace roboshape {
+namespace codegen {
+namespace {
+
+using topology::RobotId;
+using topology::build_robot;
+
+std::size_t
+count_occurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0, pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(Codegen, ModuleNameIsVerilogLegal)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kHyqWithArm),
+                                     {2, 2, 3});
+    const std::string name = module_name(d);
+    EXPECT_TRUE(std::regex_match(name,
+                                 std::regex("[A-Za-z_][A-Za-z0-9_]*")));
+}
+
+TEST(Codegen, TopModuleIsStructurallyBalanced)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kBaxter),
+                                     {4, 4, 4});
+    const std::string v = emit_verilog(d);
+    EXPECT_EQ(count_occurrences(v, "module "), count_occurrences(v,
+                                                                 "endmodule"));
+    EXPECT_EQ(count_occurrences(v, "case ("),
+              count_occurrences(v, "endcase"));
+    EXPECT_EQ(count_occurrences(v, "function "),
+              count_occurrences(v, "endfunction"));
+    EXPECT_EQ(count_occurrences(v, "\n  generate"),
+              count_occurrences(v, "\n  endgenerate"));
+}
+
+TEST(Codegen, EmitsOneRomPerPe)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kHyq), {3, 2, 6});
+    const std::string v = emit_verilog(d);
+    for (int pe = 0; pe < 3; ++pe)
+        EXPECT_NE(v.find("fwd_pe" + std::to_string(pe) + "_rom"),
+                  std::string::npos);
+    EXPECT_EQ(v.find("fwd_pe3_rom"), std::string::npos);
+    for (int pe = 0; pe < 2; ++pe)
+        EXPECT_NE(v.find("bwd_pe" + std::to_string(pe) + "_rom"),
+                  std::string::npos);
+    EXPECT_EQ(v.find("bwd_pe2_rom"), std::string::npos);
+}
+
+TEST(Codegen, RomEntriesCoverEveryTask)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kIiwa),
+                                     {7, 7, 7});
+    const std::string v = emit_verilog(d);
+    // One "16'd<slot>:" line per scheduled traversal task (the default
+    // idle entry uses no slot literal).
+    const std::size_t entries = count_occurrences(v, "16'd");
+    EXPECT_EQ(entries, d.task_graph().size());
+}
+
+TEST(Codegen, ParametersMatchKnobs)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kJaco2),
+                                     {5, 6, 3});
+    const std::string v = emit_verilog(d);
+    EXPECT_NE(v.find("parameter PES_FWD    = 5"), std::string::npos);
+    EXPECT_NE(v.find("parameter PES_BWD    = 6"), std::string::npos);
+    EXPECT_NE(v.find("parameter SIZE_BLOCK = 3"), std::string::npos);
+    EXPECT_NE(v.find("parameter N_LINKS    = 12"), std::string::npos);
+}
+
+TEST(Codegen, LatencyConstantMatchesModel)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kHyq), {3, 3, 6});
+    const std::string v = emit_verilog(d);
+    EXPECT_NE(v.find("localparam CYCLES_TOTAL = " +
+                     std::to_string(d.cycles_no_pipelining())),
+              std::string::npos);
+}
+
+TEST(Codegen, TestbenchReferencesTopModule)
+{
+    const accel::AcceleratorDesign d(build_robot(RobotId::kBaxter),
+                                     {4, 4, 4});
+    const std::string tb = emit_testbench(d);
+    EXPECT_NE(tb.find(module_name(d) + " dut"), std::string::npos);
+    EXPECT_NE(tb.find("$finish"), std::string::npos);
+    EXPECT_EQ(count_occurrences(tb, "module "),
+              count_occurrences(tb, "endmodule"));
+}
+
+TEST(Codegen, DistinctRobotsProduceDistinctModules)
+{
+    const accel::AcceleratorDesign a(build_robot(RobotId::kIiwa),
+                                     {2, 2, 2});
+    const accel::AcceleratorDesign b(build_robot(RobotId::kHyq), {2, 2, 2});
+    EXPECT_NE(module_name(a), module_name(b));
+    EXPECT_NE(emit_verilog(a), emit_verilog(b));
+}
+
+TEST(Codegen, CellLibraryDefinesBothDatapaths)
+{
+    const std::string cells = emit_cell_library();
+    EXPECT_NE(cells.find("module roboshape_traversal_pe"),
+              std::string::npos);
+    EXPECT_NE(cells.find("module roboshape_block_mv"), std::string::npos);
+    EXPECT_EQ(count_occurrences(cells, "module "),
+              count_occurrences(cells, "endmodule"));
+}
+
+} // namespace
+} // namespace codegen
+} // namespace roboshape

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for contact-constrained forward dynamics (stance-leg pinning).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynamics/aba.h"
+#include "dynamics/constrained.h"
+#include "dynamics/kinematics.h"
+#include "dynamics/robot_state.h"
+#include "linalg/factorization.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+
+std::vector<Contact>
+hyq_feet(const RobotModel &hyq)
+{
+    std::vector<Contact> contacts;
+    for (const char *name : {"lf_kfe", "rf_kfe", "lh_kfe", "rh_kfe"}) {
+        const int idx = hyq.find_link(name);
+        EXPECT_GE(idx, 0);
+        // The foot sits at the end of the 0.33 m shank.
+        contacts.push_back({static_cast<std::size_t>(idx),
+                            {0.0, 0.0, 0.33}});
+    }
+    return contacts;
+}
+
+TEST(Constrained, NoContactsReducesToFreeDynamics)
+{
+    const RobotModel m = topology::build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(m);
+    const RobotState s = random_state(m, 3);
+    const auto sol =
+        constrained_forward_dynamics(m, topo, s.q, s.qd, s.tau, {});
+    const Vector free = aba(m, s.q, s.qd, s.tau);
+    EXPECT_LT(linalg::max_abs_diff(sol.qdd, free), 1e-7);
+}
+
+TEST(Constrained, StanceFeetStopAccelerating)
+{
+    const RobotModel hyq = topology::build_robot(RobotId::kHyq);
+    const TopologyInfo topo(hyq);
+    const RobotState s = random_state(hyq, 7);
+    const auto contacts = hyq_feet(hyq);
+
+    const auto sol = constrained_forward_dynamics(hyq, topo, s.q, s.qd,
+                                                  s.tau, contacts);
+    EXPECT_LT(sol.constraint_residual, 1e-6);
+    EXPECT_LT(sol.kkt_residual, 1e-6);
+
+    // The unconstrained solution violates the constraint badly.
+    const Vector free = aba(hyq, s.q, s.qd, s.tau);
+    const Matrix jac = contact_jacobian(hyq, s.q, contacts);
+    const Vector bias = contact_bias(hyq, s.q, s.qd, contacts);
+    const Vector free_violation = jac * free + bias;
+    EXPECT_GT(free_violation.max_abs(), 1e-2);
+}
+
+TEST(Constrained, RestWithoutGravityNeedsNoForces)
+{
+    const RobotModel hyq = topology::build_robot(RobotId::kHyq);
+    const TopologyInfo topo(hyq);
+    const std::size_t n = hyq.num_links();
+    const Vector q = random_state(hyq, 9).q;
+    const Vector zero(n);
+    const auto sol = constrained_forward_dynamics(
+        hyq, topo, q, zero, zero, hyq_feet(hyq), spatial::Vec3::zero());
+    EXPECT_NEAR(sol.qdd.max_abs(), 0.0, 1e-8);
+    EXPECT_NEAR(sol.forces.max_abs(), 0.0, 1e-6);
+}
+
+TEST(Constrained, GravityLoadsTheStanceFeet)
+{
+    // Under gravity with zero torque, pinned feet must push: nonzero
+    // contact forces appear and joint accelerations shrink relative to
+    // free fall.
+    const RobotModel hyq = topology::build_robot(RobotId::kHyq);
+    const TopologyInfo topo(hyq);
+    const std::size_t n = hyq.num_links();
+    const Vector q = random_state(hyq, 11).q;
+    const Vector zero(n);
+    const auto sol = constrained_forward_dynamics(hyq, topo, q, zero, zero,
+                                                  hyq_feet(hyq));
+    EXPECT_GT(sol.forces.max_abs(), 1.0);
+    const Vector free = aba(hyq, q, zero, zero);
+    EXPECT_LT(sol.qdd.norm(), free.norm());
+}
+
+TEST(Constrained, FootDriftStaysSmallUnderIntegration)
+{
+    // Start with velocities in the constraint null space and integrate the
+    // constrained dynamics; foot positions must drift only at O(dt^2).
+    const RobotModel hyq = topology::build_robot(RobotId::kHyq);
+    const TopologyInfo topo(hyq);
+    const std::size_t n = hyq.num_links();
+    const auto contacts = hyq_feet(hyq);
+
+    Vector q = random_state(hyq, 13).q;
+    Vector qd = random_state(hyq, 14).qd;
+    {
+        // Project qd onto the null space of J (damped least squares).
+        const Matrix jac = contact_jacobian(hyq, q, contacts);
+        Matrix lam = jac * jac.transposed();
+        for (std::size_t i = 0; i < lam.rows(); ++i)
+            lam(i, i) += 1e-10;
+        const Vector correction = jac.transposed() * linalg::Ldlt(lam)
+                                                         .solve(jac * qd);
+        qd -= correction;
+    }
+
+    // Record initial foot-tip positions (link origin + rotated offset).
+    const auto foot_pos = [&](const ForwardKinematics &fk,
+                              const Contact &c) {
+        const auto &x = fk.base_to_link[c.link];
+        return x.translation_vector() +
+               x.rotation_matrix().transpose_mul(c.point);
+    };
+    const auto fk0 = forward_kinematics(hyq, q);
+    std::vector<spatial::Vec3> feet0;
+    for (const Contact &c : contacts)
+        feet0.push_back(foot_pos(fk0, c));
+
+    const double dt = 1e-4;
+    const Vector tau(n);
+    for (int k = 0; k < 100; ++k) {
+        const auto sol =
+            constrained_forward_dynamics(hyq, topo, q, qd, tau, contacts);
+        for (std::size_t i = 0; i < n; ++i) {
+            q[i] += qd[i] * dt + 0.5 * sol.qdd[i] * dt * dt;
+            qd[i] += sol.qdd[i] * dt;
+        }
+    }
+    const auto fk1 = forward_kinematics(hyq, q);
+    for (std::size_t c = 0; c < contacts.size(); ++c) {
+        const double drift = (foot_pos(fk1, contacts[c]) - feet0[c]).norm();
+        EXPECT_LT(drift, 5e-4) << "foot " << c;
+    }
+}
+
+TEST(Constrained, JacobianRowsMatchLinkJacobians)
+{
+    const RobotModel baxter = topology::build_robot(RobotId::kBaxter);
+    const RobotState s = random_state(baxter, 15);
+    const std::vector<Contact> contacts{
+        {static_cast<std::size_t>(baxter.find_link("left_arm_link7")), {}},
+        {static_cast<std::size_t>(baxter.find_link("right_arm_link7")),
+         {}}};
+    const Matrix jac = contact_jacobian(baxter, s.q, contacts);
+    EXPECT_EQ(jac.rows(), 6u);
+    const Matrix left = link_jacobian(baxter, s.q, contacts[0].link);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t j = 0; j < baxter.num_links(); ++j)
+            EXPECT_EQ(jac(r, j), left(3 + r, j));
+}
+
+} // namespace
+} // namespace dynamics
+} // namespace roboshape

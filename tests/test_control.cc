@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the iLQR trajectory optimizer — the paper's motivating
+ * nonlinear-optimal-control workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/ilqr.h"
+#include "dynamics/aba.h"
+#include "topology/parametric_robots.h"
+#include "topology/robot_library.h"
+
+namespace roboshape {
+namespace control {
+namespace {
+
+using linalg::Vector;
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+using topology::build_robot;
+
+IlqrProblem
+reach_problem(const RobotModel &model, double target, std::size_t horizon)
+{
+    const std::size_t n = model.num_links();
+    IlqrProblem p;
+    p.q0 = Vector(n);
+    p.qd0 = Vector(n);
+    p.q_goal = Vector(n);
+    for (std::size_t i = 0; i < n; ++i)
+        p.q_goal[i] = target;
+    p.horizon = horizon;
+    return p;
+}
+
+TEST(Ilqr, CostDecreasesMonotonically)
+{
+    const RobotModel m = topology::make_serial_chain(3);
+    const TopologyInfo topo(m);
+    const IlqrResult r = solve_ilqr(m, topo, reach_problem(m, 0.3, 20));
+    ASSERT_GE(r.cost_history.size(), 2u);
+    for (std::size_t k = 1; k < r.cost_history.size(); ++k)
+        EXPECT_LT(r.cost_history[k], r.cost_history[k - 1]) << k;
+}
+
+TEST(Ilqr, SolvesPendulumSwingTowardGoal)
+{
+    const RobotModel m = topology::make_serial_chain(1);
+    const TopologyInfo topo(m);
+    IlqrProblem p = reach_problem(m, 0.8, 40);
+    p.dt = 0.02;
+    IlqrOptions options;
+    options.max_iterations = 80;
+    const IlqrResult r = solve_ilqr(m, topo, p, options);
+
+    // Final position approaches the goal.
+    const double q_final = r.states.back()[0];
+    EXPECT_NEAR(q_final, 0.8, 0.1);
+    // And improves massively over the passive rollout.
+    EXPECT_LT(r.final_cost(), 0.25 * r.cost_history.front());
+}
+
+TEST(Ilqr, TrajectoryIsDynamicallyConsistent)
+{
+    // The returned states must satisfy the true dynamics under the
+    // returned controls (semi-implicit Euler).
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(m);
+    IlqrProblem p = reach_problem(m, 0.2, 10);
+    IlqrOptions options;
+    options.max_iterations = 5;
+    const IlqrResult r = solve_ilqr(m, topo, p, options);
+
+    const std::size_t n = m.num_links();
+    for (std::size_t k = 0; k < p.horizon; ++k) {
+        Vector q(n), qd(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            q[i] = r.states[k][i];
+            qd[i] = r.states[k][n + i];
+        }
+        const Vector qdd = dynamics::aba(m, q, qd, r.controls[k]);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double qd_next = qd[i] + p.dt * qdd[i];
+            EXPECT_NEAR(r.states[k + 1][n + i], qd_next, 1e-9);
+            EXPECT_NEAR(r.states[k + 1][i], q[i] + p.dt * qd_next, 1e-9);
+        }
+    }
+}
+
+TEST(Ilqr, TimingBreakdownIsAccounted)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(m);
+    IlqrOptions options;
+    options.max_iterations = 4;
+    const IlqrResult r =
+        solve_ilqr(m, topo, reach_problem(m, 0.2, 8), options);
+    EXPECT_GT(r.timing.total_us, 0.0);
+    EXPECT_GT(r.timing.linearization_us, 0.0);
+    EXPECT_GT(r.timing.rollout_us, 0.0);
+    EXPECT_GT(r.timing.backward_pass_us, 0.0);
+    // Phases never exceed the total.
+    EXPECT_LE(r.timing.linearization_us + r.timing.backward_pass_us +
+                  r.timing.rollout_us,
+              r.timing.total_us * 1.05);
+    // The paper's motivating claim: gradients are a major share of the
+    // solve (30-90% in the paper; timing noise on tiny solves allows a
+    // little slack here — bench/control_bottleneck measures it properly).
+    EXPECT_GT(r.timing.gradient_fraction(), 0.15);
+    EXPECT_LT(r.timing.gradient_fraction(), 0.95);
+}
+
+TEST(Ilqr, CostFunctionMatchesManualSum)
+{
+    const RobotModel m = topology::make_serial_chain(2);
+    IlqrProblem p = reach_problem(m, 0.5, 2);
+    std::vector<Vector> xs(3, Vector(4));
+    std::vector<Vector> us(2, Vector(2));
+    xs[0] = Vector{0.1, 0.2, 0.0, 0.0};
+    xs[1] = Vector{0.2, 0.3, 0.1, -0.1};
+    xs[2] = Vector{0.5, 0.5, 0.0, 0.0};
+    us[0] = Vector{1.0, -1.0};
+    us[1] = Vector{0.5, 0.5};
+
+    double expected = 0.0;
+    for (int k = 0; k < 2; ++k) {
+        for (int i = 0; i < 2; ++i) {
+            const double eq = xs[k][i] - 0.5;
+            expected += 0.5 * p.w_q * eq * eq +
+                        0.5 * p.w_qd * xs[k][2 + i] * xs[k][2 + i] +
+                        0.5 * p.w_u * us[k][i] * us[k][i];
+        }
+    }
+    // Terminal: exactly at goal with zero velocity -> zero.
+    EXPECT_NEAR(trajectory_cost(p, xs, us), expected, 1e-12);
+}
+
+} // namespace
+} // namespace control
+} // namespace roboshape

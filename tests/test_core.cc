@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the generator façade and the design-space machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_space.h"
+#include "core/generator.h"
+#include "core/design_export.h"
+#include "core/soc_codesign.h"
+#include "topology/robot_library.h"
+
+namespace roboshape {
+namespace core {
+namespace {
+
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+using topology::all_robots;
+using topology::build_robot;
+using topology::robot_name;
+
+TEST(DesignSpace, CoversFullKnobCube)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const DesignSpace space = DesignSpace::sweep(m);
+    EXPECT_EQ(space.points().size(), 343u); // 7^3
+}
+
+TEST(DesignSpace, ParetoFrontierIsMinimalAndSorted)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const DesignSpace space = DesignSpace::sweep(m);
+    const auto frontier = space.pareto_frontier();
+    ASSERT_FALSE(frontier.empty());
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].resources.luts,
+                  frontier[i - 1].resources.luts);
+        EXPECT_LT(frontier[i].cycles, frontier[i - 1].cycles);
+    }
+    // No point in the space dominates a frontier point.
+    for (const DesignPoint &f : frontier) {
+        for (const DesignPoint &p : space.points()) {
+            const bool dominates =
+                p.resources.luts <= f.resources.luts &&
+                p.cycles <= f.cycles &&
+                (p.resources.luts < f.resources.luts ||
+                 p.cycles < f.cycles);
+            EXPECT_FALSE(dominates);
+        }
+    }
+}
+
+TEST(DesignSpace, OptimalPointHasMinimumCycles)
+{
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const DesignSpace space = DesignSpace::sweep(m);
+    const DesignPoint opt = space.optimal_min_latency();
+    EXPECT_EQ(opt.cycles, space.min_cycles());
+    // Tie-break: nothing at minimum cycles uses fewer LUTs.
+    for (const DesignPoint &p : space.points()) {
+        if (p.cycles == opt.cycles) {
+            EXPECT_GE(p.resources.luts, opt.resources.luts);
+        }
+    }
+}
+
+TEST(DesignSpace, MaxCyclesRangeMatchesPaperFig12Scale)
+{
+    // Paper Fig. 12: maximum latencies across the six robots' spaces span
+    // 829-7230 cycles.  The reproduction's calibrated model lands in the
+    // same order of magnitude with the same ordering (HyQ smallest,
+    // Jaco-3 largest).
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max(), hi = 0;
+    std::int64_t hyq_max = 0, jaco3_max = 0;
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const std::int64_t mx = DesignSpace::sweep(m).max_cycles();
+        lo = std::min(lo, mx);
+        hi = std::max(hi, mx);
+        if (id == RobotId::kHyq)
+            hyq_max = mx;
+        if (id == RobotId::kJaco3)
+            jaco3_max = mx;
+    }
+    EXPECT_EQ(lo, hyq_max);
+    EXPECT_EQ(hi, jaco3_max);
+    EXPECT_GT(lo, 400);
+    EXPECT_LT(hi, 10000);
+}
+
+TEST(DesignSpace, Vc707HasNoFeasibleHyqArmPoint)
+{
+    // Paper Fig. 16: no design point within the VC707 constraints exists
+    // for HyQ+arm.
+    const RobotModel m = build_robot(RobotId::kHyqWithArm);
+    const DesignSpace space = DesignSpace::sweep(m);
+    EXPECT_FALSE(space.constrained_min_latency(accel::vc707()).has_value());
+    EXPECT_FALSE(space.max_allocation(accel::vc707()).has_value());
+    // The big VCU118 fits it.
+    EXPECT_TRUE(space.constrained_min_latency(accel::vcu118()).has_value());
+    // Every other robot has VC707-feasible points (Fig. 16 shows bars for
+    // all of them).
+    for (RobotId id : all_robots()) {
+        if (id == RobotId::kHyqWithArm)
+            continue;
+        const RobotModel other = build_robot(id);
+        EXPECT_TRUE(DesignSpace::sweep(other)
+                        .constrained_min_latency(accel::vc707())
+                        .has_value())
+            << robot_name(id);
+    }
+}
+
+TEST(DesignSpace, MaxAllocationOftenMissesMinimumLatency)
+{
+    // Paper Insight #3: maximally-allocated designs often fail to match
+    // the constrained minimum latency while using more resources.
+    bool observed = false;
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const DesignSpace space = DesignSpace::sweep(m);
+        const auto maxalloc = space.max_allocation(accel::vcu118());
+        const auto best = space.constrained_min_latency(accel::vcu118());
+        if (!maxalloc || !best)
+            continue;
+        EXPECT_GE(maxalloc->cycles, best->cycles);
+        if (maxalloc->cycles > best->cycles &&
+            maxalloc->resources.luts > best->resources.luts)
+            observed = true;
+    }
+    EXPECT_TRUE(observed);
+}
+
+TEST(DesignSpace, BestBlockSizeAlignsWithHyqLegs)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(m);
+    const std::size_t best = best_block_size(topo);
+    EXPECT_TRUE(best == 3 || best == 6 || best == 9 || best == 12)
+        << best;
+}
+
+TEST(Strategies, HybridMeetsMinimumLatencyOnDeepRobots)
+{
+    // For robots whose parallelism is depth-dominated (iiwa and the Jaco
+    // variants), the Hybrid heuristic reaches the exhaustive-search
+    // minimum exactly, as in paper Fig. 13.  (For limb-dominated robots
+    // our work-conserving scheduler still profits from extra PEs; see
+    // EXPERIMENTS.md, deviations.)
+    for (RobotId id :
+         {RobotId::kIiwa, RobotId::kJaco2, RobotId::kJaco3}) {
+        const RobotModel m = build_robot(id);
+        const DesignSpace space = DesignSpace::sweep(m);
+        const StrategyEvaluation hybrid = evaluate_strategy(
+            m, sched::AllocationStrategy::kHybrid, space);
+        EXPECT_TRUE(hybrid.meets_minimum_latency) << robot_name(id);
+    }
+}
+
+TEST(Strategies, HybridImprovesOnItsComponentStrategies)
+{
+    // Paper Sec. 5.4: the Hybrid of Max Leaf Depth (forward) and Max
+    // Descendants (backward) improves on both constituent strategies.
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const DesignSpace space = DesignSpace::sweep(m);
+        const auto hybrid = evaluate_strategy(
+            m, sched::AllocationStrategy::kHybrid, space);
+        const auto maxleaf = evaluate_strategy(
+            m, sched::AllocationStrategy::kMaxLeafDepth, space);
+        EXPECT_LE(hybrid.cycles, maxleaf.cycles) << robot_name(id);
+        // And it never exceeds the naive Total-Links resource budget.
+        const auto total = evaluate_strategy(
+            m, sched::AllocationStrategy::kTotalLinks, space);
+        EXPECT_LE(hybrid.resources.luts, total.resources.luts)
+            << robot_name(id);
+        EXPECT_LE(hybrid.resources.dsps, total.resources.dsps)
+            << robot_name(id);
+    }
+}
+
+TEST(Strategies, TotalLinksMeetsLatencyButWastesResources)
+{
+    // Paper Insight #1: naive Total-Links allocation reaches minimum
+    // latency but over-provisions resources relative to Hybrid.
+    for (RobotId id : {RobotId::kBaxter, RobotId::kJaco2}) {
+        const RobotModel m = build_robot(id);
+        const DesignSpace space = DesignSpace::sweep(m);
+        const auto total = evaluate_strategy(
+            m, sched::AllocationStrategy::kTotalLinks, space);
+        const auto hybrid = evaluate_strategy(
+            m, sched::AllocationStrategy::kHybrid, space);
+        EXPECT_TRUE(total.meets_minimum_latency) << robot_name(id);
+        EXPECT_GE(total.resources.luts, hybrid.resources.luts)
+            << robot_name(id);
+    }
+}
+
+TEST(Strategies, AvgLeafDepthUnderprovisionsAsymmetricRobots)
+{
+    // Paper Sec. 5.4: average leaf depth gives poor latency on every robot
+    // whose metrics do not coincide with max leaf depth (e.g. Baxter).
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const DesignSpace space = DesignSpace::sweep(m);
+    const auto avg = evaluate_strategy(
+        m, sched::AllocationStrategy::kAvgLeafDepth, space);
+    EXPECT_FALSE(avg.meets_minimum_latency);
+}
+
+TEST(Generator, FromUrdfProducesFeasibleDesignWithReport)
+{
+    GeneratorConstraints constraints;
+    constraints.platform = &accel::vcu118();
+    const Generator gen;
+    const GeneratedAccelerator out =
+        gen.from_urdf(topology::robot_urdf(RobotId::kBaxter), constraints);
+    EXPECT_TRUE(out.design.resources().fits(accel::vcu118()));
+    EXPECT_NE(out.report.find("baxter"), std::string::npos);
+    EXPECT_NE(out.report.find("knobs"), std::string::npos);
+}
+
+TEST(Generator, RespectsExplicitKnobCaps)
+{
+    GeneratorConstraints constraints;
+    constraints.max_pes_fwd = 2;
+    constraints.max_pes_bwd = 3;
+    constraints.max_block_size = 2;
+    const Generator gen;
+    const auto out =
+        gen.from_model(build_robot(RobotId::kHyqWithArm), constraints);
+    EXPECT_LE(out.design.params().pes_fwd, 2u);
+    EXPECT_LE(out.design.params().pes_bwd, 3u);
+    EXPECT_LE(out.design.params().block_size, 2u);
+}
+
+TEST(Generator, ShrinksOntoSmallPlatform)
+{
+    // HyQ must be shrunk to fit the VC707 but remains feasible.
+    GeneratorConstraints constraints;
+    constraints.platform = &accel::vc707();
+    const Generator gen;
+    const auto out =
+        gen.from_model(build_robot(RobotId::kHyq), constraints);
+    EXPECT_TRUE(out.design.resources().fits(accel::vc707()));
+}
+
+TEST(Generator, ThrowsWhenNothingFits)
+{
+    // HyQ+arm cannot fit the VC707 at 80% (paper Fig. 16).
+    GeneratorConstraints constraints;
+    constraints.platform = &accel::vc707();
+    const Generator gen;
+    EXPECT_THROW(gen.from_model(build_robot(RobotId::kHyqWithArm),
+                                constraints),
+                 GenerationError);
+}
+
+TEST(DesignExport, JsonContainsEverySection)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const accel::AcceleratorDesign d(m, {3, 3, 6});
+    const std::string json = design_to_json(d);
+    for (const char *key :
+         {"\"robot\": \"hyq\"", "\"kernel\"", "\"total_links\": 12",
+          "\"pes_fwd\": 3", "\"size_block\": 6",
+          "\"clock_period_ns\": 18", "\"luts\": 507158",
+          "\"forward\"", "\"backward\"", "rneaFwd[i=0]"})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    // Braces and brackets balance.
+    int braces = 0, brackets = 0;
+    for (char c : json) {
+        braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+        brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    }
+    EXPECT_EQ(braces, 0);
+    // ROM labels contain brackets; net balance still closes.
+    EXPECT_EQ(brackets, 0);
+}
+
+// ------------------------------------------------------ SoC co-design ----
+
+TEST(SocCodesign, FrontierTradesLatenciesUnderSharedBudget)
+{
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    const auto frontier = codesign_pareto(
+        {&hyq, sched::KernelKind::kDynamicsGradient},
+        {&hyq, sched::KernelKind::kMassMatrix}, accel::vcu118());
+    ASSERT_GE(frontier.size(), 2u);
+    const double lut_budget = accel::vcu118().luts * 0.8;
+    const double dsp_budget = accel::vcu118().dsps * 0.8;
+    for (std::size_t k = 0; k < frontier.size(); ++k) {
+        EXPECT_LE(frontier[k].total_luts(), lut_budget);
+        EXPECT_LE(frontier[k].total_dsps(), dsp_budget);
+        if (k > 0) {
+            // Strictly increasing first latency, decreasing second.
+            EXPECT_GT(frontier[k].first.cycles,
+                      frontier[k - 1].first.cycles);
+            EXPECT_LT(frontier[k].second.cycles,
+                      frontier[k - 1].second.cycles);
+        }
+    }
+}
+
+TEST(SocCodesign, ReportsInfeasiblePairings)
+{
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    EXPECT_TRUE(codesign_pareto(
+                    {&iiwa, sched::KernelKind::kDynamicsGradient},
+                    {&hyq, sched::KernelKind::kDynamicsGradient},
+                    accel::vc707())
+                    .empty());
+}
+
+TEST(DesignSpace, KernelSweepsDropUnusedBlockKnob)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const DesignSpace grad = DesignSpace::sweep(m);
+    const DesignSpace crba = DesignSpace::sweep(
+        m, accel::default_timing(), sched::KernelKind::kMassMatrix);
+    EXPECT_EQ(grad.points().size(), 343u);
+    EXPECT_EQ(crba.points().size(), 49u); // block fixed at 1
+}
+
+TEST(DesignSpace, Pareto3dContains2dFrontier)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const DesignSpace space = DesignSpace::sweep(m);
+    const auto p2 = space.pareto_frontier();
+    const auto p3 = space.pareto_frontier_3d();
+    for (const DesignPoint &p : p2) {
+        bool found = false;
+        for (const DesignPoint &q : p3)
+            if (q.params == p.params)
+                found = true;
+        EXPECT_TRUE(found) << p.params.to_string();
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace roboshape

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the rigid-body dynamics substrate: RNEA, CRBA, ABA, and the
+ * analytical derivatives (paper Algs. 1-3), validated against independent
+ * formulations and finite differences across all six robots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynamics/aba.h"
+#include "dynamics/crba.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/finite_diff.h"
+#include "dynamics/rnea.h"
+#include "dynamics/rnea_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "linalg/factorization.h"
+#include "topology/robot_library.h"
+
+namespace roboshape {
+namespace dynamics {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using linalg::max_abs_diff;
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+using topology::all_robots;
+using topology::build_robot;
+using topology::robot_name;
+
+/** Robots x seeds, the standard sweep for dynamics properties. */
+class DynamicsSweep
+    : public ::testing::TestWithParam<std::tuple<RobotId, std::uint32_t>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        model_ = build_robot(std::get<0>(GetParam()));
+        seed_ = std::get<1>(GetParam());
+        state_ = std::make_unique<RobotState>(random_state(*model_, seed_));
+    }
+
+    std::optional<RobotModel> model_;
+    std::uint32_t seed_ = 0;
+    std::unique_ptr<RobotState> state_;
+};
+
+std::string
+sweep_name(
+    const ::testing::TestParamInfo<std::tuple<RobotId, std::uint32_t>> &info)
+{
+    std::string name = robot_name(std::get<0>(info.param));
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name + "_s" + std::to_string(std::get<1>(info.param));
+}
+
+#define INSTANTIATE_SWEEP(suite)                                            \
+    INSTANTIATE_TEST_SUITE_P(                                               \
+        Robots, suite,                                                      \
+        ::testing::Combine(::testing::ValuesIn(all_robots()),               \
+                           ::testing::Values(1u, 2u, 3u)),                  \
+        sweep_name)
+
+// ---------------------------------------------------------------- RNEA ----
+
+using RneaCrbaConsistency = DynamicsSweep;
+
+TEST_P(RneaCrbaConsistency, TauEqualsMassTimesQddPlusBias)
+{
+    // tau = M(q) qdd + C(q, qd): two independent algorithms must agree.
+    const Vector tau_rnea =
+        rnea(*model_, state_->q, state_->qd, state_->qdd);
+    const Matrix m = crba(*model_, state_->q);
+    const Vector bias = bias_forces(*model_, state_->q, state_->qd);
+    const Vector tau_crba = m * state_->qdd + bias;
+    EXPECT_LT(max_abs_diff(tau_rnea, tau_crba), 1e-8);
+}
+
+INSTANTIATE_SWEEP(RneaCrbaConsistency);
+
+using AbaInvertsRnea = DynamicsSweep;
+
+TEST_P(AbaInvertsRnea, ForwardOfInverseIsIdentity)
+{
+    const Vector tau = rnea(*model_, state_->q, state_->qd, state_->qdd);
+    const Vector qdd = aba(*model_, state_->q, state_->qd, tau);
+    EXPECT_LT(max_abs_diff(qdd, state_->qdd), 1e-7);
+}
+
+INSTANTIATE_SWEEP(AbaInvertsRnea);
+
+using MassMatrixProperties = DynamicsSweep;
+
+TEST_P(MassMatrixProperties, SymmetricPositiveDefinite)
+{
+    const Matrix m = crba(*model_, state_->q);
+    EXPECT_TRUE(m.is_symmetric(1e-9));
+    EXPECT_TRUE(linalg::Ldlt(m).ok());
+}
+
+INSTANTIATE_SWEEP(MassMatrixProperties);
+
+using BlockInverseEquivalence = DynamicsSweep;
+
+TEST_P(BlockInverseEquivalence, LimbBlockInverseMatchesDense)
+{
+    const TopologyInfo topo(*model_);
+    const Matrix m = crba(*model_, state_->q);
+    const Matrix block_inv = mass_matrix_inverse(topo, m);
+    const Matrix dense_inv = linalg::spd_inverse(m);
+    EXPECT_LT(max_abs_diff(block_inv, dense_inv), 1e-8);
+}
+
+INSTANTIATE_SWEEP(BlockInverseEquivalence);
+
+// --------------------------------------------------------- derivatives ----
+
+using RneaDerivativeSweep = DynamicsSweep;
+
+TEST_P(RneaDerivativeSweep, AnalyticalMatchesFiniteDifference)
+{
+    RneaCache cache;
+    rnea(*model_, state_->q, state_->qd, state_->qdd, kDefaultGravity,
+         &cache);
+    const TopologyInfo topo(*model_);
+    const RneaDerivatives d =
+        rnea_derivatives(*model_, topo, state_->qd, cache);
+
+    const Matrix fd_q =
+        fd_dtau_dq(*model_, state_->q, state_->qd, state_->qdd);
+    const Matrix fd_qd =
+        fd_dtau_dqd(*model_, state_->q, state_->qd, state_->qdd);
+    EXPECT_LT(max_abs_diff(d.dtau_dq, fd_q), 2e-5);
+    EXPECT_LT(max_abs_diff(d.dtau_dqd, fd_qd), 2e-5);
+}
+
+INSTANTIATE_SWEEP(RneaDerivativeSweep);
+
+using RneaDerivativeSparsity = DynamicsSweep;
+
+TEST_P(RneaDerivativeSparsity, ZeroOutsideSubtreeAndRootPath)
+{
+    // dtau_i/dq_j can be nonzero only when i is in subtree(j) or i is an
+    // ancestor of j — the structure the scheduler's task graph encodes.
+    RneaCache cache;
+    rnea(*model_, state_->q, state_->qd, state_->qdd, kDefaultGravity,
+         &cache);
+    const TopologyInfo topo(*model_);
+    const RneaDerivatives d =
+        rnea_derivatives(*model_, topo, state_->qd, cache);
+    for (std::size_t i = 0; i < model_->num_links(); ++i) {
+        for (std::size_t j = 0; j < model_->num_links(); ++j) {
+            const bool coupled = topo.is_ancestor_or_self(j, i) ||
+                                 topo.is_ancestor_or_self(i, j);
+            if (!coupled) {
+                EXPECT_EQ(d.dtau_dq(i, j), 0.0) << i << "," << j;
+                EXPECT_EQ(d.dtau_dqd(i, j), 0.0) << i << "," << j;
+            }
+        }
+    }
+}
+
+INSTANTIATE_SWEEP(RneaDerivativeSparsity);
+
+using FdGradientSweep = DynamicsSweep;
+
+TEST_P(FdGradientSweep, MatchesFiniteDifferenceOfAba)
+{
+    const TopologyInfo topo(*model_);
+    const ForwardDynamicsGradients g = forward_dynamics_gradients(
+        *model_, topo, state_->q, state_->qd, state_->tau);
+
+    // Linearization point agrees with ABA.
+    const Vector qdd_aba =
+        aba(*model_, state_->q, state_->qd, state_->tau);
+    EXPECT_LT(max_abs_diff(g.qdd, qdd_aba), 1e-7);
+
+    const Matrix fd_q =
+        fd_dqdd_dq(*model_, state_->q, state_->qd, state_->tau);
+    const Matrix fd_qd =
+        fd_dqdd_dqd(*model_, state_->q, state_->qd, state_->tau);
+    EXPECT_LT(max_abs_diff(g.dqdd_dq, fd_q), 5e-5);
+    EXPECT_LT(max_abs_diff(g.dqdd_dqd, fd_qd), 5e-5);
+}
+
+INSTANTIATE_SWEEP(FdGradientSweep);
+
+// ----------------------------------------------------------- scenarios ----
+
+TEST(Rnea, GravityTorqueOfHangingPendulum)
+{
+    // Single revolute link about the y axis with COM offset along z: at
+    // q = 0 the rod hangs along +z; gravity (-z) exerts no torque.  At
+    // q = pi/2 the rod is horizontal and the torque is m g L.
+    topology::RobotModelBuilder b("pendulum");
+    const double mass = 2.0, length = 0.5;
+    b.add_link("rod", "",
+               spatial::JointModel(spatial::JointType::kRevolute,
+                                   spatial::Vec3::unit_y()),
+               spatial::SpatialTransform(),
+               spatial::SpatialInertia::from_mass_com_inertia(
+                   mass, {0.0, 0.0, length}, spatial::Mat3::identity() *
+                                                 0.001));
+    const RobotModel m = b.finalize();
+    Vector zero(1);
+    Vector q(1);
+
+    const Vector tau0 = rnea(m, q, zero, zero);
+    EXPECT_NEAR(tau0[0], 0.0, 1e-12);
+
+    q[0] = M_PI / 2.0;
+    const Vector tau90 = rnea(m, q, zero, zero);
+    EXPECT_NEAR(std::abs(tau90[0]), mass * 9.81 * length, 1e-9);
+}
+
+TEST(Rnea, ZeroGravityZeroMotionGivesZeroTorque)
+{
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const std::size_t n = m.num_links();
+    const Vector zero(n);
+    const Vector q = random_state(m, 5).q;
+    const Vector tau = rnea(m, q, zero, zero, spatial::Vec3::zero());
+    EXPECT_NEAR(tau.max_abs(), 0.0, 1e-12);
+}
+
+TEST(Rnea, CacheStoresAccumulatedForces)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const RobotState s = random_state(m, 7);
+    RneaCache cache;
+    const Vector tau = rnea(m, s.q, s.qd, s.qdd, kDefaultGravity, &cache);
+    // tau_i == S_i . f_i with the accumulated forces.
+    for (std::size_t i = 0; i < m.num_links(); ++i)
+        EXPECT_NEAR(tau[i], cache.s[i].dot(cache.f[i]), 1e-10);
+}
+
+TEST(Aba, EquilibriumHoldsUnderGravityCompensation)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const std::size_t n = m.num_links();
+    const Vector q = random_state(m, 11).q;
+    const Vector zero(n);
+    const Vector tau_hold = rnea(m, q, zero, zero); // gravity compensation
+    const Vector qdd = aba(m, q, zero, tau_hold);
+    EXPECT_NEAR(qdd.max_abs(), 0.0, 1e-8);
+}
+
+TEST(Aba, LinearInTorque)
+{
+    // qdd(tau) is affine with slope M^-1: checks dqdd/dtau == M^-1.
+    const RobotModel m = build_robot(RobotId::kJaco2);
+    const TopologyInfo topo(m);
+    const RobotState s = random_state(m, 13);
+    const std::size_t n = m.num_links();
+
+    const Matrix minv =
+        mass_matrix_inverse(topo, crba(m, s.q));
+    const Vector qdd0 = aba(m, s.q, s.qd, s.tau);
+    for (std::size_t j = 0; j < n; ++j) {
+        Vector tau2 = s.tau;
+        tau2[j] += 1.0;
+        const Vector qdd1 = aba(m, s.q, s.qd, tau2);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(qdd1[i] - qdd0[i], minv(i, j), 1e-7)
+                << "i=" << i << " j=" << j;
+    }
+}
+
+TEST(FdGradients, MassMatrixSharedAcrossOutputs)
+{
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const TopologyInfo topo(m);
+    const RobotState s = random_state(m, 19);
+    const ForwardDynamicsGradients g =
+        forward_dynamics_gradients(m, topo, s.q, s.qd, s.tau);
+    EXPECT_LT(max_abs_diff(g.mass, crba(m, s.q)), 1e-12);
+    const Matrix id = g.mass * g.mass_inv;
+    EXPECT_LT(max_abs_diff(id, Matrix::identity(m.num_links())), 1e-8);
+}
+
+TEST(FdGradients, EnergyConservationSanity)
+{
+    // Integrate an unactuated, gravity-free iiwa briefly with small steps;
+    // kinetic energy 0.5 qd^T M qd must be nearly conserved.
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const std::size_t n = m.num_links();
+    Vector q = random_state(m, 29).q;
+    Vector qd = random_state(m, 31).qd;
+    const Vector tau(n);
+    const spatial::Vec3 no_gravity = spatial::Vec3::zero();
+
+    const auto energy = [&](const Vector &qx, const Vector &qdx) {
+        const Matrix h = crba(m, qx);
+        return 0.5 * qdx.dot(h * qdx);
+    };
+    const double e0 = energy(q, qd);
+    const double dt = 1e-5;
+    for (int step = 0; step < 200; ++step) {
+        const Vector qdd = aba(m, q, qd, tau, no_gravity);
+        for (std::size_t i = 0; i < n; ++i) {
+            q[i] += qd[i] * dt + 0.5 * qdd[i] * dt * dt;
+            qd[i] += qdd[i] * dt;
+        }
+    }
+    EXPECT_NEAR(energy(q, qd), e0, 1e-3 * std::max(1.0, std::abs(e0)));
+}
+
+TEST(RobotState, DeterministicAndBounded)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const RobotState a = random_state(m, 42);
+    const RobotState b = random_state(m, 42);
+    EXPECT_EQ(max_abs_diff(a.q, b.q), 0.0);
+    EXPECT_LE(a.q.max_abs(), 3.14159);
+    EXPECT_LE(a.qd.max_abs(), 2.0);
+    EXPECT_LE(a.tau.max_abs(), 20.0);
+}
+
+} // namespace
+} // namespace dynamics
+} // namespace roboshape

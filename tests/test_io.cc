@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for I/O payload accounting and the interconnect model, anchored to
+ * the exact figures of paper Sec. 5.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "io/link_model.h"
+#include "io/payload.h"
+#include "topology/robot_library.h"
+
+namespace roboshape {
+namespace io {
+namespace {
+
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+using topology::build_robot;
+
+TEST(Payload, MatrixShareMatchesPaper)
+{
+    // Paper Sec. 5.2: matrices make up 84%, 90%, and 92% of total I/O bits
+    // for iiwa, HyQ, and Baxter.
+    EXPECT_NEAR(dense_payload(7).matrix_share(), 0.84, 0.005);
+    EXPECT_NEAR(dense_payload(12).matrix_share(), 0.90, 0.005);
+    EXPECT_NEAR(dense_payload(15).matrix_share(), 0.92, 0.005);
+}
+
+TEST(Payload, CompressionRatiosMatchPaper)
+{
+    // Paper Sec. 5.2: expected I/O reductions of 3.1x for HyQ and 2.1x for
+    // Baxter; iiwa's dense mass matrix compresses nothing.
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    const TopologyInfo hyq_topo(hyq);
+    EXPECT_NEAR(compression_ratio(hyq_topo), 3.1, 0.05);
+
+    const RobotModel baxter = build_robot(RobotId::kBaxter);
+    const TopologyInfo baxter_topo(baxter);
+    EXPECT_NEAR(compression_ratio(baxter_topo), 2.1, 0.05);
+
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    const TopologyInfo iiwa_topo(iiwa);
+    EXPECT_NEAR(compression_ratio(iiwa_topo), 1.0, 1e-12);
+}
+
+TEST(Payload, SparseNeverExceedsDense)
+{
+    for (RobotId id : topology::all_robots()) {
+        const RobotModel m = build_robot(id);
+        const TopologyInfo topo(m);
+        EXPECT_LE(sparse_payload(topo).total(),
+                  dense_payload(m.num_links()).total());
+        EXPECT_EQ(sparse_payload(topo).vector_bits,
+                  dense_payload(m.num_links()).vector_bits);
+    }
+}
+
+TEST(Payload, DirectionalSplitSumsToTotal)
+{
+    for (RobotId id : topology::all_robots()) {
+        const RobotModel m = build_robot(id);
+        const TopologyInfo topo(m);
+        const DirectionalPayload dense = dense_directional(m.num_links());
+        EXPECT_EQ(dense.in_bits + dense.out_bits,
+                  dense_payload(m.num_links()).total());
+        const DirectionalPayload sparse = sparse_directional(topo);
+        EXPECT_EQ(sparse.in_bits + sparse.out_bits,
+                  sparse_payload(topo).total());
+    }
+}
+
+TEST(Payload, DenseBitsFormula)
+{
+    // N = 7: vectors 4*7*32 = 896 bits, matrices 3*49*32 = 4704 bits.
+    const PayloadBits p = dense_payload(7);
+    EXPECT_EQ(p.vector_bits, 896);
+    EXPECT_EQ(p.matrix_bits, 4704);
+}
+
+TEST(LinkModel, TransferTimeScalesWithPayload)
+{
+    const LinkModel &link = fpga_link_gen1();
+    const double small = link.transfer_us(1000);
+    const double large = link.transfer_us(100000);
+    EXPECT_GT(large, small);
+    // Fixed overhead dominates tiny transfers.
+    EXPECT_NEAR(link.transfer_us(0), link.per_transfer_us, 1e-12);
+}
+
+TEST(LinkModel, Gen3IsRoughlyThreeTimesFaster)
+{
+    // Paper Sec. 5.2: PCIe Gen 3 is around 3x faster than the Gen-1-level
+    // Connectal link.
+    EXPECT_NEAR(pcie_gen3().gbit_per_s / fpga_link_gen1().gbit_per_s, 3.0,
+                0.1);
+}
+
+TEST(LinkModel, RoundtripComposition)
+{
+    const LinkModel link{"test", 1.0, 2.0}; // 1 Gbit/s, 2 us setup
+    // 4 steps x 1000 bits each way + 10 us compute:
+    // in: 2 + 4 us; out: 2 + 4 us; total 22 us.
+    EXPECT_NEAR(roundtrip_us(link, 1000, 1000, 4, 10.0), 22.0, 1e-9);
+}
+
+TEST(LinkModel, SparsePacketsShrinkRoundtrip)
+{
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(hyq);
+    const DirectionalPayload dense = dense_directional(hyq.num_links());
+    const DirectionalPayload sparse = sparse_directional(topo);
+    const double dense_rt = roundtrip_us(fpga_link_gen1(), dense.in_bits,
+                                         dense.out_bits, 4, 0.0);
+    const double sparse_rt = roundtrip_us(fpga_link_gen1(), sparse.in_bits,
+                                          sparse.out_bits, 4, 0.0);
+    EXPECT_LT(sparse_rt, dense_rt);
+}
+
+} // namespace
+} // namespace io
+} // namespace roboshape

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for forward kinematics, Jacobians, and the parametric robot
+ * generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynamics/crba.h"
+#include "dynamics/kinematics.h"
+#include "dynamics/rnea.h"
+#include "dynamics/rnea_derivatives.h"
+#include "dynamics/finite_diff.h"
+#include "dynamics/robot_state.h"
+#include "linalg/factorization.h"
+#include "topology/parametric_robots.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace dynamics {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using topology::RobotId;
+using topology::RobotModel;
+using topology::all_robots;
+using topology::build_robot;
+using topology::robot_name;
+
+TEST(ForwardKinematics, ZeroConfigurationComposesTreeOffsets)
+{
+    // iiwa at q = 0: every segment stacks along +z from the base offset.
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const Vector q(m.num_links());
+    const ForwardKinematics fk = forward_kinematics(m, q);
+    double expected_z = 0.15; // base offset of the first link
+    for (std::size_t i = 0; i < m.num_links(); ++i) {
+        const auto p = fk.origin_in_base(i);
+        EXPECT_NEAR(p.x, 0.0, 1e-12);
+        EXPECT_NEAR(p.y, 0.0, 1e-12);
+        EXPECT_NEAR(p.z, expected_z, 1e-12) << "link " << i;
+        expected_z += 0.22;
+    }
+}
+
+TEST(ForwardKinematics, TransformsAreRigid)
+{
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const RobotState s = random_state(m, 31);
+        const ForwardKinematics fk = forward_kinematics(m, s.q);
+        for (std::size_t i = 0; i < m.num_links(); ++i) {
+            const auto &e = fk.base_to_link[i].rotation_matrix();
+            const auto ete = e.transposed() * e;
+            for (std::size_t r = 0; r < 3; ++r)
+                for (std::size_t c = 0; c < 3; ++c)
+                    EXPECT_NEAR(ete(r, c), r == c ? 1.0 : 0.0, 1e-10);
+        }
+    }
+}
+
+class JacobianSweep
+    : public ::testing::TestWithParam<std::tuple<RobotId, std::uint32_t>>
+{
+};
+
+TEST_P(JacobianSweep, JacobianTimesQdEqualsLinkVelocity)
+{
+    const RobotModel m = build_robot(std::get<0>(GetParam()));
+    const RobotState s = random_state(m, std::get<1>(GetParam()));
+    const auto velocities = link_velocities(m, s.q, s.qd);
+    for (std::size_t link = 0; link < m.num_links(); ++link) {
+        const Matrix jac = link_jacobian(m, s.q, link);
+        const Vector v = jac * s.qd;
+        for (std::size_t r = 0; r < 6; ++r)
+            EXPECT_NEAR(v[r], velocities[link][r], 1e-9)
+                << "link " << link << " row " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Robots, JacobianSweep,
+    ::testing::Combine(::testing::ValuesIn(all_robots()),
+                       ::testing::Values(3u, 7u)),
+    [](const auto &info) {
+        std::string name = robot_name(std::get<0>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Jacobian, SparsityFollowsAncestorClosure)
+{
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const topology::TopologyInfo topo(m);
+    const RobotState s = random_state(m, 5);
+    for (std::size_t link = 0; link < m.num_links(); ++link) {
+        const Matrix jac = link_jacobian(m, s.q, link);
+        for (std::size_t j = 0; j < m.num_links(); ++j) {
+            const bool ancestor = topo.is_ancestor_or_self(j, link);
+            double col_norm = 0.0;
+            for (std::size_t r = 0; r < 6; ++r)
+                col_norm += std::abs(jac(r, j));
+            if (!ancestor)
+                EXPECT_EQ(col_norm, 0.0) << link << "," << j;
+            else
+                EXPECT_GT(col_norm, 0.0) << link << "," << j;
+        }
+    }
+}
+
+TEST(Jacobian, MassMatrixEqualsJacobianQuadraticForm)
+{
+    // M(q) == sum_i J_i^T I_i J_i — ties CRBA, kinematics, and inertias
+    // together through an independent identity.
+    const RobotModel m = build_robot(RobotId::kJaco2);
+    const RobotState s = random_state(m, 13);
+    const std::size_t n = m.num_links();
+    Matrix h(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Matrix jac = link_jacobian(m, s.q, i);
+        Matrix inertia6(6, 6);
+        const auto im = m.link(i).inertia.to_matrix();
+        for (std::size_t r = 0; r < 6; ++r)
+            for (std::size_t c = 0; c < 6; ++c)
+                inertia6(r, c) = im(r, c);
+        h += jac.transposed() * inertia6 * jac;
+    }
+    EXPECT_LT(linalg::max_abs_diff(h, crba(m, s.q)), 1e-8);
+}
+
+TEST(CenterOfMass, HangsBelowBaseForZeroConfiguration)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const Vector q(m.num_links());
+    const auto com = center_of_mass(m, q);
+    EXPECT_NEAR(com.x, 0.0, 1e-12);
+    EXPECT_NEAR(com.y, 0.0, 1e-12);
+    EXPECT_GT(com.z, 0.15);
+    EXPECT_GT(total_mass(m), 0.0);
+}
+
+// ------------------------------------------------- parametric robots ----
+
+TEST(ParametricRobots, SerialChainMetrics)
+{
+    const RobotModel chain = topology::make_serial_chain(64);
+    const topology::TopologyInfo topo(chain);
+    const auto metrics = topo.metrics();
+    EXPECT_EQ(metrics.total_links, 64u);
+    EXPECT_EQ(metrics.max_leaf_depth, 64u);
+    EXPECT_EQ(metrics.max_descendants, 64u);
+    EXPECT_EQ(metrics.leaf_depth_stdev, 0.0);
+}
+
+TEST(ParametricRobots, StarMetrics)
+{
+    const RobotModel star = topology::make_star(8, 16);
+    const topology::TopologyInfo topo(star);
+    const auto metrics = topo.metrics();
+    EXPECT_EQ(metrics.total_links, 128u);
+    EXPECT_EQ(metrics.max_leaf_depth, 16u);
+    EXPECT_EQ(metrics.max_descendants, 16u);
+    EXPECT_EQ(topo.limb_spans().size(), 8u);
+    EXPECT_NEAR(topo.mass_matrix_sparsity(), 1.0 - 1.0 / 8.0, 1e-12);
+}
+
+TEST(ParametricRobots, BranchingTreeMetrics)
+{
+    // depth 4, branching 2: 2 + 4 + 8 + 16 = 30 links, 8 per root subtree.
+    const RobotModel tree = topology::make_branching_tree(4, 2);
+    const topology::TopologyInfo topo(tree);
+    const auto metrics = topo.metrics();
+    EXPECT_EQ(metrics.total_links, 30u);
+    EXPECT_EQ(metrics.max_leaf_depth, 4u);
+    EXPECT_EQ(metrics.max_descendants, 15u);
+    // Every non-leaf link is a branch point: 2 + 4 + 8 = 14.
+    EXPECT_EQ(topo.branch_links().size(), 14u);
+}
+
+TEST(ParametricRobots, DynamicsStayWellPosed)
+{
+    // SPD mass matrices and RNEA/CRBA consistency even for a 96-link
+    // continuum approximation and a dense tree.
+    for (const RobotModel &m :
+         {topology::make_serial_chain(96), topology::make_star(6, 10),
+          topology::make_branching_tree(3, 3)}) {
+        const RobotState s = random_state(m, 17);
+        const Matrix h = crba(m, s.q);
+        EXPECT_TRUE(linalg::Ldlt(h).ok()) << m.name();
+        const Vector tau = rnea(m, s.q, s.qd, s.qdd);
+        const Vector tau2 = h * s.qdd + bias_forces(m, s.q, s.qd);
+        EXPECT_LT(linalg::max_abs_diff(tau, tau2), 1e-6) << m.name();
+    }
+}
+
+TEST(ParametricRobots, GantryPrismaticDynamics)
+{
+    // Cartesian gantry with prismatic rails: metrics, RNEA/CRBA
+    // consistency, and exact analytical derivatives.
+    const RobotModel gantry = topology::make_gantry(3);
+    const topology::TopologyInfo topo(gantry);
+    EXPECT_EQ(gantry.num_links(), 6u);
+    EXPECT_EQ(gantry.link(0).joint.type(), spatial::JointType::kPrismatic);
+
+    const RobotState s = random_state(gantry, 21);
+    const Matrix h = crba(gantry, s.q);
+    EXPECT_TRUE(linalg::Ldlt(h).ok());
+    const Vector tau = rnea(gantry, s.q, s.qd, s.qdd);
+    EXPECT_LT(linalg::max_abs_diff(
+                  tau, h * s.qdd + bias_forces(gantry, s.q, s.qd)),
+              1e-8);
+
+    RneaCache cache;
+    rnea(gantry, s.q, s.qd, s.qdd, kDefaultGravity, &cache);
+    const RneaDerivatives d = rnea_derivatives(gantry, topo, s.qd, cache);
+    EXPECT_LT(linalg::max_abs_diff(
+                  d.dtau_dq, fd_dtau_dq(gantry, s.q, s.qd, s.qdd)),
+              2e-5);
+    EXPECT_LT(linalg::max_abs_diff(
+                  d.dtau_dqd, fd_dtau_dqd(gantry, s.q, s.qd, s.qdd)),
+              2e-5);
+}
+
+TEST(ParametricRobots, GantryVerticalRailCarriesWeight)
+{
+    // With gravity along -z, holding still requires force on the z rail
+    // equal to the weight it carries, and none on the x rail.
+    const RobotModel gantry = topology::make_gantry(2);
+    const std::size_t n = gantry.num_links();
+    const Vector zero(n);
+    const Vector hold = rnea(gantry, zero, zero, zero);
+    // Mass above the z rail: rail_z (4kg) + wrist links (2kg total).
+    EXPECT_NEAR(hold[2], 6.0 * 9.81, 1e-9);
+    EXPECT_NEAR(hold[0], 0.0, 1e-9);
+    EXPECT_NEAR(hold[1], 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace dynamics
+} // namespace roboshape

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the dense linear-algebra substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/blocked.h"
+#include "linalg/factorization.h"
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+
+namespace roboshape {
+namespace linalg {
+namespace {
+
+TEST(Vector, ArithmeticAndNorms)
+{
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, -5.0, 6.0};
+    Vector c = a + b;
+    EXPECT_DOUBLE_EQ(c[0], 5.0);
+    EXPECT_DOUBLE_EQ(c[1], -3.0);
+    EXPECT_DOUBLE_EQ(c[2], 9.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 4.0 - 10.0 + 18.0);
+    EXPECT_DOUBLE_EQ((a * 2.0)[2], 6.0);
+    EXPECT_DOUBLE_EQ(Vector({3.0, 4.0}).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(b.max_abs(), 6.0);
+}
+
+TEST(Matrix, IdentityAndResize)
+{
+    Matrix m = Matrix::identity(4);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_DOUBLE_EQ(m(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(m(2, 1), 0.0);
+    m.resize(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, ProductAgainstHandComputed)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7;
+    b(0, 1) = 8;
+    b(1, 0) = 9;
+    b(1, 1) = 10;
+    b(2, 0) = 11;
+    b(2, 1) = 12;
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Matrix a = random_matrix(5, 3, 11);
+    EXPECT_NEAR(max_abs_diff(a.transposed().transposed(), a), 0.0, 0.0);
+}
+
+TEST(Matrix, MatrixVectorAgreesWithMatrixMatrix)
+{
+    Matrix a = random_matrix(6, 6, 3);
+    Vector x = random_vector(6, 4);
+    Matrix xm(6, 1);
+    for (std::size_t i = 0; i < 6; ++i)
+        xm(i, 0) = x[i];
+    const Vector y = a * x;
+    const Matrix ym = a * xm;
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(y[i], ym(i, 0), 1e-12);
+}
+
+TEST(Matrix, BlockReadWriteRoundTrip)
+{
+    Matrix a = random_matrix(6, 6, 5);
+    Matrix b = a.block(1, 2, 3, 4);
+    EXPECT_DOUBLE_EQ(b(0, 0), a(1, 2));
+    EXPECT_DOUBLE_EQ(b(2, 3), a(3, 5));
+    Matrix c(6, 6);
+    c.set_block(1, 2, b);
+    EXPECT_NEAR(max_abs_diff(c.block(1, 2, 3, 4), b), 0.0, 0.0);
+}
+
+TEST(Matrix, SymmetryAndSparsityQueries)
+{
+    Matrix s = random_spd_matrix(5, 9);
+    EXPECT_TRUE(s.is_symmetric());
+    s(0, 1) += 1.0;
+    EXPECT_FALSE(s.is_symmetric());
+
+    Matrix z(4, 4);
+    z(0, 0) = 1.0;
+    EXPECT_EQ(z.count_zeros(), 15u);
+    EXPECT_DOUBLE_EQ(z.sparsity(), 15.0 / 16.0);
+}
+
+TEST(Ldlt, SolveRecoversKnownSolution)
+{
+    const Matrix a = random_spd_matrix(8, 21);
+    const Vector x_true = random_vector(8, 22);
+    const Vector b = a * x_true;
+    Ldlt f(a);
+    ASSERT_TRUE(f.ok());
+    const Vector x = f.solve(b);
+    EXPECT_LT(max_abs_diff(x, x_true), 1e-9);
+}
+
+TEST(Ldlt, InverseTimesMatrixIsIdentity)
+{
+    const Matrix a = random_spd_matrix(7, 33);
+    Ldlt f(a);
+    ASSERT_TRUE(f.ok());
+    const Matrix id = a * f.inverse();
+    EXPECT_LT(max_abs_diff(id, Matrix::identity(7)), 1e-9);
+}
+
+TEST(Ldlt, RejectsIndefiniteMatrix)
+{
+    Matrix a = Matrix::identity(3);
+    a(1, 1) = -2.0;
+    EXPECT_FALSE(Ldlt(a).ok());
+}
+
+TEST(Ldlt, FactorsReassembleTheMatrix)
+{
+    const Matrix a = random_spd_matrix(6, 44);
+    Ldlt f(a);
+    ASSERT_TRUE(f.ok());
+    Matrix d(6, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+        d(i, i) = f.d()[i];
+    const Matrix rebuilt = f.l() * d * f.l().transposed();
+    EXPECT_LT(max_abs_diff(rebuilt, a), 1e-9);
+}
+
+TEST(Llt, AgreesWithLdltAndReassembles)
+{
+    const Matrix a = random_spd_matrix(8, 61);
+    Llt llt(a);
+    Ldlt ldlt(a);
+    ASSERT_TRUE(llt.ok());
+    const Vector b = random_vector(8, 62);
+    EXPECT_LT(max_abs_diff(llt.solve(b), ldlt.solve(b)), 1e-9);
+    EXPECT_LT(max_abs_diff(llt.l() * llt.l().transposed(), a), 1e-9);
+}
+
+TEST(Llt, RejectsIndefiniteMatrix)
+{
+    Matrix a = Matrix::identity(3);
+    a(2, 2) = -1.0;
+    EXPECT_FALSE(Llt(a).ok());
+}
+
+TEST(Lu, AgreesWithLdltOnSpdMatrices)
+{
+    const Matrix a = random_spd_matrix(9, 55);
+    Ldlt ldlt(a);
+    Lu lu(a);
+    ASSERT_TRUE(ldlt.ok());
+    ASSERT_TRUE(lu.ok());
+    EXPECT_LT(max_abs_diff(ldlt.inverse(), lu.inverse()), 1e-8);
+}
+
+TEST(Lu, HandlesPermutationRequiringPivoting)
+{
+    Matrix a(3, 3);
+    a(0, 1) = 1.0; // zero on the leading diagonal forces a pivot
+    a(1, 0) = 2.0;
+    a(2, 2) = 3.0;
+    Lu lu(a);
+    ASSERT_TRUE(lu.ok());
+    const Vector x = lu.solve(Vector{2.0, 4.0, 9.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixDetected)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 4.0;
+    EXPECT_FALSE(Lu(a).ok());
+    EXPECT_DOUBLE_EQ(Lu(a).determinant(), 0.0);
+}
+
+TEST(Lu, DeterminantOfKnownMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 3.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 5.0;
+    EXPECT_NEAR(Lu(a).determinant(), 13.0, 1e-12);
+}
+
+TEST(BlockDiagonalInverse, MatchesDenseInverse)
+{
+    // Assemble a block-diagonal SPD matrix with spans 3, 2, 4.
+    Matrix a(9, 9);
+    a.set_block(0, 0, random_spd_matrix(3, 1));
+    a.set_block(3, 3, random_spd_matrix(2, 2));
+    a.set_block(5, 5, random_spd_matrix(4, 3));
+    const std::vector<std::pair<std::size_t, std::size_t>> spans{
+        {0, 3}, {3, 5}, {5, 9}};
+    const Matrix bi = block_diagonal_inverse(a, spans);
+    const Matrix di = spd_inverse(a);
+    EXPECT_LT(max_abs_diff(bi, di), 1e-9);
+}
+
+TEST(BlockPattern, HandcraftedMask)
+{
+    // 5x5 matrix with a dense 2x2 top-left corner and one entry at (4, 4).
+    Matrix m(5, 5);
+    m(0, 0) = m(0, 1) = m(1, 0) = m(1, 1) = 1.0;
+    m(4, 4) = 2.0;
+    BlockPattern p(m, 2);
+    EXPECT_EQ(p.block_rows(), 3u);
+    EXPECT_EQ(p.block_cols(), 3u);
+    EXPECT_TRUE(p.nonzero(0, 0));
+    EXPECT_FALSE(p.nonzero(0, 1));
+    EXPECT_TRUE(p.nonzero(2, 2));
+    EXPECT_EQ(p.nonzero_blocks(), 2u);
+    EXPECT_EQ(p.zero_blocks(), 7u);
+    // Tile (2,2) covers only element (4,4) of the matrix; 3 of its 4 slots
+    // are padding.
+    EXPECT_EQ(p.padded_zero_elements(), 3u);
+}
+
+TEST(BlockPattern, BlockSizeOneHasNoPadding)
+{
+    const Matrix m = random_matrix(7, 7, 77);
+    BlockPattern p(m, 1);
+    EXPECT_EQ(p.nonzero_blocks(), 49u);
+    EXPECT_EQ(p.padded_zero_elements(), 0u);
+}
+
+TEST(BlockPattern, AsciiRendering)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 1.0;
+    BlockPattern p(m, 1);
+    EXPECT_EQ(p.to_ascii(), "X.\n..\n");
+}
+
+/** Blocked multiply must equal dense multiply for any block size. */
+class BlockedMultiplyEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BlockedMultiplyEquivalence, MatchesDenseProduct)
+{
+    const int n = std::get<0>(GetParam());
+    const int block = std::get<1>(GetParam());
+    // Build a limb-sparse matrix: zero out a corner block to mimic mass-
+    // matrix structure.
+    Matrix a = random_matrix(n, n, 100 + n);
+    for (int i = n / 2; i < n; ++i)
+        for (int j = 0; j < n / 2; ++j)
+            a(i, j) = a(j, i) = 0.0;
+    const Matrix b = random_matrix(n, n, 200 + n);
+
+    BlockMultiplyStats stats;
+    const Matrix blocked = blocked_multiply(a, b, block, &stats);
+    const Matrix dense = a * b;
+    EXPECT_LT(max_abs_diff(blocked, dense), 1e-10)
+        << "n=" << n << " block=" << block;
+    EXPECT_GT(stats.block_macs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, BlockedMultiplyEquivalence,
+    ::testing::Combine(::testing::Values(5, 7, 12, 15, 19),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 10)));
+
+TEST(BlockedMultiply, SkipsZeroBlocks)
+{
+    // Block-diagonal matrix: off-diagonal tile products must be NOPs.
+    Matrix a(6, 6);
+    a.set_block(0, 0, random_matrix(3, 3, 1));
+    a.set_block(3, 3, random_matrix(3, 3, 2));
+    const Matrix b = random_matrix(6, 6, 3);
+    BlockMultiplyStats stats;
+    blocked_multiply(a, b, 3, &stats);
+    // A has 2 nonzero tiles of 4; B dense (4 tiles). Products: 2x2x2 = 8
+    // total tile triples, of which a zero A-tile kills 4.
+    EXPECT_EQ(stats.block_nops, 4u);
+    EXPECT_EQ(stats.block_macs, 4u);
+}
+
+TEST(BlockedMultiply, RectangularOperands)
+{
+    const Matrix a = random_matrix(7, 12, 5);
+    const Matrix b = random_matrix(12, 4, 6);
+    const Matrix blocked = blocked_multiply(a, b, 5);
+    EXPECT_LT(max_abs_diff(blocked, a * b), 1e-10);
+}
+
+TEST(RandomHelpers, Deterministic)
+{
+    EXPECT_EQ(max_abs_diff(random_matrix(4, 4, 9), random_matrix(4, 4, 9)),
+              0.0);
+    EXPECT_NE(max_abs_diff(random_matrix(4, 4, 9), random_matrix(4, 4, 10)),
+              0.0);
+}
+
+TEST(RandomHelpers, SpdIsActuallySpd)
+{
+    for (std::uint32_t seed = 0; seed < 8; ++seed)
+        EXPECT_TRUE(Ldlt(random_spd_matrix(6, seed)).ok()) << seed;
+}
+
+} // namespace
+} // namespace linalg
+} // namespace roboshape

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Tests for task-graph generation, list scheduling, allocation strategies,
+ * and blocked-multiply scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/allocation.h"
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+#include "sched/timeline.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace sched {
+namespace {
+
+using topology::RobotId;
+using topology::RobotModel;
+using topology::TopologyInfo;
+using topology::all_robots;
+using topology::build_robot;
+using topology::robot_name;
+
+TaskTiming
+unit_timing()
+{
+    return TaskTiming{1, 1, 1, 1};
+}
+
+// ----------------------------------------------------------- task graph ----
+
+TEST(TaskGraph, CountsMatchTopologyFormulas)
+{
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const TopologyInfo topo(m);
+        const TaskGraph g(topo);
+        const std::size_t n = m.num_links();
+
+        EXPECT_EQ(g.tasks_of_type(TaskType::kRneaForward).size(), n);
+        EXPECT_EQ(g.tasks_of_type(TaskType::kRneaBackward).size(), n);
+        EXPECT_EQ(g.tasks_of_type(TaskType::kGradForward).size(), n);
+
+        // Backward gradient tasks: per column j, subtree(j) plus strict
+        // ancestors — sum of (subtree_size + depth - 1).
+        std::size_t expected = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            expected += topo.subtree_size(j) + topo.depth(j) - 1;
+        EXPECT_EQ(g.tasks_of_type(TaskType::kGradBackward).size(), expected)
+            << robot_name(id);
+    }
+}
+
+TEST(TaskGraph, DependencyIdsAreTopologicallyOrdered)
+{
+    const RobotModel topo_model = build_robot(RobotId::kBaxter);
+    const TopologyInfo topo(topo_model);
+    const TaskGraph g(topo);
+    for (const Task &t : g.tasks())
+        for (TaskId d : t.deps)
+            EXPECT_LT(d, t.id) << t.label();
+}
+
+TEST(TaskGraph, GradBackwardCoverage)
+{
+    const RobotModel m = build_robot(RobotId::kJaco2);
+    const TopologyInfo topo(m);
+    const TaskGraph g(topo);
+    const std::size_t n = m.num_links();
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool coupled = topo.is_ancestor_or_self(j, i) ||
+                                 topo.is_ancestor_or_self(i, j);
+            EXPECT_EQ(g.grad_backward(j, i) != kNoTask, coupled)
+                << "j=" << j << " i=" << i;
+        }
+    }
+}
+
+TEST(TaskGraph, InitialParallelismMatchesFig14Intuition)
+{
+    // Forward threads launch per independent limb; Baxter has 3 limbs.
+    const RobotModel baxter_model = build_robot(RobotId::kBaxter);
+    const TopologyInfo baxter_topo(baxter_model);
+    const TaskGraph baxter(baxter_topo);
+    EXPECT_EQ(baxter.forward_initial_parallelism(), 3u);
+    // HyQ: 4 legs.
+    const RobotModel hyq_model = build_robot(RobotId::kHyq);
+    const TopologyInfo hyq_topo(hyq_model);
+    const TaskGraph hyq(hyq_topo);
+    EXPECT_EQ(hyq.forward_initial_parallelism(), 4u);
+    // iiwa: a single chain.
+    const RobotModel iiwa_model = build_robot(RobotId::kIiwa);
+    const TopologyInfo iiwa_topo(iiwa_model);
+    const TaskGraph iiwa(iiwa_topo);
+    EXPECT_EQ(iiwa.forward_initial_parallelism(), 1u);
+    // Backward threads start at the deepest link of every column's
+    // subtree; strictly more of them than forward threads on branching
+    // robots.
+    EXPECT_GT(baxter.backward_initial_parallelism(),
+              baxter.forward_initial_parallelism());
+}
+
+TEST(TaskGraph, LabelsAreReadable)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(m);
+    const TaskGraph g(topo);
+    EXPECT_EQ(g.task(g.rnea_forward(0)).label(), "rneaFwd[i=0]");
+    EXPECT_EQ(g.task(g.grad_backward(2, 3)).label(), "gradBwd[i=3,j=2]");
+}
+
+// ------------------------------------------------------------ scheduler ----
+
+class ScheduleValidity
+    : public ::testing::TestWithParam<std::tuple<RobotId, int>>
+{
+};
+
+TEST_P(ScheduleValidity, StagedAndPipelinedSchedulesAreValid)
+{
+    const RobotModel m = build_robot(std::get<0>(GetParam()));
+    const std::size_t pes =
+        static_cast<std::size_t>(std::get<1>(GetParam()));
+    const TopologyInfo topo(m);
+    const TaskGraph g(topo);
+    const TaskTiming timing{4, 3, 6, 3};
+
+    const Schedule fwd = schedule_stage(
+        g, {TaskType::kRneaForward, TaskType::kGradForward}, pes, timing);
+    EXPECT_EQ(validate_schedule(g, fwd), "");
+
+    const Schedule bwd = schedule_stage(
+        g, {TaskType::kRneaBackward, TaskType::kGradBackward}, pes, timing);
+    EXPECT_EQ(validate_schedule(g, bwd), "");
+
+    const Schedule joint = schedule_pipelined(g, pes, pes, timing);
+    EXPECT_EQ(validate_schedule(g, joint), "");
+
+    // Pipelined single-shot latency can never beat the critical path nor
+    // lose to running the stages back to back.
+    EXPECT_LE(joint.makespan, fwd.makespan + bwd.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RobotsAndPes, ScheduleValidity,
+    ::testing::Combine(::testing::ValuesIn(all_robots()),
+                       ::testing::Values(1, 2, 3, 7, 16)),
+    [](const auto &info) {
+        std::string name = robot_name(std::get<0>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_pe" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Scheduler, MorePesNeverHurtTraversalLatency)
+{
+    // Latency is monotone nonincreasing in PE count for every robot.
+    for (RobotId id : all_robots()) {
+        const RobotModel topo_model = build_robot(id);
+        const TopologyInfo topo(topo_model);
+        const TaskGraph g(topo);
+        std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+        for (std::size_t pes = 1; pes <= topo.num_links(); ++pes) {
+            const Schedule s = schedule_stage(
+                g, {TaskType::kRneaForward, TaskType::kGradForward}, pes,
+                unit_timing());
+            EXPECT_LE(s.makespan, prev)
+                << robot_name(id) << " pes=" << pes;
+            prev = s.makespan;
+        }
+    }
+}
+
+TEST(Scheduler, SinglePeSerializesEverything)
+{
+    const RobotModel topo_model = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(topo_model);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_stage(
+        g, {TaskType::kRneaForward, TaskType::kGradForward}, 1,
+        unit_timing());
+    // 7 RNEA + 7 gradient tasks, strictly sequential on one PE.
+    EXPECT_EQ(s.makespan, 14);
+    EXPECT_EQ(s.forward_rom.size(), 1u);
+    EXPECT_EQ(s.forward_rom[0].size(), 14u);
+}
+
+TEST(Scheduler, ChainRobotForwardLatencyIsChainBound)
+{
+    // For a serial chain, dependencies serialize each traversal: even with
+    // N PEs, the forward stage cannot beat RNEA chain + 1 gradient task.
+    const RobotModel topo_model = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(topo_model);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_stage(
+        g, {TaskType::kRneaForward, TaskType::kGradForward}, 7,
+        unit_timing());
+    EXPECT_EQ(s.makespan, 8); // 7-deep RNEA chain, last grad overlaps +1
+}
+
+TEST(Scheduler, IndependentLimbsScaleWithPes)
+{
+    // HyQ's four independent legs: 4 PEs should cut the forward stage to
+    // roughly a quarter of the 1-PE serialization.
+    const RobotModel topo_model = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(topo_model);
+    const TaskGraph g(topo);
+    const auto run = [&](std::size_t pes) {
+        return schedule_stage(
+                   g, {TaskType::kRneaForward, TaskType::kGradForward}, pes,
+                   unit_timing())
+            .makespan;
+    };
+    EXPECT_EQ(run(1), 24);
+    EXPECT_EQ(run(4), 6); // each leg: 3 RNEA + 3 grad on its own PE
+}
+
+TEST(Scheduler, CheckpointRestoresHappenOnlyOnBranchSwitches)
+{
+    // A single chain on one PE in thread order should never restore.
+    const RobotModel topo_model = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(topo_model);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_stage(
+        g, {TaskType::kRneaForward}, 1, unit_timing());
+    EXPECT_EQ(s.checkpoint_restores, 0u);
+
+    // One PE over four independent legs must hop between limbs.
+    const RobotModel hyq_model = build_robot(RobotId::kHyq);
+    const TopologyInfo hyq(hyq_model);
+    const TaskGraph gh(hyq);
+    const Schedule sh = schedule_stage(
+        gh, {TaskType::kRneaForward}, 1, unit_timing());
+    EXPECT_GE(sh.checkpoint_restores, 3u);
+}
+
+TEST(Scheduler, RomsContainEveryScheduledTaskOnce)
+{
+    const RobotModel topo_model = build_robot(RobotId::kBaxter);
+    const TopologyInfo topo(topo_model);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_pipelined(g, 3, 4, unit_timing());
+    std::vector<int> seen(g.size(), 0);
+    for (const auto &rom : s.forward_rom)
+        for (TaskId id : rom)
+            ++seen[id];
+    for (const auto &rom : s.backward_rom)
+        for (TaskId id : rom)
+            ++seen[id];
+    for (const Task &t : g.tasks())
+        EXPECT_EQ(seen[t.id], 1) << t.label();
+}
+
+// ------------------------------------------------------------ allocation ----
+
+TEST(Allocation, StrategiesMatchTable3Arithmetic)
+{
+    const topology::TopologyMetrics baxter{
+        15, 7, 5.0, 7, 2.83};
+    EXPECT_EQ(allocate(AllocationStrategy::kTotalLinks, baxter),
+              (Allocation{15, 15}));
+    EXPECT_EQ(allocate(AllocationStrategy::kAvgLeafDepth, baxter),
+              (Allocation{5, 5}));
+    EXPECT_EQ(allocate(AllocationStrategy::kMaxLeafDepth, baxter),
+              (Allocation{7, 7}));
+    EXPECT_EQ(allocate(AllocationStrategy::kMaxDescendants, baxter),
+              (Allocation{7, 7}));
+    EXPECT_EQ(allocate(AllocationStrategy::kHybrid, baxter),
+              (Allocation{7, 7}));
+
+    const topology::TopologyMetrics jaco3{15, 9, 9.0, 15, 0.0};
+    EXPECT_EQ(allocate(AllocationStrategy::kHybrid, jaco3),
+              (Allocation{9, 15}));
+}
+
+TEST(Allocation, NeverReturnsZeroPes)
+{
+    const topology::TopologyMetrics degenerate{1, 1, 0.4, 1, 0.0};
+    for (AllocationStrategy s : all_strategies()) {
+        const Allocation a = allocate(s, degenerate);
+        EXPECT_GE(a.pes_fwd, 1u);
+        EXPECT_GE(a.pes_bwd, 1u);
+    }
+}
+
+// --------------------------------------------------------- block multiply ----
+
+TEST(BlockSchedule, MaskBuilders)
+{
+    const RobotModel topo_model = build_robot(RobotId::kBaxter);
+    const TopologyInfo topo(topo_model);
+    const SparsityMask minv = mass_inverse_mask(topo);
+    // Head (link 0) decouples from both arms in M^-1.
+    EXPECT_TRUE(minv[0][0]);
+    EXPECT_FALSE(minv[0][1]);
+    EXPECT_FALSE(minv[1][8]);
+    // 1 + 49 + 49 nonzeros.
+    std::size_t nnz = 0;
+    for (const auto &row : minv)
+        for (bool b : row)
+            nnz += b;
+    EXPECT_EQ(nnz, 99u);
+}
+
+TEST(BlockSchedule, AlignedBlockSizesMinimizeHyqLatency)
+{
+    // Paper Fig. 15: HyQ (four 3-link legs) favors block sizes 3, 6, 9.
+    const RobotModel topo_model = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(topo_model);
+    const SparsityMask a = mass_inverse_mask(topo);
+    const SparsityMask b = derivative_mask(topo);
+    const TileTiming timing{1, 2};
+    std::vector<std::int64_t> latency(11, 0);
+    for (std::size_t bs = 1; bs <= 10; ++bs)
+        latency[bs] =
+            schedule_block_multiply(a, b, bs, 3, timing).makespan;
+
+    // Aligned sizes beat their misaligned neighbors.
+    EXPECT_LT(latency[3], latency[4]);
+    EXPECT_LT(latency[6], latency[4]);
+    EXPECT_LT(latency[6], latency[5]);
+    EXPECT_LT(latency[6], latency[7]);
+    EXPECT_LT(latency[9], latency[8]);
+    EXPECT_LT(latency[9], latency[10]);
+}
+
+TEST(BlockSchedule, NopCountMatchesHandComputedBaxterPattern)
+{
+    // Paper Fig. 6b: Baxter's 15x15 mass matrix in 4x4 blocks — the 4x4
+    // tile grid has 6 all-zero tiles (the paper's NOP blocks).
+    const RobotModel topo_model = build_robot(RobotId::kBaxter);
+    const TopologyInfo topo(topo_model);
+    const SparsityMask minv = mass_inverse_mask(topo);
+    const BlockSchedule s = schedule_block_multiply(
+        minv, derivative_mask(topo), 4, 3, TileTiming{});
+    EXPECT_EQ(s.tile_dim, 4u);
+    // Per product: 4^3 = 64 tile triples; executed counted exactly.
+    EXPECT_EQ((s.executed_tiles + s.nop_tiles), 128u);
+    EXPECT_GT(s.nop_tiles, 0u);
+}
+
+TEST(BlockSchedule, BlockCoveringWholeMatrixIsOneDenseTile)
+{
+    const RobotModel topo_model = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(topo_model);
+    const BlockSchedule s = schedule_block_multiply(
+        mass_inverse_mask(topo), derivative_mask(topo), 7, 3, TileTiming{});
+    EXPECT_EQ(s.tile_dim, 1u);
+    EXPECT_EQ(s.executed_tiles, 2u); // one per product
+    EXPECT_EQ(s.nop_tiles, 0u);
+}
+
+TEST(BlockSchedule, MoreUnitsNeverIncreaseLatency)
+{
+    const RobotModel topo_model = build_robot(RobotId::kHyqWithArm);
+    const TopologyInfo topo(topo_model);
+    const SparsityMask a = mass_inverse_mask(topo);
+    const SparsityMask b = derivative_mask(topo);
+    std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t units = 1; units <= 8; ++units) {
+        const std::int64_t ms =
+            schedule_block_multiply(a, b, 3, units, TileTiming{}).makespan;
+        EXPECT_LE(ms, prev) << units;
+        prev = ms;
+    }
+}
+
+TEST(BlockSchedule, PaddingGrowsOnMisalignment)
+{
+    const RobotModel topo_model = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(topo_model);
+    const SparsityMask a = mass_inverse_mask(topo);
+    const SparsityMask b = derivative_mask(topo);
+    const BlockSchedule aligned =
+        schedule_block_multiply(a, b, 3, 3, TileTiming{});
+    const BlockSchedule misaligned =
+        schedule_block_multiply(a, b, 5, 3, TileTiming{});
+    EXPECT_EQ(aligned.padded_zero_elements, 0u);
+    EXPECT_GT(misaligned.padded_zero_elements, 0u);
+}
+
+// -------------------------------------------------------------- timeline ----
+
+TEST(Timeline, RendersOneRowPerPe)
+{
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const TopologyInfo topo(m);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_pipelined(g, 3, 2, unit_timing());
+    const std::string text = render_timeline(g, s);
+    EXPECT_NE(text.find("fwd0 |"), std::string::npos);
+    EXPECT_NE(text.find("fwd2 |"), std::string::npos);
+    EXPECT_NE(text.find("bwd1 |"), std::string::npos);
+    EXPECT_EQ(text.find("bwd2 |"), std::string::npos);
+}
+
+TEST(Timeline, BusyCharactersMatchScheduledWork)
+{
+    // With unit tasks and no bucketing, non-idle glyph count equals the
+    // number of scheduled tasks.
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(m);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_stage(
+        g, {TaskType::kRneaForward, TaskType::kGradForward}, 2,
+        unit_timing());
+    const std::string text = render_timeline(g, s, 1000);
+    std::size_t busy = 0;
+    bool in_row = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '|')
+            in_row = !in_row;
+        else if (in_row && text[i] != '.')
+            ++busy;
+    }
+    EXPECT_EQ(busy, 14u);
+}
+
+TEST(Timeline, LegendListsTaskStarts)
+{
+    const RobotModel m = build_robot(RobotId::kIiwa);
+    const TopologyInfo topo(m);
+    const TaskGraph g(topo);
+    const Schedule s = schedule_stage(
+        g, {TaskType::kRneaForward}, 1, unit_timing());
+    const std::string text = render_timeline(g, s, 72, true);
+    EXPECT_NE(text.find("rneaFwd[i=0]@0"), std::string::npos);
+    EXPECT_NE(text.find("rneaFwd[i=6]@6"), std::string::npos);
+}
+
+} // namespace
+} // namespace sched
+} // namespace roboshape

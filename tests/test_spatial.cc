@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit and property tests for the spatial (6-D) algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "spatial/joint.h"
+#include "spatial/spatial_inertia.h"
+#include "spatial/spatial_matrix.h"
+#include "spatial/spatial_transform.h"
+#include "spatial/spatial_vector.h"
+#include "spatial/vec3.h"
+
+namespace roboshape {
+namespace spatial {
+namespace {
+
+Vec3
+random_vec3(std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    return {d(rng), d(rng), d(rng)};
+}
+
+SpatialVector
+random_spatial(std::mt19937 &rng)
+{
+    return {random_vec3(rng), random_vec3(rng)};
+}
+
+SpatialTransform
+random_transform(std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> d(-2.0, 2.0);
+    const Vec3 axis = random_vec3(rng).normalized();
+    return SpatialTransform(Mat3::coordinate_rotation(axis, d(rng)),
+                            random_vec3(rng));
+}
+
+double
+diff(const SpatialVector &a, const SpatialVector &b)
+{
+    return (a - b).max_abs();
+}
+
+TEST(Vec3, CrossProductIdentities)
+{
+    const Vec3 x = Vec3::unit_x(), y = Vec3::unit_y(), z = Vec3::unit_z();
+    EXPECT_NEAR((x.cross(y) - z).norm(), 0.0, 1e-15);
+    EXPECT_NEAR((y.cross(z) - x).norm(), 0.0, 1e-15);
+    EXPECT_NEAR((z.cross(x) - y).norm(), 0.0, 1e-15);
+
+    std::mt19937 rng(1);
+    const Vec3 a = random_vec3(rng), b = random_vec3(rng);
+    EXPECT_NEAR(a.cross(b).dot(a), 0.0, 1e-14);
+    EXPECT_NEAR((a.cross(b) + b.cross(a)).norm(), 0.0, 1e-15);
+}
+
+TEST(Mat3, SkewEncodesCrossProduct)
+{
+    std::mt19937 rng(2);
+    const Vec3 a = random_vec3(rng), b = random_vec3(rng);
+    EXPECT_NEAR((Mat3::skew(a) * b - a.cross(b)).norm(), 0.0, 1e-15);
+}
+
+TEST(Mat3, CoordinateRotationIsOrthonormal)
+{
+    std::mt19937 rng(3);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Vec3 axis = random_vec3(rng).normalized();
+        std::uniform_real_distribution<double> d(-3.14, 3.14);
+        const Mat3 e = Mat3::coordinate_rotation(axis, d(rng));
+        const Mat3 ete = e.transposed() * e;
+        const Mat3 id = Mat3::identity();
+        for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 3; ++c)
+                EXPECT_NEAR(ete(r, c), id(r, c), 1e-12);
+    }
+}
+
+TEST(Mat3, CoordinateRotationAboutZ)
+{
+    // Coordinate transform: a point on +x, in a frame rotated +90deg about
+    // z, has coordinates on -y.
+    const Mat3 e = Mat3::coordinate_rotation(Vec3::unit_z(), M_PI / 2.0);
+    const Vec3 p = e * Vec3::unit_x();
+    EXPECT_NEAR(p.x, 0.0, 1e-12);
+    EXPECT_NEAR(p.y, -1.0, 1e-12);
+    EXPECT_NEAR(p.z, 0.0, 1e-12);
+}
+
+TEST(Mat3, AxisIsRotationInvariant)
+{
+    std::mt19937 rng(4);
+    const Vec3 axis = random_vec3(rng).normalized();
+    const Mat3 e = Mat3::coordinate_rotation(axis, 1.234);
+    EXPECT_NEAR((e * axis - axis).norm(), 0.0, 1e-12);
+}
+
+TEST(SpatialVector, CrossMotionAntisymmetry)
+{
+    std::mt19937 rng(5);
+    const SpatialVector m1 = random_spatial(rng), m2 = random_spatial(rng);
+    EXPECT_NEAR(diff(cross_motion(m1, m2), -cross_motion(m2, m1)), 0.0,
+                1e-14);
+    EXPECT_NEAR(cross_motion(m1, m1).max_abs(), 0.0, 1e-14);
+}
+
+TEST(SpatialVector, CrossForceIsDualOfCrossMotion)
+{
+    // (v x* f) . m == -f . (v x m)
+    std::mt19937 rng(6);
+    const SpatialVector v = random_spatial(rng);
+    const SpatialVector f = random_spatial(rng);
+    const SpatialVector m = random_spatial(rng);
+    EXPECT_NEAR(cross_force(v, f).dot(m), -f.dot(cross_motion(v, m)), 1e-13);
+}
+
+TEST(SpatialTransform, ApplyMatchesMatrixForm)
+{
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        const SpatialTransform x = random_transform(rng);
+        const SpatialVector v = random_spatial(rng);
+        EXPECT_NEAR(diff(x.apply(v), x.to_matrix() * v), 0.0, 1e-13);
+        EXPECT_NEAR(diff(x.apply_to_force(v), x.to_force_matrix() * v), 0.0,
+                    1e-13);
+    }
+}
+
+TEST(SpatialTransform, ForceMatrixIsInverseTranspose)
+{
+    std::mt19937 rng(8);
+    const SpatialTransform x = random_transform(rng);
+    const SpatialMatrix xf = x.to_force_matrix();
+    const SpatialMatrix xit = x.inverse().to_matrix().transposed();
+    EXPECT_NEAR((xf - xit).max_abs(), 0.0, 1e-13);
+}
+
+TEST(SpatialTransform, InverseUndoesApply)
+{
+    std::mt19937 rng(9);
+    const SpatialTransform x = random_transform(rng);
+    const SpatialVector v = random_spatial(rng);
+    EXPECT_NEAR(diff(x.apply_inverse(x.apply(v)), v), 0.0, 1e-13);
+    EXPECT_NEAR(diff(x.inverse().apply(x.apply(v)), v), 0.0, 1e-13);
+}
+
+TEST(SpatialTransform, TransposeForceMatchesMatrixTranspose)
+{
+    std::mt19937 rng(10);
+    const SpatialTransform x = random_transform(rng);
+    const SpatialVector f = random_spatial(rng);
+    EXPECT_NEAR(diff(x.apply_transpose_to_force(f),
+                     x.to_matrix().transposed() * f),
+                0.0, 1e-13);
+}
+
+TEST(SpatialTransform, CompositionMatchesMatrixProduct)
+{
+    std::mt19937 rng(11);
+    const SpatialTransform x1 = random_transform(rng);
+    const SpatialTransform x2 = random_transform(rng);
+    const SpatialMatrix composed = (x2 * x1).to_matrix();
+    const SpatialMatrix product = x2.to_matrix() * x1.to_matrix();
+    EXPECT_NEAR((composed - product).max_abs(), 0.0, 1e-13);
+}
+
+TEST(SpatialTransform, JointTransformDerivativeIdentity)
+{
+    // d(X(q) u)/dq == (X u) x S — the identity the analytical RNEA
+    // derivatives rest on, checked against a central difference.
+    std::mt19937 rng(12);
+    for (JointType type : {JointType::kRevolute, JointType::kPrismatic}) {
+        for (int trial = 0; trial < 8; ++trial) {
+            const Vec3 axis = random_vec3(rng).normalized();
+            const JointModel joint(type, axis);
+            std::uniform_real_distribution<double> d(-2.0, 2.0);
+            const double q = d(rng);
+            const SpatialVector u = random_spatial(rng);
+            const SpatialVector s = joint.motion_subspace();
+
+            const double eps = 1e-7;
+            const SpatialVector numeric =
+                (joint.transform(q + eps).apply(u) -
+                 joint.transform(q - eps).apply(u)) *
+                (1.0 / (2.0 * eps));
+            const SpatialVector analytic =
+                cross_motion(joint.transform(q).apply(u), s);
+            EXPECT_NEAR(diff(numeric, analytic), 0.0, 1e-6)
+                << to_string(type) << " trial " << trial;
+        }
+    }
+}
+
+TEST(SpatialTransform, TransposeForceDerivativeIdentity)
+{
+    // d(X^T f)/dq == X^T (S x* f).
+    std::mt19937 rng(13);
+    const Vec3 axis = random_vec3(rng).normalized();
+    const JointModel joint(JointType::kRevolute, axis);
+    const double q = 0.7;
+    const SpatialVector f = random_spatial(rng);
+    const SpatialVector s = joint.motion_subspace();
+
+    const double eps = 1e-7;
+    const SpatialVector numeric =
+        (joint.transform(q + eps).apply_transpose_to_force(f) -
+         joint.transform(q - eps).apply_transpose_to_force(f)) *
+        (1.0 / (2.0 * eps));
+    const SpatialVector analytic =
+        joint.transform(q).apply_transpose_to_force(cross_force(s, f));
+    EXPECT_NEAR(diff(numeric, analytic), 0.0, 1e-6);
+}
+
+TEST(SpatialInertia, ApplyMatchesMatrixForm)
+{
+    std::mt19937 rng(14);
+    const SpatialInertia inertia = SpatialInertia::from_mass_com_inertia(
+        2.5, {0.1, -0.05, 0.2},
+        [] {
+            Mat3 ic;
+            ic(0, 0) = 0.4;
+            ic(1, 1) = 0.5;
+            ic(2, 2) = 0.3;
+            return ic;
+        }());
+    const SpatialVector v = random_spatial(rng);
+    EXPECT_NEAR(diff(inertia.apply(v), inertia.to_matrix() * v), 0.0, 1e-13);
+}
+
+TEST(SpatialInertia, MatrixRoundTrip)
+{
+    const SpatialInertia inertia = SpatialInertia::from_mass_com_inertia(
+        1.5, {0.2, 0.1, -0.3}, Mat3::identity() * 0.25);
+    const SpatialInertia back = SpatialInertia::from_matrix(
+        inertia.to_matrix());
+    EXPECT_NEAR(back.mass(), inertia.mass(), 1e-14);
+    EXPECT_NEAR((back.h() - inertia.h()).norm(), 0.0, 1e-14);
+}
+
+TEST(SpatialInertia, ExpressedInParentMatchesConjugation)
+{
+    std::mt19937 rng(15);
+    const SpatialInertia inertia = SpatialInertia::from_mass_com_inertia(
+        3.0, random_vec3(rng), Mat3::identity() * 0.2);
+    const SpatialTransform x = random_transform(rng);
+    const SpatialMatrix expected =
+        x.to_matrix().transposed() * inertia.to_matrix() * x.to_matrix();
+    const SpatialMatrix got = inertia.expressed_in_parent(x).to_matrix();
+    EXPECT_NEAR((expected - got).max_abs(), 0.0, 1e-12);
+}
+
+TEST(SpatialInertia, KineticEnergyInvariantUnderTransform)
+{
+    // 0.5 v^T I v must be frame independent.
+    std::mt19937 rng(16);
+    const SpatialInertia i_child = SpatialInertia::from_mass_com_inertia(
+        2.0, random_vec3(rng), Mat3::identity() * 0.3);
+    const SpatialTransform x = random_transform(rng); // parent -> child
+    const SpatialVector v_parent = random_spatial(rng);
+    const SpatialVector v_child = x.apply(v_parent);
+
+    const double e_child = 0.5 * v_child.dot(i_child.apply(v_child));
+    const SpatialInertia i_parent = i_child.expressed_in_parent(x);
+    const double e_parent = 0.5 * v_parent.dot(i_parent.apply(v_parent));
+    EXPECT_NEAR(e_child, e_parent, 1e-12);
+}
+
+TEST(Joint, RevoluteSubspaceAndTransform)
+{
+    const JointModel j(JointType::kRevolute, Vec3::unit_z());
+    const SpatialVector s = j.motion_subspace();
+    EXPECT_NEAR((s.ang - Vec3::unit_z()).norm(), 0.0, 1e-15);
+    EXPECT_NEAR(s.lin.norm(), 0.0, 1e-15);
+    EXPECT_EQ(j.dof(), 1);
+    // At q = 0 the transform is identity.
+    const SpatialVector v{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}};
+    EXPECT_NEAR(diff(j.transform(0.0).apply(v), v), 0.0, 1e-15);
+}
+
+TEST(Joint, PrismaticSubspaceAndTransform)
+{
+    const JointModel j(JointType::kPrismatic, Vec3::unit_x());
+    const SpatialVector s = j.motion_subspace();
+    EXPECT_NEAR(s.ang.norm(), 0.0, 1e-15);
+    EXPECT_NEAR((s.lin - Vec3::unit_x()).norm(), 0.0, 1e-15);
+    const SpatialTransform x = j.transform(2.0);
+    EXPECT_NEAR((x.translation_vector() - Vec3{2.0, 0.0, 0.0}).norm(), 0.0,
+                1e-15);
+}
+
+TEST(Joint, FixedJointHasNoMotion)
+{
+    const JointModel j;
+    EXPECT_EQ(j.dof(), 0);
+    EXPECT_NEAR(j.motion_subspace().max_abs(), 0.0, 0.0);
+}
+
+TEST(Joint, TypeParsing)
+{
+    EXPECT_EQ(joint_type_from_string("revolute"), JointType::kRevolute);
+    EXPECT_EQ(joint_type_from_string("continuous"), JointType::kRevolute);
+    EXPECT_EQ(joint_type_from_string("prismatic"), JointType::kPrismatic);
+    EXPECT_EQ(joint_type_from_string("fixed"), JointType::kFixed);
+    EXPECT_THROW(joint_type_from_string("floating"), std::invalid_argument);
+}
+
+TEST(Joint, AxisIsNormalized)
+{
+    const JointModel j(JointType::kRevolute, {0.0, 0.0, 5.0});
+    EXPECT_NEAR(j.axis().norm(), 1.0, 1e-15);
+}
+
+} // namespace
+} // namespace spatial
+} // namespace roboshape

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Tests for XML/URDF parsing, the kinematic tree, and Table 3 metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynamics/crba.h"
+#include "dynamics/robot_state.h"
+#include "linalg/matrix.h"
+#include "topology/robot_library.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+#include "topology/urdf_parser.h"
+#include "topology/xml.h"
+
+namespace roboshape {
+namespace topology {
+namespace {
+
+using spatial::JointModel;
+using spatial::JointType;
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+using spatial::Vec3;
+
+// ---------------------------------------------------------------- XML ----
+
+TEST(Xml, ParsesElementsAttributesAndNesting)
+{
+    auto root = parse_xml(
+        "<?xml version=\"1.0\"?>\n"
+        "<robot name=\"r2\">\n"
+        "  <!-- a comment -->\n"
+        "  <link name=\"a\"/>\n"
+        "  <joint name=\"j\" type=\"revolute\"><parent link=\"a\"/></joint>\n"
+        "</robot>");
+    EXPECT_EQ(root->name, "robot");
+    EXPECT_EQ(root->attribute("name"), "r2");
+    ASSERT_EQ(root->children.size(), 2u);
+    EXPECT_EQ(root->children[0]->name, "link");
+    const XmlElement *joint = root->child("joint");
+    ASSERT_NE(joint, nullptr);
+    EXPECT_EQ(joint->attribute("type"), "revolute");
+    ASSERT_NE(joint->child("parent"), nullptr);
+    EXPECT_EQ(joint->child("parent")->attribute("link"), "a");
+}
+
+TEST(Xml, DecodesEntities)
+{
+    auto root = parse_xml("<a name=\"x &lt; y &amp; z\"/>");
+    EXPECT_EQ(root->attribute("name"), "x < y & z");
+}
+
+TEST(Xml, CapturesText)
+{
+    auto root = parse_xml("<a>  hello world  </a>");
+    EXPECT_EQ(root->text, "hello world");
+}
+
+TEST(Xml, SingleQuotedAttributes)
+{
+    auto root = parse_xml("<a b='c d'/>");
+    EXPECT_EQ(root->attribute("b"), "c d");
+}
+
+TEST(Xml, RejectsMismatchedTags)
+{
+    EXPECT_THROW(parse_xml("<a><b></a></b>"), XmlError);
+}
+
+TEST(Xml, RejectsUnterminatedInput)
+{
+    EXPECT_THROW(parse_xml("<a><b/>"), XmlError);
+    EXPECT_THROW(parse_xml("<a b=\"unclosed/>"), XmlError);
+}
+
+TEST(Xml, RejectsTrailingContent)
+{
+    EXPECT_THROW(parse_xml("<a/><b/>"), XmlError);
+}
+
+TEST(Xml, ChildrenNamedFiltersCorrectly)
+{
+    auto root = parse_xml("<r><x/><y/><x/></r>");
+    EXPECT_EQ(root->children_named("x").size(), 2u);
+    EXPECT_EQ(root->children_named("y").size(), 1u);
+    EXPECT_EQ(root->children_named("z").size(), 0u);
+}
+
+// --------------------------------------------------------------- model ----
+
+RobotModel
+two_limb_model()
+{
+    // Base with two limbs: a 2-link arm and a 1-link head, declared out of
+    // order to exercise preorder canonicalization.
+    RobotModelBuilder b("toy");
+    const JointModel rz(JointType::kRevolute, Vec3::unit_z());
+    const SpatialInertia inertia = SpatialInertia::from_mass_com_inertia(
+        1.0, {0.0, 0.0, 0.1}, spatial::Mat3::identity() * 0.01);
+    b.add_link("arm2", "arm1", rz, SpatialTransform(), inertia);
+    b.add_link("head", "", rz, SpatialTransform(), inertia);
+    b.add_link("arm1", "", rz, SpatialTransform(), inertia);
+    return b.finalize();
+}
+
+TEST(RobotModel, PreorderCanonicalization)
+{
+    const RobotModel m = two_limb_model();
+    ASSERT_EQ(m.num_links(), 3u);
+    // Declaration order of roots is preserved (head then arm1), and arm2
+    // follows its parent immediately.
+    EXPECT_EQ(m.link(0).name, "head");
+    EXPECT_EQ(m.link(1).name, "arm1");
+    EXPECT_EQ(m.link(2).name, "arm2");
+    EXPECT_EQ(m.parent(2), 1);
+    EXPECT_EQ(m.parent(1), kBaseParent);
+    ASSERT_EQ(m.base_children().size(), 2u);
+}
+
+TEST(RobotModel, RejectsDuplicateNames)
+{
+    RobotModelBuilder b("dup");
+    const JointModel rz(JointType::kRevolute, Vec3::unit_z());
+    b.add_link("a", "", rz, SpatialTransform(), SpatialInertia());
+    EXPECT_THROW(
+        b.add_link("a", "", rz, SpatialTransform(), SpatialInertia()),
+        std::invalid_argument);
+}
+
+TEST(RobotModel, RejectsUnknownParent)
+{
+    RobotModelBuilder b("orphan");
+    const JointModel rz(JointType::kRevolute, Vec3::unit_z());
+    b.add_link("a", "ghost", rz, SpatialTransform(), SpatialInertia());
+    EXPECT_THROW(b.finalize(), std::invalid_argument);
+}
+
+TEST(RobotModel, RejectsCycles)
+{
+    RobotModelBuilder b("cycle");
+    const JointModel rz(JointType::kRevolute, Vec3::unit_z());
+    b.add_link("a", "b", rz, SpatialTransform(), SpatialInertia());
+    b.add_link("b", "a", rz, SpatialTransform(), SpatialInertia());
+    EXPECT_THROW(b.finalize(), std::invalid_argument);
+}
+
+TEST(RobotModel, RejectsFixedJointsOnMovingLinks)
+{
+    RobotModelBuilder b("fixed");
+    b.add_link("a", "", JointModel(), SpatialTransform(), SpatialInertia());
+    EXPECT_THROW(b.finalize(), std::invalid_argument);
+}
+
+TEST(RobotModel, FindLinkByName)
+{
+    const RobotModel m = two_limb_model();
+    EXPECT_EQ(m.find_link("arm2"), 2);
+    EXPECT_EQ(m.find_link("nope"), -1);
+}
+
+// -------------------------------------------------------------- info ----
+
+TEST(TopologyInfo, DepthsSubtreesAndAncestry)
+{
+    const RobotModel m = two_limb_model();
+    const TopologyInfo t(m);
+    EXPECT_EQ(t.depth(0), 1u);
+    EXPECT_EQ(t.depth(2), 2u);
+    EXPECT_EQ(t.subtree_size(1), 2u);
+    EXPECT_TRUE(t.is_ancestor_or_self(1, 2));
+    EXPECT_FALSE(t.is_ancestor_or_self(2, 1));
+    EXPECT_FALSE(t.is_ancestor_or_self(0, 2));
+    EXPECT_TRUE(t.is_leaf(0));
+    EXPECT_FALSE(t.is_leaf(1));
+    ASSERT_EQ(t.limb_spans().size(), 2u);
+    EXPECT_EQ(t.limb_spans()[1], (std::pair<std::size_t, std::size_t>{1, 3}));
+}
+
+TEST(TopologyInfo, IsAncestorMatchesParentChainBruteForce)
+{
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const TopologyInfo t(m);
+        const std::size_t n = m.num_links();
+        for (std::size_t a = 0; a < n; ++a) {
+            for (std::size_t b = 0; b < n; ++b) {
+                bool expected = false;
+                int cur = static_cast<int>(b);
+                while (cur != kBaseParent) {
+                    if (cur == static_cast<int>(a)) {
+                        expected = true;
+                        break;
+                    }
+                    cur = m.parent(cur);
+                }
+                EXPECT_EQ(t.is_ancestor_or_self(a, b), expected)
+                    << robot_name(id) << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(TopologyInfo, RootPathEndsAtSelfAndStartsAtLimbRoot)
+{
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const TopologyInfo t(m);
+    for (std::size_t i = 0; i < m.num_links(); ++i) {
+        const auto path = t.root_path(i);
+        ASSERT_FALSE(path.empty());
+        EXPECT_EQ(path.back(), i);
+        EXPECT_EQ(m.parent(path.front()), kBaseParent);
+        EXPECT_EQ(path.size(), t.depth(i));
+    }
+}
+
+/** Expected Table 3 values (see DESIGN.md reconstruction notes). */
+struct Table3Row
+{
+    RobotId id;
+    std::size_t total_links;
+    std::size_t max_leaf_depth;
+    double avg_leaf_depth;
+    std::size_t max_descendants;
+    double leaf_depth_stdev;
+};
+
+class Table3Metrics : public ::testing::TestWithParam<Table3Row>
+{
+};
+
+TEST_P(Table3Metrics, MatchesPaper)
+{
+    const Table3Row row = GetParam();
+    const RobotModel m = build_robot(row.id);
+    const TopologyMetrics got = TopologyInfo(m).metrics();
+    EXPECT_EQ(got.total_links, row.total_links);
+    EXPECT_EQ(got.max_leaf_depth, row.max_leaf_depth);
+    EXPECT_NEAR(got.avg_leaf_depth, row.avg_leaf_depth, 1e-9);
+    EXPECT_EQ(got.max_descendants, row.max_descendants);
+    EXPECT_NEAR(got.leaf_depth_stdev, row.leaf_depth_stdev, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRobots, Table3Metrics,
+    ::testing::Values(
+        Table3Row{RobotId::kIiwa, 7, 7, 7.0, 7, 0.0},
+        Table3Row{RobotId::kHyq, 12, 3, 3.0, 3, 0.0},
+        // Baxter stdev: population stdev of {1, 7, 7} = 2.828 (the paper
+        // prints 2.3; see DESIGN.md).
+        Table3Row{RobotId::kBaxter, 15, 7, 5.0, 7, 2.8284},
+        Table3Row{RobotId::kJaco2, 12, 9, 9.0, 12, 0.0},
+        Table3Row{RobotId::kJaco3, 15, 9, 9.0, 15, 0.0},
+        Table3Row{RobotId::kHyqWithArm, 19, 7, 3.8, 7, 1.6}),
+    [](const auto &info) {
+        std::string name = robot_name(info.param.id);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_" + std::to_string(info.param.total_links);
+    });
+
+TEST(TopologyInfo, MassMatrixSparsityMatchesPaper)
+{
+    // Paper Sec. 5.2: iiwa fully dense, HyQ 75% sparse, Baxter 56% sparse
+    // (99 nonzeros of 225).
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    EXPECT_NEAR(TopologyInfo(iiwa).mass_matrix_sparsity(), 0.0, 1e-12);
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    EXPECT_NEAR(TopologyInfo(hyq).mass_matrix_sparsity(), 0.75, 1e-12);
+    const RobotModel baxter_model = build_robot(RobotId::kBaxter);
+    const TopologyInfo baxter(baxter_model);
+    EXPECT_NEAR(baxter.mass_matrix_sparsity(), 1.0 - 99.0 / 225.0, 1e-12);
+}
+
+TEST(TopologyInfo, MaskAgreesWithNumericalMassMatrix)
+{
+    for (RobotId id : all_robots()) {
+        const RobotModel m = build_robot(id);
+        const TopologyInfo t(m);
+        const auto mask = t.mass_matrix_mask();
+        const auto state = dynamics::random_state(m, 17);
+        const linalg::Matrix h = dynamics::crba(m, state.q);
+        for (std::size_t i = 0; i < m.num_links(); ++i) {
+            for (std::size_t j = 0; j < m.num_links(); ++j) {
+                if (!mask[i][j]) {
+                    EXPECT_NEAR(h(i, j), 0.0, 1e-12)
+                        << robot_name(id) << " (" << i << "," << j << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(TopologyInfo, BranchLinks)
+{
+    // Jaco-3 branches at arm_link6; HyQ and iiwa have no in-tree branches.
+    const RobotModel jaco = build_robot(RobotId::kJaco3);
+    const TopologyInfo tj(jaco);
+    ASSERT_EQ(tj.branch_links().size(), 1u);
+    EXPECT_EQ(jaco.link(tj.branch_links()[0]).name, "arm_link6");
+    const RobotModel iiwa = build_robot(RobotId::kIiwa);
+    EXPECT_TRUE(TopologyInfo(iiwa).branch_links().empty());
+    const RobotModel hyq = build_robot(RobotId::kHyq);
+    EXPECT_TRUE(TopologyInfo(hyq).branch_links().empty());
+}
+
+// --------------------------------------------------------------- urdf ----
+
+TEST(Urdf, RoundTripPreservesTopologyAndDynamics)
+{
+    for (RobotId id : all_robots()) {
+        const RobotModel direct = build_robot(id);
+        const RobotModel parsed = parse_urdf(robot_urdf(id));
+        ASSERT_EQ(parsed.num_links(), direct.num_links()) << robot_name(id);
+        for (std::size_t i = 0; i < direct.num_links(); ++i) {
+            EXPECT_EQ(parsed.link(i).name, direct.link(i).name);
+            EXPECT_EQ(parsed.parent(i), direct.parent(i));
+        }
+        // Dynamics-level equivalence: identical mass matrices at random q.
+        const auto state = dynamics::random_state(direct, 23);
+        const linalg::Matrix hd = dynamics::crba(direct, state.q);
+        const linalg::Matrix hp = dynamics::crba(parsed, state.q);
+        EXPECT_LT(linalg::max_abs_diff(hd, hp), 1e-10) << robot_name(id);
+    }
+}
+
+TEST(Urdf, FoldsFixedJoints)
+{
+    const char *urdf = R"(
+      <robot name="folding">
+        <link name="base"/>
+        <link name="arm"><inertial>
+          <origin xyz="0 0 0.1"/><mass value="2"/>
+          <inertia ixx="0.1" iyy="0.1" izz="0.05"/></inertial></link>
+        <link name="tool"><inertial>
+          <origin xyz="0 0 0.05"/><mass value="0.5"/>
+          <inertia ixx="0.01" iyy="0.01" izz="0.01"/></inertial></link>
+        <link name="tip"><inertial>
+          <origin xyz="0 0 0.02"/><mass value="0.2"/>
+          <inertia ixx="0.001" iyy="0.001" izz="0.001"/></inertial></link>
+        <joint name="j1" type="revolute">
+          <parent link="base"/><child link="arm"/>
+          <origin xyz="0 0 0.2"/><axis xyz="0 0 1"/></joint>
+        <joint name="jf" type="fixed">
+          <parent link="arm"/><child link="tool"/>
+          <origin xyz="0 0 0.3"/></joint>
+        <joint name="j2" type="revolute">
+          <parent link="tool"/><child link="tip"/>
+          <origin xyz="0 0 0.1"/><axis xyz="0 1 0"/></joint>
+      </robot>)";
+    const RobotModel m = parse_urdf(urdf);
+    ASSERT_EQ(m.num_links(), 2u);
+    EXPECT_EQ(m.link(0).name, "arm");
+    EXPECT_EQ(m.link(1).name, "tip");
+    EXPECT_EQ(m.parent(1), 0);
+    // Folded mass: arm absorbs the tool.
+    EXPECT_NEAR(m.link(0).inertia.mass(), 2.5, 1e-12);
+    EXPECT_NEAR(m.link(1).inertia.mass(), 0.2, 1e-12);
+    // The tip joint origin accumulates the fixed offset: 0.3 + 0.1 from arm.
+    EXPECT_NEAR(m.link(1).x_tree.translation_vector().z, 0.4, 1e-12);
+}
+
+TEST(Urdf, RejectsStructuralErrors)
+{
+    EXPECT_THROW(parse_urdf("<robot name=\"x\"/>"), UrdfError);
+    EXPECT_THROW(parse_urdf("<notrobot/>"), UrdfError);
+    // Unknown parent link.
+    EXPECT_THROW(parse_urdf(R"(
+      <robot name="x"><link name="a"/><link name="b"/>
+        <joint name="j" type="revolute">
+          <parent link="ghost"/><child link="b"/><axis xyz="0 0 1"/>
+        </joint></robot>)"),
+                 UrdfError);
+    // Two roots (disconnected link).
+    EXPECT_THROW(parse_urdf(R"(
+      <robot name="x"><link name="a"/><link name="b"/></robot>)"),
+                 UrdfError);
+    // Duplicate child.
+    EXPECT_THROW(parse_urdf(R"(
+      <robot name="x"><link name="a"/><link name="b"/>
+        <joint name="j1" type="revolute">
+          <parent link="a"/><child link="b"/><axis xyz="0 0 1"/></joint>
+        <joint name="j2" type="revolute">
+          <parent link="a"/><child link="b"/><axis xyz="0 0 1"/></joint>
+      </robot>)"),
+                 UrdfError);
+}
+
+TEST(Urdf, RpyRotationsAffectKinematicsCorrectly)
+{
+    // A joint origin rotated 90 deg about z turns the child's x axis into
+    // the parent's y axis; verify through the parsed model's dynamics.
+    const char *urdf = R"(
+      <robot name="rpy">
+        <link name="base"/>
+        <link name="a"><inertial>
+          <origin xyz="0.2 0 0"/><mass value="1"/>
+          <inertia ixx="0.01" iyy="0.01" izz="0.01"/></inertial></link>
+        <joint name="j1" type="revolute">
+          <parent link="base"/><child link="a"/>
+          <origin xyz="0 0 0.1" rpy="0 0 1.5707963267948966"/>
+          <axis xyz="0 0 1"/></joint>
+      </robot>)";
+    const RobotModel m = parse_urdf(urdf);
+    ASSERT_EQ(m.num_links(), 1u);
+    // At q=0 the link's COM (0.2 along child x) lies along parent +y.
+    const linalg::Vector q(1);
+    const auto fk_x = m.link(0).x_tree.rotation_matrix().transpose_mul(
+        {0.2, 0.0, 0.0});
+    EXPECT_NEAR(fk_x.x, 0.0, 1e-9);
+    EXPECT_NEAR(fk_x.y, 0.2, 1e-9);
+    // Gravity torque about the joint's z axis is zero regardless (moment
+    // arm parallel to gravity's lever), but the mass matrix must see the
+    // 0.2 m offset: M(0,0) = izz + m r^2.
+    const linalg::Matrix h = dynamics::crba(m, q);
+    EXPECT_NEAR(h(0, 0), 0.01 + 1.0 * 0.2 * 0.2, 1e-9);
+}
+
+TEST(Urdf, InertialRpyRotatesTheTensor)
+{
+    // An inertia diag(1,2,3) in a frame rotated 90 deg about x must read
+    // diag(1,3,2) in link axes.
+    const char *urdf = R"(
+      <robot name="tensor">
+        <link name="base"/>
+        <link name="a"><inertial>
+          <origin xyz="0 0 0" rpy="1.5707963267948966 0 0"/>
+          <mass value="2"/>
+          <inertia ixx="1" iyy="2" izz="3"/></inertial></link>
+        <joint name="j1" type="revolute">
+          <parent link="base"/><child link="a"/>
+          <axis xyz="0 0 1"/></joint>
+      </robot>)";
+    const RobotModel m = parse_urdf(urdf);
+    const auto &ibar = m.link(0).inertia.ibar();
+    EXPECT_NEAR(ibar(0, 0), 1.0, 1e-9);
+    EXPECT_NEAR(ibar(1, 1), 3.0, 1e-9);
+    EXPECT_NEAR(ibar(2, 2), 2.0, 1e-9);
+}
+
+TEST(Urdf, WritesAndParsesFiles)
+{
+    const std::string dir = ::testing::TempDir();
+    const auto paths = write_urdf_files(dir);
+    ASSERT_EQ(paths.size(),
+              all_robots().size() + extended_robots().size());
+    const RobotModel m = parse_urdf_file(paths[0]);
+    EXPECT_EQ(m.num_links(), 7u); // iiwa is first
+}
+
+TEST(RobotLibrary, NamesAndShippedSubset)
+{
+    EXPECT_STREQ(robot_name(RobotId::kHyqWithArm), "HyQ+arm");
+    EXPECT_EQ(shipped_robots().size(), 3u);
+    EXPECT_EQ(all_robots().size(), 6u);
+    EXPECT_EQ(extended_robots().size(), 3u);
+}
+
+TEST(RobotLibrary, ExtendedFleetMetrics)
+{
+    // Bittle: 4 x 2-link legs.
+    const RobotModel bittle = build_robot(RobotId::kBittle);
+    const TopologyMetrics bm = TopologyInfo(bittle).metrics();
+    EXPECT_EQ(bm.total_links, 8u);
+    EXPECT_EQ(bm.max_leaf_depth, 2u);
+    EXPECT_EQ(bm.max_descendants, 2u);
+    EXPECT_EQ(bittle.base_children().size(), 4u);
+
+    // Pepper: 3-link hip column carrying a 2-link head and two 5-link
+    // arms — branch points below the base (off-diagonal mass coupling).
+    const RobotModel pepper = build_robot(RobotId::kPepper);
+    const TopologyInfo pt(pepper);
+    const TopologyMetrics pm = pt.metrics();
+    EXPECT_EQ(pm.total_links, 15u);
+    EXPECT_EQ(pm.max_leaf_depth, 8u);
+    EXPECT_EQ(pm.max_descendants, 15u);
+    EXPECT_EQ(pt.branch_links().size(), 1u); // hip_link3
+    EXPECT_LT(pt.mass_matrix_sparsity(), 0.5); // heavily coupled
+
+    // Humanoid: 27 links over five limbs.
+    const RobotModel humanoid = build_robot(RobotId::kHumanoid);
+    const TopologyMetrics hm = TopologyInfo(humanoid).metrics();
+    EXPECT_EQ(hm.total_links, 27u);
+    EXPECT_EQ(hm.max_leaf_depth, 7u);
+    EXPECT_NEAR(hm.avg_leaf_depth, (6 + 6 + 7 + 7 + 1) / 5.0, 1e-12);
+    EXPECT_EQ(humanoid.base_children().size(), 5u);
+}
+
+TEST(RobotLibrary, ExtendedFleetRoundTripsThroughUrdf)
+{
+    for (RobotId id : extended_robots()) {
+        const RobotModel direct = build_robot(id);
+        const RobotModel parsed = parse_urdf(robot_urdf(id));
+        ASSERT_EQ(parsed.num_links(), direct.num_links()) << robot_name(id);
+        const auto state = dynamics::random_state(direct, 3);
+        EXPECT_LT(linalg::max_abs_diff(dynamics::crba(direct, state.q),
+                                       dynamics::crba(parsed, state.q)),
+                  1e-10)
+            << robot_name(id);
+    }
+}
+
+} // namespace
+} // namespace topology
+} // namespace roboshape

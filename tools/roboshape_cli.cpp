@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The `roboshape` command-line tool: the front door of the generator flow.
+ *
+ *   roboshape info  <robot.urdf>                 topology + Table-3 metrics
+ *   roboshape gen   <robot.urdf> [options]       generate + report
+ *   roboshape sweep <robot.urdf> [options]       design space + Pareto CSV
+ *   roboshape rtl   <robot.urdf> <out_dir> [...] emit Verilog bundle
+ *
+ * Options:
+ *   --platform vcu118|vc707      resource envelope (default vcu118)
+ *   --pes-fwd N / --pes-bwd N / --block N   explicit knob caps
+ *   --kernel gradient|crba|kinematics       kernel family (default gradient)
+ *   --timeline                   print the ASCII schedule timeline (gen)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/verilog_emitter.h"
+#include "core/design_space.h"
+#include "core/design_export.h"
+#include "core/generator.h"
+#include "io/payload.h"
+#include "sched/timeline.h"
+#include "topology/topology_info.h"
+#include "topology/urdf_parser.h"
+
+namespace {
+
+using namespace roboshape;
+
+struct CliOptions
+{
+    std::string command;
+    std::string urdf_path;
+    std::string out_dir;
+    const accel::FpgaPlatform *platform = &accel::vcu118();
+    core::GeneratorConstraints constraints;
+    sched::KernelKind kernel = sched::KernelKind::kDynamicsGradient;
+    bool timeline = false;
+    bool json = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: roboshape <info|gen|sweep|rtl> <robot.urdf> "
+                 "[out_dir] [--platform vcu118|vc707]\n"
+                 "                 [--pes-fwd N] [--pes-bwd N] [--block N] "
+                 "[--kernel gradient|crba|kinematics]\n"
+                 "                 [--timeline] [--json]\n");
+    return 2;
+}
+
+std::optional<CliOptions>
+parse_args(int argc, char **argv)
+{
+    if (argc < 3)
+        return std::nullopt;
+    CliOptions opt;
+    opt.command = argv[1];
+    opt.urdf_path = argv[2];
+    int positional = 0;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--platform") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            if (std::strcmp(v, "vcu118") == 0)
+                opt.platform = &accel::vcu118();
+            else if (std::strcmp(v, "vc707") == 0)
+                opt.platform = &accel::vc707();
+            else
+                return std::nullopt;
+        } else if (arg == "--pes-fwd") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            opt.constraints.max_pes_fwd = std::stoul(v);
+        } else if (arg == "--pes-bwd") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            opt.constraints.max_pes_bwd = std::stoul(v);
+        } else if (arg == "--block") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            opt.constraints.max_block_size = std::stoul(v);
+        } else if (arg == "--kernel") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            if (std::strcmp(v, "gradient") == 0)
+                opt.kernel = sched::KernelKind::kDynamicsGradient;
+            else if (std::strcmp(v, "crba") == 0)
+                opt.kernel = sched::KernelKind::kMassMatrix;
+            else if (std::strcmp(v, "kinematics") == 0)
+                opt.kernel = sched::KernelKind::kForwardKinematics;
+            else
+                return std::nullopt;
+        } else if (arg == "--timeline") {
+            opt.timeline = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (positional == 0) {
+            opt.out_dir = arg;
+            ++positional;
+        } else {
+            return std::nullopt;
+        }
+    }
+    opt.constraints.platform = opt.platform;
+    return opt;
+}
+
+int
+cmd_info(const topology::RobotModel &model)
+{
+    const topology::TopologyInfo topo(model);
+    const topology::TopologyMetrics m = topo.metrics();
+    std::printf("robot: %s\n", model.name().c_str());
+    std::printf("  total links       %zu\n", m.total_links);
+    std::printf("  max leaf depth    %zu\n", m.max_leaf_depth);
+    std::printf("  avg leaf depth    %.2f\n", m.avg_leaf_depth);
+    std::printf("  max descendants   %zu\n", m.max_descendants);
+    std::printf("  leaf depth stdev  %.2f\n", m.leaf_depth_stdev);
+    std::printf("  independent limbs %zu\n", model.base_children().size());
+    std::printf("  branch links      %zu\n", topo.branch_links().size());
+    std::printf("  mass matrix       %.0f%% sparse, %.2fx sparse-I/O "
+                "compression\n",
+                topo.mass_matrix_sparsity() * 100.0,
+                io::compression_ratio(topo));
+    std::printf("  links:\n");
+    for (std::size_t i = 0; i < model.num_links(); ++i) {
+        const auto &l = model.link(i);
+        std::printf("    [%2zu] %-24s parent=%2d joint=%s depth=%zu\n", i,
+                    l.name.c_str(), l.parent,
+                    spatial::to_string(l.joint.type()), topo.depth(i));
+    }
+    return 0;
+}
+
+int
+cmd_gen(const topology::RobotModel &model, const CliOptions &opt)
+{
+    const core::Generator generator;
+    const auto out = generator.from_model(model, opt.constraints);
+    if (opt.json) {
+        std::fputs(core::design_to_json(out.design).c_str(), stdout);
+        return 0;
+    }
+    std::fputs(out.report.c_str(), stdout);
+    if (opt.timeline) {
+        std::printf("\nforward-stage timeline:\n%s",
+                    sched::render_timeline(out.design.task_graph(),
+                                           out.design.forward_stage())
+                        .c_str());
+        std::printf("\nbackward-stage timeline:\n%s",
+                    sched::render_timeline(out.design.task_graph(),
+                                           out.design.backward_stage())
+                        .c_str());
+    }
+    return 0;
+}
+
+int
+cmd_sweep(const topology::RobotModel &model, const CliOptions &opt)
+{
+    const core::DesignSpace space =
+        core::DesignSpace::sweep(model, accel::default_timing(), opt.kernel);
+    std::printf("# %zu design points for %s (%s)\n", space.points().size(),
+                model.name().c_str(), to_string(opt.kernel));
+    std::printf("pes_fwd,pes_bwd,block,cycles,latency_us,luts,dsps,"
+                "fits_%s\n",
+                opt.platform == &accel::vc707() ? "vc707" : "vcu118");
+    for (const core::DesignPoint &p : space.pareto_frontier()) {
+        std::printf("%zu,%zu,%zu,%lld,%.3f,%lld,%lld,%d\n",
+                    p.params.pes_fwd, p.params.pes_bwd,
+                    p.params.block_size, static_cast<long long>(p.cycles),
+                    p.latency_us, static_cast<long long>(p.resources.luts),
+                    static_cast<long long>(p.resources.dsps),
+                    p.resources.fits(*opt.platform) ? 1 : 0);
+    }
+    return 0;
+}
+
+int
+cmd_rtl(const topology::RobotModel &model, const CliOptions &opt)
+{
+    if (opt.out_dir.empty()) {
+        std::fprintf(stderr, "rtl requires an output directory\n");
+        return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(opt.out_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", opt.out_dir.c_str(),
+                     ec.message().c_str());
+        return 1;
+    }
+    const core::Generator generator;
+    const auto out = generator.from_model(model, opt.constraints);
+    const std::string base =
+        opt.out_dir + "/" + codegen::module_name(out.design);
+    std::ofstream(base + ".v") << codegen::emit_verilog(out.design);
+    std::ofstream(base + "_tb.v") << codegen::emit_testbench(out.design);
+    std::ofstream(opt.out_dir + "/roboshape_cells.v")
+        << codegen::emit_cell_library();
+    std::printf("%s\n%s.v\n%s_tb.v\n%s/roboshape_cells.v\n",
+                out.report.c_str(), base.c_str(), base.c_str(),
+                opt.out_dir.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = parse_args(argc, argv);
+    if (!opt)
+        return usage();
+
+    topology::RobotModel model;
+    try {
+        model = topology::parse_urdf_file(opt->urdf_path);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    try {
+        if (opt->command == "info")
+            return cmd_info(model);
+        if (opt->command == "gen")
+            return cmd_gen(model, *opt);
+        if (opt->command == "sweep")
+            return cmd_sweep(model, *opt);
+        if (opt->command == "rtl")
+            return cmd_rtl(model, *opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
