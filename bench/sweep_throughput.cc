@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Design-space sweep throughput: the memoized + threaded sweep against the
+ * reference serial per-design construction (what DesignSpace::sweep did
+ * before the SweepContext existed).
+ *
+ * Covers every library robot (paper Table 3 six plus the extended fleet)
+ * and a parametric hyper-redundant arm, verifies the two sweeps produce
+ * point-for-point identical DesignPoints, and emits machine-readable JSON
+ * on stdout so successive PRs can track the throughput trajectory.
+ * EXPERIMENTS.md ("Design-space sweep performance") explains the fields.
+ *
+ * Flags:
+ *   --serial-all    run the serial reference on every robot (by default it
+ *                   is skipped above N=19, where it takes minutes)
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/design_space.h"
+#include "core/parallel.h"
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+#include "topology/parametric_robots.h"
+#include "topology/robot_library.h"
+
+namespace {
+
+using roboshape::core::DesignPoint;
+using roboshape::core::DesignSpace;
+
+/** The pre-SweepContext sweep: one full AcceleratorDesign per triple. */
+std::vector<DesignPoint>
+serial_reference_sweep(const roboshape::topology::RobotModel &model)
+{
+    std::vector<DesignPoint> points;
+    const std::size_t n = model.num_links();
+    points.reserve(n * n * n);
+    for (std::size_t pf = 1; pf <= n; ++pf) {
+        for (std::size_t pb = 1; pb <= n; ++pb) {
+            for (std::size_t b = 1; b <= n; ++b) {
+                const roboshape::accel::AcceleratorDesign design(
+                    model, {pf, pb, b});
+                DesignPoint point;
+                point.params = design.params();
+                point.cycles = design.cycles_no_pipelining();
+                point.latency_us = design.latency_us_no_pipelining();
+                point.resources = design.resources();
+                points.push_back(point);
+            }
+        }
+    }
+    return points;
+}
+
+bool
+identical(const std::vector<DesignPoint> &a,
+          const std::vector<DesignPoint> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i].params == b[i].params) || a[i].cycles != b[i].cycles ||
+            a[i].latency_us != b[i].latency_us ||
+            a[i].resources.luts != b[i].resources.luts ||
+            a[i].resources.dsps != b[i].resources.dsps)
+            return false;
+    }
+    return true;
+}
+
+double
+elapsed_ms(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct Row
+{
+    std::string name;
+    std::size_t links = 0;
+    std::size_t points = 0;
+    double memoized_ms = 0.0;
+    std::uint64_t memoized_list_calls = 0;
+    std::uint64_t memoized_block_calls = 0;
+    double serial_ms = -1.0; ///< < 0: reference not run.
+    std::uint64_t serial_list_calls = 0;
+    double speedup = 0.0;
+    bool compared = false;
+    bool identical_points = false;
+};
+
+Row
+measure(const roboshape::topology::RobotModel &model, bool run_serial)
+{
+    using roboshape::sched::block_schedule_invocations;
+    using roboshape::sched::list_scheduler_invocations;
+
+    Row row;
+    row.name = model.name();
+    row.links = model.num_links();
+
+    const std::uint64_t list0 = list_scheduler_invocations();
+    const std::uint64_t block0 = block_schedule_invocations();
+    const auto t0 = std::chrono::steady_clock::now();
+    const DesignSpace space = DesignSpace::sweep(model);
+    row.memoized_ms = elapsed_ms(t0);
+    row.memoized_list_calls = list_scheduler_invocations() - list0;
+    row.memoized_block_calls = block_schedule_invocations() - block0;
+    row.points = space.points().size();
+
+    if (run_serial) {
+        const std::uint64_t list1 = list_scheduler_invocations();
+        const auto t1 = std::chrono::steady_clock::now();
+        const std::vector<DesignPoint> reference =
+            serial_reference_sweep(model);
+        row.serial_ms = elapsed_ms(t1);
+        row.serial_list_calls = list_scheduler_invocations() - list1;
+        row.speedup = row.serial_ms / std::max(row.memoized_ms, 1e-6);
+        row.compared = true;
+        row.identical_points = identical(space.points(), reference);
+    }
+    return row;
+}
+
+void
+print_row_json(const Row &row, bool last)
+{
+    std::printf("    {\"name\": \"%s\", \"links\": %zu, \"points\": %zu,\n"
+                "     \"memoized_ms\": %.3f, "
+                "\"memoized_list_scheduler_calls\": %llu, "
+                "\"memoized_block_schedule_calls\": %llu,\n",
+                row.name.c_str(), row.links, row.points, row.memoized_ms,
+                static_cast<unsigned long long>(row.memoized_list_calls),
+                static_cast<unsigned long long>(row.memoized_block_calls));
+    if (row.compared) {
+        std::printf("     \"serial_ms\": %.3f, "
+                    "\"serial_list_scheduler_calls\": %llu, "
+                    "\"speedup\": %.2f, \"identical_points\": %s}%s\n",
+                    row.serial_ms,
+                    static_cast<unsigned long long>(row.serial_list_calls),
+                    row.speedup, row.identical_points ? "true" : "false",
+                    last ? "" : ",");
+    } else {
+        std::printf("     \"serial_ms\": null, "
+                    "\"serial_list_scheduler_calls\": null, "
+                    "\"speedup\": null, \"identical_points\": null}%s\n",
+                    last ? "" : ",");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace roboshape;
+
+    bool serial_all = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--serial-all") == 0)
+            serial_all = true;
+
+    // The serial reference costs N^3 full design builds; above the paper's
+    // largest robot (Baxter-class N=19) it takes minutes, so gate it.
+    constexpr std::size_t kSerialLimit = 19;
+
+    std::vector<topology::RobotModel> models;
+    for (topology::RobotId id : topology::all_robots())
+        models.push_back(topology::build_robot(id));
+    for (topology::RobotId id : topology::extended_robots())
+        models.push_back(topology::build_robot(id));
+    // The scaling frontier (paper Sec. 3.3): a 30-segment rigid-body
+    // discretization of a continuum/hyper-redundant arm.
+    models.push_back(topology::make_serial_chain(30, "hyper30"));
+
+    std::printf("{\n  \"bench\": \"sweep_throughput\",\n"
+                "  \"sweep_workers\": %zu,\n  \"robots\": [\n",
+                core::sweep_worker_count(static_cast<std::size_t>(-1)));
+    bool all_identical = true;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const bool run_serial =
+            serial_all || models[i].num_links() <= kSerialLimit;
+        const Row row = measure(models[i], run_serial);
+        if (row.compared && !row.identical_points)
+            all_identical = false;
+        print_row_json(row, i + 1 == models.size());
+    }
+    std::printf("  ],\n  \"all_compared_identical\": %s\n}\n",
+                all_identical ? "true" : "false");
+    return all_identical ? 0 : 1;
+}

@@ -18,11 +18,11 @@ AcceleratorDesign::AcceleratorDesign(topology::RobotModel model,
                                      const AcceleratorParams &params,
                                      const TimingModel &timing,
                                      sched::KernelKind kernel)
-    : model_(std::make_unique<topology::RobotModel>(std::move(model))),
+    : model_(std::make_shared<topology::RobotModel>(std::move(model))),
       kernel_(kernel), params_(params), timing_(timing)
 {
-    topo_ = std::make_unique<topology::TopologyInfo>(*model_);
-    graph_ = std::make_unique<sched::TaskGraph>(*topo_, kernel_);
+    topo_ = std::make_shared<topology::TopologyInfo>(*model_);
+    graph_ = std::make_shared<sched::TaskGraph>(*topo_, kernel_);
 
     fwd_ = sched::schedule_stage(
         *graph_, {TaskType::kRneaForward, TaskType::kGradForward},
@@ -44,6 +44,21 @@ AcceleratorDesign::AcceleratorDesign(topology::RobotModel model,
             /*num_products=*/2);
     }
 
+    resources_ = estimate_resources(params_, model_->num_links());
+}
+
+AcceleratorDesign::AcceleratorDesign(
+    std::shared_ptr<const topology::RobotModel> model,
+    std::shared_ptr<const topology::TopologyInfo> topo,
+    std::shared_ptr<const sched::TaskGraph> graph,
+    const AcceleratorParams &params, const TimingModel &timing,
+    sched::KernelKind kernel, sched::Schedule fwd, sched::Schedule bwd,
+    sched::Schedule pipelined, sched::BlockSchedule mm)
+    : model_(std::move(model)), topo_(std::move(topo)), kernel_(kernel),
+      params_(params), timing_(timing), graph_(std::move(graph)),
+      fwd_(std::move(fwd)), bwd_(std::move(bwd)),
+      pipelined_(std::move(pipelined)), mm_(std::move(mm))
+{
     resources_ = estimate_resources(params_, model_->num_links());
 }
 
@@ -82,16 +97,16 @@ AcceleratorDesign::latency_us_batched(std::size_t batch) const
 }
 
 double
-AcceleratorDesign::clock_period_ns() const
+clock_period_ns(const topology::TopologyMetrics &m)
 {
-    // The marshalling critical path has two contributors: the longest
-    // forward thread a PE sequences through (bounded by the deepest leaf)
-    // and the per-link operand mux fan-in (grows with N).  Coefficients are
-    // calibrated to the paper's synthesized periods — exactly 18/18/22 ns
-    // for the shipped iiwa/HyQ/Baxter designs.
-    const topology::TopologyMetrics m = topo_->metrics();
     return 10.125 + 0.625 * static_cast<double>(m.max_leaf_depth) +
            0.5 * static_cast<double>(m.total_links);
+}
+
+double
+AcceleratorDesign::clock_period_ns() const
+{
+    return accel::clock_period_ns(topo_->metrics());
 }
 
 double

@@ -26,6 +26,16 @@
 namespace roboshape {
 namespace accel {
 
+/**
+ * Synthesized clock period of a design for a robot with shape metrics
+ * @p m.  The input-marshalling critical path has two contributors: the
+ * longest forward thread a PE sequences through (bounded by the deepest
+ * leaf) and the per-link operand mux fan-in (grows with N).  Coefficients
+ * are calibrated to the paper's synthesized periods — exactly 18/18/22 ns
+ * for the shipped iiwa/HyQ/Baxter designs (paper Sec. 5.1).
+ */
+double clock_period_ns(const topology::TopologyMetrics &m);
+
 class AcceleratorDesign
 {
   public:
@@ -39,6 +49,26 @@ class AcceleratorDesign
                       const TimingModel &timing = default_timing(),
                       sched::KernelKind kernel =
                           sched::KernelKind::kDynamicsGradient);
+
+    /**
+     * Composes a design from schedules somebody else already computed —
+     * the cheap construction path behind core::SweepContext, where one
+     * (robot, timing) pair shares the topology, the task graph, and the
+     * memoized per-knob schedules across thousands of designs.
+     *
+     * Contract: @p topo must be built from @p model, @p graph from
+     * (@p topo, @p kernel), and the schedules must equal what the
+     * generating constructor would compute for (@p graph, @p params,
+     * @p timing); @p mm is the default (empty) schedule for kernels
+     * without a blocked-multiply stage.
+     */
+    AcceleratorDesign(std::shared_ptr<const topology::RobotModel> model,
+                      std::shared_ptr<const topology::TopologyInfo> topo,
+                      std::shared_ptr<const sched::TaskGraph> graph,
+                      const AcceleratorParams &params,
+                      const TimingModel &timing, sched::KernelKind kernel,
+                      sched::Schedule fwd, sched::Schedule bwd,
+                      sched::Schedule pipelined, sched::BlockSchedule mm);
 
     const topology::RobotModel &model() const { return *model_; }
 
@@ -93,12 +123,14 @@ class AcceleratorDesign
     const ResourceEstimate &resources() const { return resources_; }
 
   private:
-    std::unique_ptr<topology::RobotModel> model_;
-    std::unique_ptr<topology::TopologyInfo> topo_;
+    // Shared (not unique) so sweep-built designs can alias one
+    // topology/task-graph instance; each is immutable after construction.
+    std::shared_ptr<const topology::RobotModel> model_;
+    std::shared_ptr<const topology::TopologyInfo> topo_;
     sched::KernelKind kernel_ = sched::KernelKind::kDynamicsGradient;
     AcceleratorParams params_;
     TimingModel timing_;
-    std::unique_ptr<sched::TaskGraph> graph_;
+    std::shared_ptr<const sched::TaskGraph> graph_;
     sched::Schedule fwd_;
     sched::Schedule bwd_;
     sched::Schedule pipelined_;

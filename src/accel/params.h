@@ -48,6 +48,9 @@ struct TimingModel
     sched::TileTiming tile{/*cycles_per_row=*/1, /*overhead=*/3};
     /** Block matrix-vector multiply units (fixed in the Fig. 8 template). */
     std::size_t mm_units = 3;
+
+    /** Equality lets sweep caches detect a timing-model mismatch. */
+    bool operator==(const TimingModel &) const = default;
 };
 
 /** Default timing model shared by all benches. */

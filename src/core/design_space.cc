@@ -8,6 +8,11 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
+#include <tuple>
+
+#include "core/parallel.h"
+#include "core/sweep_context.h"
 
 namespace roboshape {
 namespace core {
@@ -18,46 +23,124 @@ DesignSpace::sweep(const topology::RobotModel &model,
                    sched::KernelKind kernel)
 {
     DesignSpace space;
-    const std::size_t n = model.num_links();
-    // Kernels without a blocked-multiply stage have no block knob.
-    const std::size_t block_max =
-        kernel == sched::KernelKind::kDynamicsGradient ? n : 1;
-    space.points_.reserve(n * n * block_max);
-    for (std::size_t pf = 1; pf <= n; ++pf) {
+    space.context_ = std::make_shared<SweepContext>(model, timing, kernel);
+    SweepContext &ctx = *space.context_;
+    const std::size_t n = ctx.num_links();
+    const std::size_t block_max = ctx.block_knob_max();
+
+    // Phase 1: the O(n) distinct schedules, across the thread pool.
+    ctx.precompute_stage_schedules();
+
+    // Phase 2: compose the n^2 * block_max points from the caches —
+    // arithmetic only, no scheduler runs.  Row-sharded over pes_fwd; each
+    // worker writes a disjoint, pre-sized slice, so the point order is
+    // identical to the serial triple loop.
+    const double period = ctx.clock_period_ns();
+    space.points_.resize(n * n * block_max);
+    parallel_for(n, [&](std::size_t row) {
+        const std::size_t pf = row + 1;
+        std::size_t idx = row * n * block_max;
         for (std::size_t pb = 1; pb <= n; ++pb) {
-            for (std::size_t b = 1; b <= block_max; ++b) {
-                const accel::AcceleratorDesign design(model, {pf, pb, b},
-                                                      timing, kernel);
-                DesignPoint point;
-                point.params = design.params();
-                point.cycles = design.cycles_no_pipelining();
-                point.latency_us = design.latency_us_no_pipelining();
-                point.resources = design.resources();
-                space.points_.push_back(point);
+            for (std::size_t b = 1; b <= block_max; ++b, ++idx) {
+                DesignPoint &point = space.points_[idx];
+                point.params = {pf, pb, b};
+                point.cycles = ctx.cycles_no_pipelining(point.params);
+                point.latency_us =
+                    static_cast<double>(point.cycles) * period * 1e-3;
+                point.resources =
+                    accel::estimate_resources(point.params, n);
             }
         }
-    }
+    });
     return space;
 }
 
 std::vector<DesignPoint>
 DesignSpace::pareto_frontier_3d() const
 {
-    std::vector<DesignPoint> kept;
-    for (const DesignPoint &p : points_) {
-        bool dominated = false;
-        for (const DesignPoint &q : points_) {
-            if (q.cycles <= p.cycles && q.resources.luts <= p.resources.luts &&
-                q.resources.dsps <= p.resources.dsps &&
-                (q.cycles < p.cycles || q.resources.luts < p.resources.luts ||
-                 q.resources.dsps < p.resources.dsps)) {
-                dominated = true;
-                break;
+    // Sort-then-sweep instead of the quadratic all-pairs dominance check.
+    // Points ordered lexicographically by (LUTs, DSPs, cycles) can only be
+    // dominated by points sorting no later, so one pass with a running
+    // (DSPs -> min cycles) staircase of all strictly-cheaper-LUT points
+    // decides dominance; equal-LUT groups are handled in-group, where
+    // strictness must come from DSPs or cycles.  Output (set and order)
+    // is identical to the quadratic check, duplicates included.
+    const std::size_t count = points_.size();
+    std::vector<std::size_t> order(count);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const auto key = [this](std::size_t i) {
+        const DesignPoint &p = points_[i];
+        return std::make_tuple(p.resources.luts, p.resources.dsps,
+                               p.cycles);
+    };
+    std::sort(order.begin(), order.end(),
+              [&key](std::size_t x, std::size_t y) {
+                  return key(x) < key(y) || (key(x) == key(y) && x < y);
+              });
+
+    // Staircase entries (dsps asc, min cycles strictly desc) over every
+    // point of the already-processed (strictly smaller LUT) groups.
+    std::vector<std::pair<std::int64_t, std::int64_t>> stair;
+    const auto stair_min = [&stair](std::int64_t dsps) {
+        const auto it = std::upper_bound(
+            stair.begin(), stair.end(), dsps,
+            [](std::int64_t d, const auto &e) { return d < e.first; });
+        return it == stair.begin() ? std::numeric_limits<std::int64_t>::max()
+                                   : std::prev(it)->second;
+    };
+    const auto stair_insert = [&stair, &stair_min](std::int64_t dsps,
+                                                   std::int64_t cycles) {
+        if (stair_min(dsps) <= cycles)
+            return; // an existing entry already covers (dsps, cycles)
+        auto it = std::lower_bound(
+            stair.begin(), stair.end(), dsps,
+            [](const auto &e, std::int64_t d) { return e.first < d; });
+        if (it != stair.end() && it->first == dsps)
+            it->second = cycles;
+        else
+            it = stair.insert(it, {dsps, cycles});
+        const auto tail = std::next(it);
+        auto last = tail;
+        while (last != stair.end() && last->second >= cycles)
+            ++last;
+        stair.erase(tail, last);
+    };
+
+    std::vector<char> dominated(count, 0);
+    for (std::size_t i = 0; i < count;) {
+        std::size_t j = i;
+        const std::int64_t luts = points_[order[i]].resources.luts;
+        while (j < count && points_[order[j]].resources.luts == luts)
+            ++j;
+        // In-group running minima: cycles over strictly-smaller DSPs and
+        // over equal DSPs (where domination needs strictly fewer cycles).
+        constexpr std::int64_t kInf =
+            std::numeric_limits<std::int64_t>::max();
+        std::int64_t prev_dsps = 0;
+        std::int64_t min_c_below = kInf, min_c_at = kInf;
+        for (std::size_t k = i; k < j; ++k) {
+            const DesignPoint &p = points_[order[k]];
+            const std::int64_t dsps = p.resources.dsps;
+            if (k == i || dsps != prev_dsps) {
+                min_c_below = std::min(min_c_below, min_c_at);
+                min_c_at = kInf;
+                prev_dsps = dsps;
             }
+            if (stair_min(dsps) <= p.cycles || min_c_below <= p.cycles ||
+                min_c_at < p.cycles)
+                dominated[order[k]] = 1;
+            min_c_at = std::min(min_c_at, p.cycles);
         }
-        if (!dominated)
-            kept.push_back(p);
+        for (std::size_t k = i; k < j; ++k)
+            stair_insert(points_[order[k]].resources.dsps,
+                         points_[order[k]].cycles);
+        i = j;
     }
+
+    std::vector<DesignPoint> kept;
+    for (std::size_t i = 0; i < count; ++i)
+        if (!dominated[i])
+            kept.push_back(points_[i]);
     return kept;
 }
 
@@ -202,22 +285,39 @@ evaluate_strategy(const topology::RobotModel &model,
                   const DesignSpace &space,
                   const accel::TimingModel &timing)
 {
-    const topology::TopologyInfo topo(model);
-    const sched::Allocation alloc =
-        sched::allocate(strategy, topo.metrics());
-    // PE pools are capped at N: allocating beyond the link count cannot
-    // create more parallelism than tasks exist per schedule slot.
     const std::size_t n = model.num_links();
-    accel::AcceleratorParams params{std::min(alloc.pes_fwd, n),
-                                    std::min(alloc.pes_bwd, n),
-                                    best_block_size(topo, timing)};
-
-    const accel::AcceleratorDesign design(model, params, timing);
     StrategyEvaluation eval;
     eval.strategy = strategy;
-    eval.params = params;
-    eval.cycles = design.cycles_no_pipelining();
-    eval.resources = design.resources();
+
+    // Reuse the space's memoized schedules when it was swept with the same
+    // timing model and kernel; each strategy then costs at most two stage
+    // schedules (likely cache hits) instead of a full design build plus an
+    // N-point block-size scan.
+    SweepContext *ctx = space.context().get();
+    if (ctx && ctx->timing() == timing &&
+        ctx->kernel() == sched::KernelKind::kDynamicsGradient &&
+        ctx->num_links() == n) {
+        const sched::Allocation alloc =
+            sched::allocate(strategy, ctx->topology().metrics());
+        // PE pools are capped at N: allocating beyond the link count
+        // cannot create more parallelism than tasks exist per slot.
+        eval.params = accel::AcceleratorParams{std::min(alloc.pes_fwd, n),
+                                               std::min(alloc.pes_bwd, n),
+                                               ctx->best_block_size()};
+        eval.cycles = ctx->cycles_no_pipelining(eval.params);
+        eval.resources = accel::estimate_resources(eval.params, n);
+    } else {
+        const topology::TopologyInfo topo(model);
+        const sched::Allocation alloc =
+            sched::allocate(strategy, topo.metrics());
+        eval.params =
+            accel::AcceleratorParams{std::min(alloc.pes_fwd, n),
+                                     std::min(alloc.pes_bwd, n),
+                                     best_block_size(topo, timing)};
+        const accel::AcceleratorDesign design(model, eval.params, timing);
+        eval.cycles = design.cycles_no_pipelining();
+        eval.resources = design.resources();
+    }
     eval.meets_minimum_latency = eval.cycles == space.min_cycles();
     return eval;
 }

@@ -12,6 +12,7 @@
 #ifndef ROBOSHAPE_CORE_DESIGN_SPACE_H
 #define ROBOSHAPE_CORE_DESIGN_SPACE_H
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,6 +22,8 @@
 
 namespace roboshape {
 namespace core {
+
+class SweepContext;
 
 /** One evaluated knob combination. */
 struct DesignPoint
@@ -37,6 +40,14 @@ class DesignSpace
   public:
     /**
      * Evaluates every knob combination in [1, N]^3.
+     *
+     * Schedules are memoized per knob (a SweepContext), so the N^3 points
+     * cost O(N) scheduler passes, and both the schedule computation and
+     * the point composition run across a thread pool (deterministic
+     * output: points are ordered by (pes_fwd, pes_bwd, block_size)
+     * regardless of worker count; set ROBOSHAPE_SWEEP_THREADS to pin the
+     * pool size).
+     *
      * @param model  evaluated robot (copied into the space).
      * @param kernel kernel family to generate (paper Table 1).
      */
@@ -88,8 +99,18 @@ class DesignSpace
     std::int64_t min_luts() const;
     std::int64_t max_luts() const;
 
+    /** The memoized schedule caches this space was swept with; shared by
+     *  evaluate_strategy so strategy evaluation re-runs no schedules.
+     *  Lazy accessors on the context are not thread-safe (see
+     *  SweepContext). */
+    const std::shared_ptr<SweepContext> &context() const
+    {
+        return context_;
+    }
+
   private:
     std::vector<DesignPoint> points_;
+    std::shared_ptr<SweepContext> context_;
 };
 
 /**

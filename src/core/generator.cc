@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/design_space.h"
+#include "core/sweep_context.h"
 #include "sched/allocation.h"
 #include "topology/urdf_parser.h"
 
@@ -18,17 +19,16 @@ namespace core {
 namespace {
 
 /** Auto-tunes knobs: Hybrid allocation and best block size, clipped to the
- *  caller's caps, then shrunk until the design fits the platform. */
+ *  caller's caps, then shrunk until the design fits the platform.  The
+ *  feasibility loop revisits schedules as the pools shrink, so it draws
+ *  them from the caller's memoized @p ctx. */
 accel::AcceleratorParams
-choose_params(const topology::RobotModel &model,
-              const GeneratorConstraints &constraints,
-              const accel::TimingModel &timing)
+choose_params(SweepContext &ctx, const GeneratorConstraints &constraints)
 {
-    const topology::TopologyInfo topo(model);
-    const std::size_t n = model.num_links();
+    const std::size_t n = ctx.num_links();
 
-    const sched::Allocation hybrid =
-        sched::allocate(sched::AllocationStrategy::kHybrid, topo.metrics());
+    const sched::Allocation hybrid = sched::allocate(
+        sched::AllocationStrategy::kHybrid, ctx.topology().metrics());
     accel::AcceleratorParams params;
     params.pes_fwd = std::min({hybrid.pes_fwd, n,
                                constraints.max_pes_fwd.value_or(n)});
@@ -40,28 +40,15 @@ choose_params(const topology::RobotModel &model,
     // that (larger blocks pay cubic accumulator area for no end-to-end
     // latency).  Fall back to the globally fastest block.
     const auto pick_block = [&](std::size_t pes_fwd, std::size_t pes_bwd) {
-        const sched::TaskGraph graph(topo);
-        const std::int64_t threshold = std::max(
-            sched::schedule_stage(graph,
-                                  {sched::TaskType::kRneaForward,
-                                   sched::TaskType::kGradForward},
-                                  pes_fwd, timing.traversal)
-                .makespan,
-            sched::schedule_stage(graph,
-                                  {sched::TaskType::kRneaBackward,
-                                   sched::TaskType::kGradBackward},
-                                  pes_bwd, timing.traversal)
-                .makespan);
-        const auto a = sched::mass_inverse_mask(topo);
-        const auto b = sched::derivative_mask(topo);
+        const std::int64_t threshold =
+            std::max(ctx.forward(pes_fwd).makespan,
+                     ctx.backward(pes_bwd).makespan);
         const std::size_t cap = constraints.max_block_size.value_or(n);
         for (std::size_t bs = 1; bs <= cap; ++bs) {
-            if (sched::schedule_block_multiply(a, b, bs, timing.mm_units,
-                                               timing.tile)
-                    .makespan <= threshold)
+            if (ctx.block_multiply(bs).makespan <= threshold)
                 return bs;
         }
-        return std::min(best_block_size(topo, timing), cap);
+        return std::min(ctx.best_block_size(), cap);
     };
     params.block_size = pick_block(params.pes_fwd, params.pes_bwd);
 
@@ -89,8 +76,8 @@ choose_params(const topology::RobotModel &model,
             --params.block_size;
         } else {
             throw GenerationError(
-                "no feasible design for robot '" + model.name() + "' on " +
-                constraints.platform->name + " within " +
+                "no feasible design for robot '" + ctx.model().name() +
+                "' on " + constraints.platform->name + " within " +
                 std::to_string(constraints.utilization_threshold * 100.0) +
                 "% utilization");
         }
@@ -146,9 +133,10 @@ GeneratedAccelerator
 Generator::from_model(const topology::RobotModel &model,
                       const GeneratorConstraints &constraints) const
 {
+    SweepContext ctx(model, timing_);
     const accel::AcceleratorParams params =
-        choose_params(model, constraints, timing_);
-    accel::AcceleratorDesign design(model, params, timing_);
+        choose_params(ctx, constraints);
+    accel::AcceleratorDesign design = ctx.design(params);
     std::string report = make_report(design, constraints);
     return GeneratedAccelerator{std::move(design), std::move(report)};
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Memoized schedule state shared across one robot's design-space sweep.
+ *
+ * Every knob triple (PEs_fwd, PEs_bwd, size_block) used to construct a
+ * full AcceleratorDesign from scratch, rebuilding the TopologyInfo and
+ * TaskGraph and re-running four scheduler passes — even though the
+ * topology and task graph are invariant across the sweep and each
+ * schedule depends on only one knob (forward on PEs_fwd, backward on
+ * PEs_bwd, blocked multiply on size_block) or two (pipelined on the PE
+ * pair).  A SweepContext builds the invariants once and memoizes the n
+ * forward, n backward, n blocked-multiply, and up to n^2 pipelined
+ * schedules, so an n^3-point sweep performs O(n) scheduler passes instead
+ * of O(n^3) (the pipelined schedule is not needed for sweep points at
+ * all; it is computed lazily for full designs only).
+ *
+ * Thread-safety: precompute_stage_schedules() fills the single-knob caches
+ * with a statically-sharded thread pool (each cache slot is written by
+ * exactly one worker, no locks).  The lazy accessors mutate the caches and
+ * must not race each other; call them from one thread, or precompute
+ * first, after which reads are safe from any number of threads.
+ */
+
+#ifndef ROBOSHAPE_CORE_SWEEP_CONTEXT_H
+#define ROBOSHAPE_CORE_SWEEP_CONTEXT_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "accel/design.h"
+#include "accel/params.h"
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+#include "topology/robot_model.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace core {
+
+class SweepContext
+{
+  public:
+    /** Builds the sweep invariants (topology, task graph, sparsity masks)
+     *  for @p model; schedules are computed on demand or in bulk via
+     *  precompute_stage_schedules(). */
+    explicit SweepContext(const topology::RobotModel &model,
+                          const accel::TimingModel &timing =
+                              accel::default_timing(),
+                          sched::KernelKind kernel =
+                              sched::KernelKind::kDynamicsGradient);
+
+    const topology::RobotModel &model() const { return *model_; }
+    const topology::TopologyInfo &topology() const { return *topo_; }
+    const sched::TaskGraph &task_graph() const { return *graph_; }
+    const accel::TimingModel &timing() const { return timing_; }
+    sched::KernelKind kernel() const { return kernel_; }
+
+    std::size_t num_links() const { return model_->num_links(); }
+
+    /** Upper bound of the size_block knob: N for kernels ending in the
+     *  blocked multiply, 1 otherwise (the knob is unused). */
+    std::size_t block_knob_max() const;
+
+    /** Memoized forward-stage schedule for @p pes_fwd in [1, N]. */
+    const sched::Schedule &forward(std::size_t pes_fwd);
+    /** Memoized backward-stage schedule for @p pes_bwd in [1, N]. */
+    const sched::Schedule &backward(std::size_t pes_bwd);
+    /** Memoized joint pipelined schedule for one PE-pool pair. */
+    const sched::Schedule &pipelined(std::size_t pes_fwd,
+                                     std::size_t pes_bwd);
+    /** Memoized blocked-multiply schedule for @p block_size in [1, N];
+     *  only valid for kernels with a blocked-multiply stage. */
+    const sched::BlockSchedule &block_multiply(std::size_t block_size);
+
+    /**
+     * Fills the forward, backward, and blocked-multiply caches (the
+     * single-knob schedules every sweep point needs) across a thread pool
+     * of @p threads workers (0 = ROBOSHAPE_SWEEP_THREADS or hardware
+     * concurrency).  Afterwards the corresponding accessors are read-only
+     * and safe to call concurrently.
+     */
+    void precompute_stage_schedules(std::size_t threads = 0);
+
+    /** No-pipelining latency of one knob triple, composed from caches. */
+    std::int64_t cycles_no_pipelining(const accel::AcceleratorParams &p);
+
+    /** Synthesized clock period (invariant across the sweep). */
+    double clock_period_ns() const { return clock_period_ns_; }
+
+    /** Block size in [1, N] minimizing the blocked-multiply makespan
+     *  (smallest size wins ties), memoized. */
+    std::size_t best_block_size();
+
+    /** Full AcceleratorDesign composed from cached schedules — the cheap
+     *  construction path (no scheduler re-runs beyond cache misses). */
+    accel::AcceleratorDesign design(const accel::AcceleratorParams &p);
+
+  private:
+    std::shared_ptr<const topology::RobotModel> model_;
+    std::shared_ptr<const topology::TopologyInfo> topo_;
+    std::shared_ptr<const sched::TaskGraph> graph_;
+    accel::TimingModel timing_;
+    sched::KernelKind kernel_;
+    double clock_period_ns_ = 0.0;
+
+    sched::SparsityMask mask_a_, mask_b_; // blocked-multiply operands
+
+    // Caches indexed by knob - 1; null = not yet computed.  The pipelined
+    // cache is a flattened (pes_fwd - 1) * N + (pes_bwd - 1) grid.
+    std::vector<std::unique_ptr<sched::Schedule>> fwd_;
+    std::vector<std::unique_ptr<sched::Schedule>> bwd_;
+    std::vector<std::unique_ptr<sched::Schedule>> pipelined_;
+    std::vector<std::unique_ptr<sched::BlockSchedule>> mm_;
+    std::optional<std::size_t> best_block_;
+};
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_SWEEP_CONTEXT_H

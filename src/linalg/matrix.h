@@ -113,7 +113,7 @@ class Matrix
     {
     }
 
-    /** @return the rows x cols identity matrix (rectangular allowed). */
+    /** @return the n x n (square) identity matrix. */
     static Matrix identity(std::size_t n);
 
     /** @return number of rows. */
@@ -181,6 +181,10 @@ class Matrix
     /**
      * Copies the @p rows x @p cols submatrix whose top-left corner is at
      * (@p r0, @p c0).  Reads outside the matrix are an error.
+     *
+     * Note block(), col(), and row() return freshly allocated copies, not
+     * views; in hot loops prefer operator() element access or the
+     * in-place set_block()/set_col() writers over copy-modify-write.
      */
     Matrix block(std::size_t r0, std::size_t c0, std::size_t rows,
                  std::size_t cols) const;
@@ -188,13 +192,13 @@ class Matrix
     /** Writes @p b into this matrix with top-left corner at (r0, c0). */
     void set_block(std::size_t r0, std::size_t c0, const Matrix &b);
 
-    /** Copies column @p c into a vector. */
+    /** Copies column @p c into a vector (see block() on copies). */
     Vector col(std::size_t c) const;
 
     /** Overwrites column @p c from a vector of length rows(). */
     void set_col(std::size_t c, const Vector &v);
 
-    /** Copies row @p r into a vector. */
+    /** Copies row @p r into a vector (see block() on copies). */
     Vector row(std::size_t r) const;
 
     /** True when the matrix equals its transpose to tolerance @p tol. */

@@ -6,8 +6,8 @@
 #include "sched/block_schedule.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <queue>
 
 namespace roboshape {
 namespace sched {
@@ -32,18 +32,22 @@ derivative_mask(const topology::TopologyInfo &topo)
 
 namespace {
 
+std::atomic<std::uint64_t> g_invocations{0};
+
 /** Tile-level nonzero map of an element mask under a block size. */
 struct TileMask
 {
-    std::size_t dim;
+    std::size_t dim = 0;
     std::vector<bool> nonzero;
     std::size_t padded_zeros = 0;
 
-    TileMask(const SparsityMask &m, std::size_t block)
+    void
+    build(const SparsityMask &m, std::size_t block)
     {
         const std::size_t n = m.size();
         dim = (n + block - 1) / block;
         nonzero.assign(dim * dim, false);
+        padded_zeros = 0;
         for (std::size_t bi = 0; bi < dim; ++bi) {
             for (std::size_t bj = 0; bj < dim; ++bj) {
                 bool any = false;
@@ -71,6 +75,21 @@ struct TileMask
     }
 };
 
+/** Reusable per-thread scratch; see the list scheduler's Workspace. */
+struct Workspace
+{
+    TileMask ta, tb;
+    std::vector<std::int64_t> chains;
+    std::vector<std::int64_t> unit_loads;
+};
+
+Workspace &
+workspace()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
 } // namespace
 
 BlockSchedule
@@ -81,9 +100,13 @@ schedule_block_multiply(const SparsityMask &a, const SparsityMask &b,
 {
     assert(!a.empty() && a.size() == b.size());
     assert(block_size > 0 && units > 0);
+    g_invocations.fetch_add(1, std::memory_order_relaxed);
 
-    const TileMask ta(a, block_size);
-    const TileMask tb(b, block_size);
+    Workspace &ws = workspace();
+    TileMask &ta = ws.ta;
+    TileMask &tb = ws.tb;
+    ta.build(a, block_size);
+    tb.build(b, block_size);
 
     BlockSchedule out;
     out.tile_dim = ta.dim;
@@ -92,7 +115,9 @@ schedule_block_multiply(const SparsityMask &a, const SparsityMask &b,
 
     // Per output tile (bi, bj): the serialized accumulator chain length is
     // the number of surviving k-tiles.
-    std::vector<std::int64_t> chains;
+    std::vector<std::int64_t> &chains = ws.chains;
+    chains.clear();
+    chains.reserve(ta.dim * ta.dim * num_products);
     for (std::size_t bi = 0; bi < ta.dim; ++bi) {
         for (std::size_t bj = 0; bj < ta.dim; ++bj) {
             std::size_t execs = 0;
@@ -117,23 +142,22 @@ schedule_block_multiply(const SparsityMask &a, const SparsityMask &b,
         for (std::size_t i = 0; i < base_chains; ++i)
             chains.push_back(chains[i]);
 
-    // LPT (longest processing time first) onto the unit pool.
+    // LPT (longest processing time first) onto the unit pool.  The pool is
+    // tiny (mm_units defaults to 3), so a linear min scan beats a heap and
+    // the tie-break choice cannot change the resulting load multiset.
     std::sort(chains.rbegin(), chains.rend());
-    std::priority_queue<std::int64_t, std::vector<std::int64_t>,
-                        std::greater<>>
-        unit_loads;
-    for (std::size_t u = 0; u < units; ++u)
-        unit_loads.push(0);
-    for (std::int64_t c : chains) {
-        std::int64_t load = unit_loads.top();
-        unit_loads.pop();
-        unit_loads.push(load + c);
-    }
-    while (!unit_loads.empty()) {
-        out.makespan = std::max(out.makespan, unit_loads.top());
-        unit_loads.pop();
-    }
+    std::vector<std::int64_t> &unit_loads = ws.unit_loads;
+    unit_loads.assign(units, 0);
+    for (std::int64_t c : chains)
+        *std::min_element(unit_loads.begin(), unit_loads.end()) += c;
+    out.makespan = *std::max_element(unit_loads.begin(), unit_loads.end());
     return out;
+}
+
+std::uint64_t
+block_schedule_invocations()
+{
+    return g_invocations.load(std::memory_order_relaxed);
 }
 
 } // namespace sched

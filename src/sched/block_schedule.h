@@ -46,6 +46,8 @@ struct TileTiming
         return cycles_per_row * static_cast<std::int64_t>(block_size) +
                overhead;
     }
+
+    bool operator==(const TileTiming &) const = default;
 };
 
 /** Result of scheduling one blocked multiply chain set. */
@@ -74,6 +76,13 @@ BlockSchedule schedule_block_multiply(const SparsityMask &a,
                                       const TileTiming &timing,
                                       std::size_t num_products = 2,
                                       bool skip_zero_tiles = true);
+
+/**
+ * Process-wide count of schedule_block_multiply runs.  Monotonic and
+ * thread-safe; the sweep equivalence tests read deltas to assert the
+ * memoized sweep schedules each block size once.
+ */
+std::uint64_t block_schedule_invocations();
 
 } // namespace sched
 } // namespace roboshape

@@ -6,10 +6,11 @@
 #include "sched/list_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <map>
-#include <set>
 #include <sstream>
+#include <utility>
 
 namespace roboshape {
 namespace sched {
@@ -46,6 +47,33 @@ pe_class_of(TaskType t)
 
 namespace {
 
+std::atomic<std::uint64_t> g_invocations{0};
+
+/**
+ * Reusable per-thread scratch buffers of the engine.  A design-space sweep
+ * runs thousands of schedules; keeping the capacity of these vectors alive
+ * across runs removes every per-schedule allocation except the returned
+ * Schedule itself.  thread_local keeps the sweep thread pool lock-free.
+ */
+struct Workspace
+{
+    std::vector<std::int64_t> priority;
+    std::vector<std::int64_t> below;
+    std::vector<int> pending;
+    std::vector<std::vector<TaskId>> dependents;
+    /** Ready lists per PE class, sorted by (priority desc, id asc). */
+    std::vector<TaskId> ready[2];
+    /** Min-heap of (finish cycle, task). */
+    std::vector<std::pair<std::int64_t, TaskId>> completions;
+};
+
+Workspace &
+workspace()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
 /** Event-driven list-scheduling engine shared by both compositions. */
 class Engine
 {
@@ -55,7 +83,8 @@ class Engine
            std::vector<bool> active, bool cross_stage_deps,
            const SchedulerOptions &options)
         : graph_(graph), timing_(timing), active_(std::move(active)),
-          cross_stage_(cross_stage_deps), options_(options)
+          cross_stage_(cross_stage_deps), options_(options),
+          ws_(workspace())
     {
         pool_[0].assign(pes_fwd, Pe{});
         pool_[1].assign(pes_bwd, Pe{});
@@ -110,32 +139,66 @@ class Engine
     void
     build_priorities()
     {
-        priority_.assign(graph_.size(), 0);
-        std::vector<std::int64_t> below(graph_.size(), 0);
+        ws_.priority.assign(graph_.size(), 0);
+        ws_.below.assign(graph_.size(), 0);
         for (std::size_t id = graph_.size(); id-- > 0;) {
-            priority_[id] =
-                below[id] + timing_.cost(graph_.task(id).type);
+            ws_.priority[id] =
+                ws_.below[id] + timing_.cost(graph_.task(id).type);
             for (TaskId d : graph_.task(id).deps) {
                 assert(d < static_cast<TaskId>(id));
                 if (active_[id] && counts_as_dep(static_cast<TaskId>(id), d))
-                    below[d] = std::max(below[d], priority_[id]);
+                    ws_.below[d] =
+                        std::max(ws_.below[d], ws_.priority[id]);
             }
         }
         if (!options_.longest_thread_priority)
-            priority_.assign(graph_.size(), 1); // FIFO by task id
+            ws_.priority.assign(graph_.size(), 1); // FIFO by task id
     }
 
-    template <typename Set>
+    /** Ready-list order: highest priority first, then smallest id. */
+    bool
+    ready_before(TaskId a, TaskId b) const
+    {
+        if (ws_.priority[a] != ws_.priority[b])
+            return ws_.priority[a] > ws_.priority[b];
+        return a < b;
+    }
+
+    void
+    ready_insert(int cls, TaskId id)
+    {
+        std::vector<TaskId> &v = ws_.ready[cls];
+        v.insert(std::lower_bound(v.begin(), v.end(), id,
+                                  [this](TaskId a, TaskId b) {
+                                      return ready_before(a, b);
+                                  }),
+                 id);
+    }
+
+    void
+    ready_erase(int cls, TaskId id)
+    {
+        // ready_before is a strict total order, so lower_bound lands
+        // exactly on the element.
+        std::vector<TaskId> &v = ws_.ready[cls];
+        const auto it = std::lower_bound(v.begin(), v.end(), id,
+                                         [this](TaskId a, TaskId b) {
+                                             return ready_before(a, b);
+                                         });
+        assert(it != v.end() && *it == id);
+        v.erase(it);
+    }
+
     TaskId
-    pick(const Set &ready, const Pe &unit) const
+    pick(const std::vector<TaskId> &ready, const Pe &unit) const
     {
         // Among the highest-priority ready tasks, prefer one continuing
         // this PE's current thread (minimizes checkpoint traffic).
-        const TaskId best = *ready.begin();
+        const TaskId best = ready.front();
         if (!options_.thread_affinity || unit.last_link < 0)
             return best;
         for (TaskId id : ready) {
-            if (priority_[id] < priority_[best])
+            if (ws_.priority[id] < ws_.priority[best])
                 break;
             if (thread_continues(unit.last_link, graph_.task(id).link))
                 return id;
@@ -149,7 +212,7 @@ class Engine
     bool cross_stage_;
     SchedulerOptions options_;
     std::vector<Pe> pool_[2];
-    std::vector<std::int64_t> priority_;
+    Workspace &ws_;
 };
 
 Schedule
@@ -160,8 +223,11 @@ Engine::run()
     s.forward_rom.assign(pool_[0].size(), {});
     s.backward_rom.assign(pool_[1].size(), {});
 
-    std::vector<int> pending(graph_.size(), 0);
-    std::vector<std::vector<TaskId>> dependents(graph_.size());
+    ws_.pending.assign(graph_.size(), 0);
+    if (ws_.dependents.size() < graph_.size())
+        ws_.dependents.resize(graph_.size());
+    for (std::size_t id = 0; id < graph_.size(); ++id)
+        ws_.dependents[id].clear();
     std::size_t remaining = 0;
     for (const Task &t : graph_.tasks()) {
         if (!active_[t.id])
@@ -170,25 +236,26 @@ Engine::run()
         for (TaskId d : t.deps) {
             if (!counts_as_dep(t.id, d))
                 continue;
-            ++pending[t.id];
-            dependents[d].push_back(t.id);
+            ++ws_.pending[t.id];
+            ws_.dependents[d].push_back(t.id);
         }
     }
 
-    const auto cmp = [this](TaskId a, TaskId b) {
-        if (priority_[a] != priority_[b])
-            return priority_[a] > priority_[b];
-        return a < b;
-    };
-    std::set<TaskId, decltype(cmp)> ready[2]{std::set<TaskId, decltype(cmp)>(
-                                                 cmp),
-                                             std::set<TaskId, decltype(cmp)>(
-                                                 cmp)};
+    for (int cls = 0; cls < 2; ++cls) {
+        ws_.ready[cls].clear();
+        ws_.ready[cls].reserve(graph_.size());
+    }
     for (const Task &t : graph_.tasks())
-        if (active_[t.id] && pending[t.id] == 0)
-            ready[pool_index(t.id)].insert(t.id);
+        if (active_[t.id] && ws_.pending[t.id] == 0)
+            ready_insert(pool_index(t.id), t.id);
 
-    std::multimap<std::int64_t, TaskId> completions;
+    // Completion events as a min-heap over the finish cycle; ties release
+    // together below, so the id order within a cycle is irrelevant.
+    std::vector<std::pair<std::int64_t, TaskId>> &completions =
+        ws_.completions;
+    completions.clear();
+    completions.reserve(pool_[0].size() + pool_[1].size());
+    const auto later = std::greater<std::pair<std::int64_t, TaskId>>{};
 
     std::int64_t now = 0;
     while (remaining > 0 || !completions.empty()) {
@@ -196,10 +263,10 @@ Engine::run()
         for (int cls = 0; cls < 2; ++cls) {
             for (std::size_t pe = 0; pe < pool_[cls].size(); ++pe) {
                 Pe &unit = pool_[cls][pe];
-                if (unit.busy_until > now || ready[cls].empty())
+                if (unit.busy_until > now || ws_.ready[cls].empty())
                     continue;
-                const TaskId id = pick(ready[cls], unit);
-                ready[cls].erase(id);
+                const TaskId id = pick(ws_.ready[cls], unit);
+                ready_erase(cls, id);
                 const Task &t = graph_.task(id);
                 Placement &p = s.placements[id];
                 p.task = id;
@@ -214,7 +281,9 @@ Engine::run()
                 (cls == 0 ? s.forward_rom[pe] : s.backward_rom[pe])
                     .push_back(id);
                 (cls == 0 ? s.forward_slots : s.backward_slots) += 1;
-                completions.emplace(p.finish, id);
+                completions.emplace_back(p.finish, id);
+                std::push_heap(completions.begin(), completions.end(),
+                               later);
                 --remaining;
             }
         }
@@ -224,13 +293,14 @@ Engine::run()
             break;
         }
         // Advance to the next completion and release dependents.
-        now = completions.begin()->first;
-        while (!completions.empty() && completions.begin()->first == now) {
-            const TaskId done = completions.begin()->second;
-            completions.erase(completions.begin());
-            for (TaskId dep : dependents[done])
-                if (--pending[dep] == 0)
-                    ready[pool_index(dep)].insert(dep);
+        now = completions.front().first;
+        while (!completions.empty() && completions.front().first == now) {
+            const TaskId done = completions.front().second;
+            std::pop_heap(completions.begin(), completions.end(), later);
+            completions.pop_back();
+            for (TaskId dep : ws_.dependents[done])
+                if (--ws_.pending[dep] == 0)
+                    ready_insert(pool_index(dep), dep);
         }
     }
 
@@ -253,6 +323,7 @@ schedule_stage(const TaskGraph &graph, const std::vector<TaskType> &types,
                std::size_t pe_count, const TaskTiming &timing,
                const SchedulerOptions &options)
 {
+    g_invocations.fetch_add(1, std::memory_order_relaxed);
     std::vector<bool> active(graph.size(), false);
     bool fwd = false, bwd = false;
     for (TaskType t : types) {
@@ -271,10 +342,17 @@ schedule_pipelined(const TaskGraph &graph, std::size_t pes_fwd,
                    std::size_t pes_bwd, const TaskTiming &timing,
                    const SchedulerOptions &options)
 {
+    g_invocations.fetch_add(1, std::memory_order_relaxed);
     std::vector<bool> active(graph.size(), true);
     Engine engine(graph, timing, pes_fwd, pes_bwd, std::move(active),
                   /*cross_stage_deps=*/true, options);
     return engine.run();
+}
+
+std::uint64_t
+list_scheduler_invocations()
+{
+    return g_invocations.load(std::memory_order_relaxed);
 }
 
 std::string

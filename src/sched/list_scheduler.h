@@ -37,6 +37,8 @@ struct TaskTiming
     std::int64_t grad_backward = 1;
 
     std::int64_t cost(TaskType t) const;
+
+    bool operator==(const TaskTiming &) const = default;
 };
 
 /** Which PE pool executes a task type (paper knob PEs_fwd,bwd). */
@@ -126,6 +128,14 @@ Schedule schedule_pipelined(const TaskGraph &graph, std::size_t pes_fwd,
  * description of the first violation (used by tests).
  */
 std::string validate_schedule(const TaskGraph &graph, const Schedule &s);
+
+/**
+ * Process-wide count of list-scheduler runs (schedule_stage plus
+ * schedule_pipelined calls).  Monotonic and thread-safe; read a delta
+ * around a region of interest to assert memoization bounds (the sweep
+ * equivalence tests and bench/sweep_throughput do).
+ */
+std::uint64_t list_scheduler_invocations();
 
 } // namespace sched
 } // namespace roboshape

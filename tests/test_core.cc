@@ -9,6 +9,10 @@
 #include "core/generator.h"
 #include "core/design_export.h"
 #include "core/soc_codesign.h"
+#include "core/sweep_context.h"
+#include "sched/block_schedule.h"
+#include "sched/list_scheduler.h"
+#include "topology/parametric_robots.h"
 #include "topology/robot_library.h"
 
 namespace roboshape {
@@ -323,6 +327,169 @@ TEST(DesignSpace, KernelSweepsDropUnusedBlockKnob)
         m, accel::default_timing(), sched::KernelKind::kMassMatrix);
     EXPECT_EQ(grad.points().size(), 343u);
     EXPECT_EQ(crba.points().size(), 49u); // block fixed at 1
+}
+
+// ---------------------------------------------- memoized sweep (ISSUE 1) --
+
+/** The pre-memoization sweep: one full AcceleratorDesign per knob triple. */
+std::vector<DesignPoint>
+reference_serial_sweep(const RobotModel &model)
+{
+    std::vector<DesignPoint> points;
+    const std::size_t n = model.num_links();
+    for (std::size_t pf = 1; pf <= n; ++pf) {
+        for (std::size_t pb = 1; pb <= n; ++pb) {
+            for (std::size_t b = 1; b <= n; ++b) {
+                const accel::AcceleratorDesign design(model, {pf, pb, b});
+                DesignPoint point;
+                point.params = design.params();
+                point.cycles = design.cycles_no_pipelining();
+                point.latency_us = design.latency_us_no_pipelining();
+                point.resources = design.resources();
+                points.push_back(point);
+            }
+        }
+    }
+    return points;
+}
+
+void
+expect_points_identical(const std::vector<DesignPoint> &a,
+                        const std::vector<DesignPoint> &b,
+                        const char *robot)
+{
+    ASSERT_EQ(a.size(), b.size()) << robot;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].params == b[i].params)
+            << robot << " point " << i << ": " << a[i].params.to_string()
+            << " vs " << b[i].params.to_string();
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << robot << " point " << i;
+        EXPECT_EQ(a[i].latency_us, b[i].latency_us)
+            << robot << " point " << i;
+        EXPECT_EQ(a[i].resources.luts, b[i].resources.luts)
+            << robot << " point " << i;
+        EXPECT_EQ(a[i].resources.dsps, b[i].resources.dsps)
+            << robot << " point " << i;
+    }
+}
+
+TEST(SweepEquivalence, MatchesSerialReferencePointForPoint)
+{
+    // The memoized + threaded sweep must be a pure optimization: identical
+    // (params, cycles, latency_us, resources) per point, in identical
+    // order, while invoking the list scheduler O(n) times instead of
+    // O(n^3) (the issue's bound is O(n^2); the sweep needs no pipelined
+    // schedules at all).
+    for (RobotId id : {RobotId::kIiwa, RobotId::kHyq, RobotId::kBaxter}) {
+        const RobotModel m = build_robot(id);
+        const std::size_t n = m.num_links();
+
+        const std::uint64_t list0 = sched::list_scheduler_invocations();
+        const std::uint64_t block0 = sched::block_schedule_invocations();
+        const DesignSpace space = DesignSpace::sweep(m);
+        const std::uint64_t list_calls =
+            sched::list_scheduler_invocations() - list0;
+        const std::uint64_t block_calls =
+            sched::block_schedule_invocations() - block0;
+
+        EXPECT_LE(list_calls, n * n + 2 * n) << robot_name(id);
+        EXPECT_LE(block_calls, n) << robot_name(id);
+
+        expect_points_identical(space.points(), reference_serial_sweep(m),
+                                robot_name(id));
+    }
+}
+
+TEST(SweepEquivalence, SweepIsDeterministicAcrossRuns)
+{
+    const RobotModel m = build_robot(RobotId::kBaxter);
+    const DesignSpace first = DesignSpace::sweep(m);
+    const DesignSpace second = DesignSpace::sweep(m);
+    expect_points_identical(first.points(), second.points(), "baxter");
+}
+
+TEST(SweepEquivalence, ThreadedPrecomputeMatchesLazySchedules)
+{
+    // Force a multi-worker pool even on single-core hosts; this test is
+    // the TSan gate for the sweep thread pool (build with
+    // -DROBOSHAPE_SANITIZE=thread).
+    const RobotModel m = build_robot(RobotId::kHyqWithArm);
+    SweepContext threaded(m);
+    threaded.precompute_stage_schedules(/*threads=*/4);
+    SweepContext lazy(m);
+    for (std::size_t k = 1; k <= m.num_links(); ++k) {
+        EXPECT_EQ(threaded.forward(k).makespan, lazy.forward(k).makespan);
+        EXPECT_EQ(threaded.forward(k).forward_rom,
+                  lazy.forward(k).forward_rom);
+        EXPECT_EQ(threaded.backward(k).makespan,
+                  lazy.backward(k).makespan);
+        EXPECT_EQ(threaded.backward(k).backward_rom,
+                  lazy.backward(k).backward_rom);
+        EXPECT_EQ(threaded.block_multiply(k).makespan,
+                  lazy.block_multiply(k).makespan);
+        EXPECT_EQ(threaded.block_multiply(k).executed_tiles,
+                  lazy.block_multiply(k).executed_tiles);
+    }
+}
+
+TEST(SweepEquivalence, ContextDesignMatchesFromScratchConstruction)
+{
+    const RobotModel m = build_robot(RobotId::kJaco2);
+    SweepContext ctx(m);
+    for (const accel::AcceleratorParams params :
+         {accel::AcceleratorParams{1, 1, 1},
+          accel::AcceleratorParams{3, 2, 4},
+          accel::AcceleratorParams{12, 12, 12}}) {
+        const accel::AcceleratorDesign cheap = ctx.design(params);
+        const accel::AcceleratorDesign scratch(m, params);
+        EXPECT_EQ(cheap.cycles_no_pipelining(),
+                  scratch.cycles_no_pipelining());
+        EXPECT_EQ(cheap.cycles_pipelined(), scratch.cycles_pipelined());
+        EXPECT_EQ(cheap.cycles_overlapped(), scratch.cycles_overlapped());
+        EXPECT_EQ(cheap.clock_period_ns(), scratch.clock_period_ns());
+        EXPECT_EQ(cheap.resources().luts, scratch.resources().luts);
+        EXPECT_EQ(cheap.resources().dsps, scratch.resources().dsps);
+        EXPECT_EQ(cheap.forward_stage().forward_rom,
+                  scratch.forward_stage().forward_rom);
+        EXPECT_EQ(cheap.pipelined().makespan,
+                  scratch.pipelined().makespan);
+    }
+}
+
+TEST(DesignSpace, Pareto3dMatchesQuadraticReference)
+{
+    // The sort-then-sweep frontier must reproduce the all-pairs dominance
+    // check exactly — same set, same order, duplicates included.
+    std::vector<RobotModel> models;
+    models.push_back(build_robot(RobotId::kHyq));
+    models.push_back(build_robot(RobotId::kJaco3));
+    models.push_back(topology::make_star(3, 3, "star3x3"));
+    for (const RobotModel &m : models) {
+        const DesignSpace space = DesignSpace::sweep(m);
+        std::vector<DesignPoint> reference;
+        for (const DesignPoint &p : space.points()) {
+            bool dominated = false;
+            for (const DesignPoint &q : space.points()) {
+                if (q.cycles <= p.cycles &&
+                    q.resources.luts <= p.resources.luts &&
+                    q.resources.dsps <= p.resources.dsps &&
+                    (q.cycles < p.cycles ||
+                     q.resources.luts < p.resources.luts ||
+                     q.resources.dsps < p.resources.dsps)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated)
+                reference.push_back(p);
+        }
+        const auto frontier = space.pareto_frontier_3d();
+        ASSERT_EQ(frontier.size(), reference.size()) << m.name();
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            EXPECT_TRUE(frontier[i].params == reference[i].params)
+                << m.name() << " index " << i;
+        }
+    }
 }
 
 TEST(DesignSpace, Pareto3dContains2dFrontier)
