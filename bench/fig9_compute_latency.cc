@@ -7,10 +7,13 @@
  */
 
 #include "accel/design.h"
+#include "accel/sim_engine.h"
 #include "baselines/cpu_baseline.h"
 #include "baselines/gpu_model.h"
 #include "baselines/rc_baseline.h"
 #include "bench/bench_util.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
 #include "topology/topology_info.h"
 
 int
@@ -21,9 +24,9 @@ main()
         "Fig. 9: Computation-only latency, one gradient evaluation",
         "paper Fig. 9 (speedups 4.0-4.4x over CPU, 8.0-15.1x over GPU)");
 
-    std::printf("%-8s %12s %12s %14s %16s %9s %9s\n", "robot", "CPU(us)",
-                "GPU(us)", "FPGA nopipe", "FPGA avg-pipe", "vs CPU",
-                "vs GPU");
+    std::printf("%-8s %12s %12s %14s %16s %9s %9s %5s\n", "robot",
+                "CPU(us)", "GPU(us)", "FPGA nopipe", "FPGA avg-pipe",
+                "vs CPU", "vs GPU", "sim");
     for (topology::RobotId id : topology::shipped_robots()) {
         const topology::RobotModel model = topology::build_robot(id);
         const topology::TopologyInfo topo(model);
@@ -38,12 +41,27 @@ main()
         const double fpga_nopipe = design.latency_us_no_pipelining();
         const double fpga_pipe = design.latency_us_pipelined();
 
+        // Functional check: the design actually computes the gradients it
+        // is being credited for, on the compiled simulation engine.
+        const auto state = dynamics::random_state(model, 7);
+        const auto ref = dynamics::forward_dynamics_gradients(
+            model, topo, state.q, state.qd, state.tau);
+        const accel::SimEngine engine(design);
+        auto ws = engine.make_workspace();
+        accel::EngineResult sim;
+        const accel::InputPacket packet{&state.q, &state.qd, &ref.qdd,
+                                        &ref.mass_inv};
+        engine.run(ws, packet, sim);
+        const bool verified =
+            linalg::max_abs_diff(sim.dqdd_dq, ref.dqdd_dq) < 1e-9 &&
+            linalg::max_abs_diff(sim.dqdd_dqd, ref.dqdd_dqd) < 1e-9;
+
         std::printf("%-8s %12.2f %12.2f %8.2f@%4.0fns %10.2f@%4.0fns "
-                    "%8.1fx %8.1fx\n",
+                    "%8.1fx %8.1fx %5s\n",
                     topology::robot_name(id), cpu_us, gpu_us, fpga_nopipe,
                     design.clock_period_ns(), fpga_pipe,
                     design.clock_period_ns(), cpu_us / fpga_nopipe,
-                    gpu_us / fpga_nopipe);
+                    gpu_us / fpga_nopipe, verified ? "PASS" : "FAIL");
     }
 
     // Robomorphic Computing prior work: iiwa only (paper Fig. 9 note).

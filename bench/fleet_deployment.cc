@@ -6,8 +6,11 @@
  * bundled robot plus parametric extras, on both platforms.
  */
 
+#include "accel/sim_engine.h"
 #include "bench/bench_util.h"
 #include "core/generator.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
 #include "topology/parametric_robots.h"
 #include "topology/topology_info.h"
 #include "topology/urdf_parser.h"
@@ -15,6 +18,29 @@
 namespace {
 
 using namespace roboshape;
+
+/**
+ * Every deployed design is also *executed*: one gradient packet through
+ * the compiled simulation engine, checked against the host library.  A
+ * fleet row is only as good as the numbers its accelerator computes.
+ */
+bool
+verify_on_engine(const topology::RobotModel &model,
+                 const accel::AcceleratorDesign &design)
+{
+    const topology::TopologyInfo topo(model);
+    const auto state = dynamics::random_state(model, 11);
+    const auto ref = dynamics::forward_dynamics_gradients(
+        model, topo, state.q, state.qd, state.tau);
+    const accel::SimEngine engine(design);
+    auto ws = engine.make_workspace();
+    accel::EngineResult sim;
+    const accel::InputPacket packet{&state.q, &state.qd, &ref.qdd,
+                                    &ref.mass_inv};
+    engine.run(ws, packet, sim);
+    return linalg::max_abs_diff(sim.dqdd_dq, ref.dqdd_dq) < 1e-9 &&
+           linalg::max_abs_diff(sim.dqdd_dqd, ref.dqdd_dqd) < 1e-9;
+}
 
 void
 deploy(const topology::RobotModel &model,
@@ -26,7 +52,7 @@ deploy(const topology::RobotModel &model,
     try {
         const auto out = generator.from_model(model, constraints);
         std::printf("%-11s %4zu  %-30s %7lld cyc @%4.0f ns  %5.1f%% LUT "
-                    "%5.1f%% DSP\n",
+                    "%5.1f%% DSP  sim:%s\n",
                     model.name().c_str(), model.num_links(),
                     out.design.params().to_string().c_str(),
                     static_cast<long long>(
@@ -35,7 +61,8 @@ deploy(const topology::RobotModel &model,
                     out.design.resources().lut_utilization(platform) *
                         100.0,
                     out.design.resources().dsp_utilization(platform) *
-                        100.0);
+                        100.0,
+                    verify_on_engine(model, out.design) ? "ok" : "FAIL");
     } catch (const core::GenerationError &) {
         std::printf("%-11s %4zu  no feasible design on this platform\n",
                     model.name().c_str(), model.num_links());

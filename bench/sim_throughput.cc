@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Functional simulation throughput: the compiled engine (accel::SimEngine)
+ * against the legacy one-shot simulators, across every library robot and
+ * all three Table 1 kernels.
+ *
+ * For each robot x kernel pair the bench measures single-stream calls/sec
+ * of the legacy simulator and of a warm engine, checks the engine output
+ * is EXACTLY equal to the legacy result (max |diff| == 0, the compiled
+ * trace must not change a single bit of arithmetic), and — for the
+ * gradient kernel — sweeps run_batch() over 1/2/4 worker threads to show
+ * the batch path is deterministic at any thread count.  Emits
+ * machine-readable JSON on stdout so successive PRs can track the
+ * throughput trajectory; EXPERIMENTS.md ("Functional simulation
+ * throughput") explains the fields.
+ *
+ * Exit status is nonzero when any engine output diverges from the legacy
+ * simulators (exactness is the gate; timing is informational).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/functional_sim.h"
+#include "accel/kernel_sim.h"
+#include "accel/sim_engine.h"
+#include "bench/bench_util.h"
+#include "core/parallel.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace {
+
+using namespace roboshape;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBatchSize = 64;
+
+double
+seconds_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Runs fn repeatedly for ~@p budget_s seconds; returns calls/sec. */
+template <typename Fn>
+double
+calls_per_sec(Fn &&fn, double budget_s = 0.05)
+{
+    fn(); // warm-up (first call may allocate)
+    std::size_t calls = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < 16; ++i)
+            fn();
+        calls += 16;
+        elapsed = seconds_since(t0);
+    } while (elapsed < budget_s);
+    return static_cast<double>(calls) / elapsed;
+}
+
+double
+transform_diff(const spatial::SpatialTransform &a,
+               const spatial::SpatialTransform &b)
+{
+    double d = 0.0;
+    for (std::size_t k = 0; k < 9; ++k)
+        d = std::max(d, std::abs(a.rotation_matrix().m[k] -
+                                 b.rotation_matrix().m[k]));
+    d = std::max(d, std::abs(a.translation_vector().x -
+                             b.translation_vector().x));
+    d = std::max(d, std::abs(a.translation_vector().y -
+                             b.translation_vector().y));
+    d = std::max(d, std::abs(a.translation_vector().z -
+                             b.translation_vector().z));
+    return d;
+}
+
+double
+gradient_diff(const accel::EngineResult &e, const accel::SimResult &l)
+{
+    double d = linalg::max_abs_diff(e.tau, l.tau);
+    d = std::max(d, linalg::max_abs_diff(e.dtau_dq, l.dtau_dq));
+    d = std::max(d, linalg::max_abs_diff(e.dtau_dqd, l.dtau_dqd));
+    d = std::max(d, linalg::max_abs_diff(e.dqdd_dq, l.dqdd_dq));
+    d = std::max(d, linalg::max_abs_diff(e.dqdd_dqd, l.dqdd_dqd));
+    if (e.tasks_executed != l.tasks_executed ||
+        e.mm_stats.block_macs != l.mm_stats.block_macs ||
+        e.mm_stats.block_nops != l.mm_stats.block_nops ||
+        e.mm_stats.scalar_macs != l.mm_stats.scalar_macs)
+        d = std::max(d, 1.0);
+    return d;
+}
+
+double
+gradient_diff(const accel::EngineResult &a, const accel::EngineResult &b)
+{
+    double d = linalg::max_abs_diff(a.tau, b.tau);
+    d = std::max(d, linalg::max_abs_diff(a.dtau_dq, b.dtau_dq));
+    d = std::max(d, linalg::max_abs_diff(a.dtau_dqd, b.dtau_dqd));
+    d = std::max(d, linalg::max_abs_diff(a.dqdd_dq, b.dqdd_dq));
+    d = std::max(d, linalg::max_abs_diff(a.dqdd_dqd, b.dqdd_dqd));
+    if (a.tasks_executed != b.tasks_executed)
+        d = std::max(d, 1.0);
+    return d;
+}
+
+double
+kinematics_diff(const accel::EngineResult &e,
+                const accel::KinematicsSimResult &l)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < e.velocities.size(); ++i) {
+        d = std::max(d, (e.velocities[i] - l.velocities[i]).max_abs());
+        d = std::max(d, transform_diff(e.base_to_link[i],
+                                       l.base_to_link[i]));
+        d = std::max(d, linalg::max_abs_diff(e.jacobians[i],
+                                             l.jacobians[i]));
+    }
+    if (e.tasks_executed != l.tasks_executed)
+        d = std::max(d, 1.0);
+    return d;
+}
+
+struct BatchPoint
+{
+    std::size_t threads = 0;
+    double calls_per_sec = 0.0;
+    bool identical = false;
+};
+
+struct KernelRow
+{
+    const char *kernel = "";
+    std::size_t trace_ops = 0;
+    double legacy_cps = 0.0;
+    double engine_cps = 0.0;
+    double divergence = 0.0;       ///< vs legacy, staged order.
+    double divergence_pipelined = 0.0;
+    std::vector<BatchPoint> batch; ///< Gradient kernel only.
+};
+
+/** Per-packet gradient inputs with stable addresses for InputPacket. */
+struct GradientInputs
+{
+    std::vector<linalg::Vector> q, qd, qdd;
+    std::vector<linalg::Matrix> minv;
+};
+
+GradientInputs
+make_gradient_inputs(const topology::RobotModel &model,
+                     const topology::TopologyInfo &topo, std::size_t count)
+{
+    GradientInputs in;
+    for (std::size_t p = 0; p < count; ++p) {
+        const auto state =
+            dynamics::random_state(model, 1234 + static_cast<int>(p));
+        const auto ref = dynamics::forward_dynamics_gradients(
+            model, topo, state.q, state.qd, state.tau);
+        in.q.push_back(state.q);
+        in.qd.push_back(state.qd);
+        in.qdd.push_back(ref.qdd);
+        in.minv.push_back(ref.mass_inv);
+    }
+    return in;
+}
+
+KernelRow
+measure_gradient(const accel::AcceleratorDesign &design,
+                 const GradientInputs &in)
+{
+    KernelRow row;
+    row.kernel = "dynamics_gradient";
+
+    const accel::SimEngine engine(design);
+    row.trace_ops = engine.trace_length();
+    auto ws = engine.make_workspace();
+    accel::EngineResult out;
+    const accel::InputPacket packet{&in.q[0], &in.qd[0], &in.qdd[0],
+                                    &in.minv[0]};
+    engine.run(ws, packet, out);
+    const auto legacy = accel::simulate(design, in.q[0], in.qd[0],
+                                        in.qdd[0], in.minv[0]);
+    row.divergence = gradient_diff(out, legacy);
+    {
+        const accel::SimEngine pipelined(design,
+                                         accel::SimOrder::kPipelined);
+        auto pws = pipelined.make_workspace();
+        accel::EngineResult pout;
+        pipelined.run(pws, packet, pout);
+        const auto plegacy =
+            accel::simulate(design, in.q[0], in.qd[0], in.qdd[0],
+                            in.minv[0], dynamics::kDefaultGravity,
+                            accel::SimOrder::kPipelined);
+        row.divergence_pipelined = gradient_diff(pout, plegacy);
+    }
+
+    row.legacy_cps = calls_per_sec([&] {
+        accel::simulate(design, in.q[0], in.qd[0], in.qdd[0], in.minv[0]);
+    });
+    row.engine_cps =
+        calls_per_sec([&] { engine.run(ws, packet, out); });
+
+    // Batch path: serial reference, then 1/2/4 worker threads.
+    std::vector<accel::InputPacket> packets(kBatchSize);
+    for (std::size_t p = 0; p < kBatchSize; ++p) {
+        const std::size_t s = p % in.q.size();
+        packets[p] = accel::InputPacket{&in.q[s], &in.qd[s], &in.qdd[s],
+                                        &in.minv[s]};
+    }
+    std::vector<accel::EngineResult> reference(kBatchSize);
+    for (std::size_t p = 0; p < kBatchSize; ++p)
+        engine.run(ws, packets[p], reference[p]);
+
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        BatchPoint point;
+        point.threads = threads;
+        accel::SimEngine::BatchWorkspace bws;
+        std::vector<accel::EngineResult> outs(kBatchSize);
+        const double batches_per_sec = calls_per_sec([&] {
+            engine.run_batch(packets, outs, bws, threads);
+        });
+        point.calls_per_sec =
+            batches_per_sec * static_cast<double>(kBatchSize);
+        point.identical = true;
+        for (std::size_t p = 0; p < kBatchSize; ++p)
+            point.identical =
+                point.identical &&
+                gradient_diff(outs[p], reference[p]) == 0.0;
+        row.batch.push_back(point);
+    }
+    return row;
+}
+
+KernelRow
+measure_mass_matrix(const topology::RobotModel &model,
+                    const linalg::Vector &q)
+{
+    KernelRow row;
+    row.kernel = "mass_matrix";
+    const accel::AcceleratorDesign design(model,
+                                          accel::AcceleratorParams{3, 3, 1},
+                                          accel::default_timing(),
+                                          sched::KernelKind::kMassMatrix);
+    const accel::SimEngine engine(design);
+    row.trace_ops = engine.trace_length();
+    auto ws = engine.make_workspace();
+    accel::EngineResult out;
+    const accel::InputPacket packet{&q};
+    engine.run(ws, packet, out);
+    const auto legacy = accel::simulate_mass_matrix(design, q);
+    row.divergence = linalg::max_abs_diff(out.mass, legacy.mass);
+    if (out.tasks_executed != legacy.tasks_executed)
+        row.divergence = std::max(row.divergence, 1.0);
+    {
+        const accel::SimEngine pipelined(design,
+                                         accel::SimOrder::kPipelined);
+        auto pws = pipelined.make_workspace();
+        accel::EngineResult pout;
+        pipelined.run(pws, packet, pout);
+        const auto plegacy = accel::simulate_mass_matrix(
+            design, q, accel::SimOrder::kPipelined);
+        row.divergence_pipelined =
+            linalg::max_abs_diff(pout.mass, plegacy.mass);
+    }
+    row.legacy_cps =
+        calls_per_sec([&] { accel::simulate_mass_matrix(design, q); });
+    row.engine_cps =
+        calls_per_sec([&] { engine.run(ws, packet, out); });
+    return row;
+}
+
+KernelRow
+measure_kinematics(const topology::RobotModel &model,
+                   const linalg::Vector &q, const linalg::Vector &qd)
+{
+    KernelRow row;
+    row.kernel = "forward_kinematics";
+    const accel::AcceleratorDesign design(
+        model, accel::AcceleratorParams{3, 3, 1}, accel::default_timing(),
+        sched::KernelKind::kForwardKinematics);
+    const accel::SimEngine engine(design);
+    row.trace_ops = engine.trace_length();
+    auto ws = engine.make_workspace();
+    accel::EngineResult out;
+    const accel::InputPacket packet{&q, &qd};
+    engine.run(ws, packet, out);
+    const auto legacy =
+        accel::simulate_forward_kinematics(design, q, qd);
+    row.divergence = kinematics_diff(out, legacy);
+    {
+        const accel::SimEngine pipelined(design,
+                                         accel::SimOrder::kPipelined);
+        auto pws = pipelined.make_workspace();
+        accel::EngineResult pout;
+        pipelined.run(pws, packet, pout);
+        const auto plegacy = accel::simulate_forward_kinematics(
+            design, q, qd, accel::SimOrder::kPipelined);
+        row.divergence_pipelined = kinematics_diff(pout, plegacy);
+    }
+    row.legacy_cps = calls_per_sec(
+        [&] { accel::simulate_forward_kinematics(design, q, qd); });
+    row.engine_cps =
+        calls_per_sec([&] { engine.run(ws, packet, out); });
+    return row;
+}
+
+void
+print_kernel_json(const KernelRow &row, bool last)
+{
+    std::printf("      {\"kernel\": \"%s\", \"trace_ops\": %zu,\n"
+                "       \"legacy_calls_per_sec\": %.0f, "
+                "\"engine_calls_per_sec\": %.0f, \"speedup\": %.2f,\n"
+                "       \"max_divergence\": %.1e, "
+                "\"max_divergence_pipelined\": %.1e",
+                row.kernel, row.trace_ops, row.legacy_cps, row.engine_cps,
+                row.engine_cps / row.legacy_cps, row.divergence,
+                row.divergence_pipelined);
+    if (row.batch.empty()) {
+        std::printf("}%s\n", last ? "" : ",");
+        return;
+    }
+    std::printf(",\n       \"batch\": [");
+    for (std::size_t i = 0; i < row.batch.size(); ++i)
+        std::printf("%s{\"threads\": %zu, \"calls_per_sec\": %.0f, "
+                    "\"identical\": %s}",
+                    i == 0 ? "" : ", ", row.batch[i].threads,
+                    row.batch[i].calls_per_sec,
+                    row.batch[i].identical ? "true" : "false");
+    std::printf("]}%s\n", last ? "" : ",");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<topology::RobotId> robots;
+    for (topology::RobotId id : topology::all_robots())
+        robots.push_back(id);
+
+    bool all_exact = true;
+    double min_gradient_speedup = -1.0;
+
+    std::printf("{\n  \"bench\": \"sim_throughput\",\n"
+                "  \"batch_size\": %zu,\n  \"sweep_workers\": %zu,\n"
+                "  \"robots\": [\n",
+                kBatchSize,
+                core::sweep_worker_count(static_cast<std::size_t>(-1)));
+    for (std::size_t r = 0; r < robots.size(); ++r) {
+        const topology::RobotModel model =
+            topology::build_robot(robots[r]);
+        const topology::TopologyInfo topo(model);
+        const accel::AcceleratorDesign design(
+            model, bench::shipped_params(robots[r]));
+        const GradientInputs inputs =
+            make_gradient_inputs(model, topo, 8);
+
+        std::vector<KernelRow> rows;
+        rows.push_back(measure_gradient(design, inputs));
+        rows.push_back(measure_mass_matrix(model, inputs.q[0]));
+        rows.push_back(
+            measure_kinematics(model, inputs.q[0], inputs.qd[0]));
+
+        std::printf("    {\"name\": \"%s\", \"links\": %zu,\n"
+                    "     \"kernels\": [\n",
+                    topology::robot_name(robots[r]), model.num_links());
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+            const KernelRow &row = rows[k];
+            if (row.divergence != 0.0 || row.divergence_pipelined != 0.0)
+                all_exact = false;
+            for (const BatchPoint &point : row.batch)
+                if (!point.identical)
+                    all_exact = false;
+            if (std::string(row.kernel) == "dynamics_gradient") {
+                const double speedup = row.engine_cps / row.legacy_cps;
+                if (min_gradient_speedup < 0.0 ||
+                    speedup < min_gradient_speedup)
+                    min_gradient_speedup = speedup;
+            }
+            print_kernel_json(row, k + 1 == rows.size());
+        }
+        std::printf("    ]}%s\n", r + 1 == robots.size() ? "" : ",");
+    }
+    std::printf("  ],\n  \"min_gradient_speedup\": %.2f,\n"
+                "  \"all_exact\": %s\n}\n",
+                min_gradient_speedup, all_exact ? "true" : "false");
+    return all_exact ? 0 : 1;
+}

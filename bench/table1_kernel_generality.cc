@@ -2,13 +2,16 @@
  * @file
  * Reproduces the paper's Table 1 claim: the same two topology patterns
  * generate accelerators for a family of robotics kernels.  For every
- * robot x kernel pair, builds the design, runs the functional simulator,
- * and reports task counts, stage makespans, and numerical verification
- * against the host library.
+ * robot x kernel pair, builds the design, compiles it into the simulation
+ * engine (accel::SimEngine), runs a packet through it, and reports task
+ * counts, stage makespans, and numerical verification against both the
+ * host library and the legacy one-shot simulators (which must agree with
+ * the engine exactly).
  */
 
 #include "accel/functional_sim.h"
 #include "accel/kernel_sim.h"
+#include "accel/sim_engine.h"
 #include "bench/bench_util.h"
 #include "dynamics/crba.h"
 #include "dynamics/fd_derivatives.h"
@@ -40,35 +43,54 @@ main()
             const accel::AcceleratorDesign design(
                 model, params, accel::default_timing(), kernel);
 
+            const accel::SimEngine engine(design);
+            auto ws = engine.make_workspace();
+            accel::EngineResult sim;
+
             bool ok = false;
             switch (kernel) {
               case KernelKind::kDynamicsGradient: {
                 const auto ref = dynamics::forward_dynamics_gradients(
                     model, topo, state.q, state.qd, state.tau);
-                const auto sim = accel::simulate(design, state.q, state.qd,
-                                                 ref.qdd, ref.mass_inv);
+                const accel::InputPacket packet{&state.q, &state.qd,
+                                                &ref.qdd, &ref.mass_inv};
+                engine.run(ws, packet, sim);
+                const auto legacy = accel::simulate(
+                    design, state.q, state.qd, ref.qdd, ref.mass_inv);
                 ok = linalg::max_abs_diff(sim.dqdd_dq, ref.dqdd_dq) <
                          1e-9 &&
                      linalg::max_abs_diff(sim.dqdd_dqd, ref.dqdd_dqd) <
-                         1e-9;
+                         1e-9 &&
+                     linalg::max_abs_diff(sim.dqdd_dq, legacy.dqdd_dq) ==
+                         0.0 &&
+                     linalg::max_abs_diff(sim.dqdd_dqd,
+                                          legacy.dqdd_dqd) == 0.0;
                 break;
               }
               case KernelKind::kMassMatrix: {
-                const auto sim =
+                const accel::InputPacket packet{&state.q};
+                engine.run(ws, packet, sim);
+                const auto legacy =
                     accel::simulate_mass_matrix(design, state.q);
                 ok = linalg::max_abs_diff(
-                         sim.mass, dynamics::crba(model, state.q)) < 1e-9;
+                         sim.mass, dynamics::crba(model, state.q)) <
+                         1e-9 &&
+                     linalg::max_abs_diff(sim.mass, legacy.mass) == 0.0;
                 break;
               }
               case KernelKind::kForwardKinematics: {
-                const auto sim = accel::simulate_forward_kinematics(
+                const accel::InputPacket packet{&state.q, &state.qd};
+                engine.run(ws, packet, sim);
+                const auto legacy = accel::simulate_forward_kinematics(
                     design, state.q, state.qd);
                 const auto vel =
                     dynamics::link_velocities(model, state.q, state.qd);
                 ok = true;
                 for (std::size_t i = 0; i < model.num_links(); ++i)
                     ok = ok &&
-                         (sim.velocities[i] - vel[i]).max_abs() < 1e-9;
+                         (sim.velocities[i] - vel[i]).max_abs() < 1e-9 &&
+                         (sim.velocities[i] - legacy.velocities[i])
+                                 .max_abs() == 0.0;
                 break;
               }
             }

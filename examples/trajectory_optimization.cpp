@@ -12,11 +12,13 @@
  *        [horizon]
  */
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "accel/design.h"
 #include "baselines/cpu_baseline.h"
+#include "control/accel_linearizer.h"
 #include "control/ilqr.h"
 #include "io/link_model.h"
 #include "io/payload.h"
@@ -78,8 +80,27 @@ main(int argc, char **argv)
     std::printf("  rollouts         %10.2f ms\n",
                 r.timing.rollout_us / 1e3);
 
-    // Accelerator projection for the gradient share.
+    // Same problem, linearized on the compiled accelerator simulation
+    // engine instead of the host gradient library.  The engine is the
+    // functional model of the generated design, so this is the solve the
+    // deployed coprocessor would produce.
     const accel::AcceleratorDesign design(model, knobs);
+    control::AcceleratorLinearizer linearizer(design);
+    control::IlqrOptions accel_options = options;
+    accel_options.linearizer = &linearizer;
+    const control::IlqrResult ra =
+        control::solve_ilqr(model, topo, problem, accel_options);
+    std::printf("\nsame solve, gradients on the compiled engine (%s):\n",
+                design.params().to_string().c_str());
+    std::printf("  converged=%s after %zu iterations, |cost diff| = %.3g\n",
+                ra.converged ? "yes" : "no", ra.iterations,
+                std::abs(ra.cost_history.back() - r.cost_history.back()));
+    std::printf("  %zu engine linearizations, %10.2f ms in linearization "
+                "(CPU solve: %.2f ms)\n",
+                linearizer.calls(), ra.timing.linearization_us / 1e3,
+                r.timing.linearization_us / 1e3);
+
+    // Accelerator projection for the gradient share.
     const double cpu_grad_us =
         baselines::measure_fd_gradients(model, 300).min_us;
     const double grad_calls = static_cast<double>(horizon) *

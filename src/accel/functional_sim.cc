@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "sched/trace.h"
 #include "spatial/spatial_vector.h"
 
 namespace roboshape {
@@ -27,34 +28,18 @@ std::vector<const Placement *>
 execution_order(const AcceleratorDesign &design, SimOrder order)
 {
     std::vector<const Placement *> out;
-    const auto append = [&out](const sched::Schedule &s) {
-        for (const Placement &p : s.placements)
-            if (p.task != sched::kNoTask)
-                out.push_back(&p);
-    };
-    const std::size_t split_mark = [&] {
-        if (order == SimOrder::kPipelined) {
-            append(design.pipelined());
-            return out.size();
-        }
-        append(design.forward_stage());
-        const std::size_t fwd_count = out.size();
-        append(design.backward_stage());
-        // Backward-stage placements restart at cycle 0; bias their sort key
-        // so they execute strictly after the forward stage.
-        return fwd_count;
-    }();
-
-    std::stable_sort(
-        out.begin(), out.begin() + split_mark,
-        [](const Placement *a, const Placement *b) {
-            return a->start < b->start;
-        });
-    std::stable_sort(
-        out.begin() + split_mark, out.end(),
-        [](const Placement *a, const Placement *b) {
-            return a->start < b->start;
-        });
+    if (order == SimOrder::kPipelined) {
+        out.reserve(sched::live_placement_count(design.pipelined()));
+        sched::append_in_execution_order(design.pipelined(), out);
+    } else {
+        // Backward-stage placements restart at cycle 0, so the stages are
+        // appended (and sorted) separately: backward executes strictly
+        // after forward.
+        out.reserve(sched::live_placement_count(design.forward_stage()) +
+                    sched::live_placement_count(design.backward_stage()));
+        sched::append_in_execution_order(design.forward_stage(), out);
+        sched::append_in_execution_order(design.backward_stage(), out);
+    }
     if (order == SimOrder::kAdversarialReversed)
         std::reverse(out.begin(), out.end());
     return out;
@@ -257,7 +242,7 @@ class SimState
   private:
     const topology::RobotModel &model_;
     const topology::TopologyInfo &topo_;
-    linalg::Vector qd_, qdd_;
+    const linalg::Vector &qd_, &qdd_;
     std::size_t n_;
 
     std::vector<spatial::SpatialTransform> xup_;

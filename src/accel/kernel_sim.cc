@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sched/trace.h"
 #include "spatial/spatial_inertia.h"
 
 namespace roboshape {
@@ -26,22 +27,19 @@ std::vector<const Placement *>
 ordered_placements(const AcceleratorDesign &design, SimOrder order)
 {
     std::vector<const Placement *> out;
-    const auto append = [&out](const sched::Schedule &s) {
-        const std::size_t begin = out.size();
-        for (const Placement &p : s.placements)
-            if (p.task != sched::kNoTask)
-                out.push_back(&p);
-        std::stable_sort(out.begin() + begin, out.end(),
-                         [](const Placement *a, const Placement *b) {
-                             return a->start < b->start;
-                         });
-    };
     if (order == SimOrder::kPipelined) {
-        append(design.pipelined());
+        out.reserve(sched::live_placement_count(design.pipelined()));
+        sched::append_in_execution_order(design.pipelined(), out);
     } else {
-        append(design.forward_stage());
-        append(design.backward_stage());
+        out.reserve(sched::live_placement_count(design.forward_stage()) +
+                    sched::live_placement_count(design.backward_stage()));
+        sched::append_in_execution_order(design.forward_stage(), out);
+        sched::append_in_execution_order(design.backward_stage(), out);
     }
+    // The adversarial order runs the staged composition backwards so tests
+    // can prove the hazard checker rejects dependency-violating orders.
+    if (order == SimOrder::kAdversarialReversed)
+        std::reverse(out.begin(), out.end());
     return out;
 }
 

@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Implementation of the compiled functional simulation engine.
+ *
+ * The arithmetic here is a line-for-line port of the legacy one-shot
+ * simulators (functional_sim.cc, kernel_sim.cc), which remain in-tree as
+ * the golden reference: the engine must stay exactly equal to them (see
+ * tests/test_sim_engine.cc).  What changes is *when* work happens — order
+ * resolution, task lookup, root-path expansion, and hazard checking all
+ * move into the constructor, leaving run() as a straight-line sweep over
+ * precomputed ops.
+ */
+
+#include "accel/sim_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/parallel.h"
+#include "sched/trace.h"
+
+namespace roboshape {
+namespace accel {
+
+using sched::Placement;
+using sched::TaskType;
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+using spatial::SpatialVector;
+using spatial::cross_force;
+using spatial::cross_motion;
+using topology::kBaseParent;
+
+namespace {
+
+/** Placements of the chosen composition, in execution order. */
+std::vector<const Placement *>
+ordered_placements(const AcceleratorDesign &design, SimOrder order)
+{
+    std::vector<const Placement *> out;
+    if (order == SimOrder::kPipelined) {
+        out.reserve(sched::live_placement_count(design.pipelined()));
+        sched::append_in_execution_order(design.pipelined(), out);
+    } else {
+        out.reserve(sched::live_placement_count(design.forward_stage()) +
+                    sched::live_placement_count(design.backward_stage()));
+        sched::append_in_execution_order(design.forward_stage(), out);
+        sched::append_in_execution_order(design.backward_stage(), out);
+    }
+    if (order == SimOrder::kAdversarialReversed)
+        std::reverse(out.begin(), out.end());
+    return out;
+}
+
+[[noreturn]] void
+hazard(const std::string &what)
+{
+    throw DataHazardError("data hazard: " + what);
+}
+
+} // namespace
+
+SimEngine::SimEngine(const AcceleratorDesign &design, SimOrder order)
+    : design_(&design), order_(order), n_(design.model().num_links())
+{
+    s_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        s_[i] = design.model().link(i).joint.motion_subspace();
+
+    const auto ops = ordered_placements(design, order);
+    trace_.reserve(ops.size());
+    switch (design.kernel()) {
+      case sched::KernelKind::kDynamicsGradient:
+        compile_gradient(ops);
+        break;
+      case sched::KernelKind::kMassMatrix:
+        compile_mass_matrix(ops);
+        break;
+      case sched::KernelKind::kForwardKinematics:
+        compile_kinematics(ops);
+        break;
+    }
+}
+
+std::uint32_t
+SimEngine::intern_root_path(std::size_t link)
+{
+    const auto begin = static_cast<std::uint32_t>(root_paths_.size());
+    for (std::size_t j : design_->topology().root_path(link))
+        root_paths_.push_back(static_cast<std::int32_t>(j));
+    return begin;
+}
+
+void
+SimEngine::compile_gradient(const std::vector<const Placement *> &ops)
+{
+    const auto &model = design_->model();
+    const auto &topo = design_->topology();
+    // Hazard state mirrors the legacy SimState flags.  The checks are
+    // structural (they depend only on the order, never on input values),
+    // so validating the trace once here validates every future run().
+    std::vector<bool> fwd(n_, false), bwd(n_, false), gf(n_, false);
+    std::vector<bool> gb(n_ * n_, false);
+
+    for (const Placement *p : ops) {
+        const sched::Task &t = design_->task_graph().task(p->task);
+        const auto i = static_cast<std::size_t>(t.link);
+        Op op;
+        op.link = t.link;
+        op.parent = static_cast<std::int32_t>(model.parent(i));
+        switch (t.type) {
+          case TaskType::kRneaForward:
+            if (op.parent != kBaseParent && !fwd[op.parent])
+                hazard("rneaFwd reads unwritten parent state of link " +
+                       std::to_string(i));
+            op.kind = Op::Kind::kRneaForward;
+            fwd[i] = true;
+            break;
+          case TaskType::kRneaBackward:
+            if (!fwd[i])
+                hazard("rneaBwd before rneaFwd on link " +
+                       std::to_string(i));
+            for (int c : model.children(i))
+                if (!bwd[c])
+                    hazard("rneaBwd before child accumulation on link " +
+                           std::to_string(i));
+            op.kind = Op::Kind::kRneaBackward;
+            bwd[i] = true;
+            break;
+          case TaskType::kGradForward:
+            if (!fwd[i])
+                hazard("gradFwd before rneaFwd on link " +
+                       std::to_string(i));
+            if (op.parent != kBaseParent && !gf[op.parent])
+                hazard("gradFwd before parent gradFwd on link " +
+                       std::to_string(i));
+            op.kind = Op::Kind::kGradForward;
+            op.path_begin = intern_root_path(i);
+            op.path_end = static_cast<std::uint32_t>(root_paths_.size());
+            gf[i] = true;
+            break;
+          case TaskType::kGradBackward: {
+            const auto j = static_cast<std::size_t>(t.column);
+            op.column = t.column;
+            op.seed = i == j;
+            op.in_subtree = topo.is_ancestor_or_self(j, i);
+            if (op.in_subtree && !gf[i])
+                hazard("gradBwd before gradFwd on link " +
+                       std::to_string(i));
+            if (op.seed && !bwd[j])
+                hazard("gradBwd needs accumulated RNEA force of link " +
+                       std::to_string(j));
+            if (op.in_subtree)
+                for (int c : model.children(i))
+                    if (!gb[j * n_ + c])
+                        hazard("gradBwd before child column accumulation");
+            op.kind = Op::Kind::kGradBackward;
+            gb[j * n_ + i] = true;
+            break;
+          }
+        }
+        trace_.push_back(op);
+    }
+    // The velocity pass re-runs the gradient ops with velocity seeds; its
+    // hazard flags reset to the same starting state, so the position-pass
+    // validation above covers it.
+    for (const Op &op : trace_)
+        if (op.kind == Op::Kind::kGradForward ||
+            op.kind == Op::Kind::kGradBackward)
+            velocity_trace_.push_back(op);
+}
+
+void
+SimEngine::compile_mass_matrix(const std::vector<const Placement *> &ops)
+{
+    const auto &model = design_->model();
+    std::vector<bool> fwd(n_, false), bwd(n_, false);
+    std::vector<int> walk_link(n_, -1);
+
+    for (const Placement *p : ops) {
+        const sched::Task &t = design_->task_graph().task(p->task);
+        const auto link = static_cast<std::size_t>(t.link);
+        Op op;
+        op.link = t.link;
+        op.parent = static_cast<std::int32_t>(model.parent(link));
+        switch (t.type) {
+          case TaskType::kRneaForward:
+            op.kind = Op::Kind::kCrbaSetup;
+            fwd[link] = true;
+            break;
+          case TaskType::kRneaBackward:
+            if (!fwd[link])
+                hazard("composite inertia before setup of link " +
+                       std::to_string(link));
+            for (int c : model.children(link))
+                if (!bwd[c])
+                    hazard("composite inertia before child of link " +
+                           std::to_string(link));
+            op.kind = Op::Kind::kCrbaComposite;
+            bwd[link] = true;
+            break;
+          case TaskType::kGradBackward: {
+            const auto col = static_cast<std::size_t>(t.column);
+            op.column = t.column;
+            if (link == col) {
+                if (!bwd[col])
+                    hazard("force walk before composite inertia of link " +
+                           std::to_string(col));
+                op.seed = true;
+            } else {
+                const int prev = walk_link[col];
+                if (prev < 0 ||
+                    model.parent(prev) != static_cast<int>(link))
+                    hazard("force walk out of order for column " +
+                           std::to_string(col));
+                if (!fwd[link])
+                    hazard("force walk before setup of link " +
+                           std::to_string(link));
+                op.prev = prev;
+            }
+            op.kind = Op::Kind::kCrbaWalk;
+            walk_link[col] = static_cast<int>(link);
+            break;
+          }
+          case TaskType::kGradForward:
+            hazard("unexpected task type in a CRBA schedule");
+        }
+        trace_.push_back(op);
+    }
+}
+
+void
+SimEngine::compile_kinematics(const std::vector<const Placement *> &ops)
+{
+    const auto &model = design_->model();
+    std::vector<bool> fwd(n_, false), jc(n_, false);
+
+    for (const Placement *p : ops) {
+        const sched::Task &t = design_->task_graph().task(p->task);
+        const auto link = static_cast<std::size_t>(t.link);
+        Op op;
+        op.link = t.link;
+        op.parent = static_cast<std::int32_t>(model.parent(link));
+        switch (t.type) {
+          case TaskType::kRneaForward:
+            if (op.parent != kBaseParent && !fwd[op.parent])
+                hazard("pose before parent pose of link " +
+                       std::to_string(link));
+            op.kind = Op::Kind::kFkPose;
+            fwd[link] = true;
+            break;
+          case TaskType::kGradForward:
+            if (!fwd[link])
+                hazard("jacobian before pose of link " +
+                       std::to_string(link));
+            if (op.parent != kBaseParent && !jc[op.parent])
+                hazard("jacobian before parent jacobian of link " +
+                       std::to_string(link));
+            op.kind = Op::Kind::kFkJacobian;
+            op.path_begin = intern_root_path(link);
+            op.path_end = static_cast<std::uint32_t>(root_paths_.size());
+            jc[link] = true;
+            break;
+          default:
+            hazard("unexpected task type in a kinematics schedule");
+        }
+        trace_.push_back(op);
+    }
+}
+
+SimEngine::Workspace
+SimEngine::make_workspace() const
+{
+    Workspace ws;
+    ws.xup.resize(n_);
+    switch (design_->kernel()) {
+      case sched::KernelKind::kDynamicsGradient:
+        ws.v.resize(n_);
+        ws.a.resize(n_);
+        ws.f.resize(n_);
+        ws.dv.resize(n_ * n_);
+        ws.da.resize(n_ * n_);
+        ws.df.resize(n_ * n_);
+        break;
+      case sched::KernelKind::kMassMatrix:
+        ws.ic_children.resize(n_);
+        ws.ic_total.resize(n_);
+        ws.f_walk.resize(n_);
+        break;
+      case sched::KernelKind::kForwardKinematics:
+        ws.carry.resize(n_ * n_);
+        break;
+    }
+    return ws;
+}
+
+void
+SimEngine::prepare(EngineResult &out) const
+{
+    switch (design_->kernel()) {
+      case sched::KernelKind::kDynamicsGradient:
+        out.tau.resize(n_);
+        if (out.dtau_dq.rows() == n_ && out.dtau_dq.cols() == n_)
+            out.dtau_dq.set_zero();
+        else
+            out.dtau_dq.resize(n_, n_);
+        if (out.dtau_dqd.rows() == n_ && out.dtau_dqd.cols() == n_)
+            out.dtau_dqd.set_zero();
+        else
+            out.dtau_dqd.resize(n_, n_);
+        // dqdd_dq / dqdd_dqd are prepared by blocked_multiply_into.
+        break;
+      case sched::KernelKind::kMassMatrix:
+        if (out.mass.rows() == n_ && out.mass.cols() == n_)
+            out.mass.set_zero();
+        else
+            out.mass.resize(n_, n_);
+        break;
+      case sched::KernelKind::kForwardKinematics:
+        if (out.base_to_link.size() == n_) {
+            std::fill(out.base_to_link.begin(), out.base_to_link.end(),
+                      SpatialTransform());
+            std::fill(out.velocities.begin(), out.velocities.end(),
+                      SpatialVector::zero());
+            for (linalg::Matrix &jac : out.jacobians)
+                jac.set_zero();
+        } else {
+            out.base_to_link.assign(n_, SpatialTransform());
+            out.velocities.assign(n_, SpatialVector::zero());
+            out.jacobians.assign(n_, linalg::Matrix(6, n_));
+        }
+        break;
+    }
+}
+
+void
+SimEngine::run(Workspace &ws, const InputPacket &in, EngineResult &out) const
+{
+    assert(ws.xup.size() == n_ && "workspace was not made by this engine");
+    switch (design_->kernel()) {
+      case sched::KernelKind::kDynamicsGradient:
+        if (!in.q || !in.qd || !in.qdd || !in.minv)
+            throw std::invalid_argument(
+                "gradient packet requires q, qd, qdd, and minv");
+        run_gradient(ws, in, out);
+        break;
+      case sched::KernelKind::kMassMatrix:
+        if (!in.q)
+            throw std::invalid_argument("mass-matrix packet requires q");
+        run_mass_matrix(ws, in, out);
+        break;
+      case sched::KernelKind::kForwardKinematics:
+        if (!in.q || !in.qd)
+            throw std::invalid_argument(
+                "kinematics packet requires q and qd");
+        run_kinematics(ws, in, out);
+        break;
+    }
+}
+
+void
+SimEngine::run_gradient(Workspace &ws, const InputPacket &in,
+                        EngineResult &out) const
+{
+    const auto &model = design_->model();
+    const linalg::Vector &q = *in.q;
+    const linalg::Vector &qd = *in.qd;
+    const linalg::Vector &qdd = *in.qdd;
+    prepare(out);
+
+    // Input marshalling, as in the legacy SimState constructor.
+    for (std::size_t i = 0; i < n_; ++i) {
+        const auto &link = model.link(i);
+        ws.xup[i] = link.joint.transform(q[i]) * link.x_tree;
+    }
+    const SpatialVector a_base(spatial::Vec3::zero(), -in.gravity);
+    std::fill(ws.v.begin(), ws.v.end(), SpatialVector::zero());
+    std::fill(ws.a.begin(), ws.a.end(), SpatialVector::zero());
+    std::fill(ws.f.begin(), ws.f.end(), SpatialVector::zero());
+
+    const auto rnea_forward = [&](const Op &op) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const std::int32_t p = op.parent;
+        const SpatialVector vj = s_[i] * qd[i];
+        if (p == kBaseParent) {
+            ws.v[i] = vj;
+            ws.a[i] = ws.xup[i].apply(a_base) + s_[i] * qdd[i];
+        } else {
+            ws.v[i] = ws.xup[i].apply(ws.v[p]) + vj;
+            ws.a[i] = ws.xup[i].apply(ws.a[p]) + s_[i] * qdd[i] +
+                      cross_motion(ws.v[i], vj);
+        }
+        const auto &inertia = model.link(i).inertia;
+        ws.f[i] = inertia.apply(ws.a[i]) +
+                  cross_force(ws.v[i], inertia.apply(ws.v[i]));
+    };
+    const auto rnea_backward = [&](const Op &op) {
+        const auto i = static_cast<std::size_t>(op.link);
+        out.tau[i] = s_[i].dot(ws.f[i]);
+        if (op.parent != kBaseParent)
+            ws.f[op.parent] += ws.xup[i].apply_transpose_to_force(ws.f[i]);
+    };
+    const auto grad_forward = [&](const Op &op, bool velocity) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const std::int32_t p = op.parent;
+        const auto &inertia = model.link(i).inertia;
+        for (std::uint32_t k = op.path_begin; k < op.path_end; ++k) {
+            const auto j = static_cast<std::size_t>(root_paths_[k]);
+            SpatialVector dv, da;
+            if (j == i && velocity) {
+                dv = s_[i];
+                da = cross_motion(ws.v[i], s_[i]);
+            } else if (j == i) {
+                const SpatialVector xap =
+                    ws.xup[i].apply(p == kBaseParent ? a_base : ws.a[p]);
+                dv = cross_motion(ws.v[i], s_[i]);
+                da = cross_motion(xap, s_[i]) +
+                     cross_motion(dv, s_[i] * qd[i]);
+            } else {
+                dv = ws.xup[i].apply(ws.dv[j * n_ + p]);
+                da = ws.xup[i].apply(ws.da[j * n_ + p]) +
+                     cross_motion(dv, s_[i] * qd[i]);
+            }
+            ws.dv[j * n_ + i] = dv;
+            ws.da[j * n_ + i] = da;
+            ws.df[j * n_ + i] = inertia.apply(da) +
+                                cross_force(dv, inertia.apply(ws.v[i])) +
+                                cross_force(ws.v[i], inertia.apply(dv));
+        }
+    };
+    const auto grad_backward = [&](const Op &op, bool velocity) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const auto j = static_cast<std::size_t>(op.column);
+        const SpatialVector &df = ws.df[j * n_ + i];
+        const double dtau = s_[i].dot(df);
+        (velocity ? out.dtau_dqd : out.dtau_dq)(i, j) = dtau;
+        if (op.parent != kBaseParent) {
+            SpatialVector carried = df;
+            if (op.seed && !velocity)
+                carried += cross_force(s_[j], ws.f[j]);
+            ws.df[j * n_ + op.parent] +=
+                ws.xup[i].apply_transpose_to_force(carried);
+        }
+    };
+    const auto clear_derivatives = [&] {
+        std::fill(ws.dv.begin(), ws.dv.end(), SpatialVector::zero());
+        std::fill(ws.da.begin(), ws.da.end(), SpatialVector::zero());
+        std::fill(ws.df.begin(), ws.df.end(), SpatialVector::zero());
+    };
+
+    // Position pass: all four traversal stages.
+    clear_derivatives();
+    for (const Op &op : trace_) {
+        switch (op.kind) {
+          case Op::Kind::kRneaForward:
+            rnea_forward(op);
+            break;
+          case Op::Kind::kRneaBackward:
+            rnea_backward(op);
+            break;
+          case Op::Kind::kGradForward:
+            grad_forward(op, false);
+            break;
+          default:
+            grad_backward(op, false);
+            break;
+        }
+    }
+    // Velocity pass: gradient stages re-run with velocity seeds.
+    clear_derivatives();
+    for (const Op &op : velocity_trace_) {
+        if (op.kind == Op::Kind::kGradForward)
+            grad_forward(op, true);
+        else
+            grad_backward(op, true);
+    }
+
+    // Final stage: blocked -M^-1 multiplies with NOP skipping.  The fused
+    // negation is an exact sign flip of the legacy `blocked_multiply(...)
+    // * -1.0` result (up to the sign of exact zeros).
+    linalg::BlockMultiplyStats stats_q, stats_qd;
+    const std::size_t bs = design_->params().block_size;
+    linalg::blocked_multiply_into(*in.minv, out.dtau_dq, bs, out.dqdd_dq,
+                                  ws.pa, ws.pb, /*negate=*/true, &stats_q);
+    linalg::blocked_multiply_into(*in.minv, out.dtau_dqd, bs, out.dqdd_dqd,
+                                  ws.pa, ws.pb, /*negate=*/true, &stats_qd);
+    out.mm_stats.block_macs = stats_q.block_macs + stats_qd.block_macs;
+    out.mm_stats.block_nops = stats_q.block_nops + stats_qd.block_nops;
+    out.mm_stats.scalar_macs = stats_q.scalar_macs + stats_qd.scalar_macs;
+    out.tasks_executed = trace_.size() + velocity_trace_.size();
+}
+
+void
+SimEngine::run_mass_matrix(Workspace &ws, const InputPacket &in,
+                           EngineResult &out) const
+{
+    const auto &model = design_->model();
+    const linalg::Vector &q = *in.q;
+    prepare(out);
+
+    std::fill(ws.ic_children.begin(), ws.ic_children.end(),
+              SpatialInertia());
+    for (const Op &op : trace_) {
+        const auto link = static_cast<std::size_t>(op.link);
+        switch (op.kind) {
+          case Op::Kind::kCrbaSetup: {
+            const auto &l = model.link(link);
+            ws.xup[link] = l.joint.transform(q[link]) * l.x_tree;
+            break;
+          }
+          case Op::Kind::kCrbaComposite:
+            ws.ic_total[link] = model.link(link).inertia +
+                                ws.ic_children[link];
+            if (op.parent != kBaseParent)
+                ws.ic_children[op.parent] =
+                    ws.ic_children[op.parent] +
+                    ws.ic_total[link].expressed_in_parent(ws.xup[link]);
+            break;
+          default: {
+            const auto col = static_cast<std::size_t>(op.column);
+            if (op.seed)
+                ws.f_walk[col] = ws.ic_total[col].apply(s_[col]);
+            else
+                ws.f_walk[col] =
+                    ws.xup[static_cast<std::size_t>(op.prev)]
+                        .apply_transpose_to_force(ws.f_walk[col]);
+            out.mass(col, link) = out.mass(link, col) =
+                ws.f_walk[col].dot(s_[link]);
+            break;
+          }
+        }
+    }
+    out.tasks_executed = trace_.size();
+}
+
+void
+SimEngine::run_kinematics(Workspace &ws, const InputPacket &in,
+                          EngineResult &out) const
+{
+    const auto &model = design_->model();
+    const linalg::Vector &q = *in.q;
+    const linalg::Vector &qd = *in.qd;
+    prepare(out);
+
+    for (const Op &op : trace_) {
+        const auto link = static_cast<std::size_t>(op.link);
+        const std::int32_t parent = op.parent;
+        if (op.kind == Op::Kind::kFkPose) {
+            const auto &l = model.link(link);
+            ws.xup[link] = l.joint.transform(q[link]) * l.x_tree;
+            const SpatialVector vj = s_[link] * qd[link];
+            if (parent == kBaseParent) {
+                out.base_to_link[link] = ws.xup[link];
+                out.velocities[link] = vj;
+            } else {
+                out.base_to_link[link] =
+                    ws.xup[link] * out.base_to_link[parent];
+                out.velocities[link] =
+                    ws.xup[link].apply(out.velocities[parent]) + vj;
+            }
+        } else {
+            for (std::uint32_t k = op.path_begin; k < op.path_end; ++k) {
+                const auto j = static_cast<std::size_t>(root_paths_[k]);
+                ws.carry[j * n_ + link] =
+                    j == link
+                        ? s_[link]
+                        : ws.xup[link].apply(
+                              ws.carry[j * n_ +
+                                       static_cast<std::size_t>(parent)]);
+                for (std::size_t r = 0; r < 6; ++r)
+                    out.jacobians[link](r, j) = ws.carry[j * n_ + link][r];
+            }
+        }
+    }
+    out.tasks_executed = trace_.size();
+}
+
+void
+SimEngine::run_batch(std::span<const InputPacket> in,
+                     std::span<EngineResult> out, BatchWorkspace &ws,
+                     std::size_t threads) const
+{
+    assert(in.size() == out.size());
+    const std::size_t workers = core::sweep_worker_count(in.size(), threads);
+    while (ws.per_thread.size() < workers)
+        ws.per_thread.push_back(make_workspace());
+    // parallel_for strides packets so worker t owns indices t, t + T, ...;
+    // workspace i % workers is therefore touched by exactly one worker.
+    core::parallel_for(
+        in.size(),
+        [&](std::size_t i) { run(ws.per_thread[i % workers], in[i], out[i]); },
+        workers);
+}
+
+void
+SimEngine::run_batch(std::span<const InputPacket> in,
+                     std::span<EngineResult> out, std::size_t threads) const
+{
+    BatchWorkspace ws;
+    run_batch(in, out, ws, threads);
+}
+
+} // namespace accel
+} // namespace roboshape

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Compiled, allocation-free, batched functional simulation engine.
+ *
+ * The one-shot simulators (accel/functional_sim.h, accel/kernel_sim.h)
+ * re-derive the execution order, re-allocate every workspace vector, and
+ * re-check hazards on every call — fine for verifying one schedule, hostile
+ * to the paper's real deployment pattern of streaming thousands of input
+ * packets through one fixed design (iLQR linearizes horizon x iterations
+ * states per solve; the multi-core deployment of Sec. 5.2 feeds replicas
+ * from a request stream).
+ *
+ * SimEngine splits that work the way the hardware does:
+ *
+ *  - compile() (the constructor) resolves the chosen SimOrder into a flat
+ *    trace of fully-resolved ops — task kind, link, parent, derivative
+ *    column, root-path spans, CRBA walk predecessors — and runs the
+ *    read-before-write hazard analysis ONCE over that trace (the checks
+ *    are purely structural, so an order that passes them passes for every
+ *    input).  Invalid orders throw DataHazardError at compile time.
+ *
+ *  - run() executes the trace against a persistent Workspace and a
+ *    reusable EngineResult.  After one warm-up call, run() performs zero
+ *    heap allocations.  Outputs are exactly equal to the legacy one-shot
+ *    simulators (which stay in-tree as the golden reference) — the final
+ *    -M^-1 multiply uses linalg::blocked_multiply_into with fused
+ *    negation, an exact sign flip.
+ *
+ *  - run_batch() shards independent packets across the core/parallel.h
+ *    fork-join pool with one Workspace per worker.  Packets never share
+ *    mutable state, so results are bit-identical at any thread count.
+ *
+ * All three Table 1 kernels are covered: the dynamics-gradient pipeline
+ * (RNEA + dRNEA + blocked -M^-1 multiply), the CRBA mass matrix, and
+ * forward kinematics with Jacobians.
+ */
+
+#ifndef ROBOSHAPE_ACCEL_SIM_ENGINE_H
+#define ROBOSHAPE_ACCEL_SIM_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/design.h"
+#include "accel/functional_sim.h"
+#include "linalg/blocked.h"
+#include "linalg/matrix.h"
+#include "spatial/spatial_inertia.h"
+#include "spatial/spatial_transform.h"
+#include "spatial/spatial_vector.h"
+
+namespace roboshape {
+namespace accel {
+
+/**
+ * One input set for the engine.  Pointers must stay valid for the duration
+ * of the run; which fields are required depends on the design's kernel:
+ * gradient needs all four, mass-matrix only q, kinematics q and qd.
+ */
+struct InputPacket
+{
+    const linalg::Vector *q = nullptr;
+    const linalg::Vector *qd = nullptr;
+    const linalg::Vector *qdd = nullptr;   ///< Linearization point (gradient).
+    const linalg::Matrix *minv = nullptr;  ///< Host-computed M^-1 (gradient).
+    spatial::Vec3 gravity = dynamics::kDefaultGravity;
+};
+
+/**
+ * Reusable output block.  The engine sizes every field on first use and
+ * only overwrites afterwards; keep the object alive across runs for the
+ * allocation-free steady state.  Only the fields of the design's kernel
+ * are meaningful after a run.
+ */
+struct EngineResult
+{
+    // kDynamicsGradient
+    linalg::Vector tau;
+    linalg::Matrix dtau_dq, dtau_dqd;
+    linalg::Matrix dqdd_dq, dqdd_dqd;
+    linalg::BlockMultiplyStats mm_stats;
+    // kMassMatrix
+    linalg::Matrix mass;
+    // kForwardKinematics
+    std::vector<spatial::SpatialTransform> base_to_link;
+    std::vector<spatial::SpatialVector> velocities;
+    std::vector<linalg::Matrix> jacobians;
+
+    std::size_t tasks_executed = 0;
+};
+
+class SimEngine
+{
+  public:
+    /**
+     * Per-run mutable state, allocated once by make_workspace() and reused
+     * forever after.  A Workspace may be used by one thread at a time.
+     */
+    class Workspace
+    {
+      public:
+        Workspace() = default;
+
+      private:
+        friend class SimEngine;
+        std::vector<spatial::SpatialTransform> xup;
+        // Gradient kernel.
+        std::vector<spatial::SpatialVector> v, a, f;
+        std::vector<spatial::SpatialVector> dv, da, df;
+        // Mass-matrix kernel.
+        std::vector<spatial::SpatialInertia> ic_children, ic_total;
+        std::vector<spatial::SpatialVector> f_walk;
+        // Kinematics kernel.
+        std::vector<spatial::SpatialVector> carry;
+        // Blocked-multiply scratch.
+        linalg::BlockPattern pa, pb;
+    };
+
+    /** Per-worker workspaces for run_batch; grown lazily, then reused. */
+    struct BatchWorkspace
+    {
+        std::vector<Workspace> per_thread;
+    };
+
+    /**
+     * Compiles @p design's @p order into the flat execution trace and
+     * hazard-checks it.  The engine keeps a reference to @p design, which
+     * must outlive it.
+     *
+     * @throws DataHazardError when the order violates a data dependency
+     *         (e.g. SimOrder::kAdversarialReversed).
+     */
+    explicit SimEngine(const AcceleratorDesign &design,
+                       SimOrder order = SimOrder::kStaged);
+
+    const AcceleratorDesign &design() const { return *design_; }
+    SimOrder order() const { return order_; }
+
+    /** Ops executed per run (velocity re-pass included for gradients). */
+    std::size_t trace_length() const
+    {
+        return trace_.size() + velocity_trace_.size();
+    }
+
+    /** Allocates a workspace sized for this engine. */
+    Workspace make_workspace() const;
+
+    /**
+     * Executes one packet.  Zero heap allocations once @p ws and @p out
+     * are warm (one prior run() with them).  Output fields are exactly
+     * equal to the legacy simulate() / simulate_mass_matrix() /
+     * simulate_forward_kinematics() results for the same design and order.
+     */
+    void run(Workspace &ws, const InputPacket &in, EngineResult &out) const;
+
+    /**
+     * Executes @p in[i] into @p out[i] for every i, sharding packets over
+     * the fork-join pool (thread t owns indices t, t + T, ...).  Results
+     * are bit-identical to serial run() calls at any thread count.
+     *
+     * @param threads worker count; 0 defers to ROBOSHAPE_SWEEP_THREADS /
+     *        hardware concurrency (see core::sweep_worker_count).
+     */
+    void run_batch(std::span<const InputPacket> in,
+                   std::span<EngineResult> out, BatchWorkspace &ws,
+                   std::size_t threads = 0) const;
+
+    /** Convenience run_batch with a throwaway BatchWorkspace. */
+    void run_batch(std::span<const InputPacket> in,
+                   std::span<EngineResult> out,
+                   std::size_t threads = 0) const;
+
+  private:
+    /** One fully-resolved trace step. */
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            kRneaForward,
+            kRneaBackward,
+            kGradForward,
+            kGradBackward,
+            kCrbaSetup,
+            kCrbaComposite,
+            kCrbaWalk,
+            kFkPose,
+            kFkJacobian,
+        };
+        Kind kind = Kind::kRneaForward;
+        bool seed = false;        ///< Gradient/CRBA: link == column.
+        bool in_subtree = false;  ///< Gradient backward: i in subtree(j).
+        std::int32_t link = 0;
+        std::int32_t parent = topology::kBaseParent;
+        std::int32_t column = -1;
+        std::int32_t prev = -1;   ///< CRBA walk predecessor link.
+        std::uint32_t path_begin = 0, path_end = 0; ///< Into root_paths_.
+    };
+
+    void compile_gradient(const std::vector<const sched::Placement *> &ops);
+    void compile_mass_matrix(
+        const std::vector<const sched::Placement *> &ops);
+    void compile_kinematics(
+        const std::vector<const sched::Placement *> &ops);
+    std::uint32_t intern_root_path(std::size_t link);
+
+    void prepare(EngineResult &out) const;
+    void run_gradient(Workspace &ws, const InputPacket &in,
+                      EngineResult &out) const;
+    void run_mass_matrix(Workspace &ws, const InputPacket &in,
+                         EngineResult &out) const;
+    void run_kinematics(Workspace &ws, const InputPacket &in,
+                        EngineResult &out) const;
+
+    const AcceleratorDesign *design_;
+    SimOrder order_;
+    std::size_t n_ = 0;
+
+    /** Position-pass ops in final execution order. */
+    std::vector<Op> trace_;
+    /** Gradient kernels re-run their gradient ops with velocity seeds. */
+    std::vector<Op> velocity_trace_;
+    /** Flattened root paths referenced by Op::path_begin/path_end. */
+    std::vector<std::int32_t> root_paths_;
+    /** Constant per-link motion subspaces S_i. */
+    std::vector<spatial::SpatialVector> s_;
+};
+
+} // namespace accel
+} // namespace roboshape
+
+#endif // ROBOSHAPE_ACCEL_SIM_ENGINE_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the accelerator-backed iLQR linearizer.
+ */
+
+#include "control/accel_linearizer.h"
+
+#include <stdexcept>
+
+#include "dynamics/crba.h"
+
+namespace roboshape {
+namespace control {
+
+AcceleratorLinearizer::AcceleratorLinearizer(
+    const accel::AcceleratorDesign &design, accel::SimOrder order,
+    const spatial::Vec3 &gravity)
+    : design_(&design), engine_(design, order),
+      ws_(engine_.make_workspace()), gravity_(gravity)
+{
+    if (design.kernel() != sched::KernelKind::kDynamicsGradient)
+        throw std::logic_error(
+            "AcceleratorLinearizer needs a dynamics-gradient design");
+    const std::size_t n = design.model().num_links();
+    q_.resize(n);
+    qd_.resize(n);
+}
+
+void
+AcceleratorLinearizer::linearize(const linalg::Vector &x,
+                                 const linalg::Vector &u, double dt,
+                                 linalg::Matrix &a, linalg::Matrix &b)
+{
+    const auto &model = design_->model();
+    const auto &topo = design_->topology();
+    const std::size_t n = model.num_links();
+    for (std::size_t i = 0; i < n; ++i) {
+        q_[i] = x[i];
+        qd_[i] = x[n + i];
+    }
+
+    // Host front-end: the linearization point, exactly as
+    // dynamics::forward_dynamics_gradients computes it.
+    const linalg::Matrix mass = dynamics::crba(model, q_);
+    mass_inv_ = dynamics::mass_matrix_inverse(topo, mass);
+    const linalg::Vector bias = dynamics::bias_forces(model, q_, qd_,
+                                                      gravity_);
+    const linalg::Vector qdd = mass_inv_ * (u - bias);
+
+    // Offloaded stage: dtau traversal + blocked -M^-1 multiplies.
+    accel::InputPacket packet;
+    packet.q = &q_;
+    packet.qd = &qd_;
+    packet.qdd = &qdd;
+    packet.minv = &mass_inv_;
+    packet.gravity = gravity_;
+    engine_.run(ws_, packet, result_);
+    ++calls_;
+
+    // Semi-implicit Euler: qd' = qd + dt qdd; q' = q + dt qd'.
+    a.resize(2 * n, 2 * n);
+    b.resize(2 * n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double dq = dt * result_.dqdd_dq(i, j);
+            const double dqd = dt * result_.dqdd_dqd(i, j);
+            // qd' rows.
+            a(n + i, j) = dq;
+            a(n + i, n + j) = (i == j ? 1.0 : 0.0) + dqd;
+            // q' rows = q + dt qd'.
+            a(i, j) = (i == j ? 1.0 : 0.0) + dt * dq;
+            a(i, n + j) = dt * ((i == j ? 1.0 : 0.0) + dqd);
+            const double du = dt * mass_inv_(i, j);
+            b(n + i, j) = du;
+            b(i, j) = dt * du;
+        }
+    }
+}
+
+} // namespace control
+} // namespace roboshape

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * iLQR dynamics linearization on the compiled accelerator engine.
+ *
+ * This is the paper's end-to-end deployment story (Sec. 5.2): the host
+ * keeps the cheap forward-dynamics front-end (CRBA, M^-1, bias forces —
+ * the parts the accelerator does not implement) and offloads the
+ * dominant dynamics-gradient evaluation, one packet per knot point per
+ * solver iteration, to the generated accelerator — here its compiled
+ * functional model, accel::SimEngine.
+ */
+
+#ifndef ROBOSHAPE_CONTROL_ACCEL_LINEARIZER_H
+#define ROBOSHAPE_CONTROL_ACCEL_LINEARIZER_H
+
+#include "accel/design.h"
+#include "accel/sim_engine.h"
+#include "control/ilqr.h"
+#include "dynamics/rnea.h"
+
+namespace roboshape {
+namespace control {
+
+/**
+ * DynamicsLinearizer backed by a compiled dynamics-gradient accelerator.
+ *
+ * Host front-end work (linearization point and M^-1) follows
+ * dynamics::forward_dynamics_gradients exactly; the dtau traversal and the
+ * blocked -M^-1 multiplies run on the engine.  The engine's workspace and
+ * result block live in the linearizer, so repeated calls reuse all
+ * accelerator-side storage.
+ */
+class AcceleratorLinearizer : public DynamicsLinearizer
+{
+  public:
+    /**
+     * @param design a kDynamicsGradient accelerator; must outlive this.
+     * @throws std::logic_error for designs of any other kernel.
+     * @throws DataHazardError if @p order is not executable.
+     */
+    explicit AcceleratorLinearizer(
+        const accel::AcceleratorDesign &design,
+        accel::SimOrder order = accel::SimOrder::kStaged,
+        const spatial::Vec3 &gravity = dynamics::kDefaultGravity);
+
+    void linearize(const linalg::Vector &x, const linalg::Vector &u,
+                   double dt, linalg::Matrix &a, linalg::Matrix &b) override;
+
+    /** Packets the engine has executed so far. */
+    std::size_t calls() const { return calls_; }
+
+    const accel::SimEngine &engine() const { return engine_; }
+
+  private:
+    const accel::AcceleratorDesign *design_;
+    accel::SimEngine engine_;
+    accel::SimEngine::Workspace ws_;
+    accel::EngineResult result_;
+    spatial::Vec3 gravity_;
+    // Host-side marshalling scratch, reused across calls.
+    linalg::Vector q_, qd_;
+    linalg::Matrix mass_inv_;
+    std::size_t calls_ = 0;
+};
+
+} // namespace control
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CONTROL_ACCEL_LINEARIZER_H

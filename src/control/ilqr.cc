@@ -196,9 +196,15 @@ solve_ilqr(const topology::RobotModel &model,
         // ---- Linearization (the accelerated kernel) -------------------
         {
             const auto t0 = Clock::now();
-            for (std::size_t k = 0; k < horizon; ++k)
-                linearize(model, topo, result.states[k],
-                          result.controls[k], problem.dt, a[k], b[k]);
+            for (std::size_t k = 0; k < horizon; ++k) {
+                if (options.linearizer)
+                    options.linearizer->linearize(result.states[k],
+                                                  result.controls[k],
+                                                  problem.dt, a[k], b[k]);
+                else
+                    linearize(model, topo, result.states[k],
+                              result.controls[k], problem.dt, a[k], b[k]);
+            }
             result.timing.linearization_us += us_since(t0);
         }
 

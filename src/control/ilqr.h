@@ -43,12 +43,39 @@ struct IlqrProblem
     double w_terminal = 400.0; ///< Terminal position weight.
 };
 
+/**
+ * Pluggable backend for the discrete linearization x' ~ A x + B u.
+ *
+ * The solver calls linearize() once per knot point per iteration — the
+ * dominant cost of the whole solve.  The default (a null linearizer in
+ * IlqrOptions) evaluates dynamics::forward_dynamics_gradients on the
+ * host; control::AcceleratorLinearizer routes the same evaluation through
+ * the compiled accelerator simulation engine.
+ */
+class DynamicsLinearizer
+{
+  public:
+    virtual ~DynamicsLinearizer() = default;
+
+    /**
+     * Writes the discrete-time linearization of the dynamics at state
+     * @p x = [q; qd] and control @p u under a semi-implicit Euler step of
+     * @p dt into @p a (2n x 2n) and @p b (2n x n).
+     */
+    virtual void linearize(const linalg::Vector &x, const linalg::Vector &u,
+                           double dt, linalg::Matrix &a,
+                           linalg::Matrix &b) = 0;
+};
+
 struct IlqrOptions
 {
     std::size_t max_iterations = 50;
     double cost_tolerance = 1e-6; ///< Relative improvement to stop at.
     double regularization = 1e-6; ///< Initial Riccati regularization.
     std::size_t max_line_search = 8;
+    /** Linearization backend; null = host dynamics gradients (not owned,
+     *  must outlive the solve). */
+    DynamicsLinearizer *linearizer = nullptr;
 };
 
 /** Wall-time breakdown of one solve (microseconds). */

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Implementation of the execution-order helpers.
+ */
+
+#include "sched/trace.h"
+
+#include <algorithm>
+
+namespace roboshape {
+namespace sched {
+
+std::size_t
+live_placement_count(const Schedule &s)
+{
+    std::size_t n = 0;
+    for (const Placement &p : s.placements)
+        if (p.task != kNoTask)
+            ++n;
+    return n;
+}
+
+void
+append_in_execution_order(const Schedule &s,
+                          std::vector<const Placement *> &out)
+{
+    const std::size_t begin = out.size();
+    for (const Placement &p : s.placements)
+        if (p.task != kNoTask)
+            out.push_back(&p);
+    std::stable_sort(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                     out.end(),
+                     [](const Placement *a, const Placement *b) {
+                         return a->start < b->start;
+                     });
+}
+
+} // namespace sched
+} // namespace roboshape

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Execution-order resolution of schedules (trace compilation, stage 1).
+ *
+ * A Schedule stores placements indexed by TaskId; executing it functionally
+ * requires the placements in start-cycle order.  These helpers turn one or
+ * more schedules into that flat execution order exactly once, so functional
+ * simulators (accel/functional_sim, accel/kernel_sim) and the compiled
+ * engine (accel/sim_engine) share a single definition of "the order the
+ * hardware runs tasks in" — and so the engine can resolve it at compile
+ * time instead of re-sorting on every run.
+ */
+
+#ifndef ROBOSHAPE_SCHED_TRACE_H
+#define ROBOSHAPE_SCHED_TRACE_H
+
+#include <vector>
+
+#include "sched/list_scheduler.h"
+
+namespace roboshape {
+namespace sched {
+
+/** Number of real (non-kNoTask) placements in @p s. */
+std::size_t live_placement_count(const Schedule &s);
+
+/**
+ * Appends pointers to @p s's real placements to @p out, sorted by start
+ * cycle (stable: placement order breaks ties).  Only the appended suffix is
+ * sorted; earlier entries of @p out are left untouched, so staged
+ * compositions append stage by stage.  Callers should reserve() @p out
+ * (see live_placement_count) to avoid reallocation.
+ */
+void append_in_execution_order(const Schedule &s,
+                               std::vector<const Placement *> &out);
+
+} // namespace sched
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SCHED_TRACE_H

@@ -150,6 +150,32 @@ INSTANTIATE_TEST_SUITE_P(Robots, KinematicsKernel,
                          ::testing::ValuesIn(all_robots()),
                          robot_param_name);
 
+TEST(KernelSim, MassMatrixHazardCheckerRejectsReversedOrder)
+{
+    // The CRBA schedule run backwards starts with a force walk whose
+    // composite inertias were never set up — the checker must fire, on the
+    // legacy simulator and at engine compile time alike.
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const RobotState s = random_state(m, 5);
+    const AcceleratorDesign design(m, {3, 3, 1}, default_timing(),
+                                   KernelKind::kMassMatrix);
+    EXPECT_THROW(simulate_mass_matrix(design, s.q,
+                                      SimOrder::kAdversarialReversed),
+                 DataHazardError);
+}
+
+TEST(KernelSim, KinematicsHazardCheckerRejectsReversedOrder)
+{
+    // Reversed kinematics visits a leaf Jacobian before any pose exists.
+    const RobotModel m = build_robot(RobotId::kHyq);
+    const RobotState s = random_state(m, 5);
+    const AcceleratorDesign design(m, {4, 1, 1}, default_timing(),
+                                   KernelKind::kForwardKinematics);
+    EXPECT_THROW(simulate_forward_kinematics(
+                     design, s.q, s.qd, SimOrder::kAdversarialReversed),
+                 DataHazardError);
+}
+
 TEST(KernelSim, RejectsKernelMismatch)
 {
     const RobotModel m = build_robot(RobotId::kIiwa);
