@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Implementation of the deterministic URDF fault-injection mutator.
+ *
+ * All mutations operate on the raw text through light lexical scans (never
+ * a real XML parse) so they stay applicable to already-mutated documents:
+ * the second or third mutation of a round regularly lands on top of a
+ * previous one, which is exactly the compounding-corruption behaviour a
+ * hostile fleet produces.
+ */
+
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace roboshape {
+namespace io {
+
+namespace {
+
+/** Hard cap on mutated-document size (anti pathological growth). */
+constexpr std::size_t kMaxOutputBytes = 1u << 20;
+
+/** A [begin, end) span of the document. */
+struct Span
+{
+    std::size_t begin;
+    std::size_t end;
+};
+
+bool
+is_name_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+}
+
+/** Spans of every tag name (open and close tags). */
+std::vector<Span>
+find_tag_names(const std::string &s)
+{
+    std::vector<Span> out;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+        if (s[i] != '<')
+            continue;
+        std::size_t j = i + 1;
+        if (j < s.size() && s[j] == '/')
+            ++j;
+        const std::size_t name_begin = j;
+        while (j < s.size() && is_name_char(s[j]))
+            ++j;
+        if (j > name_begin)
+            out.push_back({name_begin, j});
+    }
+    return out;
+}
+
+/** Spans of whole ` name="value"` attribute chunks (leading space incl.). */
+std::vector<Span>
+find_attributes(const std::string &s)
+{
+    std::vector<Span> out;
+    for (std::size_t i = 0; i + 3 < s.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(s[i])))
+            continue;
+        std::size_t j = i + 1;
+        const std::size_t name_begin = j;
+        while (j < s.size() && is_name_char(s[j]))
+            ++j;
+        if (j == name_begin || j >= s.size() || s[j] != '=')
+            continue;
+        ++j;
+        if (j >= s.size() || (s[j] != '"' && s[j] != '\''))
+            continue;
+        const char quote = s[j];
+        ++j;
+        while (j < s.size() && s[j] != quote && s[j] != '<' && s[j] != '\n')
+            ++j;
+        if (j >= s.size() || s[j] != quote)
+            continue;
+        out.push_back({i, j + 1});
+    }
+    return out;
+}
+
+/** Spans of numeric tokens inside quoted attribute values. */
+std::vector<Span>
+find_numeric_tokens(const std::string &s)
+{
+    std::vector<Span> out;
+    bool in_quote = false;
+    char quote = '\0';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (!in_quote) {
+            if (c == '"' || c == '\'') {
+                in_quote = true;
+                quote = c;
+            }
+            continue;
+        }
+        if (c == quote) {
+            in_quote = false;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+' || c == '.') {
+            const std::size_t begin = i;
+            while (i < s.size() &&
+                   (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                    s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+                    s[i] == 'e' || s[i] == 'E'))
+                ++i;
+            if (i > begin + 0)
+                out.push_back({begin, i});
+            --i; // loop increment
+        }
+    }
+    return out;
+}
+
+void
+mutate_truncate(std::string &s, FaultRng &rng)
+{
+    if (s.empty())
+        return;
+    s.resize(rng.below(s.size()));
+}
+
+void
+mutate_tag_swap(std::string &s, FaultRng &rng)
+{
+    const auto tags = find_tag_names(s);
+    if (tags.size() < 2)
+        return;
+    const Span a = tags[rng.below(tags.size())];
+    const Span b = tags[rng.below(tags.size())];
+    if (a.begin == b.begin)
+        return;
+    const Span first = a.begin < b.begin ? a : b;
+    const Span second = a.begin < b.begin ? b : a;
+    if (first.end > second.begin)
+        return; // overlapping, skip
+    const std::string first_name = s.substr(first.begin,
+                                            first.end - first.begin);
+    const std::string second_name = s.substr(second.begin,
+                                             second.end - second.begin);
+    // Replace back-to-front so earlier offsets stay valid.
+    s.replace(second.begin, second_name.size(), first_name);
+    s.replace(first.begin, first_name.size(), second_name);
+}
+
+void
+mutate_attribute_delete(std::string &s, FaultRng &rng)
+{
+    const auto attrs = find_attributes(s);
+    if (attrs.empty())
+        return;
+    const Span a = attrs[rng.below(attrs.size())];
+    s.erase(a.begin, a.end - a.begin);
+}
+
+void
+mutate_attribute_duplicate(std::string &s, FaultRng &rng)
+{
+    const auto attrs = find_attributes(s);
+    if (attrs.empty())
+        return;
+    const Span a = attrs[rng.below(attrs.size())];
+    s.insert(a.end, s.substr(a.begin, a.end - a.begin));
+}
+
+void
+mutate_numeric_garbage(std::string &s, FaultRng &rng)
+{
+    static const char *kGarbage[] = {
+        "nan",     "inf",       "-inf",  "1e999999", "-1e999999",
+        "1.5abc",  "0x12",      "--3",   ".",        "1 2",
+        "",        "1e",        "+-1",   "0,5",      "999999999999999999999",
+        "3.d",     "\xF0\x9F\xA4\x96",   "1.0e+",    "NaN(2)",
+    };
+    const auto nums = find_numeric_tokens(s);
+    if (nums.empty())
+        return;
+    const Span n = nums[rng.below(nums.size())];
+    const char *g =
+        kGarbage[rng.below(sizeof(kGarbage) / sizeof(kGarbage[0]))];
+    s.replace(n.begin, n.end - n.begin, g);
+}
+
+void
+mutate_byte_corruption(std::string &s, FaultRng &rng)
+{
+    if (s.empty())
+        return;
+    const std::size_t count = 1 + rng.below(8);
+    for (std::size_t i = 0; i < count; ++i)
+        s[rng.below(s.size())] = static_cast<char>(rng.below(256));
+}
+
+void
+mutate_deep_nesting(std::string &s, FaultRng &rng)
+{
+    // 64..1063 nested open tags: straddles the parser's depth cap from
+    // both sides.  Half the time they're left unclosed (truncation-like).
+    const std::size_t depth = 64 + rng.below(1000);
+    const bool closed = rng.below(2) == 0;
+    std::string nest;
+    nest.reserve(depth * (closed ? 7 : 3));
+    for (std::size_t i = 0; i < depth; ++i)
+        nest += "<d>";
+    if (closed)
+        for (std::size_t i = 0; i < depth; ++i)
+            nest += "</d>";
+    const std::size_t at = s.empty() ? 0 : rng.below(s.size());
+    s.insert(at, nest);
+}
+
+void
+mutate_entity_abuse(std::string &s, FaultRng &rng)
+{
+    static const char *kEntities[] = {
+        "&bomb;",          "&amp",          "&;",
+        "&#0;",            "&#xD800;",      "&#xFFFFFFFFF;",
+        "&#;",             "&#x;",          "&lolololololololololol;",
+        "&lt;&lt;&lt;&lt;&lt;&lt;&lt;&lt;", "&#x110000;",
+    };
+    const char *e =
+        kEntities[rng.below(sizeof(kEntities) / sizeof(kEntities[0]))];
+    const std::size_t at = s.empty() ? 0 : rng.below(s.size());
+    s.insert(at, e);
+}
+
+void
+mutate_element_duplication(std::string &s, FaultRng &rng)
+{
+    // Pick a '<' and duplicate a bounded chunk starting there; lexical
+    // rather than structural, so it also produces duplicate links/joints.
+    std::vector<std::size_t> opens;
+    for (std::size_t i = 0; i < s.size(); ++i)
+        if (s[i] == '<')
+            opens.push_back(i);
+    if (opens.empty())
+        return;
+    const std::size_t begin = opens[rng.below(opens.size())];
+    // End at a '>' between 1 and 400 bytes later (or end of document).
+    std::size_t end = begin;
+    const std::size_t limit = std::min(s.size(), begin + 400);
+    for (std::size_t i = begin; i < limit; ++i)
+        if (s[i] == '>')
+            end = i + 1;
+    if (end <= begin)
+        end = limit;
+    s.insert(end, s.substr(begin, end - begin));
+}
+
+void
+mutate_close_tag_corruption(std::string &s, FaultRng &rng)
+{
+    std::vector<std::size_t> closes;
+    for (std::size_t i = 0; i + 2 < s.size(); ++i)
+        if (s[i] == '<' && s[i + 1] == '/')
+            closes.push_back(i);
+    if (closes.empty())
+        return;
+    const std::size_t at = closes[rng.below(closes.size())] + 2;
+    if (at < s.size() && is_name_char(s[at]))
+        s[at] = static_cast<char>('a' + rng.below(26));
+}
+
+} // namespace
+
+const char *
+mutation_name(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::kTruncate:
+        return "truncate";
+      case MutationKind::kTagSwap:
+        return "tag-swap";
+      case MutationKind::kAttributeDelete:
+        return "attribute-delete";
+      case MutationKind::kAttributeDuplicate:
+        return "attribute-duplicate";
+      case MutationKind::kNumericGarbage:
+        return "numeric-garbage";
+      case MutationKind::kByteCorruption:
+        return "byte-corruption";
+      case MutationKind::kDeepNesting:
+        return "deep-nesting";
+      case MutationKind::kEntityAbuse:
+        return "entity-abuse";
+      case MutationKind::kElementDuplication:
+        return "element-duplication";
+      case MutationKind::kCloseTagCorruption:
+        return "close-tag-corruption";
+      case MutationKind::kCount:
+        break;
+    }
+    return "?";
+}
+
+MutationResult
+mutate_urdf(const std::string &seed_text, std::uint64_t seed)
+{
+    FaultRng rng(seed);
+    MutationResult result;
+    result.text = seed_text;
+    const std::size_t rounds = 1 + rng.below(3);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const auto kind = static_cast<MutationKind>(
+            rng.below(static_cast<std::size_t>(MutationKind::kCount)));
+        switch (kind) {
+          case MutationKind::kTruncate:
+            mutate_truncate(result.text, rng);
+            break;
+          case MutationKind::kTagSwap:
+            mutate_tag_swap(result.text, rng);
+            break;
+          case MutationKind::kAttributeDelete:
+            mutate_attribute_delete(result.text, rng);
+            break;
+          case MutationKind::kAttributeDuplicate:
+            mutate_attribute_duplicate(result.text, rng);
+            break;
+          case MutationKind::kNumericGarbage:
+            mutate_numeric_garbage(result.text, rng);
+            break;
+          case MutationKind::kByteCorruption:
+            mutate_byte_corruption(result.text, rng);
+            break;
+          case MutationKind::kDeepNesting:
+            mutate_deep_nesting(result.text, rng);
+            break;
+          case MutationKind::kEntityAbuse:
+            mutate_entity_abuse(result.text, rng);
+            break;
+          case MutationKind::kElementDuplication:
+            mutate_element_duplication(result.text, rng);
+            break;
+          case MutationKind::kCloseTagCorruption:
+            mutate_close_tag_corruption(result.text, rng);
+            break;
+          case MutationKind::kCount:
+            break;
+        }
+        result.applied.push_back(kind);
+        if (result.text.size() > kMaxOutputBytes)
+            result.text.resize(kMaxOutputBytes);
+    }
+    return result;
+}
+
+} // namespace io
+} // namespace roboshape

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic structure-aware fault injection for URDF/XML ingestion.
+ *
+ * The fuzz harness (tools/urdf_fuzz.cc) feeds well-formed robot-library
+ * URDFs through this mutator and asserts the parser invariant: every input
+ * yields either a RobotModel or a *typed* parse error — never a crash, a
+ * hang, or a non-parser exception.  Mutations are structure-aware (they
+ * find tags, attributes, and numeric tokens lexically) so they probe deep
+ * parser states instead of failing at the first byte, and fully
+ * deterministic: `mutate_urdf(text, seed)` is a pure function, so every
+ * failure is reproducible from its seed.  See docs/INGESTION.md.
+ */
+
+#ifndef ROBOSHAPE_IO_FAULT_INJECTION_H
+#define ROBOSHAPE_IO_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace roboshape {
+namespace io {
+
+/** Deterministic 64-bit PRNG (splitmix64; no global state). */
+class FaultRng
+{
+  public:
+    explicit FaultRng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, n); n must be > 0. */
+    std::size_t
+    below(std::size_t n)
+    {
+        return static_cast<std::size_t>(next() % n);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** The fault classes the mutator injects. */
+enum class MutationKind
+{
+    kTruncate,            ///< Cut the document at a random byte.
+    kTagSwap,             ///< Swap the names of two tags.
+    kAttributeDelete,     ///< Remove one attribute.
+    kAttributeDuplicate,  ///< Repeat an attribute on the same tag.
+    kNumericGarbage,      ///< Replace a numeric token with garbage.
+    kByteCorruption,      ///< Overwrite a few random bytes.
+    kDeepNesting,         ///< Splice in hundreds of nested open tags.
+    kEntityAbuse,         ///< Inject malformed/abusive entity references.
+    kElementDuplication,  ///< Duplicate a whole element span.
+    kCloseTagCorruption,  ///< Corrupt a closing-tag name.
+    kCount,               ///< Number of kinds (not a mutation).
+};
+
+/** Human-readable name of @p kind. */
+const char *mutation_name(MutationKind kind);
+
+/** Outcome of one mutation round. */
+struct MutationResult
+{
+    std::string text;                   ///< Mutated document.
+    std::vector<MutationKind> applied;  ///< Kinds applied, in order.
+};
+
+/**
+ * Applies 1-3 deterministic mutations to @p seed_text.  Pure function of
+ * (seed_text, seed); the output is capped at ~1 MiB so adversarial growth
+ * cannot stall the parser.
+ */
+MutationResult mutate_urdf(const std::string &seed_text, std::uint64_t seed);
+
+} // namespace io
+} // namespace roboshape
+
+#endif // ROBOSHAPE_IO_FAULT_INJECTION_H

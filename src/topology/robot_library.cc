@@ -333,6 +333,18 @@ robot_urdf(RobotId id)
     return os.str();
 }
 
+std::vector<NamedUrdf>
+all_robot_urdfs()
+{
+    std::vector<NamedUrdf> out;
+    std::vector<RobotId> everything = all_robots();
+    everything.insert(everything.end(), extended_robots().begin(),
+                      extended_robots().end());
+    for (RobotId id : everything)
+        out.push_back({spec_for(id).name, robot_urdf(id)});
+    return out;
+}
+
 std::vector<std::string>
 write_urdf_files(const std::string &directory)
 {

@@ -59,6 +59,20 @@ RobotModel build_robot(RobotId id);
 /** Emits the robot as URDF text (round-trips through parse_urdf). */
 std::string robot_urdf(RobotId id);
 
+/** One named URDF document, e.g. a fuzz/validation seed. */
+struct NamedUrdf
+{
+    std::string name;
+    std::string text;
+};
+
+/**
+ * Name + URDF text for every bundled robot (the paper's six plus the
+ * extended fleet).  These are the well-formed seeds the fault-injection
+ * harness mutates; each must parse cleanly in both strict and report mode.
+ */
+std::vector<NamedUrdf> all_robot_urdfs();
+
 /**
  * Writes `<name>.urdf` for every bundled robot into @p directory.
  * @return the file paths written.

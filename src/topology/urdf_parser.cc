@@ -1,12 +1,22 @@
 /**
  * @file
- * Implementation of the URDF parser.
+ * Implementation of the URDF parser (strict and report modes).
+ *
+ * Both modes share one implementation parameterized by a ParseContext: in
+ * strict mode every error throws a typed UrdfError immediately; in report
+ * mode errors and warnings accumulate into a ValidationReport and parsing
+ * continues so a single pass surfaces *every* problem in the file.
  */
 
 #include "topology/urdf_parser.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -14,6 +24,16 @@
 
 namespace roboshape {
 namespace topology {
+
+UrdfError::UrdfError(ParseErrorCode code, const std::string &msg,
+                     SourceLocation location)
+    : std::runtime_error(location.known()
+                             ? msg + " (" + location.to_string() + ")"
+                             : msg),
+      code_(code),
+      location_(location)
+{
+}
 
 namespace {
 
@@ -24,19 +44,113 @@ using spatial::SpatialInertia;
 using spatial::SpatialTransform;
 using spatial::Vec3;
 
+/** Diagnostics sink: strict mode throws, report mode accumulates. */
+struct ParseContext
+{
+    ValidationReport *report = nullptr; ///< Null = strict mode.
+    const std::string *source = nullptr; ///< For report snippets.
+
+    bool strict() const { return report == nullptr; }
+    bool failed() const { return failed_; }
+
+    void
+    error(ParseErrorCode code, const std::string &msg,
+          SourceLocation loc = {})
+    {
+        if (!report)
+            throw UrdfError(code, msg, loc);
+        failed_ = true;
+        report->add_error(code, msg, loc, snippet(loc));
+    }
+
+    void
+    warning(ParseErrorCode code, const std::string &msg,
+            SourceLocation loc = {})
+    {
+        if (report)
+            report->add_warning(code, msg, loc, snippet(loc));
+    }
+
+  private:
+    std::string
+    snippet(const SourceLocation &loc) const
+    {
+        return (source && loc.known()) ? source_snippet(*source, loc)
+                                       : std::string();
+    }
+
+    bool failed_ = false;
+};
+
+/**
+ * Parses @p s as exactly one finite double.  Rejects trailing garbage
+ * ("1.5abc"), NaN/Inf spellings, and values that overflow to infinity
+ * ("1e999999") — the classes of input bare std::stod silently accepts or
+ * turns into leaked std::invalid_argument / std::out_of_range.
+ */
+bool
+parse_full_double(const std::string &s, double *out)
+{
+    const char *begin = s.c_str();
+    char *end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin)
+        return false; // no conversion at all
+    while (*end == ' ' || *end == '\t' || *end == '\r' || *end == '\n')
+        ++end;
+    if (*end != '\0')
+        return false; // trailing non-numeric garbage
+    if (!std::isfinite(v))
+        return false; // "nan", "inf", or overflow to +-HUGE_VAL
+    *out = v;
+    return true;
+}
+
+/** Checked numeric attribute read; records kUrdfBadNumber and returns 0. */
+double
+parse_double_attr(ParseContext &ctx, const XmlElement &el,
+                  const char *attr_name, const std::string &context)
+{
+    const std::string raw = el.attribute(attr_name, "0");
+    double v = 0.0;
+    if (!parse_full_double(raw, &v)) {
+        ctx.error(ParseErrorCode::kUrdfBadNumber,
+                  "malformed number in " + context + " attribute '" +
+                      attr_name + "': '" + raw + "'",
+                  el.location);
+        return 0.0;
+    }
+    return v;
+}
+
+/**
+ * Parses exactly three whitespace-separated finite doubles.  Requires full
+ * consumption of the string: "1 2 3 x" and "1 2 3 4" are rejected, as are
+ * NaN/Inf components.  Records kUrdfBadVector and returns @p fallback on
+ * failure.
+ */
 Vec3
-parse_vec3(const std::string &s, const char *what)
+parse_vec3(ParseContext &ctx, const std::string &s, const std::string &what,
+           SourceLocation loc, const Vec3 &fallback = Vec3{})
 {
     std::istringstream is(s);
-    Vec3 v;
-    if (!(is >> v.x >> v.y >> v.z))
-        throw UrdfError(std::string("malformed 3-vector in ") + what + ": '" +
-                        s + "'");
-    double extra;
-    if (is >> extra)
-        throw UrdfError(std::string("too many components in ") + what +
-                        ": '" + s + "'");
-    return v;
+    std::string token;
+    double comps[3];
+    std::size_t n = 0;
+    bool bad = false;
+    while (is >> token) {
+        if (n >= 3 || !parse_full_double(token, &comps[n])) {
+            bad = true;
+            break;
+        }
+        ++n;
+    }
+    if (bad || n != 3) {
+        ctx.error(ParseErrorCode::kUrdfBadVector,
+                  "malformed 3-vector in " + what + ": '" + s + "'", loc);
+        return fallback;
+    }
+    return {comps[0], comps[1], comps[2]};
 }
 
 /** Vector-rotation matrix for URDF fixed-axis roll-pitch-yaw. */
@@ -74,42 +188,129 @@ struct Pose
 };
 
 Pose
-parse_origin(const XmlElement *el)
+parse_origin(ParseContext &ctx, const XmlElement *el)
 {
     Pose pose;
     if (!el)
         return pose;
     if (el->has_attribute("xyz"))
-        pose.p = parse_vec3(el->attribute("xyz"), "origin xyz");
+        pose.p = parse_vec3(ctx, el->attribute("xyz"), "origin xyz",
+                            el->location);
     if (el->has_attribute("rpy"))
-        pose.r = rotation_from_rpy(
-            parse_vec3(el->attribute("rpy"), "origin rpy"));
+        pose.r = rotation_from_rpy(parse_vec3(
+            ctx, el->attribute("rpy"), "origin rpy", el->location));
     return pose;
 }
 
+/** Report-mode warning for every child element the pipeline ignores. */
+void
+warn_unhandled_children(ParseContext &ctx, const XmlElement &el,
+                        std::initializer_list<const char *> handled)
+{
+    if (ctx.strict())
+        return; // warnings only exist in report mode
+    for (const auto &child : el.children) {
+        bool known = false;
+        for (const char *h : handled)
+            if (child->name == h)
+                known = true;
+        if (!known)
+            ctx.warning(ParseErrorCode::kUrdfIgnoredElement,
+                        "ignoring unsupported element <" + child->name +
+                            "> inside <" + el.name + ">",
+                        child->location);
+    }
+}
+
+/**
+ * Data-quality warnings on a link's inertial parameters: zero mass with a
+ * nonzero tensor, tensors violating positive-semidefiniteness (Sylvester
+ * minors), and principal moments violating the triangle inequality.
+ */
+void
+check_inertia_quality(ParseContext &ctx, const std::string &link_name,
+                      double mass, const Mat3 &ic, SourceLocation loc)
+{
+    const double ixx = ic(0, 0), iyy = ic(1, 1), izz = ic(2, 2);
+    const double ixy = ic(0, 1), ixz = ic(0, 2), iyz = ic(1, 2);
+    double scale = 1.0;
+    for (const double v : {ixx, iyy, izz, ixy, ixz, iyz})
+        scale = std::max(scale, std::fabs(v));
+    const double tol = 1e-9 * scale;
+
+    const bool tensor_nonzero =
+        std::fabs(ixx) > 0.0 || std::fabs(iyy) > 0.0 ||
+        std::fabs(izz) > 0.0 || std::fabs(ixy) > 0.0 ||
+        std::fabs(ixz) > 0.0 || std::fabs(iyz) > 0.0;
+    if (mass == 0.0 && tensor_nonzero)
+        ctx.warning(ParseErrorCode::kUrdfZeroMassInertia,
+                    "link '" + link_name +
+                        "' has zero mass but a nonzero inertia tensor",
+                    loc);
+
+    const double minor2 = ixx * iyy - ixy * ixy;
+    const double det = ixx * (iyy * izz - iyz * iyz) -
+                       ixy * (ixy * izz - iyz * ixz) +
+                       ixz * (ixy * iyz - iyy * ixz);
+    if (ixx < -tol || iyy < -tol || izz < -tol || minor2 < -tol * scale ||
+        det < -tol * scale * scale)
+        ctx.warning(ParseErrorCode::kUrdfNonPsdInertia,
+                    "link '" + link_name +
+                        "' inertia tensor is not positive semidefinite",
+                    loc);
+    if (ixx + iyy < izz - tol || iyy + izz < ixx - tol ||
+        izz + ixx < iyy - tol)
+        ctx.warning(ParseErrorCode::kUrdfTriangleInequality,
+                    "link '" + link_name +
+                        "' principal inertias violate the triangle "
+                        "inequality",
+                    loc);
+}
+
 SpatialInertia
-parse_inertial(const XmlElement *el, const std::string &link_name)
+parse_inertial(ParseContext &ctx, const XmlElement *el,
+               const std::string &link_name)
 {
     if (!el)
         return SpatialInertia(); // massless link
+    warn_unhandled_children(ctx, *el, {"origin", "mass", "inertia"});
     const XmlElement *mass_el = el->child("mass");
     const XmlElement *inertia_el = el->child("inertia");
-    if (!mass_el || !inertia_el)
-        throw UrdfError("link '" + link_name +
-                        "' inertial requires <mass> and <inertia>");
-    const double mass = std::stod(mass_el->attribute("value", "0"));
-    if (mass < 0.0)
-        throw UrdfError("link '" + link_name + "' has negative mass");
+    if (!mass_el || !inertia_el) {
+        ctx.error(ParseErrorCode::kUrdfMissingElement,
+                  "link '" + link_name +
+                      "' inertial requires <mass> and <inertia>",
+                  el->location);
+        return SpatialInertia();
+    }
+    if (!mass_el->has_attribute("value"))
+        ctx.warning(ParseErrorCode::kUrdfMissingAttribute,
+                    "link '" + link_name +
+                        "' <mass> has no value attribute; assuming 0",
+                    mass_el->location);
+    double mass = parse_double_attr(ctx, *mass_el, "value",
+                                    "link '" + link_name + "' <mass>");
+    if (mass < 0.0) {
+        ctx.error(ParseErrorCode::kUrdfNegativeMass,
+                  "link '" + link_name + "' has negative mass",
+                  mass_el->location);
+        mass = 0.0;
+    }
 
+    const std::string inertia_ctx = "link '" + link_name + "' <inertia>";
     Mat3 ic;
-    ic(0, 0) = std::stod(inertia_el->attribute("ixx", "0"));
-    ic(1, 1) = std::stod(inertia_el->attribute("iyy", "0"));
-    ic(2, 2) = std::stod(inertia_el->attribute("izz", "0"));
-    ic(0, 1) = ic(1, 0) = std::stod(inertia_el->attribute("ixy", "0"));
-    ic(0, 2) = ic(2, 0) = std::stod(inertia_el->attribute("ixz", "0"));
-    ic(1, 2) = ic(2, 1) = std::stod(inertia_el->attribute("iyz", "0"));
+    ic(0, 0) = parse_double_attr(ctx, *inertia_el, "ixx", inertia_ctx);
+    ic(1, 1) = parse_double_attr(ctx, *inertia_el, "iyy", inertia_ctx);
+    ic(2, 2) = parse_double_attr(ctx, *inertia_el, "izz", inertia_ctx);
+    ic(0, 1) = ic(1, 0) = parse_double_attr(ctx, *inertia_el, "ixy",
+                                            inertia_ctx);
+    ic(0, 2) = ic(2, 0) = parse_double_attr(ctx, *inertia_el, "ixz",
+                                            inertia_ctx);
+    ic(1, 2) = ic(2, 1) = parse_double_attr(ctx, *inertia_el, "iyz",
+                                            inertia_ctx);
+    check_inertia_quality(ctx, link_name, mass, ic, inertia_el->location);
 
-    const Pose pose = parse_origin(el->child("origin"));
+    const Pose pose = parse_origin(ctx, el->child("origin"));
     // Rotate the inertia tensor from the inertial frame into link axes.
     const Mat3 ic_link = pose.r * ic * pose.r.transposed();
     return SpatialInertia::from_mass_com_inertia(mass, pose.p, ic_link);
@@ -134,74 +335,166 @@ struct Visit
                                 ///< the moving parent's frame.
 };
 
-} // namespace
-
-RobotModel
-parse_urdf(const std::string &urdf_text)
+/**
+ * Shared strict/report implementation.  Returns a model iff no error was
+ * recorded; XML errors propagate as XmlError (the report-mode wrapper
+ * converts them).
+ */
+std::optional<RobotModel>
+parse_urdf_impl(const std::string &urdf_text, ParseContext &ctx)
 {
     auto root = parse_xml(urdf_text);
-    if (root->name != "robot")
-        throw UrdfError("root element must be <robot>, got <" + root->name +
-                        ">");
+    if (root->name != "robot") {
+        ctx.error(ParseErrorCode::kUrdfBadRoot,
+                  "root element must be <robot>, got <" + root->name + ">",
+                  root->location);
+        return std::nullopt; // cannot interpret anything below a non-robot
+    }
+    if (!root->has_attribute("name"))
+        ctx.warning(ParseErrorCode::kUrdfMissingAttribute,
+                    "<robot> has no name attribute; using 'robot'",
+                    root->location);
     const std::string robot_name = root->attribute("name", "robot");
+    warn_unhandled_children(ctx, *root, {"link", "joint"});
 
     std::map<std::string, SpatialInertia> link_inertia;
     for (const XmlElement *link_el : root->children_named("link")) {
         const std::string name = link_el->attribute("name");
-        if (name.empty())
-            throw UrdfError("link without a name");
-        if (link_inertia.count(name))
-            throw UrdfError("duplicate link '" + name + "'");
-        link_inertia[name] = parse_inertial(link_el->child("inertial"), name);
+        if (name.empty()) {
+            ctx.error(ParseErrorCode::kUrdfMissingName,
+                      "link without a name", link_el->location);
+            continue;
+        }
+        if (link_inertia.count(name)) {
+            ctx.error(ParseErrorCode::kUrdfDuplicateName,
+                      "duplicate link '" + name + "'", link_el->location);
+            continue;
+        }
+        warn_unhandled_children(ctx, *link_el, {"inertial"});
+        link_inertia[name] =
+            parse_inertial(ctx, link_el->child("inertial"), name);
     }
     if (link_inertia.empty())
-        throw UrdfError("robot has no links");
+        ctx.error(ParseErrorCode::kUrdfNoLinks, "robot has no links",
+                  root->location);
 
     std::vector<RawJoint> joints;
+    std::set<std::string> joint_names;
     std::map<std::string, bool> is_joint_child;
+    // When a joint is dropped in report mode the kinematic graph is no
+    // longer meaningful; suppress structural diagnostics to avoid cascades.
+    bool joints_dropped = false;
     for (const XmlElement *joint_el : root->children_named("joint")) {
+        warn_unhandled_children(ctx, *joint_el,
+                                {"parent", "child", "origin", "axis",
+                                 "limit", "dynamics", "calibration",
+                                 "mimic", "safety_controller"});
         RawJoint j;
         j.name = joint_el->attribute("name");
-        j.type = spatial::joint_type_from_string(joint_el->attribute("type"));
+        if (j.name.empty()) {
+            ctx.error(ParseErrorCode::kUrdfMissingName,
+                      "joint without a name", joint_el->location);
+            joints_dropped = true;
+            continue;
+        }
+        if (!joint_names.insert(j.name).second) {
+            ctx.error(ParseErrorCode::kUrdfDuplicateName,
+                      "duplicate joint '" + j.name + "'",
+                      joint_el->location);
+            joints_dropped = true;
+            continue;
+        }
+        const std::string type_str = joint_el->attribute("type");
+        try {
+            j.type = spatial::joint_type_from_string(type_str);
+        } catch (const std::invalid_argument &) {
+            ctx.error(ParseErrorCode::kUrdfBadJointType,
+                      "joint '" + j.name + "' has unsupported type '" +
+                          type_str + "'",
+                      joint_el->location);
+            joints_dropped = true;
+            continue;
+        }
         const XmlElement *parent_el = joint_el->child("parent");
         const XmlElement *child_el = joint_el->child("child");
-        if (!parent_el || !child_el)
-            throw UrdfError("joint '" + j.name +
-                            "' requires <parent> and <child>");
+        if (!parent_el || !child_el) {
+            ctx.error(ParseErrorCode::kUrdfMissingElement,
+                      "joint '" + j.name +
+                          "' requires <parent> and <child>",
+                      joint_el->location);
+            joints_dropped = true;
+            continue;
+        }
         j.parent = parent_el->attribute("link");
         j.child = child_el->attribute("link");
-        if (!link_inertia.count(j.parent))
-            throw UrdfError("joint '" + j.name + "' parent link '" +
-                            j.parent + "' is undefined");
-        if (!link_inertia.count(j.child))
-            throw UrdfError("joint '" + j.name + "' child link '" + j.child +
-                            "' is undefined");
-        j.origin = parse_origin(joint_el->child("origin"));
+        if (!link_inertia.count(j.parent)) {
+            ctx.error(ParseErrorCode::kUrdfUndefinedLink,
+                      "joint '" + j.name + "' parent link '" + j.parent +
+                          "' is undefined",
+                      parent_el->location);
+            joints_dropped = true;
+            continue;
+        }
+        if (!link_inertia.count(j.child)) {
+            ctx.error(ParseErrorCode::kUrdfUndefinedLink,
+                      "joint '" + j.name + "' child link '" + j.child +
+                          "' is undefined",
+                      child_el->location);
+            joints_dropped = true;
+            continue;
+        }
+        j.origin = parse_origin(ctx, joint_el->child("origin"));
         if (const XmlElement *axis_el = joint_el->child("axis"))
-            j.axis = parse_vec3(axis_el->attribute("xyz", "0 0 1"),
-                                "joint axis");
-        if (j.type != JointType::kFixed && j.axis.norm() == 0.0)
-            throw UrdfError("joint '" + j.name + "' has a zero axis");
-        if (is_joint_child[j.child])
-            throw UrdfError("link '" + j.child +
-                            "' is the child of multiple joints");
+            j.axis = parse_vec3(ctx, axis_el->attribute("xyz", "0 0 1"),
+                                "joint '" + j.name + "' axis",
+                                axis_el->location, Vec3::unit_z());
+        if (j.type != JointType::kFixed) {
+            const double axis_norm = j.axis.norm();
+            if (axis_norm == 0.0)
+                ctx.error(ParseErrorCode::kUrdfZeroAxis,
+                          "joint '" + j.name + "' has a zero axis",
+                          joint_el->location);
+            else if (std::fabs(axis_norm - 1.0) > 1e-6)
+                ctx.warning(ParseErrorCode::kUrdfNonUnitAxis,
+                            "joint '" + j.name +
+                                "' axis is not normalized (|axis| = " +
+                                std::to_string(axis_norm) + ")",
+                            joint_el->location);
+        }
+        if (is_joint_child[j.child]) {
+            ctx.error(ParseErrorCode::kUrdfMultipleParents,
+                      "link '" + j.child +
+                          "' is the child of multiple joints",
+                      joint_el->location);
+            joints_dropped = true;
+            continue;
+        }
         is_joint_child[j.child] = true;
         joints.push_back(j);
     }
 
     // The root link is the one that is never a joint child.
     std::string root_link;
-    for (const auto &[name, unused] : link_inertia) {
-        (void)unused;
-        if (!is_joint_child[name]) {
-            if (!root_link.empty())
-                throw UrdfError("multiple root links: '" + root_link +
-                                "' and '" + name + "'");
-            root_link = name;
+    if (!link_inertia.empty() && !joints_dropped) {
+        std::vector<std::string> roots;
+        for (const auto &[name, unused] : link_inertia) {
+            (void)unused;
+            if (!is_joint_child[name])
+                roots.push_back(name);
         }
+        if (roots.empty())
+            ctx.error(ParseErrorCode::kUrdfNoRootLink,
+                      "no root link (kinematic loop)", root->location);
+        else if (roots.size() > 1)
+            ctx.error(ParseErrorCode::kUrdfMultipleRootLinks,
+                      "multiple root links: '" + roots[0] + "' and '" +
+                          roots[1] + "'",
+                      root->location);
+        else
+            root_link = roots[0];
     }
-    if (root_link.empty())
-        throw UrdfError("no root link (kinematic loop)");
+    if (ctx.failed() || root_link.empty())
+        return std::nullopt; // report mode: errors recorded above
 
     std::map<std::string, std::vector<std::size_t>> kids;
     for (std::size_t ji = 0; ji < joints.size(); ++ji)
@@ -243,39 +536,117 @@ parse_urdf(const std::string &urdf_text)
             push_children(j.child, j.child, Pose{});
         }
     }
-    if (visited != joints.size())
-        throw UrdfError("kinematic graph is not a tree rooted at '" +
-                        root_link + "'");
-
-    // Pass 2: emit articulated links with their merged inertias.
-    RobotModelBuilder builder(robot_name);
-    push_children(root_link, "", Pose{});
-    while (!stack.empty()) {
-        const Visit v = stack.back();
-        stack.pop_back();
-        const RawJoint &j = joints[v.joint];
-        const Pose placement = v.accum.compose(j.origin);
-        if (j.type == JointType::kFixed) {
-            push_children(j.child, v.moving_parent, placement);
-        } else {
-            builder.add_link(j.child, v.moving_parent,
-                             JointModel(j.type, j.axis),
-                             placement.to_transform(), merged[j.child]);
-            push_children(j.child, j.child, Pose{});
-        }
+    if (visited != joints.size()) {
+        ctx.error(ParseErrorCode::kUrdfNotATree,
+                  "kinematic graph is not a tree rooted at '" + root_link +
+                      "'",
+                  root->location);
+        return std::nullopt;
     }
-    return builder.finalize();
+
+    // Pass 2: emit articulated links with their merged inertias.  The
+    // builder re-validates the tree; anything it rejects that slipped past
+    // the checks above surfaces as a typed graph error, never as a leaked
+    // std::invalid_argument.
+    try {
+        RobotModelBuilder builder(robot_name);
+        push_children(root_link, "", Pose{});
+        while (!stack.empty()) {
+            const Visit v = stack.back();
+            stack.pop_back();
+            const RawJoint &j = joints[v.joint];
+            const Pose placement = v.accum.compose(j.origin);
+            if (j.type == JointType::kFixed) {
+                push_children(j.child, v.moving_parent, placement);
+            } else {
+                builder.add_link(j.child, v.moving_parent,
+                                 JointModel(j.type, j.axis),
+                                 placement.to_transform(), merged[j.child]);
+                push_children(j.child, j.child, Pose{});
+            }
+        }
+        return builder.finalize();
+    } catch (const UrdfError &) {
+        throw; // already typed (strict mode)
+    } catch (const std::exception &e) {
+        ctx.error(ParseErrorCode::kUrdfGraphError,
+                  std::string("invalid kinematic structure: ") + e.what(),
+                  root->location);
+        return std::nullopt;
+    }
+}
+
+/** Reads a whole file; returns false with @p err set on failure. */
+bool
+read_file(const std::string &path, std::string *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *err = "cannot open URDF file: " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+        *err = "cannot read URDF file: " + path;
+        return false;
+    }
+    *out = ss.str();
+    return true;
+}
+
+} // namespace
+
+RobotModel
+parse_urdf(const std::string &urdf_text)
+{
+    ParseContext ctx; // strict: first error throws
+    auto model = parse_urdf_impl(urdf_text, ctx);
+    // Strict mode either threw or produced a model.
+    return std::move(*model);
 }
 
 RobotModel
 parse_urdf_file(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        throw std::runtime_error("cannot open URDF file: " + path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return parse_urdf(ss.str());
+    std::string text, err;
+    if (!read_file(path, &text, &err))
+        throw UrdfError(ParseErrorCode::kIoError, err, SourceLocation{});
+    return parse_urdf(text);
+}
+
+UrdfParseResult
+parse_urdf_checked(const std::string &urdf_text)
+{
+    UrdfParseResult result;
+    ParseContext ctx;
+    ctx.report = &result.report;
+    ctx.source = &urdf_text;
+    try {
+        result.model = parse_urdf_impl(urdf_text, ctx);
+    } catch (const XmlError &e) {
+        result.report.add_error(e.code(), e.what(), e.location(),
+                                e.snippet());
+    } catch (const UrdfError &e) {
+        // Defensive: report mode records instead of throwing, but any
+        // stray typed error still lands in the report.
+        result.report.add_error(e.code(), e.what(), e.location());
+    }
+    if (!result.report.ok())
+        result.model.reset();
+    return result;
+}
+
+UrdfParseResult
+parse_urdf_file_checked(const std::string &path)
+{
+    std::string text, err;
+    if (!read_file(path, &text, &err)) {
+        UrdfParseResult result;
+        result.report.add_error(ParseErrorCode::kIoError, err);
+        return result;
+    }
+    return parse_urdf_checked(text);
 }
 
 } // namespace topology

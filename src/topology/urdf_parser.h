@@ -8,14 +8,24 @@
  * fixed joints are folded away by merging the rigidly attached link's
  * inertia into its moving ancestor and re-rooting its children, so N always
  * counts articulated links like the paper does.
+ *
+ * Two entry modes (see docs/INGESTION.md):
+ *  - strict  (`parse_urdf`):        throws a typed UrdfError/XmlError on
+ *                                    the first problem;
+ *  - report  (`parse_urdf_checked`): never throws on bad input — collects
+ *                                    *every* error and data-quality warning
+ *                                    into a ValidationReport and produces a
+ *                                    model only when the report is clean.
  */
 
 #ifndef ROBOSHAPE_TOPOLOGY_URDF_PARSER_H
 #define ROBOSHAPE_TOPOLOGY_URDF_PARSER_H
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "topology/diagnostics.h"
 #include "topology/robot_model.h"
 
 namespace roboshape {
@@ -25,14 +35,58 @@ namespace topology {
 class UrdfError : public std::runtime_error
 {
   public:
-    explicit UrdfError(const std::string &msg) : std::runtime_error(msg) {}
+    explicit UrdfError(const std::string &msg)
+        : UrdfError(ParseErrorCode::kNone, msg, SourceLocation{})
+    {
+    }
+
+    UrdfError(ParseErrorCode code, const std::string &msg,
+              SourceLocation location);
+
+    /** Typed classification of the failure. */
+    ParseErrorCode code() const { return code_; }
+
+    /** Source position of the offending element (may be unknown). */
+    const SourceLocation &location() const { return location_; }
+
+  private:
+    ParseErrorCode code_;
+    SourceLocation location_;
+};
+
+/**
+ * Result of a checked (report-mode) parse: the model is engaged iff the
+ * report contains no errors.  Warnings never block model construction.
+ */
+struct UrdfParseResult
+{
+    std::optional<RobotModel> model;
+    ValidationReport report;
+
+    bool ok() const { return model.has_value(); }
 };
 
 /** Parses URDF text. @throws UrdfError / XmlError on invalid input. */
 RobotModel parse_urdf(const std::string &urdf_text);
 
-/** Parses a URDF file. */
+/**
+ * Parses a URDF file.
+ * @throws UrdfError with code kIoError when the file cannot be read, or
+ *         UrdfError / XmlError on invalid content.
+ */
 RobotModel parse_urdf_file(const std::string &path);
+
+/**
+ * Report-mode parse: collects every diagnostic in one pass instead of
+ * throwing on the first.  Never throws on malformed input — any input
+ * yields either a model or a report explaining why not (an I/O or XML
+ * failure yields a single-error report).  On success the model is
+ * bit-identical to what `parse_urdf` produces.
+ */
+UrdfParseResult parse_urdf_checked(const std::string &urdf_text);
+
+/** Report-mode parse of a file (I/O failures become kIoError reports). */
+UrdfParseResult parse_urdf_file_checked(const std::string &path);
 
 } // namespace topology
 } // namespace roboshape

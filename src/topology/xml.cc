@@ -12,9 +12,12 @@
 namespace roboshape {
 namespace topology {
 
-XmlError::XmlError(const std::string &msg, std::size_t offset)
-    : std::runtime_error(msg + " (at byte " + std::to_string(offset) + ")"),
-      offset_(offset)
+XmlError::XmlError(ParseErrorCode code, const std::string &msg,
+                   SourceLocation location, std::string snippet)
+    : std::runtime_error(msg + " (" + location.to_string() + ")"),
+      code_(code),
+      location_(location),
+      snippet_(std::move(snippet))
 {
 }
 
@@ -53,7 +56,11 @@ XmlElement::children_named(const std::string &tag) const
 
 namespace {
 
-/** Streaming cursor over the raw document text. */
+/**
+ * Streaming cursor over the raw document text.  Tracks the 1-based
+ * line/column of the current position incrementally so every error can be
+ * reported as line:col without rescanning the input.
+ */
 class Cursor
 {
   public:
@@ -61,8 +68,25 @@ class Cursor
 
     bool eof() const { return pos_ >= s_.size(); }
     char peek() const { return eof() ? '\0' : s_[pos_]; }
-    char get() { return eof() ? '\0' : s_[pos_++]; }
+
+    char
+    get()
+    {
+        if (eof())
+            return '\0';
+        const char c = s_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
     std::size_t pos() const { return pos_; }
+
+    SourceLocation loc() const { return {pos_, line_, col_}; }
 
     bool
     starts_with(const std::string &prefix) const
@@ -70,13 +94,26 @@ class Cursor
         return s_.compare(pos_, prefix.size(), prefix) == 0;
     }
 
-    void advance(std::size_t n) { pos_ += n; }
+    void
+    advance(std::size_t n)
+    {
+        while (n-- > 0 && !eof())
+            get();
+    }
+
+    /** Advances to byte @p target (>= pos), maintaining line/col. */
+    void
+    advance_to(std::size_t target)
+    {
+        while (pos_ < target && !eof())
+            get();
+    }
 
     void
     skip_whitespace()
     {
         while (!eof() && std::isspace(static_cast<unsigned char>(peek())))
-            ++pos_;
+            get();
     }
 
     /** Skips to just past the next occurrence of @p needle. */
@@ -85,13 +122,30 @@ class Cursor
     {
         const std::size_t found = s_.find(needle, pos_);
         if (found == std::string::npos)
-            throw XmlError(std::string("unterminated ") + what, pos_);
-        pos_ = found + needle.size();
+            throw fail(ParseErrorCode::kXmlUnterminated,
+                       std::string("unterminated ") + what);
+        advance_to(found + needle.size());
+    }
+
+    /** Builds a typed error at the current position with a snippet. */
+    XmlError
+    fail(ParseErrorCode code, const std::string &msg) const
+    {
+        return fail_at(code, msg, loc());
+    }
+
+    XmlError
+    fail_at(ParseErrorCode code, const std::string &msg,
+            const SourceLocation &at) const
+    {
+        return XmlError(code, msg, at, source_snippet(s_, at));
     }
 
   private:
     const std::string &s_;
     std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t col_ = 1;
 };
 
 bool
@@ -101,46 +155,116 @@ is_name_char(char c)
            c == '-' || c == '.' || c == ':';
 }
 
-std::string
-decode_entities(const std::string &raw, std::size_t offset)
+/** Appends @p cp to @p out as UTF-8 (cp is a validated Unicode scalar). */
+void
+append_utf8(std::string &out, unsigned long cp)
 {
-    std::string out;
-    out.reserve(raw.size());
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-        if (raw[i] != '&') {
-            out.push_back(raw[i]);
-            continue;
-        }
-        const std::size_t semi = raw.find(';', i);
-        if (semi == std::string::npos)
-            throw XmlError("unterminated entity", offset + i);
-        const std::string ent = raw.substr(i + 1, semi - i - 1);
-        if (ent == "lt")
-            out.push_back('<');
-        else if (ent == "gt")
-            out.push_back('>');
-        else if (ent == "amp")
-            out.push_back('&');
-        else if (ent == "quot")
-            out.push_back('"');
-        else if (ent == "apos")
-            out.push_back('\'');
-        else
-            throw XmlError("unknown entity &" + ent + ";", offset + i);
-        i = semi;
+    if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
-    return out;
+}
+
+/**
+ * Consumes one entity ("&...;") from the cursor (positioned on '&') and
+ * appends its expansion to @p out.  Supports the five predefined entities
+ * and decimal/hex character references.
+ */
+void
+parse_entity(Cursor &c, std::string &out)
+{
+    const SourceLocation start = c.loc();
+    c.get(); // '&'
+    std::string ent;
+    constexpr std::size_t kMaxEntityLen = 16;
+    for (;;) {
+        if (c.eof())
+            throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                            "unterminated entity", start);
+        const char ch = c.get();
+        if (ch == ';')
+            break;
+        ent.push_back(ch);
+        if (ent.size() > kMaxEntityLen)
+            throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                            "entity name too long", start);
+    }
+    if (ent == "lt") {
+        out.push_back('<');
+    } else if (ent == "gt") {
+        out.push_back('>');
+    } else if (ent == "amp") {
+        out.push_back('&');
+    } else if (ent == "quot") {
+        out.push_back('"');
+    } else if (ent == "apos") {
+        out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+        std::size_t i = 1;
+        int base = 10;
+        if (i < ent.size() && (ent[i] == 'x' || ent[i] == 'X')) {
+            base = 16;
+            ++i;
+        }
+        if (i >= ent.size())
+            throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                            "empty character reference &" + ent + ";",
+                            start);
+        unsigned long cp = 0;
+        for (; i < ent.size(); ++i) {
+            const char d = ent[i];
+            int digit;
+            if (d >= '0' && d <= '9')
+                digit = d - '0';
+            else if (base == 16 && d >= 'a' && d <= 'f')
+                digit = d - 'a' + 10;
+            else if (base == 16 && d >= 'A' && d <= 'F')
+                digit = d - 'A' + 10;
+            else
+                throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                                "malformed character reference &" + ent +
+                                    ";",
+                                start);
+            cp = cp * static_cast<unsigned long>(base) +
+                 static_cast<unsigned long>(digit);
+            if (cp > 0x10FFFF)
+                throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                                "character reference out of range &" + ent +
+                                    ";",
+                                start);
+        }
+        if (cp == 0 || (cp >= 0xD800 && cp <= 0xDFFF))
+            throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                            "invalid character reference &" + ent + ";",
+                            start);
+        append_utf8(out, cp);
+    } else {
+        throw c.fail_at(ParseErrorCode::kXmlBadEntity,
+                        "unknown entity &" + ent + ";", start);
+    }
 }
 
 std::string
 parse_name(Cursor &c)
 {
-    const std::size_t start = c.pos();
+    const SourceLocation start = c.loc();
     std::string name;
     while (!c.eof() && is_name_char(c.peek()))
         name.push_back(c.get());
     if (name.empty())
-        throw XmlError("expected name", start);
+        throw c.fail_at(ParseErrorCode::kXmlExpectedName, "expected name",
+                        start);
     return name;
 }
 
@@ -152,72 +276,116 @@ parse_attributes(Cursor &c, XmlElement &el)
         const char p = c.peek();
         if (p == '>' || p == '/' || p == '?' || c.eof())
             return;
+        const SourceLocation key_loc = c.loc();
         const std::string key = parse_name(c);
         c.skip_whitespace();
         if (c.get() != '=')
-            throw XmlError("expected '=' after attribute name", c.pos());
+            throw c.fail(ParseErrorCode::kXmlBadAttributeSyntax,
+                         "expected '=' after attribute name '" + key + "'");
         c.skip_whitespace();
         const char quote = c.get();
         if (quote != '"' && quote != '\'')
-            throw XmlError("expected quoted attribute value", c.pos());
+            throw c.fail(ParseErrorCode::kXmlBadAttributeSyntax,
+                         "expected quoted value for attribute '" + key +
+                             "'");
         std::string value;
-        const std::size_t vstart = c.pos();
-        while (!c.eof() && c.peek() != quote)
-            value.push_back(c.get());
+        const SourceLocation vstart = c.loc();
+        while (!c.eof() && c.peek() != quote) {
+            if (c.peek() == '&')
+                parse_entity(c, value);
+            else
+                value.push_back(c.get());
+        }
         if (c.eof())
-            throw XmlError("unterminated attribute value", vstart);
+            throw c.fail_at(ParseErrorCode::kXmlUnterminated,
+                            "unterminated attribute value", vstart);
         c.get(); // closing quote
-        el.attributes[key] = decode_entities(value, vstart);
+        if (el.attributes.count(key))
+            throw c.fail_at(ParseErrorCode::kXmlDuplicateAttribute,
+                            "duplicate attribute '" + key + "' on <" +
+                                el.name + ">",
+                            key_loc);
+        el.attributes[key] = value;
     }
 }
 
-std::unique_ptr<XmlElement> parse_element(Cursor &c);
+std::unique_ptr<XmlElement> parse_element(Cursor &c, std::size_t depth);
 
 /** Parses children + text until the matching close tag of @p el. */
 void
-parse_content(Cursor &c, XmlElement &el)
+parse_content(Cursor &c, XmlElement &el, std::size_t depth)
 {
     std::string text;
     for (;;) {
         if (c.eof())
-            throw XmlError("unexpected end of input inside <" + el.name + ">",
-                           c.pos());
+            throw c.fail(ParseErrorCode::kXmlUnterminated,
+                         "unexpected end of input inside <" + el.name + ">");
         if (c.peek() != '<') {
-            text.push_back(c.get());
+            if (c.peek() == '&')
+                parse_entity(c, text);
+            else
+                text.push_back(c.get());
             continue;
         }
         if (c.starts_with("<!--")) {
             c.skip_past("-->", "comment");
             continue;
         }
+        if (c.starts_with("<![CDATA[")) {
+            const SourceLocation start_loc = c.loc();
+            c.advance(9);
+            // Raw character data: no entity decoding, no markup.
+            for (;;) {
+                if (c.eof())
+                    throw c.fail_at(ParseErrorCode::kXmlUnterminated,
+                                    "unterminated CDATA section", start_loc);
+                if (c.starts_with("]]>")) {
+                    c.advance(3);
+                    break;
+                }
+                text.push_back(c.get());
+            }
+            continue;
+        }
         if (c.starts_with("</")) {
             c.advance(2);
+            const SourceLocation close_loc = c.loc();
             const std::string close = parse_name(c);
             if (close != el.name)
-                throw XmlError("mismatched close tag </" + close +
-                                   "> for <" + el.name + ">",
-                               c.pos());
+                throw c.fail_at(ParseErrorCode::kXmlMismatchedTag,
+                                "mismatched close tag </" + close +
+                                    "> for <" + el.name + ">",
+                                close_loc);
             c.skip_whitespace();
             if (c.get() != '>')
-                throw XmlError("malformed close tag", c.pos());
+                throw c.fail(ParseErrorCode::kXmlMalformedTag,
+                             "malformed close tag </" + close + ">");
             // Trim surrounding whitespace from accumulated text.
             const auto b = text.find_first_not_of(" \t\r\n");
             if (b != std::string::npos) {
                 const auto e = text.find_last_not_of(" \t\r\n");
-                el.text = decode_entities(text.substr(b, e - b + 1), 0);
+                el.text = text.substr(b, e - b + 1);
             }
             return;
         }
-        el.children.push_back(parse_element(c));
+        el.children.push_back(parse_element(c, depth + 1));
     }
 }
 
 std::unique_ptr<XmlElement>
-parse_element(Cursor &c)
+parse_element(Cursor &c, std::size_t depth)
 {
+    const SourceLocation start = c.loc();
+    if (depth > kMaxXmlDepth)
+        throw c.fail_at(ParseErrorCode::kXmlTooDeep,
+                        "element nesting exceeds depth limit of " +
+                            std::to_string(kMaxXmlDepth),
+                        start);
     if (c.get() != '<')
-        throw XmlError("expected '<'", c.pos());
+        throw c.fail_at(ParseErrorCode::kXmlMalformedTag, "expected '<'",
+                        start);
     auto el = std::make_unique<XmlElement>();
+    el->location = start;
     el->name = parse_name(c);
     parse_attributes(c, *el);
     c.skip_whitespace();
@@ -226,9 +394,37 @@ parse_element(Cursor &c)
         return el;
     }
     if (c.get() != '>')
-        throw XmlError("malformed open tag <" + el->name + ">", c.pos());
-    parse_content(c, *el);
+        throw c.fail(ParseErrorCode::kXmlMalformedTag,
+                     "malformed open tag <" + el->name + ">");
+    parse_content(c, *el, depth);
     return el;
+}
+
+/**
+ * Skips a "<!DOCTYPE ...>" (or any "<!...>") prolog declaration.  Bracketed
+ * internal subsets — "<!DOCTYPE robot [ <!ENTITY ...> ]>" — nest markup
+ * declarations inside '[' ']', so the terminating '>' is the first one
+ * *outside* the brackets, not the first '>' in the declaration.
+ */
+void
+skip_doctype(Cursor &c)
+{
+    const SourceLocation start = c.loc();
+    c.advance(2); // "<!"
+    long bracket_depth = 0;
+    while (!c.eof()) {
+        const char ch = c.get();
+        if (ch == '[') {
+            ++bracket_depth;
+        } else if (ch == ']') {
+            if (bracket_depth > 0)
+                --bracket_depth;
+        } else if (ch == '>' && bracket_depth == 0) {
+            return;
+        }
+    }
+    throw c.fail_at(ParseErrorCode::kXmlUnterminated,
+                    "unterminated doctype declaration", start);
 }
 
 } // namespace
@@ -240,7 +436,8 @@ parse_xml(const std::string &input)
     for (;;) {
         c.skip_whitespace();
         if (c.eof())
-            throw XmlError("no root element", c.pos());
+            throw c.fail(ParseErrorCode::kXmlNoRootElement,
+                         "no root element");
         if (c.starts_with("<?")) {
             c.skip_past("?>", "declaration");
             continue;
@@ -250,30 +447,35 @@ parse_xml(const std::string &input)
             continue;
         }
         if (c.starts_with("<!")) {
-            c.skip_past(">", "doctype");
+            skip_doctype(c);
             continue;
         }
         break;
     }
-    auto root = parse_element(c);
+    auto root = parse_element(c, 1);
     c.skip_whitespace();
     while (!c.eof() && c.starts_with("<!--")) {
         c.skip_past("-->", "comment");
         c.skip_whitespace();
     }
     if (!c.eof())
-        throw XmlError("trailing content after root element", c.pos());
+        throw c.fail(ParseErrorCode::kXmlTrailingContent,
+                     "trailing content after root element");
     return root;
 }
 
 std::unique_ptr<XmlElement>
 parse_xml_file(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw std::runtime_error("cannot open file: " + path);
+        throw XmlError(ParseErrorCode::kIoError,
+                       "cannot open file: " + path, SourceLocation{});
     std::ostringstream ss;
     ss << in.rdbuf();
+    if (in.bad())
+        throw XmlError(ParseErrorCode::kIoError,
+                       "cannot read file: " + path, SourceLocation{});
     return parse_xml(ss.str());
 }
 

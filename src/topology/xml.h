@@ -4,8 +4,16 @@
  *
  * URDF robot description files are plain XML; this self-contained parser
  * covers the subset URDF uses: nested elements, attributes, self-closing
- * tags, comments, and XML declarations.  It intentionally omits namespaces,
- * CDATA, DTDs, and entity expansion beyond the five predefined entities.
+ * tags, comments, CDATA sections, XML declarations, DOCTYPE prologs
+ * (including bracketed internal subsets, which are skipped, not expanded),
+ * and the five predefined entities plus numeric character references.  It
+ * intentionally omits namespaces and custom DTD entity expansion.
+ *
+ * The parser is hardened for untrusted input (see docs/INGESTION.md):
+ * every error carries a typed ParseErrorCode and a 1-based line:column
+ * location with a source snippet, duplicate attributes are rejected, and
+ * element nesting is capped at kMaxXmlDepth so adversarial documents
+ * cannot overflow the stack.
  */
 
 #ifndef ROBOSHAPE_TOPOLOGY_XML_H
@@ -13,23 +21,41 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "topology/diagnostics.h"
+
 namespace roboshape {
 namespace topology {
+
+/** Hard cap on element nesting depth (anti stack-overflow). */
+inline constexpr std::size_t kMaxXmlDepth = 200;
 
 /** Error raised on malformed XML input. */
 class XmlError : public std::runtime_error
 {
   public:
-    XmlError(const std::string &msg, std::size_t offset);
+    XmlError(ParseErrorCode code, const std::string &msg,
+             SourceLocation location, std::string snippet = {});
+
+    /** Typed classification of the failure. */
+    ParseErrorCode code() const { return code_; }
+
+    /** Position where the error was detected (line/column are 1-based). */
+    const SourceLocation &location() const { return location_; }
 
     /** Byte offset into the input where the error was detected. */
-    std::size_t offset() const { return offset_; }
+    std::size_t offset() const { return location_.offset; }
+
+    /** Offending source line with a caret marker; may be empty. */
+    const std::string &snippet() const { return snippet_; }
 
   private:
-    std::size_t offset_;
+    ParseErrorCode code_;
+    SourceLocation location_;
+    std::string snippet_;
 };
 
 /** A parsed XML element. */
@@ -40,6 +66,8 @@ class XmlElement
     std::map<std::string, std::string> attributes;
     std::vector<std::unique_ptr<XmlElement>> children;
     std::string text;
+    /** Position of the element's opening '<' in the source document. */
+    SourceLocation location;
 
     /** True when attribute @p key is present. */
     bool has_attribute(const std::string &key) const;
@@ -62,7 +90,11 @@ class XmlElement
  */
 std::unique_ptr<XmlElement> parse_xml(const std::string &input);
 
-/** Reads a whole file and parses it. @throws std::runtime_error on I/O. */
+/**
+ * Reads a whole file and parses it.
+ * @throws XmlError with code kIoError when the file cannot be read, or any
+ *         other XmlError on malformed content.
+ */
 std::unique_ptr<XmlElement> parse_xml_file(const std::string &path);
 
 } // namespace topology

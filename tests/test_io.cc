@@ -6,9 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
+#include "io/fault_injection.h"
 #include "io/link_model.h"
 #include "io/payload.h"
 #include "topology/robot_library.h"
+#include "topology/urdf_parser.h"
+#include "topology/xml.h"
 
 namespace roboshape {
 namespace io {
@@ -116,6 +122,69 @@ TEST(LinkModel, SparsePacketsShrinkRoundtrip)
     const double sparse_rt = roundtrip_us(fpga_link_gen1(), sparse.in_bits,
                                           sparse.out_bits, 4, 0.0);
     EXPECT_LT(sparse_rt, dense_rt);
+}
+
+// ------------------------------------------- fault injection (PR 3) ----
+
+TEST(FaultInjection, MutationsAreDeterministic)
+{
+    const std::string seed_text = topology::robot_urdf(RobotId::kIiwa);
+    for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xDEADBEEFull}) {
+        const MutationResult a = mutate_urdf(seed_text, seed);
+        const MutationResult b = mutate_urdf(seed_text, seed);
+        EXPECT_EQ(a.text, b.text) << "seed " << seed;
+        EXPECT_EQ(a.applied, b.applied) << "seed " << seed;
+    }
+}
+
+TEST(FaultInjection, DifferentSeedsProduceDifferentDocuments)
+{
+    const std::string seed_text = topology::robot_urdf(RobotId::kIiwa);
+    std::set<std::string> outputs;
+    for (std::uint64_t seed = 0; seed < 64; ++seed)
+        outputs.insert(mutate_urdf(seed_text, seed).text);
+    // A few collisions are fine; a constant mutator is not.
+    EXPECT_GE(outputs.size(), 32u);
+}
+
+TEST(FaultInjection, AppliesAtLeastOneMutationAndNamesIt)
+{
+    const std::string seed_text = topology::robot_urdf(RobotId::kBittle);
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        const MutationResult m = mutate_urdf(seed_text, seed);
+        ASSERT_FALSE(m.applied.empty()) << "seed " << seed;
+        for (const MutationKind k : m.applied)
+            EXPECT_STRNE(mutation_name(k), "unknown");
+    }
+}
+
+TEST(FaultInjection, MiniFuzzHoldsTheParserInvariant)
+{
+    // A fast in-process sibling of tools/urdf_fuzz.cc: every mutated
+    // document must yield a model or a typed parse error, and the
+    // report-mode entry point must never throw.  The full 12k-iteration
+    // sweep runs as the `urdf_fuzz` ctest.
+    const std::string seed_text = topology::robot_urdf(RobotId::kIiwa);
+    std::size_t models = 0, typed = 0;
+    for (std::uint64_t seed = 0; seed < 800; ++seed) {
+        const MutationResult m = mutate_urdf(seed_text, seed);
+        bool strict_ok = false;
+        try {
+            topology::parse_urdf(m.text);
+            strict_ok = true;
+            ++models;
+        } catch (const topology::UrdfError &) {
+            ++typed;
+        } catch (const topology::XmlError &) {
+            ++typed;
+        }
+        // Any other exception escapes and fails the test.
+        const topology::UrdfParseResult checked =
+            topology::parse_urdf_checked(m.text);
+        ASSERT_EQ(checked.ok(), strict_ok) << "seed " << seed;
+    }
+    EXPECT_EQ(models + typed, 800u);
+    EXPECT_GE(typed, 1u); // the mutator must actually break documents
 }
 
 } // namespace

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "dynamics/crba.h"
 #include "dynamics/robot_state.h"
 #include "linalg/matrix.h"
@@ -67,6 +72,148 @@ TEST(Xml, SingleQuotedAttributes)
 TEST(Xml, RejectsMismatchedTags)
 {
     EXPECT_THROW(parse_xml("<a><b></a></b>"), XmlError);
+}
+
+// ----------------------------------------------- XML hardening (PR 3) ----
+
+/** Runs @p fn expecting an XmlError; returns it for detailed assertions. */
+template <typename Fn>
+XmlError
+expect_xml_error(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const XmlError &e) {
+        return e;
+    }
+    ADD_FAILURE() << "expected XmlError";
+    return XmlError(ParseErrorCode::kNone, "", SourceLocation{});
+}
+
+TEST(Xml, ErrorsCarryLineAndColumn)
+{
+    // The stray '=' is on line 3, right after "<joint " (column 8).
+    const XmlError e = expect_xml_error([] {
+        parse_xml("<robot>\n"
+                  "  <link name=\"a\"/>\n"
+                  "  <joint =\"oops\"/>\n"
+                  "</robot>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kXmlExpectedName);
+    EXPECT_EQ(e.location().line, 3u);
+    EXPECT_EQ(e.location().column, 10u);
+    // The what() text is human-readable and cites line:col.
+    EXPECT_NE(std::string(e.what()).find("3:10"), std::string::npos);
+    // The snippet shows the offending source line with a caret.
+    EXPECT_NE(e.snippet().find("<joint"), std::string::npos);
+    EXPECT_NE(e.snippet().find('^'), std::string::npos);
+}
+
+TEST(Xml, MismatchedTagErrorPointsAtCloseTag)
+{
+    const XmlError e = expect_xml_error([] {
+        parse_xml("<a>\n  <b>\n  </c>\n</a>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kXmlMismatchedTag);
+    EXPECT_EQ(e.location().line, 3u);
+}
+
+TEST(Xml, RejectsDuplicateAttributes)
+{
+    const XmlError e = expect_xml_error([] {
+        parse_xml("<a x=\"1\" x=\"2\"/>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kXmlDuplicateAttribute);
+    // Last-wins silent acceptance would have kept x="2"; we must reject.
+}
+
+TEST(Xml, SkipsDoctypeWithInternalSubset)
+{
+    // skip_past(">") used to stop at the first '>' inside the bracketed
+    // subset, leaving the parser mid-DTD.
+    auto root = parse_xml(
+        "<!DOCTYPE robot [\n"
+        "  <!ENTITY foo \"bar\">\n"
+        "  <!ELEMENT robot ANY>\n"
+        "]>\n"
+        "<robot name=\"r\"><link name=\"a\"/></robot>");
+    EXPECT_EQ(root->name, "robot");
+    ASSERT_EQ(root->children.size(), 1u);
+}
+
+TEST(Xml, RejectsUnterminatedDoctype)
+{
+    const XmlError e = expect_xml_error([] {
+        parse_xml("<!DOCTYPE robot [ <!ENTITY x \"y\"> <robot/>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kXmlUnterminated);
+}
+
+TEST(Xml, ParsesCdataSections)
+{
+    auto root = parse_xml("<a><![CDATA[x < y & z]]></a>");
+    EXPECT_EQ(root->text, "x < y & z");
+    // CDATA in attributes-adjacent text mixes with regular decoded text.
+    auto mixed = parse_xml("<a>pre &amp; <![CDATA[<raw>]]> post</a>");
+    EXPECT_EQ(mixed->text, "pre & <raw> post");
+}
+
+TEST(Xml, RejectsUnterminatedCdata)
+{
+    const XmlError e = expect_xml_error([] {
+        parse_xml("<a><![CDATA[never closed</a>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kXmlUnterminated);
+}
+
+TEST(Xml, DecodesNumericCharacterReferences)
+{
+    auto root = parse_xml("<a name=\"&#65;&#x42;\"/>");
+    EXPECT_EQ(root->attribute("name"), "AB");
+}
+
+TEST(Xml, RejectsMalformedCharacterReferences)
+{
+    EXPECT_EQ(expect_xml_error([] { parse_xml("<a b=\"&#xFFFFFFFFF;\"/>"); })
+                  .code(),
+              ParseErrorCode::kXmlBadEntity);
+    EXPECT_EQ(expect_xml_error([] { parse_xml("<a b=\"&#0;\"/>"); }).code(),
+              ParseErrorCode::kXmlBadEntity);
+    EXPECT_EQ(expect_xml_error([] { parse_xml("<a b=\"&#;\"/>"); }).code(),
+              ParseErrorCode::kXmlBadEntity);
+    EXPECT_EQ(expect_xml_error([] { parse_xml("<a>&verylongentityname;</a>"); })
+                  .code(),
+              ParseErrorCode::kXmlBadEntity);
+}
+
+TEST(Xml, RejectsPathologicalNestingDepth)
+{
+    // Stack-overflow guard: 5000 nested elements must be a typed error,
+    // not a crash.
+    std::string deep = "<r>";
+    for (int i = 0; i < 5000; ++i)
+        deep += "<d>";
+    const XmlError e = expect_xml_error([&] { parse_xml(deep); });
+    EXPECT_EQ(e.code(), ParseErrorCode::kXmlTooDeep);
+}
+
+TEST(Xml, FileErrorsAreTypedNotBareRuntimeError)
+{
+    // parse_xml_file used to throw std::runtime_error, invisible to
+    // callers catching the documented XmlError type.
+    const XmlError e = expect_xml_error([] {
+        parse_xml_file("/nonexistent/path/robot.xml");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kIoError);
+}
+
+TEST(Xml, ElementsRecordTheirSourceLocation)
+{
+    auto root = parse_xml("<robot>\n  <link name=\"a\"/>\n</robot>");
+    EXPECT_EQ(root->location.line, 1u);
+    ASSERT_EQ(root->children.size(), 1u);
+    EXPECT_EQ(root->children[0]->location.line, 2u);
+    EXPECT_EQ(root->children[0]->location.column, 3u);
 }
 
 TEST(Xml, RejectsUnterminatedInput)
@@ -448,6 +595,363 @@ TEST(Urdf, WritesAndParsesFiles)
               all_robots().size() + extended_robots().size());
     const RobotModel m = parse_urdf_file(paths[0]);
     EXPECT_EQ(m.num_links(), 7u); // iiwa is first
+}
+
+// ---------------------------------------------- URDF hardening (PR 3) ----
+
+/** Runs @p fn expecting a UrdfError; returns it for detailed assertions. */
+template <typename Fn>
+UrdfError
+expect_urdf_error(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const UrdfError &e) {
+        return e;
+    }
+    ADD_FAILURE() << "expected UrdfError";
+    return UrdfError("");
+}
+
+/** Minimal two-link robot with a parameterizable joint/inertial payload. */
+std::string
+mini_urdf(const std::string &inertial, const std::string &joint_extra)
+{
+    return "<robot name=\"mini\">\n"
+           "  <link name=\"base\"/>\n"
+           "  <link name=\"a\">" + inertial + "</link>\n"
+           "  <joint name=\"j\" type=\"revolute\">\n"
+           "    <parent link=\"base\"/><child link=\"a\"/>\n"
+           "    " + joint_extra + "\n"
+           "  </joint>\n"
+           "</robot>";
+}
+
+TEST(Urdf, RejectsTrailingGarbageInVectors)
+{
+    // "1 2 3 x": the old extra-token read (is >> extra) failed silently on
+    // non-numeric trailing tokens, accepting the vector.
+    const UrdfError e = expect_urdf_error([] {
+        parse_urdf(mini_urdf("", "<origin xyz=\"1 2 3 x\"/>"));
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kUrdfBadVector);
+    // Four numeric components are still rejected too.
+    EXPECT_EQ(expect_urdf_error([] {
+                  parse_urdf(mini_urdf("", "<origin xyz=\"1 2 3 4\"/>"));
+              }).code(),
+              ParseErrorCode::kUrdfBadVector);
+}
+
+TEST(Urdf, RejectsNonFiniteVectorComponents)
+{
+    for (const char *bad : {"nan 0 0", "0 inf 0", "0 0 -inf", "1e999999 0 0"}) {
+        EXPECT_EQ(expect_urdf_error([&] {
+                      parse_urdf(mini_urdf(
+                          "", "<origin xyz=\"" + std::string(bad) + "\"/>"));
+                  }).code(),
+                  ParseErrorCode::kUrdfBadVector)
+            << bad;
+    }
+}
+
+TEST(Urdf, RejectsNumericPrefixGarbageInAttributes)
+{
+    // std::stod("1.5abc") returns 1.5 and ignores the suffix; the checked
+    // reader requires full-string consumption.
+    const UrdfError e = expect_urdf_error([] {
+        parse_urdf(mini_urdf("<inertial><mass value=\"1.5abc\"/>"
+                             "<inertia ixx=\"0.1\" iyy=\"0.1\" izz=\"0.1\"/>"
+                             "</inertial>",
+                             "<axis xyz=\"0 0 1\"/>"));
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kUrdfBadNumber);
+    // The message names the offending attribute for operators.
+    EXPECT_NE(std::string(e.what()).find("value"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1.5abc"), std::string::npos);
+}
+
+TEST(Urdf, NumericErrorsAreTypedNotLeakedStdExceptions)
+{
+    // Bare std::stod leaked std::invalid_argument on "x" and
+    // std::out_of_range on "1e999999"; both must now be UrdfError.
+    EXPECT_EQ(expect_urdf_error([] {
+                  parse_urdf(mini_urdf(
+                      "<inertial><mass value=\"x\"/>"
+                      "<inertia ixx=\"0.1\" iyy=\"0.1\" izz=\"0.1\"/>"
+                      "</inertial>",
+                      ""));
+              }).code(),
+              ParseErrorCode::kUrdfBadNumber);
+    EXPECT_EQ(expect_urdf_error([] {
+                  parse_urdf(mini_urdf(
+                      "<inertial><mass value=\"1e999999\"/>"
+                      "<inertia ixx=\"0.1\" iyy=\"0.1\" izz=\"0.1\"/>"
+                      "</inertial>",
+                      ""));
+              }).code(),
+              ParseErrorCode::kUrdfBadNumber);
+    // NaN masses are data poison for the whole dynamics pipeline.
+    EXPECT_EQ(expect_urdf_error([] {
+                  parse_urdf(mini_urdf(
+                      "<inertial><mass value=\"nan\"/>"
+                      "<inertia ixx=\"0.1\" iyy=\"0.1\" izz=\"0.1\"/>"
+                      "</inertial>",
+                      ""));
+              }).code(),
+              ParseErrorCode::kUrdfBadNumber);
+}
+
+TEST(Urdf, UnsupportedJointTypeIsTypedError)
+{
+    // joint_type_from_string threw std::invalid_argument straight through
+    // parse_urdf.
+    const UrdfError e = expect_urdf_error([] {
+        parse_urdf("<robot name=\"x\"><link name=\"a\"/><link name=\"b\"/>"
+                   "<joint name=\"j\" type=\"floating\">"
+                   "<parent link=\"a\"/><child link=\"b\"/></joint>"
+                   "</robot>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kUrdfBadJointType);
+}
+
+TEST(Urdf, FileErrorsAreTypedNotBareRuntimeError)
+{
+    const UrdfError e = expect_urdf_error([] {
+        parse_urdf_file("/nonexistent/path/robot.urdf");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kIoError);
+}
+
+TEST(Urdf, ErrorsCarryElementLocations)
+{
+    const UrdfError e = expect_urdf_error([] {
+        parse_urdf("<robot name=\"x\">\n"
+                   "  <link name=\"base\"/>\n"
+                   "  <link name=\"a\">\n"
+                   "    <inertial>\n"
+                   "      <mass value=\"oops\"/>\n"
+                   "      <inertia ixx=\"1\" iyy=\"1\" izz=\"1\"/>\n"
+                   "    </inertial>\n"
+                   "  </link>\n"
+                   "  <joint name=\"j\" type=\"revolute\">\n"
+                   "    <parent link=\"base\"/><child link=\"a\"/>\n"
+                   "  </joint>\n"
+                   "</robot>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kUrdfBadNumber);
+    EXPECT_EQ(e.location().line, 5u); // the <mass> element's line
+    EXPECT_NE(std::string(e.what()).find("5:"), std::string::npos);
+}
+
+TEST(Urdf, RejectsDuplicateJointNames)
+{
+    const UrdfError e = expect_urdf_error([] {
+        parse_urdf("<robot name=\"x\">"
+                   "<link name=\"a\"/><link name=\"b\"/><link name=\"c\"/>"
+                   "<joint name=\"j\" type=\"revolute\">"
+                   "<parent link=\"a\"/><child link=\"b\"/>"
+                   "<axis xyz=\"0 0 1\"/></joint>"
+                   "<joint name=\"j\" type=\"revolute\">"
+                   "<parent link=\"b\"/><child link=\"c\"/>"
+                   "<axis xyz=\"0 0 1\"/></joint>"
+                   "</robot>");
+    });
+    EXPECT_EQ(e.code(), ParseErrorCode::kUrdfDuplicateName);
+}
+
+// ------------------------------------------- report-mode parse (PR 3) ----
+
+TEST(UrdfChecked, CollectsAllDiagnosticsInOnePass)
+{
+    // Four independent errors; strict mode would stop at the first.
+    const UrdfParseResult result = parse_urdf_checked(
+        "<robot name=\"multi\">\n"
+        "  <link name=\"base\"/>\n"
+        "  <link name=\"a\">\n"
+        "    <inertial>\n"
+        "      <mass value=\"2.5kg\"/>\n"
+        "      <inertia ixx=\"0.1\" iyy=\"0.1\" izz=\"nan\"/>\n"
+        "    </inertial>\n"
+        "  </link>\n"
+        "  <link name=\"a\"/>\n"
+        "  <joint name=\"j1\" type=\"revolute\">\n"
+        "    <parent link=\"base\"/><child link=\"a\"/>\n"
+        "    <origin xyz=\"1 2 3 x\"/>\n"
+        "    <axis xyz=\"0 0 1\"/>\n"
+        "  </joint>\n"
+        "  <joint name=\"j2\" type=\"twisty\">\n"
+        "    <parent link=\"base\"/><child link=\"ghost\"/>\n"
+        "  </joint>\n"
+        "</robot>");
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.model.has_value());
+    EXPECT_GE(result.report.error_count(), 4u);
+    EXPECT_TRUE(result.report.has(ParseErrorCode::kUrdfBadNumber));
+    EXPECT_TRUE(result.report.has(ParseErrorCode::kUrdfDuplicateName));
+    EXPECT_TRUE(result.report.has(ParseErrorCode::kUrdfBadVector));
+    EXPECT_TRUE(result.report.has(ParseErrorCode::kUrdfBadJointType));
+    // Diagnostics carry line:col positions.
+    bool located = false;
+    for (const auto &d : result.report.diagnostics()) {
+        if (d.code == ParseErrorCode::kUrdfBadNumber &&
+            d.location.line == 5)
+            located = true;
+    }
+    EXPECT_TRUE(located) << result.report.to_string();
+}
+
+TEST(UrdfChecked, NeverThrowsOnXmlGarbage)
+{
+    const UrdfParseResult result = parse_urdf_checked("<robot><link");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.report.error_count(), 1u);
+    EXPECT_EQ(result.report.diagnostics()[0].code,
+              ParseErrorCode::kXmlMalformedTag);
+}
+
+TEST(UrdfChecked, WarnsOnZeroMassWithNonzeroInertia)
+{
+    const UrdfParseResult result = parse_urdf_checked(mini_urdf(
+        "<inertial><mass value=\"0\"/>"
+        "<inertia ixx=\"0.4\" iyy=\"0.4\" izz=\"0.4\"/></inertial>",
+        "<axis xyz=\"0 0 1\"/>"));
+    EXPECT_TRUE(result.ok()); // warnings never block the model
+    EXPECT_TRUE(result.report.has(ParseErrorCode::kUrdfZeroMassInertia));
+}
+
+TEST(UrdfChecked, WarnsOnNonPsdAndTriangleViolatingInertia)
+{
+    const UrdfParseResult npsd = parse_urdf_checked(mini_urdf(
+        "<inertial><mass value=\"1\"/>"
+        "<inertia ixx=\"-0.1\" iyy=\"0.1\" izz=\"0.1\"/></inertial>",
+        "<axis xyz=\"0 0 1\"/>"));
+    EXPECT_TRUE(npsd.ok());
+    EXPECT_TRUE(npsd.report.has(ParseErrorCode::kUrdfNonPsdInertia));
+
+    // diag(0.1, 0.1, 0.9) is PSD but physically impossible for any rigid
+    // body: ixx + iyy >= izz fails.
+    const UrdfParseResult tri = parse_urdf_checked(mini_urdf(
+        "<inertial><mass value=\"1\"/>"
+        "<inertia ixx=\"0.1\" iyy=\"0.1\" izz=\"0.9\"/></inertial>",
+        "<axis xyz=\"0 0 1\"/>"));
+    EXPECT_TRUE(tri.ok());
+    EXPECT_TRUE(tri.report.has(ParseErrorCode::kUrdfTriangleInequality));
+    EXPECT_FALSE(tri.report.has(ParseErrorCode::kUrdfNonPsdInertia));
+}
+
+TEST(UrdfChecked, WarnsOnNonNormalizedJointAxis)
+{
+    const UrdfParseResult result =
+        parse_urdf_checked(mini_urdf("", "<axis xyz=\"0 0 2\"/>"));
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.report.has(ParseErrorCode::kUrdfNonUnitAxis));
+    // The model still normalizes the axis (JointModel invariant).
+    EXPECT_NEAR(result.model->link(0).joint.axis().z, 1.0, 1e-12);
+}
+
+TEST(UrdfChecked, WarnsOnIgnoredElements)
+{
+    const UrdfParseResult result = parse_urdf_checked(
+        "<robot name=\"extras\">"
+        "<gazebo/>"
+        "<link name=\"base\"/>"
+        "<link name=\"a\"><mystery_payload/></link>"
+        "<joint name=\"j\" type=\"revolute\">"
+        "<parent link=\"base\"/><child link=\"a\"/>"
+        "<axis xyz=\"0 0 1\"/>"
+        "<limit lower=\"-1\" upper=\"1\"/></joint>"
+        "</robot>");
+    EXPECT_TRUE(result.ok());
+    std::size_t ignored = 0;
+    for (const auto &d : result.report.diagnostics())
+        if (d.code == ParseErrorCode::kUrdfIgnoredElement)
+            ++ignored;
+    // <gazebo> and <mystery_payload> are outside the consumed schema;
+    // <limit> is a known joint child the pipeline deliberately skips.
+    EXPECT_EQ(ignored, 2u) << result.report.to_string();
+}
+
+TEST(UrdfChecked, MatchesStrictModeOnTheWholeRobotLibrary)
+{
+    for (const auto &seed : all_robot_urdfs()) {
+        const RobotModel strict = parse_urdf(seed.text);
+        const UrdfParseResult checked = parse_urdf_checked(seed.text);
+        ASSERT_TRUE(checked.ok()) << seed.name << "\n"
+                                  << checked.report.to_string();
+        EXPECT_EQ(checked.report.error_count(), 0u) << seed.name;
+        ASSERT_EQ(checked.model->num_links(), strict.num_links());
+        for (std::size_t i = 0; i < strict.num_links(); ++i) {
+            EXPECT_EQ(checked.model->link(i).name, strict.link(i).name);
+            EXPECT_EQ(checked.model->parent(i), strict.parent(i));
+            // Bit-identical numerics between the two modes.
+            EXPECT_EQ(checked.model->link(i).inertia.mass(),
+                      strict.link(i).inertia.mass());
+        }
+    }
+}
+
+TEST(UrdfChecked, FileVariantReportsIoErrors)
+{
+    const UrdfParseResult result =
+        parse_urdf_file_checked("/nonexistent/robot.urdf");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.report.error_count(), 1u);
+    EXPECT_EQ(result.report.diagnostics()[0].code,
+              ParseErrorCode::kIoError);
+}
+
+// -------------------------------------------- adversarial corpus (PR 3) ----
+
+TEST(UrdfCorpus, EveryFileYieldsModelOrTypedError)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(ROBOSHAPE_SOURCE_DIR) / "data" / "corpus";
+    ASSERT_TRUE(fs::exists(dir)) << dir;
+    std::size_t files = 0, ok_files = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".urdf")
+            continue;
+        ++files;
+        const std::string name = entry.path().filename().string();
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const std::string text = ss.str();
+
+        // Strict mode: model or typed error, nothing else.
+        bool strict_ok = false;
+        try {
+            parse_urdf(text);
+            strict_ok = true;
+        } catch (const UrdfError &) {
+        } catch (const XmlError &) {
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << name << " leaked non-parser exception: "
+                          << e.what();
+        }
+        if (strict_ok)
+            ++ok_files;
+
+        // Checked mode: never throws, and agrees with strict mode.
+        const UrdfParseResult checked = parse_urdf_checked(text);
+        EXPECT_EQ(checked.ok(), strict_ok)
+            << name << "\n" << checked.report.to_string();
+
+        // Naming convention encodes the expected outcome.
+        if (name.rfind("ok_", 0) == 0 || name.rfind("warn_", 0) == 0) {
+            EXPECT_TRUE(strict_ok) << name << "\n"
+                                   << checked.report.to_string();
+        } else {
+            EXPECT_FALSE(strict_ok) << name << " parsed unexpectedly";
+        }
+        if (name.rfind("warn_", 0) == 0) {
+            EXPECT_GE(checked.report.warning_count(), 1u) << name;
+        }
+    }
+    EXPECT_GE(files, 30u) << "corpus shrank below its committed size";
+    EXPECT_GE(ok_files, 2u); // doctype/CDATA positives must stay present
 }
 
 TEST(RobotLibrary, NamesAndShippedSubset)
