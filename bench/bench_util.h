@@ -1,14 +1,24 @@
 /**
  * @file
  * Shared helpers for the per-table/figure benchmark harnesses.
+ *
+ * Every fig* and table* bench accepts `--json <path>` uniformly: pass
+ * argc/argv
+ * to json_out_path() and hand the resulting path plus a filled
+ * obs::RunReport to write_report().  The report schema, string escaping,
+ * and registry snapshotting live in obs/run_report.h — benches only choose
+ * which headline metrics to record (docs/OBSERVABILITY.md).
  */
 
 #ifndef ROBOSHAPE_BENCH_BENCH_UTIL_H
 #define ROBOSHAPE_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "accel/params.h"
+#include "obs/run_report.h"
 #include "topology/robot_library.h"
 
 namespace roboshape {
@@ -39,6 +49,35 @@ print_header(const char *title, const char *paper_ref)
     std::printf("reproduces: %s\n", paper_ref);
     std::printf("================================================"
                 "======================\n");
+}
+
+/** Path of the uniform `--json <path>` flag, or "" when not given. */
+inline std::string
+json_out_path(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    return "";
+}
+
+/**
+ * Snapshots the obs registry into @p report and writes it to @p path.
+ * No-op (returning true) when @p path is empty — benches call this
+ * unconditionally at exit.  Prints the artifact path on success.
+ */
+inline bool
+write_report(obs::RunReport &report, const std::string &path)
+{
+    if (path.empty())
+        return true;
+    report.capture_counters();
+    if (!report.write(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("report: %s\n", path.c_str());
+    return true;
 }
 
 } // namespace bench

@@ -15,10 +15,14 @@
 #include "topology/topology_info.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
     constexpr std::size_t kSteps = 4; // paper Sec. 5.2 batch size
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report(
+        "fig10_roundtrip_io",
+        "Fig. 10: Coprocessor roundtrip latency with I/O (batch of 4)");
     bench::print_header(
         "Fig. 10: Coprocessor roundtrip latency with I/O (batch of 4)",
         "paper Fig. 10 + Sec. 5.2 I/O analysis");
@@ -73,10 +77,19 @@ main()
                     "(host-measured threaded CPU batch: %.1f us)\n",
                     "", cpu_us / rt_sparse, gpu_us / rt_sparse,
                     cpu_host_us);
+
+        const std::string key = topology::robot_name(id);
+        report.metric(key + ".cpu_us", cpu_us);
+        report.metric(key + ".gpu_us", gpu_us);
+        report.metric(key + ".fpga_compute_us", compute_us);
+        report.metric(key + ".roundtrip_dense_us", rt_dense);
+        report.metric(key + ".roundtrip_sparse_us", rt_sparse);
+        report.metric(key + ".compression_ratio",
+                      io::compression_ratio(topo));
     }
     std::printf("\npaper: compute-only 2.2-5.6x CPU / 4.1-11.4x GPU; "
                 "roundtrip 2.0x/1.4x CPU (iiwa/HyQ),\n18%% slowdown for "
                 "Baxter; matrices are 84/90/92%% of I/O bits; sparse "
                 "packets shrink\nI/O 3.1x (HyQ) and 2.1x (Baxter).\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

@@ -11,9 +11,12 @@
 #include "core/design_space.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("fig12_design_space",
+                          "Fig. 12: Design spaces and Pareto frontiers");
     bench::print_header(
         "Fig. 12: Design spaces and Pareto frontiers per robot",
         "paper Fig. 12 (1000s of points; max latencies 829-7230 cycles; "
@@ -43,6 +46,15 @@ main()
                             static_cast<double>(space.max_cycles()));
         }
         std::printf("\n");
+        const std::string key = topology::robot_name(id);
+        report.metric(key + ".points", space.points().size());
+        report.metric(key + ".min_cycles",
+                      static_cast<std::int64_t>(space.min_cycles()));
+        report.metric(key + ".max_cycles",
+                      static_cast<std::int64_t>(space.max_cycles()));
+        report.metric(key + ".max_luts",
+                      static_cast<std::int64_t>(space.max_luts()));
+        report.metric(key + ".frontier_points", frontier.size());
         min_of_max_lat = std::min(
             min_of_max_lat, static_cast<long long>(space.max_cycles()));
         max_of_max_lat = std::max(
@@ -58,5 +70,5 @@ main()
     std::printf("maximum LUTs across robots: %lldk-%lldk (paper: "
                 "507k-2600k)\n",
                 min_of_max_lut / 1000, max_of_max_lut / 1000);
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

@@ -8,9 +8,13 @@
 #include "core/design_space.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("fig13_allocation_strategies",
+                          "Fig. 13: Allocation strategies vs latency and "
+                          "resources");
     bench::print_header(
         "Fig. 13: Allocation strategies vs latency and resources",
         "paper Fig. 13 / Insight #1");
@@ -36,7 +40,13 @@ main()
                         static_cast<long long>(e.resources.luts),
                         static_cast<long long>(e.resources.dsps),
                         e.meets_minimum_latency ? "yes" : "NO  (x)");
+            report.metric(std::string(topology::robot_name(id)) + "." +
+                              sched::to_string(s) + ".cycles",
+                          static_cast<std::int64_t>(e.cycles));
         }
+        report.metric(std::string(topology::robot_name(id)) +
+                          ".optimal.cycles",
+                      static_cast<std::int64_t>(opt.cycles));
         std::printf("  %-16s %-30s %8lld %7.2fx %10lld %8lld yes (*)\n",
                     "Optimal", opt.params.to_string().c_str(),
                     static_cast<long long>(opt.cycles), 1.0,
@@ -50,5 +60,5 @@ main()
                 "(Deviation: in this\nwork-conserving scheduler, "
                 "limb-dominated robots still gain from extra PEs —\nsee "
                 "EXPERIMENTS.md.)\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

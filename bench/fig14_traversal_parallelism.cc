@@ -13,9 +13,12 @@
 #include "topology/topology_info.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("fig14_traversal_parallelism",
+                          "Fig. 14: Traversal parallelism from topology");
     bench::print_header(
         "Fig. 14: Traversal parallelism from robot topology",
         "paper Fig. 14");
@@ -53,6 +56,13 @@ main()
                     graph.backward_initial_parallelism(),
                     metrics.max_leaf_depth, metrics.max_descendants,
                     sat_fwd, sat_bwd);
+        const std::string key = topology::robot_name(id);
+        report.metric(key + ".forward_parallelism",
+                      graph.forward_initial_parallelism());
+        report.metric(key + ".backward_parallelism",
+                      graph.backward_initial_parallelism());
+        report.metric(key + ".saturation_pes_fwd", sat_fwd);
+        report.metric(key + ".saturation_pes_bwd", sat_bwd);
     }
     std::printf("\nfwd-par: threads launchable at forward-stage start (= "
                 "independent limbs);\nbwd-par: backward threads launchable "
@@ -60,5 +70,5 @@ main()
                 "(= max leaf depth / max descendants); saturation-PEs: "
                 "fewest\nfwd/bwd PEs reaching the stage's best achievable "
                 "makespan.\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

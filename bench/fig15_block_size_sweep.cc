@@ -12,9 +12,13 @@
 #include "topology/topology_info.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("fig15_block_size_sweep",
+                          "Fig. 15: Blocked multiply latency vs block "
+                          "size (HyQ, 3 units)");
     bench::print_header(
         "Fig. 15: Blocked multiply latency vs block size (HyQ, 3 units)",
         "paper Fig. 15 / Insight #2 (minima at aligned sizes 3, 6, 9)");
@@ -37,10 +41,13 @@ main()
                     static_cast<long long>(s.makespan), s.executed_tiles,
                     s.nop_tiles, s.padded_zero_elements,
                     (bs % 3 == 0) ? "<- aligned with 3-link legs" : "");
+        report.metric("block" + std::to_string(bs) + ".cycles",
+                      static_cast<std::int64_t>(s.makespan));
     }
+    report.metric("best_cycles", static_cast<std::int64_t>(best));
     std::printf("\npaper: block sizes 3, 6, 9 cover the nonzero pattern "
                 "without padding; other\nsizes drag zero padding into "
                 "nonzero tiles and waste cycles — an increase in\nblock "
                 "size can decrease performance.\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

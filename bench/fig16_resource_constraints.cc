@@ -9,9 +9,13 @@
 #include "core/design_space.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("fig16_resource_constraints",
+                          "Fig. 16: Resource-constrained design points "
+                          "(80% threshold)");
     bench::print_header(
         "Fig. 16: Resource-constrained design points (80% threshold)",
         "paper Fig. 16 / Insight #3 (no VC707 point exists for HyQ+arm)");
@@ -30,11 +34,18 @@ main()
             const core::DesignSpace space = core::DesignSpace::sweep(model);
             const auto maxalloc = space.max_allocation(*platform);
             const auto best = space.constrained_min_latency(*platform);
+            const std::string key = platform->name + "." +
+                                    topology::robot_name(id);
             if (!maxalloc || !best) {
                 std::printf("%-8s no feasible design point exists\n",
                             topology::robot_name(id));
+                report.metric(key + ".feasible", false);
                 continue;
             }
+            report.metric(key + ".max_allocation_cycles",
+                          static_cast<std::int64_t>(maxalloc->cycles));
+            report.metric(key + ".min_latency_cycles",
+                          static_cast<std::int64_t>(best->cycles));
             std::printf("%-8s %-34s %8lld %6.1f%% | %-34s %8lld %6.1f%%\n",
                         topology::robot_name(id),
                         maxalloc->params.to_string().c_str(),
@@ -52,5 +63,5 @@ main()
                 "dominated by the nonlinear blocked-multiply term\n"
                 "(Fig. 15); topology-based tuning beats maximum "
                 "allocation.\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

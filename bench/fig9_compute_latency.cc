@@ -17,13 +17,18 @@
 #include "topology/topology_info.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report(
+        "fig9_compute_latency",
+        "Fig. 9: Computation-only latency, one gradient evaluation");
     bench::print_header(
         "Fig. 9: Computation-only latency, one gradient evaluation",
         "paper Fig. 9 (speedups 4.0-4.4x over CPU, 8.0-15.1x over GPU)");
 
+    bool all_verified = true;
     std::printf("%-8s %12s %12s %14s %16s %9s %9s %5s\n", "robot",
                 "CPU(us)", "GPU(us)", "FPGA nopipe", "FPGA avg-pipe",
                 "vs CPU", "vs GPU", "sim");
@@ -62,7 +67,16 @@ main()
                     design.clock_period_ns(), fpga_pipe,
                     design.clock_period_ns(), cpu_us / fpga_nopipe,
                     gpu_us / fpga_nopipe, verified ? "PASS" : "FAIL");
+        all_verified = all_verified && verified;
+
+        const std::string key = topology::robot_name(id);
+        report.metric(key + ".cpu_us", cpu_us);
+        report.metric(key + ".gpu_us", gpu_us);
+        report.metric(key + ".fpga_nopipe_us", fpga_nopipe);
+        report.metric(key + ".fpga_pipelined_us", fpga_pipe);
+        report.metric(key + ".verified", verified);
     }
+    report.metric("all_verified", all_verified);
 
     // Robomorphic Computing prior work: iiwa only (paper Fig. 9 note).
     std::printf("\nPrior work (Robomorphic Computing [32]):\n");
@@ -85,5 +99,5 @@ main()
     std::printf("\npaper: CPU latency scales ~N; GPU similar for iiwa/HyQ; "
                 "RoboShape wins 4.0-4.4x\nover CPU and 8.0-15.1x over GPU; "
                 "RC matches RoboShape on iiwa but cannot scale.\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

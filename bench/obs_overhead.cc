@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Observability overhead gate (ctest label "obs", configuration "obs").
+ *
+ * The counter registry promises a hot path of one relaxed atomic add
+ * behind a relaxed flag load (see src/obs/registry.h).  This bench holds
+ * that promise to a number: SimEngine::run throughput with the registry
+ * enabled must stay within 2% of throughput with it disabled, and the
+ * engine outputs must be bit-identical in both modes (instrumentation
+ * observes, it never participates in arithmetic).
+ *
+ * Each mode is measured several times interleaved (enabled, disabled,
+ * enabled, ...) and the best rate per mode is compared, which keeps the
+ * gate stable on noisy shared CI machines.  Under -DROBOSHAPE_NO_OBS the
+ * comparison degenerates to identical binaries and the gate passes
+ * trivially — that configuration's claim ("compiled out") is checked by
+ * the build, not by timing.
+ *
+ * Flags:
+ *   --json <path>   also write the JSON document to a file
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accel/sim_engine.h"
+#include "bench/bench_util.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace {
+
+using namespace roboshape;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMaxOverhead = 0.02; ///< 2% gate.
+constexpr int kRounds = 5;            ///< Interleaved rounds per mode.
+
+/** Runs fn repeatedly for ~@p budget_s seconds; returns calls/sec. */
+template <typename Fn>
+double
+calls_per_sec(Fn &&fn, double budget_s = 0.05)
+{
+    fn(); // warm-up
+    std::size_t calls = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < 16; ++i)
+            fn();
+        calls += 16;
+        elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (elapsed < budget_s);
+    return static_cast<double>(calls) / elapsed;
+}
+
+double
+result_diff(const accel::EngineResult &a, const accel::EngineResult &b)
+{
+    double d = linalg::max_abs_diff(a.tau, b.tau);
+    d = std::max(d, linalg::max_abs_diff(a.dtau_dq, b.dtau_dq));
+    d = std::max(d, linalg::max_abs_diff(a.dtau_dqd, b.dtau_dqd));
+    d = std::max(d, linalg::max_abs_diff(a.dqdd_dq, b.dqdd_dq));
+    d = std::max(d, linalg::max_abs_diff(a.dqdd_dqd, b.dqdd_dqd));
+    if (a.tasks_executed != b.tasks_executed)
+        d = std::max(d, 1.0);
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path = bench::json_out_path(argc, argv);
+    bench::print_header("Observability overhead gate",
+                        "registry-enabled SimEngine within 2% of disabled, "
+                        "bit-identical outputs");
+
+    const topology::RobotModel model =
+        topology::build_robot(topology::RobotId::kIiwa);
+    const topology::TopologyInfo topo(model);
+    const accel::AcceleratorDesign design(
+        model, bench::shipped_params(topology::RobotId::kIiwa));
+    const accel::SimEngine engine(design);
+    auto ws = engine.make_workspace();
+
+    const auto state = dynamics::random_state(model, 4242);
+    const auto ref = dynamics::forward_dynamics_gradients(
+        model, topo, state.q, state.qd, state.tau);
+    const accel::InputPacket packet{&state.q, &state.qd, &ref.qdd,
+                                    &ref.mass_inv};
+
+    // Numerics first: one run per mode, compared bit-for-bit.
+    accel::EngineResult out_on, out_off;
+    obs::set_enabled(true);
+    engine.run(ws, packet, out_on);
+    obs::set_enabled(false);
+    engine.run(ws, packet, out_off);
+    const double divergence = result_diff(out_on, out_off);
+
+    // Throughput: interleave modes, keep the best rate of each.
+    double best_on = 0.0, best_off = 0.0;
+    accel::EngineResult out;
+    for (int round = 0; round < kRounds; ++round) {
+        obs::set_enabled(true);
+        best_on = std::max(
+            best_on, calls_per_sec([&] { engine.run(ws, packet, out); }));
+        obs::set_enabled(false);
+        best_off = std::max(
+            best_off, calls_per_sec([&] { engine.run(ws, packet, out); }));
+    }
+    obs::set_enabled(true);
+
+    const double overhead = 1.0 - best_on / best_off;
+    const bool overhead_ok = overhead <= kMaxOverhead;
+    const bool identical = divergence == 0.0;
+
+    std::printf("enabled:  %12.0f calls/sec\n", best_on);
+    std::printf("disabled: %12.0f calls/sec\n", best_off);
+    std::printf("overhead: %+.2f%% (gate: <= %.0f%%)  numerics: %s\n",
+                overhead * 100.0, kMaxOverhead * 100.0,
+                identical ? "bit-identical" : "DIVERGED");
+
+    obs::JsonWriter w(2);
+    w.begin_object();
+    w.kv("bench", "obs_overhead");
+    w.kv("robot", "iiwa");
+    w.kv("enabled_calls_per_sec", best_on);
+    w.kv("disabled_calls_per_sec", best_off);
+    w.kv("overhead", overhead);
+    w.kv("max_overhead", kMaxOverhead);
+    w.kv("bit_identical", identical);
+    w.kv("pass", overhead_ok && identical);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    if (!json_path.empty()) {
+        std::ofstream f(json_path);
+        f << w.str() << '\n';
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+    }
+    return overhead_ok && identical ? 0 : 1;
+}

@@ -10,9 +10,9 @@
  * trace must not change a single bit of arithmetic), and — for the
  * gradient kernel — sweeps run_batch() over 1/2/4 worker threads to show
  * the batch path is deterministic at any thread count.  Emits
- * machine-readable JSON on stdout so successive PRs can track the
- * throughput trajectory; EXPERIMENTS.md ("Functional simulation
- * throughput") explains the fields.
+ * machine-readable JSON on stdout (and to a file with `--json <path>`) so
+ * successive PRs can track the throughput trajectory; EXPERIMENTS.md
+ * ("Functional simulation throughput") explains the fields.
  *
  * Exit status is nonzero when any engine output diverges from the legacy
  * simulators (exactness is the gate; timing is informational).
@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "bench/bench_util.h"
 #include "core/parallel.h"
 #include "dynamics/fd_derivatives.h"
+#include "obs/json.h"
 #include "dynamics/robot_state.h"
 #include "topology/robot_library.h"
 #include "topology/topology_info.h"
@@ -312,35 +314,36 @@ measure_kinematics(const topology::RobotModel &model,
 }
 
 void
-print_kernel_json(const KernelRow &row, bool last)
+write_kernel_json(obs::JsonWriter &w, const KernelRow &row)
 {
-    std::printf("      {\"kernel\": \"%s\", \"trace_ops\": %zu,\n"
-                "       \"legacy_calls_per_sec\": %.0f, "
-                "\"engine_calls_per_sec\": %.0f, \"speedup\": %.2f,\n"
-                "       \"max_divergence\": %.1e, "
-                "\"max_divergence_pipelined\": %.1e",
-                row.kernel, row.trace_ops, row.legacy_cps, row.engine_cps,
-                row.engine_cps / row.legacy_cps, row.divergence,
-                row.divergence_pipelined);
-    if (row.batch.empty()) {
-        std::printf("}%s\n", last ? "" : ",");
-        return;
+    w.begin_object();
+    w.kv("kernel", row.kernel);
+    w.kv("trace_ops", static_cast<std::uint64_t>(row.trace_ops));
+    w.kv("legacy_calls_per_sec", row.legacy_cps);
+    w.kv("engine_calls_per_sec", row.engine_cps);
+    w.kv("speedup", row.engine_cps / row.legacy_cps);
+    w.kv("max_divergence", row.divergence);
+    w.kv("max_divergence_pipelined", row.divergence_pipelined);
+    if (!row.batch.empty()) {
+        w.key("batch").begin_array();
+        for (const BatchPoint &point : row.batch) {
+            w.begin_object();
+            w.kv("threads", static_cast<std::uint64_t>(point.threads));
+            w.kv("calls_per_sec", point.calls_per_sec);
+            w.kv("identical", point.identical);
+            w.end_object();
+        }
+        w.end_array();
     }
-    std::printf(",\n       \"batch\": [");
-    for (std::size_t i = 0; i < row.batch.size(); ++i)
-        std::printf("%s{\"threads\": %zu, \"calls_per_sec\": %.0f, "
-                    "\"identical\": %s}",
-                    i == 0 ? "" : ", ", row.batch[i].threads,
-                    row.batch[i].calls_per_sec,
-                    row.batch[i].identical ? "true" : "false");
-    std::printf("]}%s\n", last ? "" : ",");
+    w.end_object();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = bench::json_out_path(argc, argv);
     std::vector<topology::RobotId> robots;
     for (topology::RobotId id : topology::all_robots())
         robots.push_back(id);
@@ -348,11 +351,14 @@ main()
     bool all_exact = true;
     double min_gradient_speedup = -1.0;
 
-    std::printf("{\n  \"bench\": \"sim_throughput\",\n"
-                "  \"batch_size\": %zu,\n  \"sweep_workers\": %zu,\n"
-                "  \"robots\": [\n",
-                kBatchSize,
-                core::sweep_worker_count(static_cast<std::size_t>(-1)));
+    obs::JsonWriter w(2);
+    w.begin_object();
+    w.kv("bench", "sim_throughput");
+    w.kv("batch_size", static_cast<std::uint64_t>(kBatchSize));
+    w.kv("sweep_workers",
+         static_cast<std::uint64_t>(
+             core::sweep_worker_count(static_cast<std::size_t>(-1))));
+    w.key("robots").begin_array();
     for (std::size_t r = 0; r < robots.size(); ++r) {
         const topology::RobotModel model =
             topology::build_robot(robots[r]);
@@ -368,11 +374,11 @@ main()
         rows.push_back(
             measure_kinematics(model, inputs.q[0], inputs.qd[0]));
 
-        std::printf("    {\"name\": \"%s\", \"links\": %zu,\n"
-                    "     \"kernels\": [\n",
-                    topology::robot_name(robots[r]), model.num_links());
-        for (std::size_t k = 0; k < rows.size(); ++k) {
-            const KernelRow &row = rows[k];
+        w.begin_object();
+        w.kv("name", topology::robot_name(robots[r]));
+        w.kv("links", static_cast<std::uint64_t>(model.num_links()));
+        w.key("kernels").begin_array();
+        for (const KernelRow &row : rows) {
             if (row.divergence != 0.0 || row.divergence_pipelined != 0.0)
                 all_exact = false;
             for (const BatchPoint &point : row.batch)
@@ -384,12 +390,24 @@ main()
                     speedup < min_gradient_speedup)
                     min_gradient_speedup = speedup;
             }
-            print_kernel_json(row, k + 1 == rows.size());
+            write_kernel_json(w, row);
         }
-        std::printf("    ]}%s\n", r + 1 == robots.size() ? "" : ",");
+        w.end_array();
+        w.end_object();
     }
-    std::printf("  ],\n  \"min_gradient_speedup\": %.2f,\n"
-                "  \"all_exact\": %s\n}\n",
-                min_gradient_speedup, all_exact ? "true" : "false");
+    w.end_array();
+    w.kv("min_gradient_speedup", min_gradient_speedup);
+    w.kv("all_exact", all_exact);
+    w.end_object();
+
+    std::printf("%s\n", w.str().c_str());
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << w.str() << '\n';
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+    }
     return all_exact ? 0 : 1;
 }

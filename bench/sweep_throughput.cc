@@ -13,17 +13,21 @@
  * Flags:
  *   --serial-all    run the serial reference on every robot (by default it
  *                   is skipped above N=19, where it takes minutes)
+ *   --json <path>   also write the JSON document to a file
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/design_space.h"
 #include "core/parallel.h"
+#include "obs/json.h"
 #include "sched/block_schedule.h"
 #include "sched/list_scheduler.h"
 #include "topology/parametric_robots.h"
@@ -131,29 +135,27 @@ measure(const roboshape::topology::RobotModel &model, bool run_serial)
 }
 
 void
-print_row_json(const Row &row, bool last)
+write_row_json(roboshape::obs::JsonWriter &w, const Row &row)
 {
-    std::printf("    {\"name\": \"%s\", \"links\": %zu, \"points\": %zu,\n"
-                "     \"memoized_ms\": %.3f, "
-                "\"memoized_list_scheduler_calls\": %llu, "
-                "\"memoized_block_schedule_calls\": %llu,\n",
-                row.name.c_str(), row.links, row.points, row.memoized_ms,
-                static_cast<unsigned long long>(row.memoized_list_calls),
-                static_cast<unsigned long long>(row.memoized_block_calls));
+    w.begin_object();
+    w.kv("name", std::string_view(row.name));
+    w.kv("links", static_cast<std::uint64_t>(row.links));
+    w.kv("points", static_cast<std::uint64_t>(row.points));
+    w.kv("memoized_ms", row.memoized_ms);
+    w.kv("memoized_list_scheduler_calls", row.memoized_list_calls);
+    w.kv("memoized_block_schedule_calls", row.memoized_block_calls);
     if (row.compared) {
-        std::printf("     \"serial_ms\": %.3f, "
-                    "\"serial_list_scheduler_calls\": %llu, "
-                    "\"speedup\": %.2f, \"identical_points\": %s}%s\n",
-                    row.serial_ms,
-                    static_cast<unsigned long long>(row.serial_list_calls),
-                    row.speedup, row.identical_points ? "true" : "false",
-                    last ? "" : ",");
+        w.kv("serial_ms", row.serial_ms);
+        w.kv("serial_list_scheduler_calls", row.serial_list_calls);
+        w.kv("speedup", row.speedup);
+        w.kv("identical_points", row.identical_points);
     } else {
-        std::printf("     \"serial_ms\": null, "
-                    "\"serial_list_scheduler_calls\": null, "
-                    "\"speedup\": null, \"identical_points\": null}%s\n",
-                    last ? "" : ",");
+        w.key("serial_ms").null();
+        w.key("serial_list_scheduler_calls").null();
+        w.key("speedup").null();
+        w.key("identical_points").null();
     }
+    w.end_object();
 }
 
 } // namespace
@@ -167,6 +169,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--serial-all") == 0)
             serial_all = true;
+    const std::string json_path = bench::json_out_path(argc, argv);
 
     // The serial reference costs N^3 full design builds; above the paper's
     // largest robot (Baxter-class N=19) it takes minutes, so gate it.
@@ -181,9 +184,13 @@ main(int argc, char **argv)
     // discretization of a continuum/hyper-redundant arm.
     models.push_back(topology::make_serial_chain(30, "hyper30"));
 
-    std::printf("{\n  \"bench\": \"sweep_throughput\",\n"
-                "  \"sweep_workers\": %zu,\n  \"robots\": [\n",
-                core::sweep_worker_count(static_cast<std::size_t>(-1)));
+    obs::JsonWriter w(2);
+    w.begin_object();
+    w.kv("bench", "sweep_throughput");
+    w.kv("sweep_workers",
+         static_cast<std::uint64_t>(
+             core::sweep_worker_count(static_cast<std::size_t>(-1))));
+    w.key("robots").begin_array();
     bool all_identical = true;
     for (std::size_t i = 0; i < models.size(); ++i) {
         const bool run_serial =
@@ -191,9 +198,20 @@ main(int argc, char **argv)
         const Row row = measure(models[i], run_serial);
         if (row.compared && !row.identical_points)
             all_identical = false;
-        print_row_json(row, i + 1 == models.size());
+        write_row_json(w, row);
     }
-    std::printf("  ],\n  \"all_compared_identical\": %s\n}\n",
-                all_identical ? "true" : "false");
+    w.end_array();
+    w.kv("all_compared_identical", all_identical);
+    w.end_object();
+
+    std::printf("%s\n", w.str().c_str());
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << w.str() << '\n';
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+    }
     return all_identical ? 0 : 1;
 }

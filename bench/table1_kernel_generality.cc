@@ -20,10 +20,15 @@
 #include "topology/topology_info.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
     using sched::KernelKind;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("table1_kernel_generality",
+                          "Table 1: One framework, a family of "
+                          "topology-based kernels");
+    bool all_ok = true;
     bench::print_header(
         "Table 1: One framework, a family of topology-based kernels",
         "paper Table 1 / Sec. 3 (patterns shared across kernels)");
@@ -104,12 +109,17 @@ main()
                         static_cast<long long>(
                             design.block_multiply().makespan),
                         ok ? "PASS" : "FAIL");
+            all_ok = all_ok && ok;
+            report.metric(std::string(topology::robot_name(id)) + "." +
+                              to_string(kernel) + ".verified",
+                          ok);
         }
     }
+    report.metric("all_verified", all_ok);
     std::printf("\npaper Table 1 lists kinematics, dynamics, their "
                 "gradients, and related state-\npropagation kernels as one "
                 "family over patterns (1) and (2); the framework\n"
                 "generates verified accelerators for each from the same "
                 "schedules and PE pools.\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

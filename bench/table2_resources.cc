@@ -8,9 +8,13 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("table2_resources",
+                          "Table 2: Resource Utilization of RoboShape "
+                          "Designs");
     bench::print_header("Table 2: Resource Utilization of RoboShape Designs",
                         "paper Table 2 (LUTs/DSPs on the XCVU9P)");
 
@@ -26,6 +30,9 @@ main()
         dsps[col] = d.resources().dsps;
         lutp[col] = d.resources().lut_utilization(accel::vcu118()) * 100.0;
         dspp[col] = d.resources().dsp_utilization(accel::vcu118()) * 100.0;
+        const std::string key = topology::robot_name(id);
+        report.metric(key + ".luts", static_cast<std::int64_t>(luts[col]));
+        report.metric(key + ".dsps", static_cast<std::int64_t>(dsps[col]));
         ++col;
     }
     std::printf("%-26s", "LUTs (1182k Total)");
@@ -38,5 +45,5 @@ main()
                 "873805 (73.9%%)\n");
     std::printf("paper:  DSPs   5448 (79.6%%) |   3008 (44.0%%) |   "
                 "3342 (48.9%%)\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

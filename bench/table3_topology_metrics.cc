@@ -8,9 +8,13 @@
 #include "topology/topology_info.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace roboshape;
+    const std::string json = bench::json_out_path(argc, argv);
+    obs::RunReport report("table3_topology_metrics",
+                          "Table 3: Topology Metrics for Robots in "
+                          "Fig. 11");
     bench::print_header("Table 3: Topology Metrics for Robots in Fig. 11",
                         "paper Table 3");
 
@@ -26,6 +30,20 @@ main()
         models.push_back(topology::build_robot(id));
     for (const auto &m : models)
         metrics[col++] = topology::TopologyInfo(m).metrics();
+    col = 0;
+    for (topology::RobotId id : topology::all_robots()) {
+        const std::string key = topology::robot_name(id);
+        report.metric(key + ".total_links", metrics[col].total_links);
+        report.metric(key + ".max_leaf_depth",
+                      metrics[col].max_leaf_depth);
+        report.metric(key + ".avg_leaf_depth",
+                      metrics[col].avg_leaf_depth);
+        report.metric(key + ".max_descendants",
+                      metrics[col].max_descendants);
+        report.metric(key + ".leaf_depth_stdev",
+                      metrics[col].leaf_depth_stdev);
+        ++col;
+    }
 
     std::printf("%-18s", "Total Links");
     for (int c = 0; c < 6; ++c)
@@ -48,5 +66,5 @@ main()
                 "0/0/2.8/0/0/1.6 (Baxter printed as 2.3 in the paper;\n"
                 "       population stdev of {1,7,7} is 2.83 — see "
                 "DESIGN.md)\n");
-    return 0;
+    return bench::write_report(report, json) ? 0 : 1;
 }

@@ -9,10 +9,11 @@
  *      and check it against the host dynamics library;
  *   4. print the generation report.
  *
- * Build and run:  ./build/examples/quickstart [robot.urdf]
+ * Build and run:  ./build/examples/quickstart [robot.urdf] [--json report.json]
  */
 
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <fstream>
 #include <iostream>
@@ -22,6 +23,7 @@
 #include "core/generator.h"
 #include "dynamics/fd_derivatives.h"
 #include "dynamics/robot_state.h"
+#include "obs/run_report.h"
 #include "topology/robot_library.h"
 #include "topology/urdf_parser.h"
 
@@ -32,7 +34,11 @@ main(int argc, char **argv)
 
     // 1. Robot description: a file if given, bundled Baxter otherwise.
     std::string urdf_text;
-    if (argc > 1) {
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_path = argv[i + 1];
+    if (argc > 1 && std::strcmp(argv[1], "--json") != 0) {
         std::ifstream in(argv[1]);
         if (!in) {
             std::cerr << "cannot open " << argv[1] << "\n";
@@ -79,5 +85,26 @@ main(int argc, char **argv)
                 "skipped as NOPs)\n",
                 sim.tasks_executed, sim.mm_stats.block_macs,
                 sim.mm_stats.block_nops);
+    if (!json_path.empty()) {
+        obs::RunReport report("quickstart", "Quickstart: URDF in, "
+                                            "accelerator out");
+        report.set_robot(model.name());
+        report.set_kernel("dynamics_gradient");
+        const auto &p = out->design.params();
+        report.set_params(p.pes_fwd, p.pes_bwd, p.block_size);
+        report.metric("cycles_no_pipelining",
+                      static_cast<std::int64_t>(
+                          out->design.cycles_no_pipelining()));
+        report.metric("max_abs_diff", err);
+        report.metric("tasks_executed",
+                      static_cast<std::uint64_t>(sim.tasks_executed));
+        report.metric("verified", err < 1e-9);
+        report.capture_counters();
+        if (!report.write(json_path)) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        std::printf("  report: %s\n", json_path.c_str());
+    }
     return err < 1e-9 ? 0 : 1;
 }

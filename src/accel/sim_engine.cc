@@ -18,6 +18,8 @@
 #include <string>
 
 #include "core/parallel.h"
+#include "obs/registry.h"
+#include "obs/wall_trace.h"
 #include "sched/trace.h"
 
 namespace roboshape {
@@ -81,6 +83,27 @@ SimEngine::SimEngine(const AcceleratorDesign &design, SimOrder order)
         compile_kinematics(ops);
         break;
     }
+    // Every compiled op passed its structural read-before-write validation
+    // above; the count stands in for hazard checks performed.
+    ROBOSHAPE_OBS_COUNT("sim.engines_compiled", 1);
+    ROBOSHAPE_OBS_COUNT("sim.hazard_checks", trace_.size());
+}
+
+const char *
+SimEngine::op_name(Op::Kind k) noexcept
+{
+    switch (k) {
+      case Op::Kind::kRneaForward:   return "rneaFwd";
+      case Op::Kind::kRneaBackward:  return "rneaBwd";
+      case Op::Kind::kGradForward:   return "gradFwd";
+      case Op::Kind::kGradBackward:  return "gradBwd";
+      case Op::Kind::kCrbaSetup:     return "crbaSetup";
+      case Op::Kind::kCrbaComposite: return "crbaComposite";
+      case Op::Kind::kCrbaWalk:      return "crbaWalk";
+      case Op::Kind::kFkPose:        return "fkPose";
+      case Op::Kind::kFkJacobian:    return "fkJacobian";
+    }
+    return "op";
 }
 
 std::uint32_t
@@ -357,6 +380,8 @@ SimEngine::run(Workspace &ws, const InputPacket &in, EngineResult &out) const
         run_kinematics(ws, in, out);
         break;
     }
+    ROBOSHAPE_OBS_COUNT("sim.runs", 1);
+    ROBOSHAPE_OBS_COUNT("sim.ops_executed", out.tasks_executed);
 }
 
 void
@@ -367,9 +392,11 @@ SimEngine::run_gradient(Workspace &ws, const InputPacket &in,
     const linalg::Vector &q = *in.q;
     const linalg::Vector &qd = *in.qd;
     const linalg::Vector &qdd = *in.qdd;
+    const bool traced = obs::wall_trace_enabled();
     prepare(out);
 
     // Input marshalling, as in the legacy SimState constructor.
+    const std::uint64_t t_marshal = traced ? obs::wall_now_ns() : 0;
     for (std::size_t i = 0; i < n_; ++i) {
         const auto &link = model.link(i);
         ws.xup[i] = link.joint.transform(q[i]) * link.x_tree;
@@ -378,6 +405,9 @@ SimEngine::run_gradient(Workspace &ws, const InputPacket &in,
     std::fill(ws.v.begin(), ws.v.end(), SpatialVector::zero());
     std::fill(ws.a.begin(), ws.a.end(), SpatialVector::zero());
     std::fill(ws.f.begin(), ws.f.end(), SpatialVector::zero());
+    if (traced)
+        obs::record_wall_span("sim.marshal", "phase", t_marshal,
+                              obs::wall_now_ns());
 
     const auto rnea_forward = [&](const Op &op) {
         const auto i = static_cast<std::size_t>(op.link);
@@ -450,8 +480,10 @@ SimEngine::run_gradient(Workspace &ws, const InputPacket &in,
     };
 
     // Position pass: all four traversal stages.
+    const std::uint64_t t_pos = traced ? obs::wall_now_ns() : 0;
     clear_derivatives();
     for (const Op &op : trace_) {
+        const std::uint64_t t_op = traced ? obs::wall_now_ns() : 0;
         switch (op.kind) {
           case Op::Kind::kRneaForward:
             rnea_forward(op);
@@ -466,25 +498,43 @@ SimEngine::run_gradient(Workspace &ws, const InputPacket &in,
             grad_backward(op, false);
             break;
         }
+        if (traced)
+            obs::record_wall_span(op_name(op.kind), "op", t_op,
+                                  obs::wall_now_ns(), op.link, op.column);
     }
+    if (traced)
+        obs::record_wall_span("sim.position_pass", "phase", t_pos,
+                              obs::wall_now_ns());
     // Velocity pass: gradient stages re-run with velocity seeds.
+    const std::uint64_t t_vel = traced ? obs::wall_now_ns() : 0;
     clear_derivatives();
     for (const Op &op : velocity_trace_) {
+        const std::uint64_t t_op = traced ? obs::wall_now_ns() : 0;
         if (op.kind == Op::Kind::kGradForward)
             grad_forward(op, true);
         else
             grad_backward(op, true);
+        if (traced)
+            obs::record_wall_span(op_name(op.kind), "op", t_op,
+                                  obs::wall_now_ns(), op.link, op.column);
     }
+    if (traced)
+        obs::record_wall_span("sim.velocity_pass", "phase", t_vel,
+                              obs::wall_now_ns());
 
     // Final stage: blocked -M^-1 multiplies with NOP skipping.  The fused
     // negation is an exact sign flip of the legacy `blocked_multiply(...)
     // * -1.0` result (up to the sign of exact zeros).
+    const std::uint64_t t_mm = traced ? obs::wall_now_ns() : 0;
     linalg::BlockMultiplyStats stats_q, stats_qd;
     const std::size_t bs = design_->params().block_size;
     linalg::blocked_multiply_into(*in.minv, out.dtau_dq, bs, out.dqdd_dq,
                                   ws.pa, ws.pb, /*negate=*/true, &stats_q);
     linalg::blocked_multiply_into(*in.minv, out.dtau_dqd, bs, out.dqdd_dqd,
                                   ws.pa, ws.pb, /*negate=*/true, &stats_qd);
+    if (traced)
+        obs::record_wall_span("sim.mm_solve", "phase", t_mm,
+                              obs::wall_now_ns());
     out.mm_stats.block_macs = stats_q.block_macs + stats_qd.block_macs;
     out.mm_stats.block_nops = stats_q.block_nops + stats_qd.block_nops;
     out.mm_stats.scalar_macs = stats_q.scalar_macs + stats_qd.scalar_macs;
@@ -497,11 +547,14 @@ SimEngine::run_mass_matrix(Workspace &ws, const InputPacket &in,
 {
     const auto &model = design_->model();
     const linalg::Vector &q = *in.q;
+    const bool traced = obs::wall_trace_enabled();
     prepare(out);
 
+    const std::uint64_t t_phase = traced ? obs::wall_now_ns() : 0;
     std::fill(ws.ic_children.begin(), ws.ic_children.end(),
               SpatialInertia());
     for (const Op &op : trace_) {
+        const std::uint64_t t_op = traced ? obs::wall_now_ns() : 0;
         const auto link = static_cast<std::size_t>(op.link);
         switch (op.kind) {
           case Op::Kind::kCrbaSetup: {
@@ -530,7 +583,13 @@ SimEngine::run_mass_matrix(Workspace &ws, const InputPacket &in,
             break;
           }
         }
+        if (traced)
+            obs::record_wall_span(op_name(op.kind), "op", t_op,
+                                  obs::wall_now_ns(), op.link, op.column);
     }
+    if (traced)
+        obs::record_wall_span("sim.mass_matrix", "phase", t_phase,
+                              obs::wall_now_ns());
     out.tasks_executed = trace_.size();
 }
 
@@ -541,9 +600,12 @@ SimEngine::run_kinematics(Workspace &ws, const InputPacket &in,
     const auto &model = design_->model();
     const linalg::Vector &q = *in.q;
     const linalg::Vector &qd = *in.qd;
+    const bool traced = obs::wall_trace_enabled();
     prepare(out);
 
+    const std::uint64_t t_phase = traced ? obs::wall_now_ns() : 0;
     for (const Op &op : trace_) {
+        const std::uint64_t t_op = traced ? obs::wall_now_ns() : 0;
         const auto link = static_cast<std::size_t>(op.link);
         const std::int32_t parent = op.parent;
         if (op.kind == Op::Kind::kFkPose) {
@@ -572,7 +634,13 @@ SimEngine::run_kinematics(Workspace &ws, const InputPacket &in,
                     out.jacobians[link](r, j) = ws.carry[j * n_ + link][r];
             }
         }
+        if (traced)
+            obs::record_wall_span(op_name(op.kind), "op", t_op,
+                                  obs::wall_now_ns(), op.link, op.column);
     }
+    if (traced)
+        obs::record_wall_span("sim.kinematics", "phase", t_phase,
+                              obs::wall_now_ns());
     out.tasks_executed = trace_.size();
 }
 
@@ -585,6 +653,13 @@ SimEngine::run_batch(std::span<const InputPacket> in,
     const std::size_t workers = core::sweep_worker_count(in.size(), threads);
     while (ws.per_thread.size() < workers)
         ws.per_thread.push_back(make_workspace());
+    ROBOSHAPE_OBS_COUNT("sim.batch_calls", 1);
+    ROBOSHAPE_OBS_COUNT("sim.batch_packets", in.size());
+    // Shard balance: worker t owns ceil/floor(|in| / workers) packets.
+    for (std::size_t t = 0; t < workers; ++t)
+        ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets",
+                             in.size() / workers +
+                                 (t < in.size() % workers ? 1 : 0));
     // parallel_for strides packets so worker t owns indices t, t + T, ...;
     // workspace i % workers is therefore touched by exactly one worker.
     core::parallel_for(

@@ -197,6 +197,9 @@ class SimEngine
         std::uint32_t path_begin = 0, path_end = 0; ///< Into root_paths_.
     };
 
+    /** Chrome-trace span name for a per-op wall span (static storage). */
+    static const char *op_name(Op::Kind k) noexcept;
+
     void compile_gradient(const std::vector<const sched::Placement *> &ops);
     void compile_mass_matrix(
         const std::vector<const sched::Placement *> &ops);

@@ -9,6 +9,21 @@
 #include <limits>
 
 #include "core/parallel.h"
+#include "obs/registry.h"
+
+namespace {
+
+/** Mirrors a memo lookup into the process-wide registry. */
+void
+count_memo(bool hit)
+{
+    if (hit)
+        ROBOSHAPE_OBS_COUNT("sweep.memo_hits", 1);
+    else
+        ROBOSHAPE_OBS_COUNT("sweep.memo_misses", 1);
+}
+
+} // namespace
 
 namespace roboshape {
 namespace core {
@@ -48,6 +63,8 @@ SweepContext::forward(std::size_t pes_fwd)
 {
     assert(pes_fwd >= 1 && pes_fwd <= fwd_.size());
     std::unique_ptr<sched::Schedule> &slot = fwd_[pes_fwd - 1];
+    tally_fwd_.count(slot != nullptr);
+    count_memo(slot != nullptr);
     if (!slot)
         slot = std::make_unique<sched::Schedule>(sched::schedule_stage(
             *graph_, {TaskType::kRneaForward, TaskType::kGradForward},
@@ -60,6 +77,8 @@ SweepContext::backward(std::size_t pes_bwd)
 {
     assert(pes_bwd >= 1 && pes_bwd <= bwd_.size());
     std::unique_ptr<sched::Schedule> &slot = bwd_[pes_bwd - 1];
+    tally_bwd_.count(slot != nullptr);
+    count_memo(slot != nullptr);
     if (!slot)
         slot = std::make_unique<sched::Schedule>(sched::schedule_stage(
             *graph_, {TaskType::kRneaBackward, TaskType::kGradBackward},
@@ -74,6 +93,8 @@ SweepContext::pipelined(std::size_t pes_fwd, std::size_t pes_bwd)
     assert(pes_fwd >= 1 && pes_fwd <= n && pes_bwd >= 1 && pes_bwd <= n);
     std::unique_ptr<sched::Schedule> &slot =
         pipelined_[(pes_fwd - 1) * n + (pes_bwd - 1)];
+    tally_pipelined_.count(slot != nullptr);
+    count_memo(slot != nullptr);
     if (!slot)
         slot = std::make_unique<sched::Schedule>(sched::schedule_pipelined(
             *graph_, pes_fwd, pes_bwd, timing_.traversal));
@@ -87,6 +108,8 @@ SweepContext::block_multiply(std::size_t block_size)
            "kernel has no blocked-multiply stage");
     assert(block_size >= 1 && block_size <= mm_.size());
     std::unique_ptr<sched::BlockSchedule> &slot = mm_[block_size - 1];
+    tally_mm_.count(slot != nullptr);
+    count_memo(slot != nullptr);
     if (!slot)
         slot = std::make_unique<sched::BlockSchedule>(
             sched::schedule_block_multiply(mask_a_, mask_b_, block_size,
@@ -143,6 +166,24 @@ SweepContext::best_block_size()
         best_block_ = best;
     }
     return *best_block_;
+}
+
+SweepMemoStats
+SweepContext::memo_stats() const
+{
+    const auto load = [](const std::atomic<std::uint64_t> &v) {
+        return v.load(std::memory_order_relaxed);
+    };
+    SweepMemoStats s;
+    s.forward_hits = load(tally_fwd_.hits);
+    s.forward_misses = load(tally_fwd_.misses);
+    s.backward_hits = load(tally_bwd_.hits);
+    s.backward_misses = load(tally_bwd_.misses);
+    s.pipelined_hits = load(tally_pipelined_.hits);
+    s.pipelined_misses = load(tally_pipelined_.misses);
+    s.block_hits = load(tally_mm_.hits);
+    s.block_misses = load(tally_mm_.misses);
+    return s;
 }
 
 accel::AcceleratorDesign

@@ -24,6 +24,7 @@
 #ifndef ROBOSHAPE_CORE_SWEEP_CONTEXT_H
 #define ROBOSHAPE_CORE_SWEEP_CONTEXT_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -39,6 +40,31 @@
 
 namespace roboshape {
 namespace core {
+
+/**
+ * Memoization effectiveness of one SweepContext, split by cache.  A "hit"
+ * is an accessor call that found its slot already filled; a "miss" ran the
+ * scheduler.  For an n^3-point sweep the expected shape is O(n) misses and
+ * O(n^3) hits — the whole point of the context (see memo_stats()).
+ */
+struct SweepMemoStats
+{
+    std::uint64_t forward_hits = 0, forward_misses = 0;
+    std::uint64_t backward_hits = 0, backward_misses = 0;
+    std::uint64_t pipelined_hits = 0, pipelined_misses = 0;
+    std::uint64_t block_hits = 0, block_misses = 0;
+
+    std::uint64_t hits() const
+    {
+        return forward_hits + backward_hits + pipelined_hits + block_hits;
+    }
+
+    std::uint64_t misses() const
+    {
+        return forward_misses + backward_misses + pipelined_misses +
+               block_misses;
+    }
+};
 
 class SweepContext
 {
@@ -98,6 +124,14 @@ class SweepContext
      *  construction path (no scheduler re-runs beyond cache misses). */
     accel::AcceleratorDesign design(const accel::AcceleratorParams &p);
 
+    /**
+     * Snapshot of the memoization hit/miss counters since construction.
+     * Counters are atomic (precompute_stage_schedules fills caches from
+     * multiple workers) and also mirrored into the obs registry as
+     * sweep.memo_hits / sweep.memo_misses.
+     */
+    SweepMemoStats memo_stats() const;
+
   private:
     std::shared_ptr<const topology::RobotModel> model_;
     std::shared_ptr<const topology::TopologyInfo> topo_;
@@ -115,6 +149,20 @@ class SweepContext
     std::vector<std::unique_ptr<sched::Schedule>> pipelined_;
     std::vector<std::unique_ptr<sched::BlockSchedule>> mm_;
     std::optional<std::size_t> best_block_;
+
+    /** Per-cache hit/miss tallies behind memo_stats().  Atomic because
+     *  precompute_stage_schedules() drives the accessors from a pool. */
+    struct MemoTally
+    {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+
+        void count(bool hit) noexcept
+        {
+            (hit ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+    mutable MemoTally tally_fwd_, tally_bwd_, tally_pipelined_, tally_mm_;
 };
 
 } // namespace core

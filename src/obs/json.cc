@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Implementation of the streaming JSON writer and validator.
+ */
+
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace roboshape {
+namespace obs {
+
+std::string
+json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline_indent()
+{
+    if (indent_ <= 0)
+        return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth_ * indent_), ' ');
+}
+
+void
+JsonWriter::before_value()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (need_comma_)
+        out_ += ',';
+    if (depth_ > 0)
+        newline_indent();
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    before_value();
+    out_ += '{';
+    ++depth_;
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    --depth_;
+    if (need_comma_)
+        newline_indent();
+    out_ += '}';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    before_value();
+    out_ += '[';
+    ++depth_;
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    --depth_;
+    if (need_comma_)
+        newline_indent();
+    out_ += ']';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (need_comma_)
+        out_ += ',';
+    newline_indent();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += indent_ > 0 ? "\": " : "\":";
+    need_comma_ = true;
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    before_value();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    before_value();
+    char buf[32];
+    // Shortest representation that round-trips: try increasing precision.
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    out_ += buf;
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    before_value();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out_ += buf;
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    before_value();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    before_value();
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    before_value();
+    out_ += "null";
+    need_comma_ = true;
+    return *this;
+}
+
+namespace {
+
+/** Recursive-descent JSON syntax checker. */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        ok_ = true;
+        pos_ = 0;
+        skip_ws();
+        parse_value(0);
+        skip_ws();
+        if (ok_ && pos_ != text_.size())
+            fail("trailing content");
+        if (!ok_ && error)
+            *error = error_;
+        return ok_;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    void
+    fail(const char *what)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = std::string(what) + " at byte " + std::to_string(pos_);
+        }
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return eof() ? '\0' : text_[pos_]; }
+
+    void
+    skip_ws()
+    {
+        while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                          text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    expect_literal(const char *lit)
+    {
+        const std::size_t len = std::strlen(lit);
+        if (text_.compare(pos_, len, lit) != 0) {
+            fail("bad literal");
+            return;
+        }
+        pos_ += len;
+    }
+
+    void
+    parse_string()
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return;
+        }
+        while (ok_) {
+            if (eof()) {
+                fail("unterminated string");
+                return;
+            }
+            const char c = text_[pos_++];
+            if (c == '"')
+                return;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return;
+            }
+            if (c == '\\') {
+                if (eof()) {
+                    fail("unterminated escape");
+                    return;
+                }
+                const char e = text_[pos_++];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = peek();
+                        const bool hex = (h >= '0' && h <= '9') ||
+                                         (h >= 'a' && h <= 'f') ||
+                                         (h >= 'A' && h <= 'F');
+                        if (!hex) {
+                            fail("bad \\u escape");
+                            return;
+                        }
+                        ++pos_;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    fail("bad escape");
+                    return;
+                }
+            }
+        }
+    }
+
+    void
+    parse_number()
+    {
+        consume('-');
+        if (consume('0')) {
+            // no leading zeros
+        } else if (peek() >= '1' && peek() <= '9') {
+            while (peek() >= '0' && peek() <= '9')
+                ++pos_;
+        } else {
+            fail("bad number");
+            return;
+        }
+        if (consume('.')) {
+            if (!(peek() >= '0' && peek() <= '9')) {
+                fail("bad fraction");
+                return;
+            }
+            while (peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!(peek() >= '0' && peek() <= '9')) {
+                fail("bad exponent");
+                return;
+            }
+            while (peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+    }
+
+    void
+    parse_value(int depth)
+    {
+        if (!ok_)
+            return;
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return;
+        }
+        switch (peek()) {
+          case '{': {
+            ++pos_;
+            skip_ws();
+            if (consume('}'))
+                return;
+            while (ok_) {
+                skip_ws();
+                parse_string();
+                skip_ws();
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    return;
+                }
+                skip_ws();
+                parse_value(depth + 1);
+                skip_ws();
+                if (consume('}'))
+                    return;
+                if (!consume(',')) {
+                    fail("expected ',' or '}'");
+                    return;
+                }
+            }
+            return;
+          }
+          case '[': {
+            ++pos_;
+            skip_ws();
+            if (consume(']'))
+                return;
+            while (ok_) {
+                skip_ws();
+                parse_value(depth + 1);
+                skip_ws();
+                if (consume(']'))
+                    return;
+                if (!consume(',')) {
+                    fail("expected ',' or ']'");
+                    return;
+                }
+            }
+            return;
+          }
+          case '"':
+            parse_string();
+            return;
+          case 't':
+            expect_literal("true");
+            return;
+          case 'f':
+            expect_literal("false");
+            return;
+          case 'n':
+            expect_literal("null");
+            return;
+          default:
+            parse_number();
+            return;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+validate_json(std::string_view text, std::string *error)
+{
+    return Validator(text).run(error);
+}
+
+} // namespace obs
+} // namespace roboshape

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal streaming JSON writer and validator.
+ *
+ * Every machine-readable artifact the repo emits — Chrome trace files,
+ * RunReports, the bench gate JSON — used to be hand-rolled printf strings
+ * with per-bench escaping bugs waiting to happen.  JsonWriter centralizes
+ * the escaping and the comma bookkeeping while keeping the output
+ * deterministic: fields appear exactly in the order they are written, so
+ * golden-file tests can compare byte-for-byte.
+ *
+ * validate_json() is a strict RFC 8259 syntax checker used by the trace
+ * exporter tests and the CLI to assert emitted artifacts actually parse.
+ * It validates; it does not build a DOM.
+ */
+
+#ifndef ROBOSHAPE_OBS_JSON_H
+#define ROBOSHAPE_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace roboshape {
+namespace obs {
+
+/** Escapes @p s for inclusion inside a JSON string (no quotes added). */
+std::string json_escape(std::string_view s);
+
+/**
+ * Streaming writer.  Usage:
+ *
+ *     JsonWriter w;
+ *     w.begin_object();
+ *     w.key("name").value("iiwa");
+ *     w.key("cycles").value(std::int64_t{893});
+ *     w.key("knobs").begin_array();
+ *     w.value(7.0);
+ *     w.end_array();
+ *     w.end_object();
+ *     std::string out = w.str();
+ *
+ * Doubles are emitted with up to 17 significant digits (round-trip exact)
+ * but trimmed of trailing zeros; NaN/Inf (not representable in JSON)
+ * become null.
+ */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 = compact one-line. */
+    explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Writes an object key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Shorthand: key + scalar value. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void before_value();
+    void newline_indent();
+
+    std::string out_;
+    int indent_ = 0;
+    int depth_ = 0;
+    bool need_comma_ = false;
+    bool after_key_ = false;
+};
+
+/**
+ * Strict JSON syntax check.  Returns true when @p text is one complete
+ * JSON value with nothing but whitespace after it; on failure @p error
+ * (when non-null) receives a short description with a byte offset.
+ */
+bool validate_json(std::string_view text, std::string *error = nullptr);
+
+} // namespace obs
+} // namespace roboshape
+
+#endif // ROBOSHAPE_OBS_JSON_H

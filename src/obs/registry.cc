@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Implementation of the counter/histogram registry.
+ */
+
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace roboshape {
+namespace obs {
+
+void
+Histogram::record(std::int64_t v) noexcept
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Lock-free min/max via compare-exchange loops; contention is rare
+    // (values near the extremes only).
+    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const noexcept
+{
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    if (s.count > 0) {
+        s.min = min_.load(std::memory_order_relaxed);
+        s.max = max_.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+void
+Histogram::reset() noexcept
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<std::int64_t>::max(),
+               std::memory_order_relaxed);
+    max_.store(std::numeric_limits<std::int64_t>::min(),
+               std::memory_order_relaxed);
+}
+
+/** unique_ptr values give entries stable addresses across rehashing. */
+struct Registry::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms;
+};
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl instance;
+    return instance;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto it = i.counters.find(name);
+    if (it == i.counters.end())
+        it = i.counters
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto it = i.histograms.find(name);
+    if (it == i.histograms.end())
+        it = i.histograms
+                 .emplace(std::string(name), std::make_unique<Histogram>())
+                 .first;
+    return *it->second;
+}
+
+std::vector<CounterSample>
+Registry::counters() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    std::vector<CounterSample> out;
+    out.reserve(i.counters.size());
+    for (const auto &[name, counter] : i.counters)
+        out.push_back({name, counter->value()});
+    return out;
+}
+
+std::vector<HistogramSample>
+Registry::histograms() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    std::vector<HistogramSample> out;
+    out.reserve(i.histograms.size());
+    for (const auto &[name, hist] : i.histograms)
+        out.push_back({name, hist->snapshot()});
+    return out;
+}
+
+void
+Registry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (auto &[name, counter] : i.counters)
+        counter->reset();
+    for (auto &[name, hist] : i.histograms)
+        hist->reset();
+}
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+namespace {
+std::atomic<bool> g_enabled{true};
+} // namespace
+
+bool
+enabled() noexcept
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+set_enabled(bool on) noexcept
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace roboshape

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Implementation of the RunReport JSON artifact.
+ */
+
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+#ifndef ROBOSHAPE_GIT_SHA
+#define ROBOSHAPE_GIT_SHA "unknown"
+#endif
+
+namespace roboshape {
+namespace obs {
+
+const char *
+git_sha()
+{
+    return ROBOSHAPE_GIT_SHA;
+}
+
+RunReport::RunReport(std::string tool, std::string name)
+    : tool_(std::move(tool)), name_(std::move(name))
+{
+}
+
+void
+RunReport::set_params(std::size_t pes_fwd, std::size_t pes_bwd,
+                      std::size_t block_size)
+{
+    have_params_ = true;
+    pes_fwd_ = pes_fwd;
+    pes_bwd_ = pes_bwd;
+    block_size_ = block_size;
+}
+
+void
+RunReport::metric(std::string key, double v)
+{
+    Metric m;
+    m.key = std::move(key);
+    m.kind = Metric::Kind::kDouble;
+    m.d = v;
+    metrics_.push_back(std::move(m));
+}
+
+void
+RunReport::metric(std::string key, std::int64_t v)
+{
+    Metric m;
+    m.key = std::move(key);
+    m.kind = Metric::Kind::kInt;
+    m.i = v;
+    metrics_.push_back(std::move(m));
+}
+
+void
+RunReport::metric(std::string key, std::uint64_t v)
+{
+    Metric m;
+    m.key = std::move(key);
+    m.kind = Metric::Kind::kUint;
+    m.u = v;
+    metrics_.push_back(std::move(m));
+}
+
+void
+RunReport::metric(std::string key, bool v)
+{
+    Metric m;
+    m.key = std::move(key);
+    m.kind = Metric::Kind::kBool;
+    m.b = v;
+    metrics_.push_back(std::move(m));
+}
+
+void
+RunReport::metric(std::string key, std::string v)
+{
+    Metric m;
+    m.key = std::move(key);
+    m.kind = Metric::Kind::kString;
+    m.s = std::move(v);
+    metrics_.push_back(std::move(m));
+}
+
+void
+RunReport::capture_counters()
+{
+    counters_.clear();
+    for (const CounterSample &c : registry().counters())
+        counters_.emplace_back(c.name, c.value);
+    histograms_.clear();
+    for (const HistogramSample &h : registry().histograms())
+        histograms_.push_back(
+            {h.name, h.stats.count, h.stats.sum, h.stats.min, h.stats.max});
+}
+
+std::string
+RunReport::to_json(int indent) const
+{
+    JsonWriter w(indent);
+    w.begin_object();
+    w.kv("schema", kRunReportSchema);
+    w.kv("tool", tool_);
+    w.kv("name", name_);
+    w.kv("git_sha", git_sha());
+    w.kv("robot", robot_);
+    w.kv("kernel", kernel_);
+    w.key("params");
+    w.begin_object();
+    if (have_params_) {
+        w.kv("pes_fwd", pes_fwd_);
+        w.kv("pes_bwd", pes_bwd_);
+        w.kv("block_size", block_size_);
+    }
+    w.end_object();
+    w.key("metrics");
+    w.begin_object();
+    for (const Metric &m : metrics_) {
+        w.key(m.key);
+        switch (m.kind) {
+          case Metric::Kind::kDouble:
+            w.value(m.d);
+            break;
+          case Metric::Kind::kInt:
+            w.value(m.i);
+            break;
+          case Metric::Kind::kUint:
+            w.value(m.u);
+            break;
+          case Metric::Kind::kBool:
+            w.value(m.b);
+            break;
+          case Metric::Kind::kString:
+            w.value(m.s);
+            break;
+        }
+    }
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto &[name, value] : counters_)
+        w.kv(name, value);
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const HistRow &h : histograms_) {
+        w.key(h.name);
+        w.begin_object();
+        w.kv("count", h.count);
+        w.kv("sum", h.sum);
+        w.kv("min", h.min);
+        w.kv("max", h.max);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+bool
+RunReport::write(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    file << to_json();
+    return static_cast<bool>(file);
+}
+
+} // namespace obs
+} // namespace roboshape

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unified machine-readable run reports (schema "roboshape.run_report/1").
+ *
+ * Every bench, the CLI `stats`/`trace` subcommands, and the examples can
+ * emit one RunReport JSON artifact describing what ran and what it
+ * measured, so successive PRs track trajectories (latency, throughput,
+ * memo hit rates) without scraping stdout tables.  The schema is fixed and
+ * field order deterministic:
+ *
+ *   {
+ *     "schema":   "roboshape.run_report/1",
+ *     "tool":     "fig9_compute_latency",     // emitting binary
+ *     "name":     "Fig. 9 ...",               // human title
+ *     "git_sha":  "fa8a41dabc12",             // configure-time HEAD
+ *     "robot":    "iiwa",                     // optional context keys
+ *     "kernel":   "dynamics_gradient",
+ *     "params":   {"pes_fwd": 7, ...},        // design knobs when known
+ *     "metrics":  {...},                      // insertion-ordered scalars
+ *     "counters": {...},                      // obs registry snapshot
+ *     "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..}, ...}
+ *   }
+ *
+ * Optional sections are present-but-empty rather than omitted, so
+ * downstream readers never branch on key existence.
+ */
+
+#ifndef ROBOSHAPE_OBS_RUN_REPORT_H
+#define ROBOSHAPE_OBS_RUN_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace roboshape {
+namespace obs {
+
+/** Version tag written into every report's "schema" field. */
+inline constexpr const char *kRunReportSchema = "roboshape.run_report/1";
+
+/** HEAD commit recorded at configure time ("unknown" outside a checkout). */
+const char *git_sha();
+
+class RunReport
+{
+  public:
+    RunReport(std::string tool, std::string name);
+
+    /** Context setters; empty strings are emitted as "" (never omitted). */
+    void set_robot(std::string robot) { robot_ = std::move(robot); }
+    void set_kernel(std::string kernel) { kernel_ = std::move(kernel); }
+    /** Design knobs; shown as the "params" object when set. */
+    void set_params(std::size_t pes_fwd, std::size_t pes_bwd,
+                    std::size_t block_size);
+
+    /** Appends one metric; duplicate keys are emitted in order given. */
+    void metric(std::string key, double v);
+    void metric(std::string key, std::int64_t v);
+    void metric(std::string key, std::uint64_t v);
+    void metric(std::string key, unsigned v)
+    {
+        metric(std::move(key), static_cast<std::uint64_t>(v));
+    }
+    void metric(std::string key, int v)
+    {
+        metric(std::move(key), static_cast<std::int64_t>(v));
+    }
+    void metric(std::string key, bool v);
+    void metric(std::string key, std::string v);
+
+    /** Snapshots the process-wide obs registry into the report. */
+    void capture_counters();
+
+    /** Deterministic JSON rendering of the full schema above. */
+    std::string to_json(int indent = 2) const;
+
+    /** Writes to_json() to @p path; returns false on I/O failure. */
+    bool write(const std::string &path) const;
+
+  private:
+    struct Metric
+    {
+        enum class Kind
+        {
+            kDouble,
+            kInt,
+            kUint,
+            kBool,
+            kString,
+        };
+        std::string key;
+        Kind kind = Kind::kDouble;
+        double d = 0.0;
+        std::int64_t i = 0;
+        std::uint64_t u = 0;
+        bool b = false;
+        std::string s;
+    };
+
+    std::string tool_;
+    std::string name_;
+    std::string robot_;
+    std::string kernel_;
+    bool have_params_ = false;
+    std::size_t pes_fwd_ = 0, pes_bwd_ = 0, block_size_ = 0;
+    std::vector<Metric> metrics_;
+    std::vector<std::pair<std::string, std::uint64_t>> counters_;
+    struct HistRow
+    {
+        std::string name;
+        std::uint64_t count;
+        std::int64_t sum, min, max;
+    };
+    std::vector<HistRow> histograms_;
+};
+
+} // namespace obs
+} // namespace roboshape
+
+#endif // ROBOSHAPE_OBS_RUN_REPORT_H

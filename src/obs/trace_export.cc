@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Implementation of Chrome trace-event export.
+ */
+
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.h"
+
+namespace roboshape {
+namespace obs {
+
+namespace {
+
+using sched::PeClass;
+using sched::Placement;
+using sched::Schedule;
+using sched::TaskGraph;
+using sched::TaskId;
+
+/** Per-PE placements in start order, keyed by (class, pe) row index. */
+std::vector<std::vector<const Placement *>>
+placements_by_pe(const Schedule &s)
+{
+    const std::size_t fwd = s.forward_rom.size();
+    const std::size_t bwd = s.backward_rom.size();
+    std::vector<std::vector<const Placement *>> rows(fwd + bwd);
+    // The schedule ROMs already list task ids per PE in dispatch order,
+    // which for a single PE equals start order.
+    for (std::size_t pe = 0; pe < fwd; ++pe)
+        for (TaskId id : s.forward_rom[pe])
+            rows[pe].push_back(&s.placements[id]);
+    for (std::size_t pe = 0; pe < bwd; ++pe)
+        for (TaskId id : s.backward_rom[pe])
+            rows[fwd + pe].push_back(&s.placements[id]);
+    return rows;
+}
+
+/** Cycle every dependency of @p id placed in @p s has finished by. */
+std::int64_t
+ready_cycle(const TaskGraph &graph, const Schedule &s, TaskId id)
+{
+    std::int64_t ready = 0;
+    for (TaskId d : graph.task(id).deps) {
+        const Placement &dp = s.placements[d];
+        if (dp.task != sched::kNoTask)
+            ready = std::max(ready, dp.finish);
+    }
+    return ready;
+}
+
+const char *
+task_type_name(sched::TaskType t)
+{
+    return sched::to_string(t);
+}
+
+/** One "X" (complete) trace event with a fixed field order. */
+void
+emit_event(JsonWriter &w, const std::string &name, const char *cat,
+           std::int64_t ts, std::int64_t dur, int pid, int tid)
+{
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("cat", cat);
+    w.kv("ph", "X");
+    w.kv("ts", ts);
+    w.kv("dur", dur);
+    w.kv("pid", pid);
+    w.kv("tid", tid);
+}
+
+void
+emit_metadata(JsonWriter &w, const char *what, int pid, int tid,
+              const std::string &name)
+{
+    w.begin_object();
+    w.kv("name", what);
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    if (tid >= 0)
+        w.kv("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+} // namespace
+
+std::vector<PeAccount>
+account_schedule(const TaskGraph &graph, const Schedule &schedule)
+{
+    const std::size_t fwd = schedule.forward_rom.size();
+    const auto rows = placements_by_pe(schedule);
+    std::vector<PeAccount> out;
+    out.reserve(rows.size());
+    for (std::size_t row = 0; row < rows.size(); ++row) {
+        PeAccount acct;
+        acct.pe_class = row < fwd ? PeClass::kForward : PeClass::kBackward;
+        acct.pe = static_cast<int>(row < fwd ? row : row - fwd);
+        std::int64_t cursor = 0;
+        for (const Placement *p : rows[row]) {
+            assert(p->start >= cursor && "ROM order is start order");
+            if (p->start > cursor) {
+                const std::int64_t ready =
+                    std::clamp(ready_cycle(graph, schedule, p->task),
+                               cursor, p->start);
+                acct.stall += ready - cursor;
+                acct.idle += p->start - ready;
+            }
+            acct.busy += p->finish - p->start;
+            cursor = p->finish;
+        }
+        acct.idle += schedule.makespan - cursor;
+        out.push_back(acct);
+    }
+    return out;
+}
+
+std::string
+schedule_trace_json(const TaskGraph &graph, const Schedule &schedule,
+                    const ScheduleTraceOptions &options)
+{
+    const std::size_t fwd = schedule.forward_rom.size();
+    const auto rows = placements_by_pe(schedule);
+
+    JsonWriter w(1);
+    w.begin_object();
+    w.kv("displayTimeUnit", "ms");
+    w.key("otherData");
+    w.begin_object();
+    w.kv("schema", kTraceSchema);
+    w.kv("robot", options.robot);
+    w.kv("kernel", options.kernel);
+    w.kv("time_unit", "cycles");
+    w.kv("clock_period_ns", options.clock_period_ns);
+    w.kv("makespan_cycles", schedule.makespan);
+    w.kv("forward_pes", fwd);
+    w.kv("backward_pes", schedule.backward_rom.size());
+    w.end_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    emit_metadata(w, "process_name", 0, -1, "forward PEs");
+    emit_metadata(w, "process_name", 1, -1, "backward PEs");
+    for (std::size_t row = 0; row < rows.size(); ++row) {
+        const bool is_fwd = row < fwd;
+        const int pid = is_fwd ? 0 : 1;
+        const int tid = static_cast<int>(is_fwd ? row : row - fwd);
+        emit_metadata(w, "thread_name", pid, tid,
+                      (is_fwd ? "fwd" : "bwd") + std::to_string(tid));
+    }
+
+    for (std::size_t row = 0; row < rows.size(); ++row) {
+        const bool is_fwd = row < fwd;
+        const int pid = is_fwd ? 0 : 1;
+        const int tid = static_cast<int>(is_fwd ? row : row - fwd);
+        std::int64_t cursor = 0;
+        for (const Placement *p : rows[row]) {
+            if (p->start > cursor) {
+                const std::int64_t ready =
+                    std::clamp(ready_cycle(graph, schedule, p->task),
+                               cursor, p->start);
+                if (ready > cursor) {
+                    emit_event(w, "stall", "stall", cursor, ready - cursor,
+                               pid, tid);
+                    w.end_object();
+                }
+                if (p->start > ready) {
+                    emit_event(w, "idle", "idle", ready, p->start - ready,
+                               pid, tid);
+                    w.end_object();
+                }
+            }
+            const sched::Task &task = graph.task(p->task);
+            emit_event(w, task.label(), "task", p->start,
+                       p->finish - p->start, pid, tid);
+            w.key("args");
+            w.begin_object();
+            w.kv("task", static_cast<std::int64_t>(p->task));
+            w.kv("link", static_cast<std::int64_t>(task.link));
+            w.kv("column", static_cast<std::int64_t>(task.column));
+            w.kv("type", task_type_name(task.type));
+            w.end_object();
+            w.end_object();
+            cursor = p->finish;
+        }
+        if (schedule.makespan > cursor) {
+            emit_event(w, "idle", "idle", cursor,
+                       schedule.makespan - cursor, pid, tid);
+            w.end_object();
+        }
+    }
+
+    w.end_array();
+    w.end_object();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+std::string
+wall_spans_trace_json(const std::vector<WallSpan> &spans)
+{
+    std::uint64_t base = 0;
+    bool have_base = false;
+    std::uint32_t max_tid = 0;
+    for (const WallSpan &s : spans) {
+        if (!have_base || s.t0_ns < base) {
+            base = s.t0_ns;
+            have_base = true;
+        }
+        max_tid = std::max(max_tid, s.tid);
+    }
+
+    JsonWriter w(1);
+    w.begin_object();
+    w.kv("displayTimeUnit", "ns");
+    w.key("otherData");
+    w.begin_object();
+    w.kv("schema", kTraceSchema);
+    w.kv("time_unit", "wall_us");
+    w.kv("spans", spans.size());
+    w.end_object();
+    w.key("traceEvents");
+    w.begin_array();
+    emit_metadata(w, "process_name", 0, -1, "SimEngine wall clock");
+    if (!spans.empty())
+        for (std::uint32_t tid = 0; tid <= max_tid; ++tid)
+            emit_metadata(w, "thread_name", 0, static_cast<int>(tid),
+                          "worker" + std::to_string(tid));
+    for (const WallSpan &s : spans) {
+        w.begin_object();
+        w.kv("name", s.name);
+        w.kv("cat", s.category);
+        w.kv("ph", "X");
+        w.kv("ts", static_cast<double>(s.t0_ns - base) / 1000.0);
+        w.kv("dur", static_cast<double>(s.t1_ns - s.t0_ns) / 1000.0);
+        w.kv("pid", 0);
+        w.kv("tid", static_cast<std::int64_t>(s.tid));
+        if (s.arg0 >= 0 || s.arg1 >= 0) {
+            w.key("args");
+            w.begin_object();
+            if (s.arg0 >= 0)
+                w.kv("link", static_cast<std::int64_t>(s.arg0));
+            if (s.arg1 >= 0)
+                w.kv("column", static_cast<std::int64_t>(s.arg1));
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+} // namespace obs
+} // namespace roboshape

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Chrome trace-event export of schedules and wall-clock spans.
+ *
+ * Renders any sched::Schedule as a Chrome trace-event JSON document —
+ * loadable in Perfetto (ui.perfetto.dev) or chrome://tracing — with one
+ * track per processing element and three span categories:
+ *
+ *   - "task":  a placed task occupying its PE ([start, finish) cycles);
+ *   - "stall": the PE is free but the next task's dependencies have not
+ *              finished yet (dependency wait);
+ *   - "idle":  the PE is free and no obligation is pending (pool
+ *              over-provisioning or scheduler choice).
+ *
+ * The three categories tile each PE's timeline exactly: for every PE,
+ * busy + stall + idle == the schedule's makespan.  account_schedule()
+ * exposes that decomposition directly (the CLI `trace` subcommand and the
+ * golden tests assert the invariant).
+ *
+ * Timestamps are in *cycles*, written into the trace's microsecond field
+ * one-to-one (Perfetto then displays 1 cycle as 1us); the synthesized
+ * clock period travels alongside in otherData.clock_period_ns for tools
+ * that want wall-clock scaling.  All output is deterministic: field order
+ * is fixed and events are emitted row by row in time order, so traces
+ * golden-compare byte-for-byte.
+ */
+
+#ifndef ROBOSHAPE_OBS_TRACE_EXPORT_H
+#define ROBOSHAPE_OBS_TRACE_EXPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/wall_trace.h"
+#include "sched/list_scheduler.h"
+#include "sched/task_graph.h"
+
+namespace roboshape {
+namespace obs {
+
+/** Schema tag written into otherData.schema of every exported trace. */
+inline constexpr const char *kTraceSchema = "roboshape.trace/1";
+
+/** Exact cycle decomposition of one PE's timeline. */
+struct PeAccount
+{
+    sched::PeClass pe_class = sched::PeClass::kForward;
+    int pe = 0;
+    std::int64_t busy = 0;  ///< Cycles executing tasks.
+    std::int64_t stall = 0; ///< Cycles free but blocked on dependencies.
+    std::int64_t idle = 0;  ///< Cycles free with nothing pending.
+
+    std::int64_t total() const { return busy + stall + idle; }
+};
+
+/**
+ * Decomposes every PE of @p schedule into busy/stall/idle cycles.
+ *
+ * A gap before a task is "stall" up to the cycle its last dependency
+ * finishes (dependencies without a placement in this schedule — e.g.
+ * cross-stage deps of a staged schedule — count as ready at cycle 0) and
+ * "idle" after that; trailing time to the makespan is idle.  Invariant:
+ * account.total() == schedule.makespan for every returned entry.
+ */
+std::vector<PeAccount> account_schedule(const sched::TaskGraph &graph,
+                                        const sched::Schedule &schedule);
+
+/** Labels and scaling carried into the exported trace's otherData. */
+struct ScheduleTraceOptions
+{
+    std::string robot;          ///< otherData.robot ("" = omitted value).
+    std::string kernel;         ///< otherData.kernel.
+    double clock_period_ns = 0; ///< otherData.clock_period_ns (0 = unknown).
+};
+
+/**
+ * Renders @p schedule as a Chrome trace-event JSON document (object form
+ * with "traceEvents").  Forward PEs are process 0, backward PEs process 1;
+ * each PE is one named thread ("fwd3", "bwd0").  Task events carry
+ * args.task/link/column/type for Perfetto queries.
+ */
+std::string schedule_trace_json(const sched::TaskGraph &graph,
+                                const sched::Schedule &schedule,
+                                const ScheduleTraceOptions &options = {});
+
+/**
+ * Renders wall-clock spans (obs/wall_trace.h) as Chrome trace-event JSON;
+ * timestamps are nanoseconds rebased to the earliest span and written as
+ * fractional microseconds.  One thread track per recorded tid.
+ */
+std::string wall_spans_trace_json(const std::vector<WallSpan> &spans);
+
+} // namespace obs
+} // namespace roboshape
+
+#endif // ROBOSHAPE_OBS_TRACE_EXPORT_H

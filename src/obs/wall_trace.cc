@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of wall-clock span tracing.
+ */
+
+#include "obs/wall_trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace roboshape {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+struct TraceStore
+{
+    std::mutex mu;
+    std::vector<WallSpan> spans;
+    std::map<std::thread::id, std::uint32_t> tids;
+
+    std::uint32_t
+    tid_of(std::thread::id id)
+    {
+        // Called under mu.
+        const auto it = tids.find(id);
+        if (it != tids.end())
+            return it->second;
+        const auto dense = static_cast<std::uint32_t>(tids.size());
+        tids.emplace(id, dense);
+        return dense;
+    }
+};
+
+TraceStore &
+store()
+{
+    static TraceStore s;
+    return s;
+}
+
+} // namespace
+
+std::uint64_t
+wall_now_ns() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool
+wall_trace_enabled() noexcept
+{
+#ifdef ROBOSHAPE_NO_OBS
+    return false;
+#else
+    return g_tracing.load(std::memory_order_relaxed);
+#endif
+}
+
+void
+set_wall_trace_enabled(bool on) noexcept
+{
+    g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void
+clear_wall_trace()
+{
+    TraceStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.spans.clear();
+    s.tids.clear();
+}
+
+void
+record_wall_span(const char *name, const char *category,
+                 std::uint64_t t0_ns, std::uint64_t t1_ns,
+                 std::int32_t arg0, std::int32_t arg1)
+{
+    if (!wall_trace_enabled())
+        return;
+    TraceStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    WallSpan span;
+    span.name = name;
+    span.category = category;
+    span.t0_ns = t0_ns;
+    span.t1_ns = t1_ns;
+    span.tid = s.tid_of(std::this_thread::get_id());
+    span.arg0 = arg0;
+    span.arg1 = arg1;
+    s.spans.push_back(span);
+}
+
+std::vector<WallSpan>
+wall_trace_spans()
+{
+    TraceStore &s = store();
+    std::vector<WallSpan> out;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        out = s.spans;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const WallSpan &a, const WallSpan &b) {
+                  if (a.t0_ns != b.t0_ns)
+                      return a.t0_ns < b.t0_ns;
+                  if (a.t1_ns != b.t1_ns)
+                      return a.t1_ns < b.t1_ns;
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    return out;
+}
+
+} // namespace obs
+} // namespace roboshape

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "obs/registry.h"
+
 namespace roboshape {
 namespace sched {
 
@@ -151,6 +153,12 @@ schedule_block_multiply(const SparsityMask &a, const SparsityMask &b,
     for (std::int64_t c : chains)
         *std::min_element(unit_loads.begin(), unit_loads.end()) += c;
     out.makespan = *std::max_element(unit_loads.begin(), unit_loads.end());
+
+    ROBOSHAPE_OBS_COUNT("sched.block_runs", 1);
+    ROBOSHAPE_OBS_COUNT("sched.block_executed_tiles", out.executed_tiles);
+    ROBOSHAPE_OBS_COUNT("sched.block_nop_tiles", out.nop_tiles);
+    ROBOSHAPE_OBS_COUNT("sched.block_padded_zeros",
+                        out.padded_zero_elements);
     return out;
 }
 

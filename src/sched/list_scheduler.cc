@@ -12,6 +12,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/registry.h"
+
 namespace roboshape {
 namespace sched {
 
@@ -257,8 +259,16 @@ Engine::run()
     completions.reserve(pool_[0].size() + pool_[1].size());
     const auto later = std::greater<std::pair<std::int64_t, TaskId>>{};
 
+    // Aggregated locally and published to the obs registry once per run,
+    // keeping the event loop free of atomics.
+    std::size_t placed = 0;
+    std::size_t ready_depth_peak = 0;
+    std::uint64_t deferred = 0;
+
     std::int64_t now = 0;
     while (remaining > 0 || !completions.empty()) {
+        ready_depth_peak = std::max(
+            ready_depth_peak, ws_.ready[0].size() + ws_.ready[1].size());
         // Dispatch onto every idle PE.
         for (int cls = 0; cls < 2; ++cls) {
             for (std::size_t pe = 0; pe < pool_[cls].size(); ++pe) {
@@ -285,8 +295,12 @@ Engine::run()
                 std::push_heap(completions.begin(), completions.end(),
                                later);
                 --remaining;
+                ++placed;
             }
         }
+        // Ready tasks left over after a dispatch round lost a placement
+        // conflict: every PE of their pool is busy this cycle.
+        deferred += ws_.ready[0].size() + ws_.ready[1].size();
 
         if (completions.empty()) {
             assert(remaining == 0);
@@ -313,6 +327,13 @@ Engine::run()
         else
             s.backward_makespan = std::max(s.backward_makespan, p.finish);
     }
+
+    ROBOSHAPE_OBS_COUNT("sched.list_runs", 1);
+    ROBOSHAPE_OBS_COUNT("sched.tasks_placed", placed);
+    ROBOSHAPE_OBS_COUNT("sched.placement_conflicts", deferred);
+    ROBOSHAPE_OBS_COUNT("sched.checkpoint_restores",
+                        s.checkpoint_restores);
+    ROBOSHAPE_OBS_RECORD("sched.ready_depth_peak", ready_depth_peak);
     return s;
 }
 

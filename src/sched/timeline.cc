@@ -6,11 +6,20 @@
 #include "sched/timeline.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <vector>
 
 namespace roboshape {
 namespace sched {
+
+namespace {
+
+/** Base-36 glyph alphabet; links alias only past 36 (humanoid tops at 27). */
+constexpr char kGlyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+constexpr std::size_t kGlyphCount = sizeof(kGlyphs) - 1;
+
+} // namespace
 
 std::string
 render_timeline(const TaskGraph &graph, const Schedule &schedule,
@@ -39,7 +48,9 @@ render_timeline(const TaskGraph &graph, const Schedule &schedule,
             p.pe_class == PeClass::kForward
                 ? static_cast<std::size_t>(p.pe)
                 : fwd_pes + static_cast<std::size_t>(p.pe);
-        const char glyph = "0123456789abcdef"[graph.task(p.task).link % 16];
+        const char glyph =
+            kGlyphs[static_cast<std::size_t>(graph.task(p.task).link) %
+                    kGlyphCount];
         for (std::int64_t c = p.start; c < p.finish; ++c) {
             const std::size_t col = static_cast<std::size_t>(c / bucket);
             if (col < width)
@@ -55,6 +66,27 @@ render_timeline(const TaskGraph &graph, const Schedule &schedule,
         os << "bwd" << r << " |" << rows[fwd_pes + r] << "|\n";
 
     if (with_legend) {
+        // Glyph legend: every glyph with the link(s) it stands for, so an
+        // aliased glyph (two links congruent mod 36) is never ambiguous.
+        std::map<char, std::vector<int>> links_by_glyph;
+        for (const Placement &p : schedule.placements) {
+            if (p.task == kNoTask)
+                continue;
+            const int link = graph.task(p.task).link;
+            auto &links =
+                links_by_glyph[kGlyphs[static_cast<std::size_t>(link) %
+                                       kGlyphCount]];
+            if (std::find(links.begin(), links.end(), link) == links.end())
+                links.push_back(link);
+        }
+        os << "glyphs:";
+        for (auto &[glyph, links] : links_by_glyph) {
+            std::sort(links.begin(), links.end());
+            os << " " << glyph << "=";
+            for (std::size_t i = 0; i < links.size(); ++i)
+                os << (i == 0 ? "link" : ",link") << links[i];
+        }
+        os << "\n";
         os << "starts:";
         std::vector<const Placement *> ordered;
         for (const Placement &p : schedule.placements)

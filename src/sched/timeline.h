@@ -22,8 +22,21 @@ namespace sched {
  * Renders @p schedule as text.
  *
  * Each PE row shows one character per bucket of cycles: '.' idle, or the
- * last hex digit of the link whose task occupies the bucket.  A legend of
- * task starts follows when @p with_legend is set.
+ * base-36 digit (0-9a-z) of `link % 36` for the link whose task occupies
+ * the bucket.  Base 36 covers every bundled robot without aliasing (the
+ * largest, the full humanoid, has 27 links); larger robots alias links
+ * congruent mod 36, which the legend disambiguates.
+ *
+ * Bucketing rule: a row is at most @p max_width characters, so each
+ * character stands for `bucket = ceil(makespan / max_width)` cycles
+ * (1 when the makespan already fits).  Within a bucket the glyph of the
+ * *last placement drawn* that overlaps it wins; placements are drawn in
+ * Schedule::placements order, i.e. task-id order, not start order.
+ *
+ * When @p with_legend is set two legend lines follow the rows: "glyphs:"
+ * maps every used glyph to its link(s) — an aliased glyph lists all of
+ * them ("a=link10,link46") so the rendering is never ambiguous — and
+ * "starts:" lists every task's label and start cycle.
  *
  * @param max_width maximum characters per row; cycles are bucketed to fit.
  */

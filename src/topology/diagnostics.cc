@@ -6,6 +6,9 @@
 #include "topology/diagnostics.h"
 
 #include <sstream>
+#include <string>
+
+#include "obs/registry.h"
 
 namespace roboshape {
 namespace topology {
@@ -162,6 +165,20 @@ ValidationReport::add(Diagnostic d)
 {
     if (d.severity == Severity::kError)
         ++errors_;
+    ROBOSHAPE_OBS_COUNT("urdf.diagnostics", 1);
+    if (d.severity == Severity::kError)
+        ROBOSHAPE_OBS_COUNT("urdf.errors", 1);
+    else
+        ROBOSHAPE_OBS_COUNT("urdf.warnings", 1);
+#ifndef ROBOSHAPE_NO_OBS
+    // Per-ParseErrorCode tallies.  The name is dynamic, so this goes
+    // through the registry directly instead of the static-caching macro.
+    if (obs::enabled())
+        obs::registry()
+            .counter(std::string("urdf.diag.") +
+                     topology::to_string(d.code))
+            .add(1);
+#endif
     diagnostics_.push_back(std::move(d));
 }
 

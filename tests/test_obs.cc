@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the observability subsystem (docs/OBSERVABILITY.md): the JSON
+ * writer/validator, the counter/histogram registry, run reports, wall-span
+ * tracing, and the Chrome trace exporter — including the golden-file check
+ * and the busy+stall+idle == makespan tiling invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "accel/design.h"
+#include "accel/sim_engine.h"
+#include "core/sweep_context.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/trace_export.h"
+#include "obs/wall_trace.h"
+#include "sched/timeline.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace roboshape {
+namespace obs {
+namespace {
+
+using topology::RobotId;
+using topology::RobotModel;
+using topology::build_robot;
+using topology::robot_name;
+
+// ---------------------------------------------------------- JSON writer ----
+
+TEST(JsonWriter, CompactEscapedOutput)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.key("s").value("a\"b\\c\n\t\x01");
+    w.key("arr").begin_array();
+    w.value(1);
+    w.value(true);
+    w.null();
+    w.end_array();
+    w.end_object();
+    EXPECT_EQ(w.str(),
+              "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\",\"arr\":[1,true,null]}");
+    EXPECT_TRUE(validate_json(w.str()));
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFiniteBecomesNull)
+{
+    JsonWriter w;
+    w.begin_array();
+    w.value(0.1);
+    w.value(1.0 / 3.0);
+    w.value(std::nan(""));
+    w.end_array();
+    EXPECT_TRUE(validate_json(w.str()));
+    EXPECT_NE(w.str().find("null"), std::string::npos);
+
+    double back = 0.0;
+    std::sscanf(w.str().c_str() + 1, "%lf", &back);
+    EXPECT_EQ(back, 0.1);
+}
+
+TEST(JsonWriter, IndentedOutputIsValidAndDeterministic)
+{
+    const auto render = [] {
+        JsonWriter w(2);
+        w.begin_object();
+        w.kv("a", 1);
+        w.key("b").begin_object();
+        w.kv("c", "x");
+        w.end_object();
+        w.end_object();
+        return w.str();
+    };
+    EXPECT_EQ(render(), render());
+    EXPECT_TRUE(validate_json(render()));
+}
+
+TEST(ValidateJson, AcceptsAndRejects)
+{
+    EXPECT_TRUE(validate_json("{}"));
+    EXPECT_TRUE(validate_json(" [1, 2.5e-3, \"x\", null, true] "));
+    EXPECT_TRUE(validate_json("\"\\u00e9\""));
+
+    std::string error;
+    EXPECT_FALSE(validate_json("{", &error));
+    EXPECT_FALSE(validate_json("[1,]", &error));
+    EXPECT_FALSE(validate_json("{\"a\":1} trailing", &error));
+    EXPECT_FALSE(validate_json("01", &error));
+    EXPECT_FALSE(validate_json("\"\x01\"", &error));
+    EXPECT_NE(error.find("at byte"), std::string::npos);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Registry, CountersAndHistogramsSnapshot)
+{
+    obs::set_enabled(true);
+    Counter &c = registry().counter("test.obs.counter");
+    const std::uint64_t before = c.value();
+    ROBOSHAPE_OBS_COUNT("test.obs.counter", 3);
+    ROBOSHAPE_OBS_COUNT("test.obs.counter", 2);
+#ifndef ROBOSHAPE_NO_OBS
+    EXPECT_EQ(c.value(), before + 5);
+#else
+    EXPECT_EQ(c.value(), before);
+#endif
+
+    Histogram &h = registry().histogram("test.obs.hist");
+    h.reset();
+    ROBOSHAPE_OBS_RECORD("test.obs.hist", 4);
+    ROBOSHAPE_OBS_RECORD("test.obs.hist", -2);
+    const Histogram::Snapshot s = h.snapshot();
+#ifndef ROBOSHAPE_NO_OBS
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.sum, 2);
+    EXPECT_EQ(s.min, -2);
+    EXPECT_EQ(s.max, 4);
+    EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+#else
+    EXPECT_EQ(s.count, 0u);
+#endif
+
+    // Snapshots are sorted by name (deterministic report order).
+    const auto counters = registry().counters();
+    for (std::size_t i = 1; i < counters.size(); ++i)
+        EXPECT_LT(counters[i - 1].name, counters[i].name);
+}
+
+TEST(Registry, DisableFreezesMacroUpdates)
+{
+    obs::set_enabled(true);
+    Counter &c = registry().counter("test.obs.freeze");
+    const std::uint64_t before = c.value();
+    obs::set_enabled(false);
+    ROBOSHAPE_OBS_COUNT("test.obs.freeze", 7);
+    EXPECT_EQ(c.value(), before);
+    obs::set_enabled(true);
+}
+
+// ----------------------------------------------------------- run report ----
+
+TEST(RunReport, SchemaFieldsInFixedOrder)
+{
+    RunReport report("test_tool", "Test Report");
+    report.set_robot("iiwa");
+    report.set_kernel("dynamics_gradient");
+    report.set_params(7, 7, 7);
+    report.metric("cycles", std::int64_t{893});
+    report.metric("ok", true);
+    const std::string json = report.to_json();
+
+    std::string error;
+    EXPECT_TRUE(validate_json(json, &error)) << error;
+
+    // Field order is part of the schema contract.
+    const char *order[] = {"\"schema\"",  "\"tool\"",     "\"name\"",
+                           "\"git_sha\"", "\"robot\"",    "\"kernel\"",
+                           "\"params\"",  "\"metrics\"",  "\"counters\"",
+                           "\"histograms\""};
+    std::size_t last = 0;
+    for (const char *field : order) {
+        const std::size_t at = json.find(field, last);
+        ASSERT_NE(at, std::string::npos) << field;
+        last = at;
+    }
+    EXPECT_NE(json.find(kRunReportSchema), std::string::npos);
+    EXPECT_NE(json.find("\"pes_fwd\": 7"), std::string::npos);
+}
+
+TEST(RunReport, EmptySectionsArePresent)
+{
+    RunReport report("t", "n");
+    const std::string json = report.to_json();
+    EXPECT_TRUE(validate_json(json));
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ------------------------------------------------------- trace exporter ----
+
+/** Tiling invariant: every PE's busy+stall+idle equals the makespan. */
+void
+expect_accounts_tile(const sched::TaskGraph &graph,
+                     const sched::Schedule &schedule, const char *what)
+{
+    const auto accounts = account_schedule(graph, schedule);
+    ASSERT_FALSE(accounts.empty()) << what;
+    std::int64_t busy_total = 0;
+    for (const PeAccount &a : accounts) {
+        EXPECT_EQ(a.total(), schedule.makespan)
+            << what << " pe " << a.pe << " busy " << a.busy << " stall "
+            << a.stall << " idle " << a.idle;
+        EXPECT_GE(a.busy, 0);
+        EXPECT_GE(a.stall, 0);
+        EXPECT_GE(a.idle, 0);
+        busy_total += a.busy;
+    }
+    // Busy cycles are exactly the placed task durations.
+    std::int64_t task_total = 0;
+    for (const sched::Placement &p : schedule.placements)
+        task_total += p.finish - p.start;
+    EXPECT_EQ(busy_total, task_total) << what;
+}
+
+TEST(TraceExport, AccountsTileMakespanAcrossRobotsAndPools)
+{
+    // Two library robots x both PE pools (forward/backward stages and the
+    // joint pipelined schedule, which carries both pools in one Schedule).
+    for (RobotId id : {RobotId::kIiwa, RobotId::kHyq}) {
+        const RobotModel model = build_robot(id);
+        const accel::AcceleratorDesign design(model, {3, 2, 2});
+        const sched::TaskGraph &graph = design.task_graph();
+        expect_accounts_tile(graph, design.forward_stage(), robot_name(id));
+        expect_accounts_tile(graph, design.backward_stage(), robot_name(id));
+        expect_accounts_tile(graph, design.pipelined(), robot_name(id));
+
+        // The pipelined accounts must cover both pools.
+        const auto accounts = account_schedule(graph, design.pipelined());
+        std::size_t fwd = 0, bwd = 0;
+        for (const PeAccount &a : accounts)
+            (a.pe_class == sched::PeClass::kForward ? fwd : bwd)++;
+        EXPECT_EQ(fwd, 3u) << robot_name(id);
+        EXPECT_EQ(bwd, 2u) << robot_name(id);
+    }
+}
+
+TEST(TraceExport, TraceJsonIsValidDeterministicAndTagged)
+{
+    const RobotModel model = build_robot(RobotId::kHyq);
+    const accel::AcceleratorDesign design(model, {3, 3, 6});
+    ScheduleTraceOptions options;
+    options.robot = "hyq";
+    options.kernel = "dynamics_gradient";
+    const std::string a =
+        schedule_trace_json(design.task_graph(), design.pipelined(), options);
+    const std::string b =
+        schedule_trace_json(design.task_graph(), design.pipelined(), options);
+    EXPECT_EQ(a, b);
+
+    std::string error;
+    EXPECT_TRUE(validate_json(a, &error)) << error;
+    EXPECT_NE(a.find(kTraceSchema), std::string::npos);
+    EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(a.find("\"robot\": \"hyq\""), std::string::npos);
+}
+
+/**
+ * Golden-file check: the exporter's byte-exact output is part of its
+ * contract (tools parse these artifacts).  Regenerate intentionally with
+ *   ROBOSHAPE_UPDATE_GOLDEN=1 ctest -R TraceExport.GoldenFile
+ */
+TEST(TraceExport, GoldenFileByteExact)
+{
+    const RobotModel model = build_robot(RobotId::kBittle);
+    const accel::AcceleratorDesign design(model, {2, 2, 1});
+    ScheduleTraceOptions options;
+    options.robot = "bittle";
+    options.kernel = "dynamics_gradient";
+    const std::string json =
+        schedule_trace_json(design.task_graph(), design.pipelined(), options);
+
+    const std::string path = std::string(ROBOSHAPE_SOURCE_DIR) +
+                             "/tests/golden/trace_bittle_fwd2_bwd2.json";
+    if (std::getenv("ROBOSHAPE_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        out << json;
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(json, buf.str())
+        << "trace exporter output changed; if intentional, regenerate with "
+           "ROBOSHAPE_UPDATE_GOLDEN=1";
+}
+
+TEST(TraceExport, WallSpansRenderAsValidTrace)
+{
+    std::vector<WallSpan> spans;
+    spans.push_back(WallSpan{"sim.marshal", "phase", 1000, 2500, 0, -1, -1});
+    spans.push_back(WallSpan{"rneaFwd", "op", 1100, 1300, 0, 4, -1});
+    spans.push_back(WallSpan{"gradBwd", "op", 1300, 1900, 1, 2, 5});
+    const std::string json = wall_spans_trace_json(spans);
+    std::string error;
+    EXPECT_TRUE(validate_json(json, &error)) << error;
+    EXPECT_NE(json.find("sim.marshal"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\""), std::string::npos);
+}
+
+TEST(WallTrace, RecordsOnlyWhenEnabled)
+{
+    set_wall_trace_enabled(false);
+    clear_wall_trace();
+    record_wall_span("off", "phase", 10, 20);
+    EXPECT_TRUE(wall_trace_spans().empty());
+
+    set_wall_trace_enabled(true);
+    record_wall_span("on", "phase", 10, 20);
+#ifndef ROBOSHAPE_NO_OBS
+    ASSERT_EQ(wall_trace_spans().size(), 1u);
+    EXPECT_STREQ(wall_trace_spans()[0].name, "on");
+#endif
+    set_wall_trace_enabled(false);
+    clear_wall_trace();
+}
+
+// ------------------------------------------------------ engine wall spans ----
+
+TEST(WallTrace, SimEngineEmitsPhaseSpans)
+{
+    const RobotModel model = build_robot(RobotId::kIiwa);
+    const topology::TopologyInfo topo(model);
+    const accel::AcceleratorDesign design(model, {7, 7, 7});
+    const accel::SimEngine engine(design);
+    auto ws = engine.make_workspace();
+
+    const auto state = dynamics::random_state(model, 7);
+    const auto ref = dynamics::forward_dynamics_gradients(
+        model, topo, state.q, state.qd, state.tau);
+    const accel::InputPacket packet{&state.q, &state.qd, &ref.qdd,
+                                    &ref.mass_inv};
+    accel::EngineResult out;
+
+    set_wall_trace_enabled(true);
+    clear_wall_trace();
+    engine.run(ws, packet, out);
+    const auto spans = wall_trace_spans();
+    set_wall_trace_enabled(false);
+    clear_wall_trace();
+
+#ifndef ROBOSHAPE_NO_OBS
+    bool marshal = false, position = false, velocity = false, mm = false;
+    std::size_t ops = 0;
+    for (const WallSpan &s : spans) {
+        const std::string name = s.name;
+        marshal = marshal || name == "sim.marshal";
+        position = position || name == "sim.position_pass";
+        velocity = velocity || name == "sim.velocity_pass";
+        mm = mm || name == "sim.mm_solve";
+        if (std::string(s.category) == "op")
+            ++ops;
+        EXPECT_LE(s.t0_ns, s.t1_ns);
+    }
+    EXPECT_TRUE(marshal && position && velocity && mm);
+    EXPECT_EQ(ops, out.tasks_executed);
+#else
+    EXPECT_TRUE(spans.empty());
+#endif
+}
+
+// ------------------------------------------------------ sweep memo stats ----
+
+TEST(SweepMemoStats, CountsHitsAndMisses)
+{
+    const RobotModel model = build_robot(RobotId::kBittle);
+    core::SweepContext ctx(model);
+    EXPECT_EQ(ctx.memo_stats().hits() + ctx.memo_stats().misses(), 0u);
+
+    ctx.forward(2);
+    ctx.forward(2);
+    ctx.forward(3);
+    const core::SweepMemoStats s = ctx.memo_stats();
+    EXPECT_EQ(s.forward_misses, 2u);
+    EXPECT_EQ(s.forward_hits, 1u);
+
+    ctx.block_multiply(1);
+    ctx.block_multiply(1);
+    EXPECT_EQ(ctx.memo_stats().block_misses, 1u);
+    EXPECT_EQ(ctx.memo_stats().block_hits, 1u);
+
+    ctx.pipelined(2, 2);
+    ctx.pipelined(2, 2);
+    EXPECT_EQ(ctx.memo_stats().pipelined_misses, 1u);
+    EXPECT_EQ(ctx.memo_stats().pipelined_hits, 1u);
+}
+
+// ------------------------------------------------------ timeline glyphs ----
+
+TEST(Timeline, Base36GlyphsAndLegend)
+{
+    // The humanoid has 27 links — beyond the old 10-digit glyph set, within
+    // base 36.  Link 10 must render as 'a', not alias back to '0'.
+    const RobotModel model = build_robot(RobotId::kHumanoid);
+    const topology::TopologyInfo topo(model);
+    const sched::TaskGraph graph(topo);
+    const sched::Schedule schedule = sched::schedule_pipelined(
+        graph, 4, 4, sched::TaskTiming{1, 1, 1, 1});
+    const std::string text =
+        sched::render_timeline(graph, schedule, 4096, true);
+
+    EXPECT_NE(text.find('a'), std::string::npos);
+    EXPECT_NE(text.find("glyphs:"), std::string::npos);
+    EXPECT_NE(text.find("a=link10"), std::string::npos);
+    EXPECT_NE(text.find("starts:"), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace roboshape

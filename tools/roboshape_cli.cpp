@@ -6,14 +6,23 @@
  *   roboshape gen   <robot.urdf> [options]       generate + report
  *   roboshape sweep <robot.urdf> [options]       design space + Pareto CSV
  *   roboshape rtl   <robot.urdf> <out_dir> [...] emit Verilog bundle
+ *   roboshape trace <robot.urdf|--robot NAME> [--out t.json]
+ *                                                Chrome trace of the schedule
+ *   roboshape stats <robot.urdf|--robot NAME> [--out report.json]
+ *                                                counter registry snapshot
  *
  * Options:
  *   --platform vcu118|vc707      resource envelope (default vcu118)
  *   --pes-fwd N / --pes-bwd N / --block N   explicit knob caps
  *   --kernel gradient|crba|kinematics       kernel family (default gradient)
  *   --timeline                   print the ASCII schedule timeline (gen)
+ *   --robot NAME                 library robot instead of a URDF file
+ *                                (iiwa, HyQ, Baxter, ... — trace/stats)
+ *   --out PATH                   artifact destination (trace/stats)
  */
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,12 +32,21 @@
 #include <string>
 #include <vector>
 
+#include "accel/sim_engine.h"
 #include "codegen/verilog_emitter.h"
 #include "core/design_space.h"
 #include "core/design_export.h"
 #include "core/generator.h"
+#include "core/sweep_context.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
 #include "io/payload.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/trace_export.h"
 #include "sched/timeline.h"
+#include "topology/robot_library.h"
 #include "topology/topology_info.h"
 #include "topology/urdf_parser.h"
 
@@ -41,6 +59,8 @@ struct CliOptions
     std::string command;
     std::string urdf_path;
     std::string out_dir;
+    std::string robot;    ///< Library robot name (trace/stats).
+    std::string out_path; ///< --out artifact path (trace/stats).
     const accel::FpgaPlatform *platform = &accel::vcu118();
     core::GeneratorConstraints constraints;
     sched::KernelKind kernel = sched::KernelKind::kDynamicsGradient;
@@ -52,11 +72,12 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: roboshape <info|gen|sweep|rtl> <robot.urdf> "
-                 "[out_dir] [--platform vcu118|vc707]\n"
+                 "usage: roboshape <info|gen|sweep|rtl|trace|stats> "
+                 "<robot.urdf> [out_dir] [--platform vcu118|vc707]\n"
                  "                 [--pes-fwd N] [--pes-bwd N] [--block N] "
                  "[--kernel gradient|crba|kinematics]\n"
-                 "                 [--timeline] [--json]\n");
+                 "                 [--timeline] [--json] [--robot NAME] "
+                 "[--out PATH]\n");
     return 2;
 }
 
@@ -67,9 +88,17 @@ parse_args(int argc, char **argv)
         return std::nullopt;
     CliOptions opt;
     opt.command = argv[1];
-    opt.urdf_path = argv[2];
+    // trace/stats take --robot NAME in place of the URDF positional; for
+    // them argv[2] is only a path when it is not an option.
+    int first = 2;
+    if (argv[2][0] != '-') {
+        opt.urdf_path = argv[2];
+        first = 3;
+    } else if (opt.command != "trace" && opt.command != "stats") {
+        return std::nullopt;
+    }
     int positional = 0;
-    for (int i = 3; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
@@ -115,6 +144,16 @@ parse_args(int argc, char **argv)
             opt.timeline = true;
         } else if (arg == "--json") {
             opt.json = true;
+        } else if (arg == "--robot") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            opt.robot = v;
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return std::nullopt;
+            opt.out_path = v;
         } else if (positional == 0) {
             opt.out_dir = arg;
             ++positional;
@@ -225,6 +264,192 @@ cmd_rtl(const topology::RobotModel &model, const CliOptions &opt)
     return 0;
 }
 
+/** Case-insensitive lookup over the bundled library ("iiwa", "HyQ", ...). */
+std::optional<topology::RobotId>
+resolve_robot(const std::string &name)
+{
+    const auto lower = [](std::string s) {
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+            return static_cast<char>(std::tolower(c));
+        });
+        return s;
+    };
+    const std::string want = lower(name);
+    for (const auto &ids :
+         {topology::all_robots(), topology::extended_robots()})
+        for (topology::RobotId id : ids)
+            if (lower(topology::robot_name(id)) == want)
+                return id;
+    return std::nullopt;
+}
+
+/** Design knobs for trace/stats: explicit caps, else best/maximal. */
+accel::AcceleratorParams
+resolve_params(core::SweepContext &ctx, const CliOptions &opt)
+{
+    const std::size_t n = ctx.num_links();
+    const auto clamp_knob = [n](std::size_t v) {
+        return std::clamp<std::size_t>(v, 1, n);
+    };
+    accel::AcceleratorParams p;
+    p.pes_fwd = clamp_knob(opt.constraints.max_pes_fwd.value_or(n));
+    p.pes_bwd = clamp_knob(opt.constraints.max_pes_bwd.value_or(n));
+    if (ctx.kernel() == sched::KernelKind::kDynamicsGradient)
+        p.block_size = opt.constraints.max_block_size
+                           ? clamp_knob(*opt.constraints.max_block_size)
+                           : ctx.best_block_size();
+    else
+        p.block_size = 1;
+    return p;
+}
+
+int
+cmd_trace(const topology::RobotModel &model, const CliOptions &opt)
+{
+    core::SweepContext ctx(model, accel::default_timing(), opt.kernel);
+    const accel::AcceleratorParams params = resolve_params(ctx, opt);
+    const accel::AcceleratorDesign design = ctx.design(params);
+    const sched::Schedule &schedule = design.pipelined();
+
+    obs::ScheduleTraceOptions topt;
+    topt.robot = model.name();
+    topt.kernel = to_string(opt.kernel);
+    topt.clock_period_ns = ctx.clock_period_ns();
+    const std::string json =
+        obs::schedule_trace_json(design.task_graph(), schedule, topt);
+
+    std::string err;
+    if (!obs::validate_json(json, &err)) {
+        std::fprintf(stderr, "internal error: emitted trace is not valid "
+                             "JSON: %s\n",
+                     err.c_str());
+        return 1;
+    }
+
+    if (opt.out_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+        return 0;
+    }
+    std::ofstream f(opt.out_path, std::ios::binary);
+    f << json;
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
+        return 1;
+    }
+
+    // Per-PE accounting summary + the tiling invariant the golden tests
+    // also assert: busy + stall + idle == makespan on every track.
+    std::printf("trace: %s (%s, pes_fwd=%zu pes_bwd=%zu block=%zu) -> %s\n",
+                model.name().c_str(), to_string(opt.kernel), params.pes_fwd,
+                params.pes_bwd, params.block_size, opt.out_path.c_str());
+    std::printf("makespan: %lld cycles\n",
+                static_cast<long long>(schedule.makespan));
+    bool exact = true;
+    for (const obs::PeAccount &a :
+         obs::account_schedule(design.task_graph(), schedule)) {
+        std::printf("  %s%d: busy=%lld stall=%lld idle=%lld\n",
+                    a.pe_class == sched::PeClass::kForward ? "fwd" : "bwd",
+                    a.pe, static_cast<long long>(a.busy),
+                    static_cast<long long>(a.stall),
+                    static_cast<long long>(a.idle));
+        exact = exact && a.total() == schedule.makespan;
+    }
+    if (!exact) {
+        std::fprintf(stderr, "internal error: busy+stall+idle != makespan\n");
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmd_stats(const topology::RobotModel &model, const CliOptions &opt)
+{
+    // A representative workload: precompute the sweep caches, compose
+    // every knob triple from them, build the chosen design, and stream a
+    // small batch through the compiled engine — touching every
+    // instrumented subsystem so the snapshot below is meaningful.
+    core::SweepContext ctx(model, accel::default_timing(), opt.kernel);
+    ctx.precompute_stage_schedules();
+    const std::size_t n = ctx.num_links();
+    for (std::size_t f = 1; f <= n; ++f)
+        for (std::size_t b = 1; b <= n; ++b)
+            for (std::size_t bs = 1; bs <= ctx.block_knob_max(); ++bs)
+                ctx.cycles_no_pipelining({f, b, bs});
+    const accel::AcceleratorParams params = resolve_params(ctx, opt);
+    const accel::AcceleratorDesign design = ctx.design(params);
+
+    const accel::SimEngine engine(design);
+    auto ws = engine.make_workspace();
+    accel::EngineResult result;
+    constexpr std::size_t kPackets = 8;
+    const topology::TopologyInfo &topo = ctx.topology();
+    std::vector<linalg::Vector> q, qd, qdd;
+    std::vector<linalg::Matrix> minv;
+    for (std::size_t p = 0; p < kPackets; ++p) {
+        const auto state =
+            dynamics::random_state(model, 1234 + static_cast<int>(p));
+        q.push_back(state.q);
+        qd.push_back(state.qd);
+        if (opt.kernel == sched::KernelKind::kDynamicsGradient) {
+            const auto ref = dynamics::forward_dynamics_gradients(
+                model, topo, state.q, state.qd, state.tau);
+            qdd.push_back(ref.qdd);
+            minv.push_back(ref.mass_inv);
+        }
+    }
+    for (std::size_t p = 0; p < kPackets; ++p) {
+        accel::InputPacket packet;
+        packet.q = &q[p];
+        packet.qd = &qd[p];
+        if (opt.kernel == sched::KernelKind::kDynamicsGradient) {
+            packet.qdd = &qdd[p];
+            packet.minv = &minv[p];
+        }
+        engine.run(ws, packet, result);
+    }
+
+    const core::SweepMemoStats memo = ctx.memo_stats();
+    std::printf("stats: %s (%s, pes_fwd=%zu pes_bwd=%zu block=%zu)\n",
+                model.name().c_str(), to_string(opt.kernel), params.pes_fwd,
+                params.pes_bwd, params.block_size);
+    std::printf("sweep memoization: %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(memo.hits()),
+                static_cast<unsigned long long>(memo.misses()));
+    std::printf("counters:\n");
+    for (const obs::CounterSample &c : obs::registry().counters())
+        std::printf("  %-32s %llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+    std::printf("histograms:\n");
+    for (const obs::HistogramSample &h : obs::registry().histograms())
+        std::printf("  %-32s count=%llu mean=%.1f min=%lld max=%lld\n",
+                    h.name.c_str(),
+                    static_cast<unsigned long long>(h.stats.count),
+                    h.stats.mean(), static_cast<long long>(h.stats.min),
+                    static_cast<long long>(h.stats.max));
+
+    if (!opt.out_path.empty()) {
+        obs::RunReport report("roboshape_cli", "stats");
+        report.set_robot(model.name());
+        report.set_kernel(to_string(opt.kernel));
+        report.set_params(params.pes_fwd, params.pes_bwd,
+                          params.block_size);
+        report.metric("pipelined_makespan_cycles",
+                      static_cast<std::int64_t>(design.pipelined().makespan));
+        report.metric("staged_cycles", static_cast<std::int64_t>(
+                                           ctx.cycles_no_pipelining(params)));
+        report.metric("engine_trace_ops", engine.trace_length());
+        report.metric("memo_hits", memo.hits());
+        report.metric("memo_misses", memo.misses());
+        report.capture_counters();
+        if (!report.write(opt.out_path)) {
+            std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
+            return 1;
+        }
+        std::printf("report: %s\n", opt.out_path.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -235,11 +460,23 @@ main(int argc, char **argv)
         return usage();
 
     topology::RobotModel model;
-    try {
-        model = topology::parse_urdf_file(opt->urdf_path);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+    if (!opt->robot.empty()) {
+        const auto id = resolve_robot(opt->robot);
+        if (!id) {
+            std::fprintf(stderr, "error: unknown library robot '%s'\n",
+                         opt->robot.c_str());
+            return 1;
+        }
+        model = topology::build_robot(*id);
+    } else if (!opt->urdf_path.empty()) {
+        try {
+            model = topology::parse_urdf_file(opt->urdf_path);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    } else {
+        return usage();
     }
 
     try {
@@ -251,6 +488,10 @@ main(int argc, char **argv)
             return cmd_sweep(model, *opt);
         if (opt->command == "rtl")
             return cmd_rtl(model, *opt);
+        if (opt->command == "trace")
+            return cmd_trace(model, *opt);
+        if (opt->command == "stats")
+            return cmd_stats(model, *opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
