@@ -650,11 +650,24 @@ SimEngine::run_batch(std::span<const InputPacket> in,
                      std::size_t threads) const
 {
     assert(in.size() == out.size());
+    ROBOSHAPE_OBS_COUNT("sim.batch_calls", 1);
+    ROBOSHAPE_OBS_COUNT("sim.batch_packets", in.size());
+
+    // SIMD group path: gradient engines with a vector backend and at least
+    // one full lane group.  Bit-identical to the scalar path below (see
+    // accel/simd_lanes.h), so dispatch is a pure throughput decision.
+    const simd::LaneBackend &backend = simd::lane_backend();
+    if (backend.gradient != nullptr &&
+        design_->kernel() == sched::KernelKind::kDynamicsGradient &&
+        in.size() >= backend.width) {
+        run_batch_lanes(in, out, ws, backend, threads);
+        return;
+    }
+
+    ROBOSHAPE_OBS_RECORD("sim.lane_width", 1);
     const std::size_t workers = core::sweep_worker_count(in.size(), threads);
     while (ws.per_thread.size() < workers)
         ws.per_thread.push_back(make_workspace());
-    ROBOSHAPE_OBS_COUNT("sim.batch_calls", 1);
-    ROBOSHAPE_OBS_COUNT("sim.batch_packets", in.size());
     // Shard balance: worker t owns ceil/floor(|in| / workers) packets.
     for (std::size_t t = 0; t < workers; ++t)
         ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets",
@@ -669,11 +682,80 @@ SimEngine::run_batch(std::span<const InputPacket> in,
 }
 
 void
+SimEngine::run_batch_lanes(std::span<const InputPacket> in,
+                           std::span<EngineResult> out, BatchWorkspace &ws,
+                           const simd::LaneBackend &backend,
+                           std::size_t threads) const
+{
+    // Validate every packet before entering the parallel region; the lane
+    // kernels cannot raise per-packet errors mid-group.
+    for (const InputPacket &p : in)
+        if (!p.q || !p.qd || !p.qdd || !p.minv)
+            throw std::invalid_argument(
+                "gradient packet requires q, qd, qdd, and minv");
+
+    const std::size_t width = backend.width;
+    const std::size_t groups = in.size() / width;
+    const std::size_t tail = in.size() - groups * width;
+    const std::size_t workers = core::sweep_worker_count(groups, threads);
+    while (ws.lanes.size() < workers)
+        ws.lanes.emplace_back();
+    if (ws.per_thread.empty())
+        ws.per_thread.push_back(make_workspace());
+
+    ROBOSHAPE_OBS_RECORD("sim.lane_width", width);
+    ROBOSHAPE_OBS_COUNT("sim.batch_tail_packets", tail);
+    // Shard balance in packets: worker t owns groups t, t + T, ... (the
+    // tail runs on the calling thread after the join).
+    for (std::size_t t = 0; t < workers; ++t)
+        ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets",
+                             width * (groups / workers +
+                                      (t < groups % workers ? 1 : 0)));
+
+    simd::GradientTraceView tv;
+    tv.trace = trace_.data();
+    tv.trace_size = trace_.size();
+    tv.velocity_trace = velocity_trace_.data();
+    tv.velocity_size = velocity_trace_.size();
+    tv.root_paths = root_paths_.data();
+    tv.s = s_.data();
+    tv.model = &design_->model();
+    tv.n = n_;
+    tv.block_size = design_->params().block_size;
+
+    const std::size_t tasks = trace_.size() + velocity_trace_.size();
+    // Group g's lane workspace g % workers is touched by exactly one
+    // worker (parallel_for stride), mirroring the scalar shard path.
+    core::parallel_for(
+        groups,
+        [&](std::size_t g) {
+            simd::LaneWorkspace &lw = ws.lanes[g % workers];
+            simd::marshal_gradient_group(design_->model(), n_, width,
+                                         in.data() + g * width, lw);
+            backend.gradient(tv, lw);
+            simd::demarshal_gradient_group(n_, width, tasks, lw,
+                                           out.data() + g * width);
+        },
+        workers);
+    ROBOSHAPE_OBS_COUNT("sim.runs", groups * width);
+    ROBOSHAPE_OBS_COUNT("sim.ops_executed", groups * width * tasks);
+
+    // Tail: fewer than one lane group left; the scalar reference path
+    // produces the same bits, so running it here keeps results invariant
+    // across batch size, lane width, and thread count.
+    for (std::size_t i = groups * width; i < in.size(); ++i)
+        run(ws.per_thread[0], in[i], out[i]);
+}
+
+void
 SimEngine::run_batch(std::span<const InputPacket> in,
                      std::span<EngineResult> out, std::size_t threads) const
 {
-    BatchWorkspace ws;
-    run_batch(in, out, ws, threads);
+    // Engine-owned workspace so warm convenience calls stay allocation-free
+    // (a fresh BatchWorkspace here used to reallocate every workspace
+    // vector per call).  Serialized: concurrent convenience callers queue.
+    std::lock_guard<std::mutex> lock(convenience_ws_->mutex);
+    run_batch(in, out, convenience_ws_->ws, threads);
 }
 
 } // namespace accel

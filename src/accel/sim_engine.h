@@ -39,11 +39,14 @@
 #define ROBOSHAPE_ACCEL_SIM_ENGINE_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "accel/design.h"
 #include "accel/functional_sim.h"
+#include "accel/simd_lanes.h"
 #include "linalg/blocked.h"
 #include "linalg/matrix.h"
 #include "spatial/spatial_inertia.h"
@@ -90,6 +93,35 @@ struct EngineResult
     std::size_t tasks_executed = 0;
 };
 
+/**
+ * One fully-resolved trace step.  Namespace-scope (rather than nested in
+ * SimEngine) so the SIMD lane kernels can interpret the same trace; the
+ * fields are engine implementation detail and may change between releases.
+ */
+struct EngineOp
+{
+    enum class Kind : std::uint8_t
+    {
+        kRneaForward,
+        kRneaBackward,
+        kGradForward,
+        kGradBackward,
+        kCrbaSetup,
+        kCrbaComposite,
+        kCrbaWalk,
+        kFkPose,
+        kFkJacobian,
+    };
+    Kind kind = Kind::kRneaForward;
+    bool seed = false;        ///< Gradient/CRBA: link == column.
+    bool in_subtree = false;  ///< Gradient backward: i in subtree(j).
+    std::int32_t link = 0;
+    std::int32_t parent = topology::kBaseParent;
+    std::int32_t column = -1;
+    std::int32_t prev = -1;   ///< CRBA walk predecessor link.
+    std::uint32_t path_begin = 0, path_end = 0; ///< Into root_paths_.
+};
+
 class SimEngine
 {
   public:
@@ -117,10 +149,16 @@ class SimEngine
         linalg::BlockPattern pa, pb;
     };
 
-    /** Per-worker workspaces for run_batch; grown lazily, then reused. */
+    /**
+     * Per-worker workspaces for run_batch; grown lazily, then reused.
+     * `per_thread` serves the scalar shard path (and the lane path's tail
+     * packets); `lanes` holds one SoA lane workspace per worker for the
+     * SIMD group path (left empty when dispatch picks the scalar backend).
+     */
     struct BatchWorkspace
     {
         std::vector<Workspace> per_thread;
+        std::vector<simd::LaneWorkspace> lanes;
     };
 
     /**
@@ -159,6 +197,13 @@ class SimEngine
      * the fork-join pool (thread t owns indices t, t + T, ...).  Results
      * are bit-identical to serial run() calls at any thread count.
      *
+     * Dynamics-gradient engines additionally route full groups of W
+     * consecutive packets through the W-wide SIMD lane backend chosen by
+     * simd::lane_backend() (the trailing < W packets run scalar).  Under
+     * the exactness policy of accel/simd_lanes.h this changes no output
+     * bit; set ROBOSHAPE_SIMD=off (or build with -DROBOSHAPE_SIMD=OFF) to
+     * force the scalar path.
+     *
      * @param threads worker count; 0 defers to ROBOSHAPE_SWEEP_THREADS /
      *        hardware concurrency (see core::sweep_worker_count).
      */
@@ -166,36 +211,18 @@ class SimEngine
                    std::span<EngineResult> out, BatchWorkspace &ws,
                    std::size_t threads = 0) const;
 
-    /** Convenience run_batch with a throwaway BatchWorkspace. */
+    /**
+     * Convenience run_batch backed by a lazily-grown engine-owned
+     * BatchWorkspace (serialized by a mutex — concurrent callers queue;
+     * pass your own workspace to overlap batches).  Warm calls perform
+     * zero heap allocations, same as the explicit-workspace form.
+     */
     void run_batch(std::span<const InputPacket> in,
                    std::span<EngineResult> out,
                    std::size_t threads = 0) const;
 
   private:
-    /** One fully-resolved trace step. */
-    struct Op
-    {
-        enum class Kind : std::uint8_t
-        {
-            kRneaForward,
-            kRneaBackward,
-            kGradForward,
-            kGradBackward,
-            kCrbaSetup,
-            kCrbaComposite,
-            kCrbaWalk,
-            kFkPose,
-            kFkJacobian,
-        };
-        Kind kind = Kind::kRneaForward;
-        bool seed = false;        ///< Gradient/CRBA: link == column.
-        bool in_subtree = false;  ///< Gradient backward: i in subtree(j).
-        std::int32_t link = 0;
-        std::int32_t parent = topology::kBaseParent;
-        std::int32_t column = -1;
-        std::int32_t prev = -1;   ///< CRBA walk predecessor link.
-        std::uint32_t path_begin = 0, path_end = 0; ///< Into root_paths_.
-    };
+    using Op = EngineOp;
 
     /** Chrome-trace span name for a per-op wall span (static storage). */
     static const char *op_name(Op::Kind k) noexcept;
@@ -208,6 +235,11 @@ class SimEngine
     std::uint32_t intern_root_path(std::size_t link);
 
     void prepare(EngineResult &out) const;
+    /** SIMD group path of run_batch (gradient engines, backend width W). */
+    void run_batch_lanes(std::span<const InputPacket> in,
+                         std::span<EngineResult> out, BatchWorkspace &ws,
+                         const simd::LaneBackend &backend,
+                         std::size_t threads) const;
     void run_gradient(Workspace &ws, const InputPacket &in,
                       EngineResult &out) const;
     void run_mass_matrix(Workspace &ws, const InputPacket &in,
@@ -227,6 +259,17 @@ class SimEngine
     std::vector<std::int32_t> root_paths_;
     /** Constant per-link motion subspaces S_i. */
     std::vector<spatial::SpatialVector> s_;
+
+    /** Backing store of the convenience run_batch overload.  Held through
+     *  unique_ptr so the mutex does not pin the engine in place (SimEngine
+     *  stays movable). */
+    struct ConvenienceWorkspace
+    {
+        std::mutex mutex;
+        BatchWorkspace ws;
+    };
+    std::unique_ptr<ConvenienceWorkspace> convenience_ws_ =
+        std::make_unique<ConvenienceWorkspace>();
 };
 
 } // namespace accel

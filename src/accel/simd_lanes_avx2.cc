@@ -1,0 +1,10 @@
+/**
+ * @file
+ * 4-wide lane kernel compiled with -mavx2 (see src/accel/CMakeLists.txt;
+ * -ffp-contract=off keeps it bit-exact).  Only ever called after
+ * __builtin_cpu_supports("avx2") verified the host.
+ */
+
+#define ROBOSHAPE_LANE_IMPL_WIDTH 4
+#define ROBOSHAPE_LANE_IMPL_FN run_gradient_lanes_avx2
+#include "accel/simd_lanes_impl.inl"

@@ -1,0 +1,10 @@
+/**
+ * @file
+ * 8-wide lane kernel compiled with -mavx512f/vl/dq (see
+ * src/accel/CMakeLists.txt; -ffp-contract=off keeps it bit-exact).  Only
+ * ever called after __builtin_cpu_supports("avx512f") verified the host.
+ */
+
+#define ROBOSHAPE_LANE_IMPL_WIDTH 8
+#define ROBOSHAPE_LANE_IMPL_FN run_gradient_lanes_avx512
+#include "accel/simd_lanes_impl.inl"

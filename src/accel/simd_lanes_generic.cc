@@ -1,0 +1,11 @@
+/**
+ * @file
+ * 4-wide lane kernel with no ISA flags: GCC/Clang lower the vector ops to
+ * whatever the baseline target provides (SSE2 pairs on x86-64, NEON on
+ * aarch64, scalar elsewhere).  Used by tests to exercise the lane code on
+ * any host and as the explicit `ROBOSHAPE_SIMD=generic` selection.
+ */
+
+#define ROBOSHAPE_LANE_IMPL_WIDTH 4
+#define ROBOSHAPE_LANE_IMPL_FN run_gradient_lanes_generic
+#include "accel/simd_lanes_impl.inl"

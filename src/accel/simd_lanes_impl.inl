@@ -1,0 +1,699 @@
+/**
+ * @file
+ * Width-parameterized lane interpreter for the gradient op trace.
+ *
+ * Included exactly once per ISA translation unit with
+ *
+ *     #define ROBOSHAPE_LANE_IMPL_WIDTH 4            // lanes per group
+ *     #define ROBOSHAPE_LANE_IMPL_FN    run_gradient_lanes_avx2
+ *     #include "accel/simd_lanes_impl.inl"
+ *
+ * Everything except the exported entry point lives in an anonymous
+ * namespace ON PURPOSE: each TU is compiled with different target flags
+ * (-mavx2, -mavx512f, none), and internal linkage guarantees the linker
+ * can never comdat-fold a kernel compiled for one ISA into a TU dispatched
+ * on another — that would execute AVX instructions on CPUs without them.
+ *
+ * Exactness contract (docs/SIM_ENGINE.md): every arithmetic expression
+ * below mirrors the scalar interpreter in sim_engine.cc / spatial/
+ * operation for operation with the same association order, evaluated
+ * per lane by IEEE-754 vector instructions.  The TU is compiled with
+ * -ffp-contract=off, so no a*b+c is fused into an FMA.  Lane results are
+ * therefore bit-identical to scalar run() — asserted by
+ * tests/test_simd_lanes.cc and the bench/sim_throughput 0-ulp lane gate.
+ * Do not "simplify" an expression here without updating that policy.
+ */
+
+#if !defined(ROBOSHAPE_LANE_IMPL_WIDTH) || !defined(ROBOSHAPE_LANE_IMPL_FN)
+#error "define ROBOSHAPE_LANE_IMPL_WIDTH and ROBOSHAPE_LANE_IMPL_FN first"
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "accel/sim_engine.h"
+#include "accel/simd_lanes.h"
+#include "spatial/spatial_inertia.h"
+#include "spatial/spatial_vector.h"
+#include "spatial/vec3.h"
+#include "topology/robot_model.h"
+
+namespace roboshape {
+namespace accel {
+namespace simd {
+
+namespace {
+
+constexpr int W = ROBOSHAPE_LANE_IMPL_WIDTH;
+static_assert(W == 4 || W == 8, "lane kernels support widths 4 and 8");
+
+typedef double V __attribute__((vector_size(W * sizeof(double))));
+typedef std::int64_t VM __attribute__((vector_size(W * sizeof(std::int64_t))));
+
+inline V
+load(const double *p)
+{
+    V v;
+    __builtin_memcpy(&v, p, sizeof(V));
+    return v;
+}
+
+inline void
+store(double *p, const V &v)
+{
+    __builtin_memcpy(p, &v, sizeof(V));
+}
+
+inline void
+zero_fill(double *p, std::size_t count)
+{
+    std::memset(p, 0, count * sizeof(double));
+}
+
+/** Bitwise per-lane blend: lane l of the result is a[l] where bit l of
+ *  @p m is set, else b[l] — the masked-off accumulator is preserved
+ *  exactly (including the sign of zeros). */
+inline V
+blend(const VM &m, const V &a, const V &b)
+{
+    // C-style casts between same-size vector types reinterpret the bits
+    // (the documented GCC/Clang idiom; reinterpret_cast would run afoul of
+    // strict aliasing).
+    return (V)(((VM)a & m) | ((VM)b & ~m));
+}
+
+// ----------------------------------------------------------- lane math --
+// Mirrors of spatial/vec3.h and spatial/spatial_*.cc, one vector op per
+// scalar op, identical association order.
+
+struct LV3
+{
+    V x, y, z;
+};
+
+struct LSV
+{
+    LV3 ang, lin;
+};
+
+/** Per-lane Plücker transform (E row-major, r), as stored in xup_e/xup_r. */
+struct LXf
+{
+    V e[9];
+    LV3 r;
+};
+
+inline LV3
+add(const LV3 &a, const LV3 &b)
+{
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+
+inline LV3
+sub(const LV3 &a, const LV3 &b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+/** Mirror of Vec3::cross: {y*oz - z*oy, z*ox - x*oz, x*oy - y*ox}. */
+inline LV3
+cross(const LV3 &a, const LV3 &b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Broadcast Vec3 x lane vector (constant first operand). */
+inline LV3
+cross(const spatial::Vec3 &a, const LV3 &b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Mirror of Vec3::dot: (x*ox + y*oy) + z*oz. */
+inline V
+dot(const LV3 &a, const LV3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Broadcast Mat3 * lane vector (mirror of Mat3::operator*(Vec3)). */
+inline LV3
+mat_mul(const spatial::Mat3 &m, const LV3 &v)
+{
+    return {m(0, 0) * v.x + m(0, 1) * v.y + m(0, 2) * v.z,
+            m(1, 0) * v.x + m(1, 1) * v.y + m(1, 2) * v.z,
+            m(2, 0) * v.x + m(2, 1) * v.y + m(2, 2) * v.z};
+}
+
+/** Per-lane E * v (mirror of Mat3::operator*(Vec3)). */
+inline LV3
+emul(const LXf &x, const LV3 &v)
+{
+    return {x.e[0] * v.x + x.e[1] * v.y + x.e[2] * v.z,
+            x.e[3] * v.x + x.e[4] * v.y + x.e[5] * v.z,
+            x.e[6] * v.x + x.e[7] * v.y + x.e[8] * v.z};
+}
+
+/** Per-lane E^T * v (mirror of Mat3::transpose_mul). */
+inline LV3
+etmul(const LXf &x, const LV3 &v)
+{
+    return {x.e[0] * v.x + x.e[3] * v.y + x.e[6] * v.z,
+            x.e[1] * v.x + x.e[4] * v.y + x.e[7] * v.z,
+            x.e[2] * v.x + x.e[5] * v.y + x.e[8] * v.z};
+}
+
+inline LSV
+add(const LSV &a, const LSV &b)
+{
+    return {add(a.ang, b.ang), add(a.lin, b.lin)};
+}
+
+/** Broadcast SpatialVector * per-lane scalar (mirror of s * qd[i]). */
+inline LSV
+scale(const spatial::SpatialVector &s, const V &q)
+{
+    return {{s.ang.x * q, s.ang.y * q, s.ang.z * q},
+            {s.lin.x * q, s.lin.y * q, s.lin.z * q}};
+}
+
+/** Broadcast of a constant SpatialVector into all lanes. */
+inline LSV
+splat(const spatial::SpatialVector &s)
+{
+    const V one = V{} + 1.0;
+    return {{s.ang.x * one, s.ang.y * one, s.ang.z * one},
+            {s.lin.x * one, s.lin.y * one, s.lin.z * one}};
+}
+
+/** Mirror of SpatialVector::dot: ang.dot + lin.dot. */
+inline V
+dot(const LSV &a, const LSV &b)
+{
+    return dot(a.ang, b.ang) + dot(a.lin, b.lin);
+}
+
+/** Mirror of spatial::cross_motion. */
+inline LSV
+cross_motion(const LSV &v, const LSV &m)
+{
+    return {cross(v.ang, m.ang),
+            add(cross(v.ang, m.lin), cross(v.lin, m.ang))};
+}
+
+/** Mirror of spatial::cross_force. */
+inline LSV
+cross_force(const LSV &v, const LSV &f)
+{
+    return {add(cross(v.ang, f.ang), cross(v.lin, f.lin)),
+            cross(v.ang, f.lin)};
+}
+
+/** Mirror of SpatialTransform::apply: {E w, E (v - r x w)}. */
+inline LSV
+xf_apply(const LXf &x, const LSV &v)
+{
+    return {emul(x, v.ang), emul(x, sub(v.lin, cross(x.r, v.ang)))};
+}
+
+/** Mirror of SpatialTransform::apply_transpose_to_force. */
+inline LSV
+xf_apply_transpose_to_force(const LXf &x, const LSV &f)
+{
+    const LV3 fl = etmul(x, f.lin);
+    return {add(etmul(x, f.ang), cross(x.r, fl)), fl};
+}
+
+/** Mirror of SpatialInertia::apply (broadcast inertia constants). */
+inline LSV
+inertia_apply(const spatial::SpatialInertia &in, const LSV &v)
+{
+    const spatial::Vec3 &h = in.h();
+    LV3 ang = add(mat_mul(in.ibar(), v.ang), cross(h, v.lin));
+    const V mass = V{} + in.mass();
+    LV3 lin = sub({v.lin.x * mass, v.lin.y * mass, v.lin.z * mass},
+                  cross(h, v.ang));
+    return {ang, lin};
+}
+
+// Lane-major loads/stores of whole spatial quantities.  Flat base index k
+// addresses data[k * W].
+
+inline LSV
+load_sv(const double *p)
+{
+    return {{load(p + 0 * W), load(p + 1 * W), load(p + 2 * W)},
+            {load(p + 3 * W), load(p + 4 * W), load(p + 5 * W)}};
+}
+
+inline void
+store_sv(double *p, const LSV &v)
+{
+    store(p + 0 * W, v.ang.x);
+    store(p + 1 * W, v.ang.y);
+    store(p + 2 * W, v.ang.z);
+    store(p + 3 * W, v.lin.x);
+    store(p + 4 * W, v.lin.y);
+    store(p + 5 * W, v.lin.z);
+}
+
+inline LXf
+load_xf(const double *e, const double *r)
+{
+    LXf x;
+    for (int k = 0; k < 9; ++k)
+        x.e[k] = load(e + k * W);
+    x.r = {load(r + 0 * W), load(r + 1 * W), load(r + 2 * W)};
+    return x;
+}
+
+// ------------------------------------------------- lane blocked multiply --
+// Mirror of linalg::blocked_multiply_into over lane-major matrices, with
+// per-lane tile masks in place of BlockPattern and the fused negation
+// hard-wired (the engine only solves -M^-1 * dtau).
+
+/** Mirror of BlockPattern::analyze at tol == 0: bit l of the tile entry is
+ *  set when lane l has an in-bounds element with |x| > 0 (NaN counts as
+ *  nonzero, exactly like std::abs(x) <= tol evaluating false). */
+void
+analyze_mask(const double *m, std::size_t rows, std::size_t cols,
+             std::size_t bs, std::vector<std::uint8_t> &mask)
+{
+    const std::size_t brs = (rows + bs - 1) / bs;
+    const std::size_t bcs = (cols + bs - 1) / bs;
+    mask.assign(brs * bcs, 0);
+    for (std::size_t br = 0; br < brs; ++br) {
+        for (std::size_t bc = 0; bc < bcs; ++bc) {
+            const std::size_t r1 = std::min(br * bs + bs, rows);
+            const std::size_t c1 = std::min(bc * bs + bs, cols);
+            // Accumulate lane-wise "saw a nonzero" flags with vector
+            // compares: x != 0 is false for both signed zeros (matching
+            // std::abs(x) <= 0 being true), and x != x flags NaN, which
+            // the scalar predicate also counts as nonzero.
+            VM acc{};
+            for (std::size_t r = br * bs; r < r1; ++r) {
+                for (std::size_t c = bc * bs; c < c1; ++c) {
+                    const V x = load(m + (r * cols + c) * W);
+                    acc |= (VM)((x != V{}) | (x != x));
+                }
+            }
+            std::uint8_t bits = 0;
+            for (int l = 0; l < W; ++l)
+                if (acc[l])
+                    bits |= static_cast<std::uint8_t>(1u << l);
+            mask[br * bcs + bc] = bits;
+        }
+    }
+}
+
+/** Blend-mask lookup: entry b expands bit l of byte b into all-ones in
+ *  lane l.  Built once per process (per ISA TU); indexing it per partial
+ *  tile replaces a W-iteration mask-build loop, which dominates at small
+ *  block sizes where tiles are tiny and numerous. */
+const VM *
+mask_table()
+{
+    static const std::array<VM, 256> table = [] {
+        std::array<VM, 256> t{};
+        for (int b = 0; b < 256; ++b)
+            for (int l = 0; l < W; ++l)
+                t[static_cast<std::size_t>(b)][l] = (b >> l & 1) ? -1 : 0;
+        return t;
+    }();
+    return table.data();
+}
+
+/** out = -(A * B) per lane, skipping tile products lane-wise exactly where
+ *  the scalar path would NOP them; accumulation order matches
+ *  blocked_multiply_into (bk ascending, then i, k, j within the tile). */
+void
+lane_blocked_multiply_neg(const double *a, const double *b, double *out,
+                          std::size_t n, std::size_t bs,
+                          const std::vector<std::uint8_t> &ma,
+                          const std::vector<std::uint8_t> &mb,
+                          LaneStats &stats)
+{
+    zero_fill(out, n * n * W);
+    stats.block_macs.fill(0);
+    stats.block_nops.fill(0);
+    stats.scalar_macs.fill(0);
+
+    const std::size_t bn = (n + bs - 1) / bs;
+    constexpr std::uint8_t kFull =
+        static_cast<std::uint8_t>((1u << W) - 1u);
+
+    // Per-lane counters are derived after the fact from a histogram of
+    // exec bytes (weighted by tile size for scalar_macs): two scalar adds
+    // per tile instead of a W-iteration loop, which at block size 1 costs
+    // more than the arithmetic it is counting.
+    std::array<std::uint64_t, 256> hist{};
+    std::array<std::uint64_t, 256> hist_macs{};
+
+    for (std::size_t bi = 0; bi < bn; ++bi) {
+        for (std::size_t bj = 0; bj < bn; ++bj) {
+            for (std::size_t bk = 0; bk < bn; ++bk) {
+                const std::uint8_t exec =
+                    ma[bi * bn + bk] & mb[bk * bn + bj];
+                const std::size_t r0 = bi * bs, c0 = bj * bs, k0 = bk * bs;
+                const std::size_t r1 = std::min(r0 + bs, n);
+                const std::size_t c1 = std::min(c0 + bs, n);
+                const std::size_t k1 = std::min(k0 + bs, n);
+                const std::uint64_t tile_macs =
+                    static_cast<std::uint64_t>(r1 - r0) * (k1 - k0) *
+                    (c1 - c0);
+                ++hist[exec];
+                hist_macs[exec] += tile_macs;
+                if (!exec)
+                    continue;
+                if (exec == kFull) {
+                    for (std::size_t i = r0; i < r1; ++i) {
+                        for (std::size_t k = k0; k < k1; ++k) {
+                            const V av = -load(a + (i * n + k) * W);
+                            for (std::size_t j = c0; j < c1; ++j) {
+                                double *op = out + (i * n + j) * W;
+                                store(op,
+                                      load(op) +
+                                          av * load(b + (k * n + j) * W));
+                            }
+                        }
+                    }
+                } else {
+                    const VM m = mask_table()[exec];
+                    for (std::size_t i = r0; i < r1; ++i) {
+                        for (std::size_t k = k0; k < k1; ++k) {
+                            const V av = -load(a + (i * n + k) * W);
+                            for (std::size_t j = c0; j < c1; ++j) {
+                                double *op = out + (i * n + j) * W;
+                                const V cur = load(op);
+                                store(op,
+                                      blend(m,
+                                            cur + av *
+                                                load(b + (k * n + j) * W),
+                                            cur));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (int bbyte = 0; bbyte < 256; ++bbyte) {
+        const auto bidx = static_cast<std::size_t>(bbyte);
+        if (hist[bidx] == 0)
+            continue;
+        for (int l = 0; l < W; ++l) {
+            if (bbyte >> l & 1) {
+                stats.block_macs[l] += hist[bidx];
+                stats.scalar_macs[l] += hist_macs[bidx];
+            } else {
+                stats.block_nops[l] += hist[bidx];
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- trace interpreter --
+
+void
+run_gradient_lanes(const GradientTraceView &t, LaneWorkspace &ws)
+{
+    const std::size_t n = t.n;
+    const topology::RobotModel &model = *t.model;
+    const double *q = ws.q.data();
+    const double *qd = ws.qd.data();
+    const double *qdd = ws.qdd.data();
+    double *xe = ws.xup_e.data();
+    double *xr = ws.xup_r.data();
+    double *v = ws.v.data();
+    double *a = ws.a.data();
+    double *f = ws.f.data();
+    double *dv = ws.dv.data();
+    double *da = ws.da.data();
+    double *df = ws.df.data();
+    double *tau = ws.tau.data();
+
+    const LSV a_base = load_sv(ws.abase.data());
+
+    // Lane xup construction: mirror of link.joint.transform(q[i]) *
+    // link.x_tree — i.e. JointModel::transform, Mat3::coordinate_rotation
+    // and SpatialTransform::operator* evaluated per lane.  Only sin/cos
+    // stay scalar: they hit the exact same libm entry points as the
+    // scalar path, and every expression after them is the literal vector
+    // mirror (same association order, broadcast constants), so the
+    // resulting transforms are bit-identical.  Building xup here instead
+    // of in marshal_gradient_group vectorizes the 3x3 compositions,
+    // which otherwise run W times scalar and dominate marshalling.
+    for (std::size_t i = 0; i < n; ++i) {
+        const topology::Link &link = model.link(i);
+        const spatial::Mat3 &e1 = link.x_tree.rotation_matrix();
+        const spatial::Vec3 &r1 = link.x_tree.translation_vector();
+        V ej[9];
+        LV3 rj{V{}, V{}, V{}};
+        if (link.joint.type() == spatial::JointType::kRevolute) {
+            V s, c;
+            for (int l = 0; l < W; ++l) {
+                const double qv = q[i * W + l];
+                s[l] = std::sin(qv);
+                c[l] = std::cos(qv);
+            }
+            // Mirror of Mat3::coordinate_rotation: the constant parts
+            // (skew, skew^2) run through the scalar Mat3 code itself.
+            const spatial::Mat3 ax = spatial::Mat3::skew(link.joint.axis());
+            const spatial::Mat3 ax2 = ax * ax;
+            const V one = V{} + 1.0;
+            V rm[9];
+            for (int k = 0; k < 9; ++k) {
+                const double id = (k % 4 == 0) ? 1.0 : 0.0;
+                rm[k] = (id + ax.m[k] * s) + ax2.m[k] * (one - c);
+            }
+            for (int rr = 0; rr < 3; ++rr)
+                for (int cc = 0; cc < 3; ++cc)
+                    ej[rr * 3 + cc] = rm[cc * 3 + rr]; // transposed()
+        } else {
+            // Prismatic: X_J = translation(axis * q); fixed: identity.
+            // Both have an identity E_J, mirrored literally (the scalar
+            // composition multiplies through the 1s and 0s too).
+            if (link.joint.type() == spatial::JointType::kPrismatic) {
+                const V qv = load(q + i * W);
+                const spatial::Vec3 &a_ = link.joint.axis();
+                rj = {a_.x * qv, a_.y * qv, a_.z * qv};
+            }
+            const V one = V{} + 1.0;
+            for (int k = 0; k < 9; ++k)
+                ej[k] = (k % 4 == 0) ? one : V{};
+        }
+        // Mirror of SpatialTransform::operator*: E = E_J * E1 via
+        // Mat3::operator*, r = r1 + E1^T r_J via Mat3::transpose_mul and
+        // Vec3::operator+.
+        for (int rr = 0; rr < 3; ++rr)
+            for (int cc = 0; cc < 3; ++cc)
+                store(xe + (i * 9 + rr * 3 + cc) * W,
+                      ej[rr * 3 + 0] * e1(0, cc) +
+                          ej[rr * 3 + 1] * e1(1, cc) +
+                          ej[rr * 3 + 2] * e1(2, cc));
+        const LV3 tmul = {
+            e1(0, 0) * rj.x + e1(1, 0) * rj.y + e1(2, 0) * rj.z,
+            e1(0, 1) * rj.x + e1(1, 1) * rj.y + e1(2, 1) * rj.z,
+            e1(0, 2) * rj.x + e1(1, 2) * rj.y + e1(2, 2) * rj.z};
+        store(xr + (i * 3 + 0) * W, r1.x + tmul.x);
+        store(xr + (i * 3 + 1) * W, r1.y + tmul.y);
+        store(xr + (i * 3 + 2) * W, r1.z + tmul.z);
+    }
+
+    zero_fill(v, n * 6 * W);
+    zero_fill(a, n * 6 * W);
+    zero_fill(f, n * 6 * W);
+    // Mirror of prepare(): tau is fully overwritten by the backward pass,
+    // but the dtau matrices are only written where ops land (set_zero in
+    // the scalar path); zero all three so unwritten entries match.
+    zero_fill(tau, n * W);
+    zero_fill(ws.dtau_dq.data(), n * n * W);
+    zero_fill(ws.dtau_dqd.data(), n * n * W);
+
+    const auto rnea_forward = [&](const EngineOp &op) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const std::int32_t p = op.parent;
+        const LXf x = load_xf(xe + i * 9 * W, xr + i * 3 * W);
+        const spatial::SpatialVector &si = t.s[i];
+        const LSV vj = scale(si, load(qd + i * W));
+        LSV vi, ai;
+        if (p == topology::kBaseParent) {
+            vi = vj;
+            ai = add(xf_apply(x, a_base), scale(si, load(qdd + i * W)));
+        } else {
+            const std::size_t pp = static_cast<std::size_t>(p);
+            vi = add(xf_apply(x, load_sv(v + pp * 6 * W)), vj);
+            ai = add(add(xf_apply(x, load_sv(a + pp * 6 * W)),
+                         scale(si, load(qdd + i * W))),
+                     cross_motion(vi, vj));
+        }
+        store_sv(v + i * 6 * W, vi);
+        store_sv(a + i * 6 * W, ai);
+        const spatial::SpatialInertia &inertia = model.link(i).inertia;
+        store_sv(f + i * 6 * W,
+                 add(inertia_apply(inertia, ai),
+                     cross_force(vi, inertia_apply(inertia, vi))));
+    };
+
+    const auto rnea_backward = [&](const EngineOp &op) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const LSV fi = load_sv(f + i * 6 * W);
+        store(tau + i * W, dot(splat(t.s[i]), fi));
+        if (op.parent != topology::kBaseParent) {
+            const std::size_t p = static_cast<std::size_t>(op.parent);
+            const LXf x = load_xf(xe + i * 9 * W, xr + i * 3 * W);
+            store_sv(f + p * 6 * W,
+                     add(load_sv(f + p * 6 * W),
+                         xf_apply_transpose_to_force(x, fi)));
+        }
+    };
+
+    const auto grad_forward = [&](const EngineOp &op, bool velocity) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const std::int32_t p = op.parent;
+        const LXf x = load_xf(xe + i * 9 * W, xr + i * 3 * W);
+        const spatial::SpatialVector &si = t.s[i];
+        const spatial::SpatialInertia &inertia = model.link(i).inertia;
+        const LSV vi = load_sv(v + i * 6 * W);
+        // Invariant across the path loop; scalar recomputes it per column
+        // with bit-identical value, so hoisting is exact.
+        const LSV ivi = inertia_apply(inertia, vi);
+        const LSV sqd = scale(si, load(qd + i * W));
+        for (std::uint32_t k = op.path_begin; k < op.path_end; ++k) {
+            const auto j = static_cast<std::size_t>(t.root_paths[k]);
+            LSV dvv, daa;
+            if (j == i && velocity) {
+                dvv = splat(si);
+                daa = cross_motion(vi, splat(si));
+            } else if (j == i) {
+                const LSV xap = xf_apply(
+                    x, p == topology::kBaseParent
+                           ? a_base
+                           : load_sv(a +
+                                     static_cast<std::size_t>(p) * 6 * W));
+                dvv = cross_motion(vi, splat(si));
+                daa = add(cross_motion(xap, splat(si)),
+                          cross_motion(dvv, sqd));
+            } else {
+                const std::size_t pp = static_cast<std::size_t>(p);
+                dvv = xf_apply(x, load_sv(dv + (j * n + pp) * 6 * W));
+                daa = add(xf_apply(x, load_sv(da + (j * n + pp) * 6 * W)),
+                          cross_motion(dvv, sqd));
+            }
+            store_sv(dv + (j * n + i) * 6 * W, dvv);
+            store_sv(da + (j * n + i) * 6 * W, daa);
+            store_sv(df + (j * n + i) * 6 * W,
+                     add(add(inertia_apply(inertia, daa),
+                             cross_force(dvv, ivi)),
+                         cross_force(vi, inertia_apply(inertia, dvv))));
+        }
+    };
+
+    const auto grad_backward = [&](const EngineOp &op, bool velocity) {
+        const auto i = static_cast<std::size_t>(op.link);
+        const auto j = static_cast<std::size_t>(op.column);
+        const LSV dff = load_sv(df + (j * n + i) * 6 * W);
+        const V dtau = dot(splat(t.s[i]), dff);
+        double *out = velocity ? ws.dtau_dqd.data() : ws.dtau_dq.data();
+        store(out + (i * n + j) * W, dtau);
+        if (op.parent != topology::kBaseParent) {
+            const std::size_t p = static_cast<std::size_t>(op.parent);
+            LSV carried = dff;
+            if (op.seed && !velocity)
+                carried = add(carried,
+                              cross_force(splat(t.s[j]),
+                                          load_sv(f + j * 6 * W)));
+            const LXf x = load_xf(xe + i * 9 * W, xr + i * 3 * W);
+            store_sv(df + (j * n + p) * 6 * W,
+                     add(load_sv(df + (j * n + p) * 6 * W),
+                         xf_apply_transpose_to_force(x, carried)));
+        }
+    };
+
+    // Derivative-scratch clearing.  The scalar path zeroes all of
+    // dv/da/df before each pass, but only a sliver of that state is ever
+    // read before it is written: dv and da entries are stored by
+    // grad_forward before any (dependency-ordered) op loads them, and
+    // the same holds for df entries inside column j's subtree.  The one
+    // exception is the backward recursion's += into df[(j, parent(i))],
+    // which for ancestors of j accumulates into entries no forward store
+    // ever touched — those must start at zero.  Zeroing exactly those
+    // targets (idempotent, so doing it upfront per pass is safe for
+    // shared parents) replaces two O(n^2) memsets per group with O(ops)
+    // work; on branched robots, whose root paths are short, the full
+    // clear would otherwise dominate the lane kernel.  Outputs are
+    // unaffected — never-read scratch is not part of the exactness
+    // contract — and the bit-exactness tests cover every topology class.
+    const auto clear_df_accumulation_targets = [&](const EngineOp *ops,
+                                                   std::size_t count) {
+        for (std::size_t k = 0; k < count; ++k) {
+            const EngineOp &op = ops[k];
+            if (op.kind == EngineOp::Kind::kGradBackward &&
+                op.parent != topology::kBaseParent)
+                zero_fill(df + (static_cast<std::size_t>(op.column) * n +
+                                static_cast<std::size_t>(op.parent)) *
+                                   6 * W,
+                          6 * W);
+        }
+    };
+
+    // Position pass: all four traversal stages, in trace order.
+    clear_df_accumulation_targets(t.trace, t.trace_size);
+    for (std::size_t k = 0; k < t.trace_size; ++k) {
+        const EngineOp &op = t.trace[k];
+        switch (op.kind) {
+          case EngineOp::Kind::kRneaForward:
+            rnea_forward(op);
+            break;
+          case EngineOp::Kind::kRneaBackward:
+            rnea_backward(op);
+            break;
+          case EngineOp::Kind::kGradForward:
+            grad_forward(op, false);
+            break;
+          default:
+            grad_backward(op, false);
+            break;
+        }
+    }
+    // Velocity pass: gradient stages re-run with velocity seeds.
+    clear_df_accumulation_targets(t.velocity_trace, t.velocity_size);
+    for (std::size_t k = 0; k < t.velocity_size; ++k) {
+        const EngineOp &op = t.velocity_trace[k];
+        if (op.kind == EngineOp::Kind::kGradForward)
+            grad_forward(op, true);
+        else
+            grad_backward(op, true);
+    }
+
+    // Final stage: lane-parallel blocked -M^-1 multiplies.  The minv mask
+    // is analyzed once and shared by both multiplies (the scalar path
+    // analyzes the same matrix twice with identical results).
+    analyze_mask(ws.minv.data(), n, n, t.block_size, ws.minv_mask);
+    analyze_mask(ws.dtau_dq.data(), n, n, t.block_size, ws.dq_mask);
+    analyze_mask(ws.dtau_dqd.data(), n, n, t.block_size, ws.dqd_mask);
+    lane_blocked_multiply_neg(ws.minv.data(), ws.dtau_dq.data(),
+                              ws.dqdd_dq.data(), n, t.block_size,
+                              ws.minv_mask, ws.dq_mask, ws.stats_q);
+    lane_blocked_multiply_neg(ws.minv.data(), ws.dtau_dqd.data(),
+                              ws.dqdd_dqd.data(), n, t.block_size,
+                              ws.minv_mask, ws.dqd_mask, ws.stats_qd);
+}
+
+} // namespace
+
+void
+ROBOSHAPE_LANE_IMPL_FN(const GradientTraceView &t, LaneWorkspace &ws)
+{
+    run_gradient_lanes(t, ws);
+}
+
+} // namespace simd
+} // namespace accel
+} // namespace roboshape

@@ -5,6 +5,7 @@
 
 #include "baselines/cpu_baseline.h"
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -27,8 +28,12 @@ us_between(Clock::time_point a, Clock::time_point b)
     return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
-/** Keeps results alive so the optimizer cannot delete the work. */
-volatile double g_sink = 0.0;
+/**
+ * Keeps results alive so the optimizer cannot delete the work.  Atomic
+ * because the batch harness writes it from concurrent worker threads;
+ * relaxed stores cost nothing on x86 and keep TSan quiet.
+ */
+std::atomic<double> g_sink{0.0};
 
 } // namespace
 
@@ -42,7 +47,7 @@ measure_fd_gradients(const topology::RobotModel &model, std::size_t trials)
     for (int i = 0; i < 16; ++i) {
         const auto g = dynamics::forward_dynamics_gradients(model, topo, s.q,
                                                             s.qd, s.tau);
-        g_sink = g.dqdd_dq(0, 0);
+        g_sink.store(g.dqdd_dq(0, 0), std::memory_order_relaxed);
     }
 
     CpuMeasurement m;
@@ -53,7 +58,7 @@ measure_fd_gradients(const topology::RobotModel &model, std::size_t trials)
         const auto a = Clock::now();
         const auto g = dynamics::forward_dynamics_gradients(model, topo, s.q,
                                                             s.qd, s.tau);
-        g_sink = g.dqdd_dq(0, 0);
+        g_sink.store(g.dqdd_dq(0, 0), std::memory_order_relaxed);
         const auto b = Clock::now();
         m.min_us = std::min(m.min_us, us_between(a, b));
     }
@@ -83,7 +88,7 @@ measure_fd_gradients_batch(const topology::RobotModel &model,
             workers.emplace_back([&, k] {
                 const auto g = dynamics::forward_dynamics_gradients(
                     model, topo, states[k].q, states[k].qd, states[k].tau);
-                g_sink = g.dqdd_dq(0, 0);
+                g_sink.store(g.dqdd_dq(0, 0), std::memory_order_relaxed);
             });
         }
         for (auto &w : workers)
@@ -101,7 +106,8 @@ measure_rnea(const topology::RobotModel &model, std::size_t trials)
     const dynamics::RobotState s = dynamics::random_state(model, 77);
 
     for (int i = 0; i < 16; ++i)
-        g_sink = dynamics::rnea(model, s.q, s.qd, s.qdd)[0];
+        g_sink.store(dynamics::rnea(model, s.q, s.qd, s.qdd)[0],
+                     std::memory_order_relaxed);
 
     CpuMeasurement m;
     m.trials = trials;
@@ -109,7 +115,8 @@ measure_rnea(const topology::RobotModel &model, std::size_t trials)
     const auto t0 = Clock::now();
     for (std::size_t i = 0; i < trials; ++i) {
         const auto a = Clock::now();
-        g_sink = dynamics::rnea(model, s.q, s.qd, s.qdd)[0];
+        g_sink.store(dynamics::rnea(model, s.q, s.qd, s.qdd)[0],
+                     std::memory_order_relaxed);
         const auto b = Clock::now();
         m.min_us = std::min(m.min_us, us_between(a, b));
     }

@@ -74,6 +74,19 @@ counted_alloc(std::size_t size)
         throw std::bad_alloc();
     return p;
 }
+
+void *
+counted_aligned_alloc(std::size_t size, std::size_t align)
+{
+    if (g_alloc_count_armed.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, align, size ? size : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
 #endif
 } // namespace
 
@@ -110,6 +123,46 @@ operator delete(void *p, std::size_t) noexcept
 
 void
 operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+// Aligned forms: the SIMD lane workspaces allocate 64-byte-aligned
+// buffers through these, so they must count too (and must pair with an
+// allocator whose pointers plain free() can release).
+
+void *
+operator new(std::size_t size, std::align_val_t al)
+{
+    return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t al)
+{
+    return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
 {
     std::free(p);
 }
@@ -400,6 +453,71 @@ TEST(SimEngineAllocations, WarmRunsAreAllocationFree)
         EXPECT_EQ(allocs, 0u)
             << to_string(c.design->kernel()) << " allocated on a warm run";
     }
+}
+
+// Batch fixtures shared by the two warm-batch tests: 13 gradient packets
+// (on a lane build that is full lane group(s) plus a scalar tail, so both
+// paths and the lane workspaces get warmed and checked).
+struct BatchFixture
+{
+    RobotModel m = build_robot(RobotId::kIiwa);
+    TopologyInfo topo{m};
+    AcceleratorDesign design{m, {7, 7, 7}};
+    std::vector<RobotState> states;
+    std::vector<dynamics::ForwardDynamicsGradients> refs;
+    std::vector<InputPacket> packets;
+
+    explicit BatchFixture(std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            states.push_back(random_state(m, 700 + static_cast<int>(i)));
+            const RobotState &s = states.back();
+            refs.push_back(dynamics::forward_dynamics_gradients(
+                m, topo, s.q, s.qd, s.tau));
+        }
+        for (std::size_t i = 0; i < count; ++i)
+            packets.push_back({&states[i].q, &states[i].qd, &refs[i].qdd,
+                               &refs[i].mass_inv});
+    }
+};
+
+// run_batch with a caller workspace must be heap-free once warm — SIMD
+// lane groups included (their SoA buffers grow on the first call only;
+// the aligned operator new hook above counts them).  threads=1 keeps the
+// fork-join pool from spawning (thread creation allocates by design).
+TEST(SimEngineAllocations, WarmBatchesAreAllocationFree)
+{
+#if !ROBOSHAPE_COUNT_ALLOCS
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+    const BatchFixture fx(13);
+    const SimEngine engine(fx.design);
+    std::vector<EngineResult> out(fx.packets.size());
+    SimEngine::BatchWorkspace ws;
+    engine.run_batch(fx.packets, out, ws, 1); // warm-up sizes everything
+    alloc_counter_arm();
+    engine.run_batch(fx.packets, out, ws, 1);
+    engine.run_batch(fx.packets, out, ws, 1);
+    EXPECT_EQ(alloc_counter_read(), 0u);
+}
+
+// The convenience overload used to construct a throwaway BatchWorkspace
+// per call (reallocating every per-worker workspace each time); it now
+// reuses a lazily-grown engine-owned workspace, so it must meet the same
+// warm zero-allocation bar as the explicit-workspace form.
+TEST(SimEngineAllocations, WarmConvenienceBatchIsAllocationFree)
+{
+#if !ROBOSHAPE_COUNT_ALLOCS
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+    const BatchFixture fx(13);
+    const SimEngine engine(fx.design);
+    std::vector<EngineResult> out(fx.packets.size());
+    engine.run_batch(fx.packets, out, 1); // warm-up sizes everything
+    alloc_counter_arm();
+    engine.run_batch(fx.packets, out, 1);
+    engine.run_batch(fx.packets, out, 1);
+    EXPECT_EQ(alloc_counter_read(), 0u);
 }
 
 } // namespace
