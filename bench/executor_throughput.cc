@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Executor throughput gates: the persistent work-stealing pool
+ * (core::Executor) against the pre-executor spawn-join baseline.
+ *
+ * Two measured claims, both gated (ctest label "bench"):
+ *
+ *  1. Fork-join amortization.  Small `run_batch` calls used to pay thread
+ *     spawn/join on every invocation; the executor pays a futex wake.
+ *     The bench reimplements the old statically-strided spawn-join
+ *     parallel_for, runs both on SimEngine batches of {1, 2, 4, 8}
+ *     gradient packets at 4 requested workers, and gates the geometric
+ *     mean latency speedup over the batches that actually spawned
+ *     (width > 1) at >= kForkJoinGate.  Outputs must stay bit-identical
+ *     between the two paths — the speedup is not allowed to change a bit.
+ *     The SIMD lane path is forced off so both paths run the identical
+ *     scalar trace.
+ *
+ *  2. Shard balance on an irregular topology.  A hyper-redundant serial
+ *     chain's sweep-precompute jobs (forward/backward/blocked-multiply
+ *     schedules, cost growing with the knob) are timed individually; the
+ *     bench then models the old static stride (worker t takes jobs t,
+ *     t + W, ...) against the executor's chunked dynamic assignment
+ *     (greedy list schedule of the same chunks stealing produces) and
+ *     gates that the dynamic makespan is no worse.  The real executor
+ *     run's exec.steals / exec.tasks counters are reported alongside the
+ *     model so the JSON shows stealing actually happened.
+ *
+ * Emits machine-readable JSON on stdout (and to `--json <path>`);
+ * EXPERIMENTS.md ("Executor throughput") tracks the numbers.  Exit
+ * status is nonzero when outputs diverge or a gate fails.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/sim_engine.h"
+#include "bench/bench_util.h"
+#include "core/executor.h"
+#include "core/sweep_context.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "linalg/matrix.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "topology/parametric_robots.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+namespace {
+
+using namespace roboshape;
+using Clock = std::chrono::steady_clock;
+
+/// Requested workers for both paths; more than this host's core count is
+/// fine — the cost being measured is spawn/join vs futex wake, which the
+/// baseline pays per call regardless of how the OS schedules the threads.
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kSmallBatches[] = {1, 2, 4, 8};
+/// Required geomean latency speedup over the spawning batch sizes.
+constexpr double kForkJoinGate = 1.5;
+/// Links of the hyper-redundant chain for the balance section (the
+/// paper's scalability robots, Fig. 17 territory).
+constexpr std::size_t kChainLinks = 30;
+/// The modeled dynamic makespan must not exceed static by more than this.
+// The makespan comparison is a model over *measured* per-job costs, and
+// on a sorted cost ramp the static stride is accidentally near-balanced
+// while the greedy model assigns whole 3-job chunks — so the ratio sits
+// near 1.0 and measurement noise (a few percent at the microsecond
+// scale) can swing it either way.  Tolerate 5% and retry the measurement
+// before declaring the dynamic assignment worse.
+constexpr double kBalanceTolerance = 1.05;
+constexpr int kBalanceAttempts = 3;
+
+double
+seconds_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Minimum latency (seconds) of fn() over ~budget_s of repetitions —
+ *  min, not mean, because spawn-cost is the floor being measured and
+ *  scheduler noise only adds. */
+template <typename Fn>
+double
+min_latency_s(Fn &&fn, double budget_s = 0.25, std::size_t max_reps = 4000)
+{
+    double best = -1.0;
+    const Clock::time_point start = Clock::now();
+    for (std::size_t rep = 0; rep < max_reps; ++rep) {
+        const Clock::time_point t0 = Clock::now();
+        fn();
+        const double dt = seconds_since(t0);
+        if (best < 0.0 || dt < best)
+            best = dt;
+        if (seconds_since(start) > budget_s)
+            break;
+    }
+    return best;
+}
+
+/** The pre-executor run_batch: spawn @p threads std::threads per call,
+ *  worker t statically striding packets t, t + T, ... (the exact sharding
+ *  of the old core::parallel_for). */
+void
+baseline_run_batch(const accel::SimEngine &engine,
+                   std::span<const accel::InputPacket> in,
+                   std::span<accel::EngineResult> out,
+                   std::vector<accel::SimEngine::Workspace> &ws,
+                   std::size_t threads)
+{
+    const std::size_t workers =
+        std::clamp<std::size_t>(threads, 1, in.size());
+    while (ws.size() < workers)
+        ws.push_back(engine.make_workspace());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < in.size(); ++i)
+            engine.run(ws[0], in[i], out[i]);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back([&, t] {
+            for (std::size_t i = t; i < in.size(); i += workers)
+                engine.run(ws[t], in[i], out[i]);
+        });
+    for (std::thread &worker : pool)
+        worker.join();
+}
+
+struct GradientInputs
+{
+    std::vector<dynamics::RobotState> states;
+    std::vector<dynamics::ForwardDynamicsGradients> refs;
+    std::vector<accel::InputPacket> packets;
+};
+
+GradientInputs
+make_gradient_inputs(const topology::RobotModel &model,
+                     const topology::TopologyInfo &topo, std::size_t count)
+{
+    GradientInputs in;
+    for (std::size_t i = 0; i < count; ++i) {
+        in.states.push_back(
+            dynamics::random_state(model, 40 + static_cast<int>(i)));
+        const dynamics::RobotState &s = in.states.back();
+        in.refs.push_back(dynamics::forward_dynamics_gradients(
+            model, topo, s.q, s.qd, s.tau));
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        in.packets.push_back({&in.states[i].q, &in.states[i].qd,
+                              &in.refs[i].qdd, &in.refs[i].mass_inv});
+    return in;
+}
+
+double
+max_result_diff(const accel::EngineResult &a, const accel::EngineResult &b)
+{
+    return std::max({linalg::max_abs_diff(a.tau, b.tau),
+                     linalg::max_abs_diff(a.dqdd_dq, b.dqdd_dq),
+                     linalg::max_abs_diff(a.dqdd_dqd, b.dqdd_dqd)});
+}
+
+/** Times every sweep-precompute job of a fresh hyper-chain context, min
+ *  over @p reps fresh contexts (each context runs each job exactly once,
+ *  cold). */
+std::vector<double>
+measure_precompute_job_costs(const topology::RobotModel &model, int reps)
+{
+    std::vector<double> costs;
+    for (int rep = 0; rep < reps; ++rep) {
+        core::SweepContext ctx(model);
+        const std::size_t n = ctx.num_links();
+        const std::size_t jobs = 2 * n + n; // fwd, bwd, blocked-multiply
+        if (costs.empty())
+            costs.assign(jobs, -1.0);
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const Clock::time_point t0 = Clock::now();
+            if (j < n)
+                ctx.forward(j + 1);
+            else if (j < 2 * n)
+                ctx.backward(j - n + 1);
+            else
+                ctx.block_multiply(j - 2 * n + 1);
+            const double dt = seconds_since(t0);
+            if (costs[j] < 0.0 || dt < costs[j])
+                costs[j] = dt;
+        }
+    }
+    return costs;
+}
+
+/** Makespan of the old static stride: worker t sums jobs t, t + W, ... */
+double
+static_stride_makespan(const std::vector<double> &costs, std::size_t w)
+{
+    std::vector<double> lane(w, 0.0);
+    for (std::size_t j = 0; j < costs.size(); ++j)
+        lane[j % w] += costs[j];
+    return *std::max_element(lane.begin(), lane.end());
+}
+
+/**
+ * Makespan of the executor's chunked dynamic assignment: jobs are chunked
+ * exactly as run_chunked chunks them (several chunks per lane), then list-
+ * scheduled greedily — each chunk goes to the lane that frees up first,
+ * which is what randomized stealing converges to.
+ */
+double
+dynamic_chunked_makespan(const std::vector<double> &costs, std::size_t w)
+{
+    constexpr std::size_t kChunksPerLane = 8; // matches run_chunked
+    const std::size_t count = costs.size();
+    const std::size_t max_chunks = std::min(count, w * kChunksPerLane);
+    const std::size_t grain = (count + max_chunks - 1) / max_chunks;
+    std::vector<double> lane(w, 0.0);
+    for (std::size_t begin = 0; begin < count; begin += grain) {
+        const std::size_t end = std::min(count, begin + grain);
+        double chunk = 0.0;
+        for (std::size_t j = begin; j < end; ++j)
+            chunk += costs[j];
+        *std::min_element(lane.begin(), lane.end()) += chunk;
+    }
+    return *std::max_element(lane.begin(), lane.end());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Force the scalar shard path before anything queries the lane
+    // backend: the baseline is per-packet scalar, and the comparison must
+    // isolate fork-join cost, not SIMD width.
+    setenv("ROBOSHAPE_SIMD", "off", 1);
+
+    const std::string json_path = bench::json_out_path(argc, argv);
+    bench::print_header(
+        "executor_throughput: persistent pool vs spawn-join baseline",
+        "RoboShape deployment substrate (PR 7 executor)");
+
+    obs::JsonWriter w(2);
+    w.begin_object();
+    w.key("bench").value("executor_throughput");
+    w.key("workers").value(static_cast<std::uint64_t>(kWorkers));
+    w.key("effective_worker_default")
+        .value(static_cast<std::uint64_t>(
+            core::Executor::instance().worker_count()));
+
+    // ---- Section 1: fork-join amortization -----------------------------
+    const topology::RobotModel model =
+        topology::build_robot(topology::RobotId::kIiwa);
+    const topology::TopologyInfo topo(model);
+    const accel::AcceleratorDesign design(
+        model, bench::shipped_params(topology::RobotId::kIiwa));
+    const accel::SimEngine engine(design);
+
+    const std::size_t max_batch =
+        *std::max_element(std::begin(kSmallBatches),
+                          std::end(kSmallBatches));
+    const GradientInputs inputs =
+        make_gradient_inputs(model, topo, max_batch);
+
+    bool identical = true;
+    double log_sum = 0.0;
+    std::size_t gated = 0;
+    w.key("fork_join").begin_array();
+    for (const std::size_t batch : kSmallBatches) {
+        const std::span<const accel::InputPacket> packets(
+            inputs.packets.data(), batch);
+        std::vector<accel::EngineResult> out_base(batch);
+        std::vector<accel::EngineResult> out_exec(batch);
+        std::vector<accel::SimEngine::Workspace> base_ws;
+        accel::SimEngine::BatchWorkspace exec_ws;
+        const std::size_t width =
+            core::Executor::instance().resolve_width(batch, kWorkers);
+
+        // Warm both paths: workspaces sized, pool spawned, results sized.
+        baseline_run_batch(engine, packets, out_base, base_ws, kWorkers);
+        engine.run_batch(packets, out_exec, exec_ws, kWorkers);
+        for (std::size_t i = 0; i < batch; ++i)
+            if (max_result_diff(out_base[i], out_exec[i]) != 0.0)
+                identical = false;
+
+        const double base_s = min_latency_s([&] {
+            baseline_run_batch(engine, packets, out_base, base_ws,
+                               kWorkers);
+        });
+        const double exec_s = min_latency_s([&] {
+            engine.run_batch(packets, out_exec, exec_ws, kWorkers);
+        });
+        const double speedup = base_s / exec_s;
+        // Only widths that actually spawned threads gate: at width 1 both
+        // paths are the same serial loop.
+        if (width > 1) {
+            log_sum += std::log(speedup);
+            ++gated;
+        }
+        w.begin_object();
+        w.key("batch").value(static_cast<std::uint64_t>(batch));
+        w.key("width").value(static_cast<std::uint64_t>(width));
+        w.key("baseline_us").value(base_s * 1e6);
+        w.key("executor_us").value(exec_s * 1e6);
+        w.key("speedup").value(speedup);
+        w.key("gated").value(width > 1);
+        w.end_object();
+        std::printf("batch %2zu (width %zu): spawn-join %8.1f us, "
+                    "executor %8.1f us, %.2fx\n",
+                    batch, width, base_s * 1e6, exec_s * 1e6, speedup);
+    }
+    w.end_array();
+    const double geomean =
+        gated > 0 ? std::exp(log_sum / static_cast<double>(gated)) : 1.0;
+    const bool fork_join_ok = geomean >= kForkJoinGate;
+    w.key("fork_join_geomean_speedup").value(geomean);
+    w.key("fork_join_gate").value(kForkJoinGate);
+    w.key("fork_join_ok").value(fork_join_ok);
+    w.key("outputs_identical").value(identical);
+    std::printf("fork-join geomean speedup %.2fx (gate %.1fx), outputs "
+                "%s\n",
+                geomean, kForkJoinGate,
+                identical ? "bit-identical" : "DIVERGED");
+
+    // ---- Section 2: shard balance on an irregular topology -------------
+    const topology::RobotModel chain =
+        topology::make_serial_chain(kChainLinks);
+    std::vector<double> costs;
+    double static_ms = 0.0;
+    double dynamic_ms = 0.0;
+    bool balance_ok = false;
+    for (int attempt = 0; attempt < kBalanceAttempts && !balance_ok;
+         ++attempt) {
+        costs = measure_precompute_job_costs(chain, /*reps=*/5);
+        static_ms = static_stride_makespan(costs, kWorkers);
+        dynamic_ms = dynamic_chunked_makespan(costs, kWorkers);
+        balance_ok = dynamic_ms <= static_ms * kBalanceTolerance;
+    }
+    const double improvement = static_ms / dynamic_ms;
+
+    // Real executor run of the same jobs: report the steal/task counters
+    // so the JSON shows dynamic rebalancing actually engaged.
+    const std::uint64_t steals0 =
+        obs::registry().counter("exec.steals").value();
+    const std::uint64_t tasks0 =
+        obs::registry().counter("exec.tasks").value();
+    {
+        core::SweepContext ctx(chain);
+        ctx.precompute_stage_schedules(kWorkers);
+    }
+    const std::uint64_t steals =
+        obs::registry().counter("exec.steals").value() - steals0;
+    const std::uint64_t tasks =
+        obs::registry().counter("exec.tasks").value() - tasks0;
+
+    w.key("shard_balance").begin_object();
+    w.key("robot").value("serial_chain");
+    w.key("links").value(static_cast<std::uint64_t>(kChainLinks));
+    w.key("jobs").value(static_cast<std::uint64_t>(costs.size()));
+    w.key("static_stride_makespan_us").value(static_ms * 1e6);
+    w.key("dynamic_chunked_makespan_us").value(dynamic_ms * 1e6);
+    w.key("improvement").value(improvement);
+    w.key("tolerance").value(kBalanceTolerance);
+    w.key("balance_ok").value(balance_ok);
+    w.key("measured_exec_tasks").value(tasks);
+    w.key("measured_exec_steals").value(steals);
+    w.end_object();
+    w.end_object();
+    std::printf("shard balance (%zu-link chain, %zu jobs): static stride "
+                "%.1f us, dynamic %.1f us, %.2fx; executor ran %llu "
+                "stealable chunks, %llu steals\n",
+                kChainLinks, costs.size(), static_ms * 1e6,
+                dynamic_ms * 1e6, improvement,
+                static_cast<unsigned long long>(tasks),
+                static_cast<unsigned long long>(steals));
+
+    std::printf("%s\n", w.str().c_str());
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << w.str() << '\n';
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::printf("report: %s\n", json_path.c_str());
+    }
+
+    int rc = 0;
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: executor run_batch diverged from the "
+                             "spawn-join baseline\n");
+        rc = 1;
+    }
+    if (!fork_join_ok) {
+        std::fprintf(stderr,
+                     "FAIL: fork-join geomean speedup %.2fx below %.1fx "
+                     "gate\n",
+                     geomean, kForkJoinGate);
+        rc = 1;
+    }
+    if (!balance_ok) {
+        std::fprintf(stderr,
+                     "FAIL: dynamic makespan %.1f us exceeds static "
+                     "%.1f us beyond tolerance\n",
+                     dynamic_ms * 1e6, static_ms * 1e6);
+        rc = 1;
+    }
+    return rc;
+}

@@ -44,7 +44,7 @@
 #include "accel/sim_engine.h"
 #include "accel/simd_lanes.h"
 #include "bench/bench_util.h"
-#include "core/parallel.h"
+#include "core/executor.h"
 #include "dynamics/fd_derivatives.h"
 #include "obs/json.h"
 #include "dynamics/robot_state.h"
@@ -545,7 +545,7 @@ main(int argc, char **argv)
     w.kv("wide_batch_size", static_cast<std::uint64_t>(kWideBatchSize));
     w.kv("sweep_workers",
          static_cast<std::uint64_t>(
-             core::sweep_worker_count(static_cast<std::size_t>(-1))));
+             core::Executor::instance().worker_count()));
     w.key("robots").begin_array();
     for (std::size_t r = 0; r < robots.size(); ++r) {
         const topology::RobotModel model =

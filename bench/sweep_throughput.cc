@@ -26,7 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "core/design_space.h"
-#include "core/parallel.h"
+#include "core/executor.h"
 #include "obs/json.h"
 #include "sched/block_schedule.h"
 #include "sched/list_scheduler.h"
@@ -189,7 +189,7 @@ main(int argc, char **argv)
     w.kv("bench", "sweep_throughput");
     w.kv("sweep_workers",
          static_cast<std::uint64_t>(
-             core::sweep_worker_count(static_cast<std::size_t>(-1))));
+             core::Executor::instance().worker_count()));
     w.key("robots").begin_array();
     bool all_identical = true;
     for (std::size_t i = 0; i < models.size(); ++i) {

@@ -14,10 +14,11 @@
 #include "accel/sim_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <string>
 
-#include "core/parallel.h"
+#include "core/executor.h"
 #include "obs/registry.h"
 #include "obs/wall_trace.h"
 #include "sched/trace.h"
@@ -665,20 +666,28 @@ SimEngine::run_batch(std::span<const InputPacket> in,
     }
 
     ROBOSHAPE_OBS_RECORD("sim.lane_width", 1);
-    const std::size_t workers = core::sweep_worker_count(in.size(), threads);
+    core::Executor &exec = core::Executor::instance();
+    const std::size_t workers = exec.resolve_width(in.size(), threads);
     while (ws.per_thread.size() < workers)
         ws.per_thread.push_back(make_workspace());
-    // Shard balance: worker t owns ceil/floor(|in| / workers) packets.
-    for (std::size_t t = 0; t < workers; ++t)
-        ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets",
-                             in.size() / workers +
-                                 (t < in.size() % workers ? 1 : 0));
-    // parallel_for strides packets so worker t owns indices t, t + T, ...;
-    // workspace i % workers is therefore touched by exactly one worker.
-    core::parallel_for(
+    // The executor hands each packet to exactly one lane; a lane index is
+    // exclusive to one OS thread for the whole region, so workspace[lane]
+    // is single-threaded even though stealing moves packets between
+    // lanes.  Results stay bit-identical at any width because a packet's
+    // output slot is fixed and a warm workspace never leaks state between
+    // runs (PR 2's zero-allocation contract).
+    std::array<std::uint64_t, core::kMaxExecutorLanes> shard{};
+    exec.parallel_for_lanes(
         in.size(),
-        [&](std::size_t i) { run(ws.per_thread[i % workers], in[i], out[i]); },
+        [&](std::size_t i, std::size_t lane) {
+            run(ws.per_thread[lane], in[i], out[i]);
+            ++shard[lane];
+        },
         workers);
+    // Shard balance: packets each lane actually executed (dynamic, not
+    // the static ceil/floor split the fork-join pool used to report).
+    for (std::size_t t = 0; t < workers; ++t)
+        ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets", shard[t]);
 }
 
 void
@@ -697,7 +706,8 @@ SimEngine::run_batch_lanes(std::span<const InputPacket> in,
     const std::size_t width = backend.width;
     const std::size_t groups = in.size() / width;
     const std::size_t tail = in.size() - groups * width;
-    const std::size_t workers = core::sweep_worker_count(groups, threads);
+    core::Executor &exec = core::Executor::instance();
+    const std::size_t workers = exec.resolve_width(groups, threads);
     while (ws.lanes.size() < workers)
         ws.lanes.emplace_back();
     if (ws.per_thread.empty())
@@ -705,12 +715,6 @@ SimEngine::run_batch_lanes(std::span<const InputPacket> in,
 
     ROBOSHAPE_OBS_RECORD("sim.lane_width", width);
     ROBOSHAPE_OBS_COUNT("sim.batch_tail_packets", tail);
-    // Shard balance in packets: worker t owns groups t, t + T, ... (the
-    // tail runs on the calling thread after the join).
-    for (std::size_t t = 0; t < workers; ++t)
-        ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets",
-                             width * (groups / workers +
-                                      (t < groups % workers ? 1 : 0)));
 
     simd::GradientTraceView tv;
     tv.trace = trace_.data();
@@ -724,19 +728,26 @@ SimEngine::run_batch_lanes(std::span<const InputPacket> in,
     tv.block_size = design_->params().block_size;
 
     const std::size_t tasks = trace_.size() + velocity_trace_.size();
-    // Group g's lane workspace g % workers is touched by exactly one
-    // worker (parallel_for stride), mirroring the scalar shard path.
-    core::parallel_for(
+    // Executor lane indices are exclusive to one OS thread per region, so
+    // each SoA lane workspace stays single-threaded under stealing —
+    // mirroring the scalar shard path above.
+    std::array<std::uint64_t, core::kMaxExecutorLanes> shard{};
+    exec.parallel_for_lanes(
         groups,
-        [&](std::size_t g) {
-            simd::LaneWorkspace &lw = ws.lanes[g % workers];
+        [&](std::size_t g, std::size_t lane) {
+            simd::LaneWorkspace &lw = ws.lanes[lane];
             simd::marshal_gradient_group(design_->model(), n_, width,
                                          in.data() + g * width, lw);
             backend.gradient(tv, lw);
             simd::demarshal_gradient_group(n_, width, tasks, lw,
                                            out.data() + g * width);
+            shard[lane] += width;
         },
         workers);
+    // Shard balance in packets actually executed per lane (the tail runs
+    // on the calling thread below and is not a shard).
+    for (std::size_t t = 0; t < workers; ++t)
+        ROBOSHAPE_OBS_RECORD("sim.batch_shard_packets", shard[t]);
     ROBOSHAPE_OBS_COUNT("sim.runs", groups * width);
     ROBOSHAPE_OBS_COUNT("sim.ops_executed", groups * width * tasks);
 

@@ -26,9 +26,10 @@
  *    -M^-1 multiply uses linalg::blocked_multiply_into with fused
  *    negation, an exact sign flip.
  *
- *  - run_batch() shards independent packets across the core/parallel.h
- *    fork-join pool with one Workspace per worker.  Packets never share
- *    mutable state, so results are bit-identical at any thread count.
+ *  - run_batch() shards independent packets across the persistent
+ *    work-stealing executor (core/executor.h) with one Workspace per
+ *    lane.  Packets never share mutable state, so results are
+ *    bit-identical at any thread count and steal interleaving.
  *
  * All three Table 1 kernels are covered: the dynamics-gradient pipeline
  * (RNEA + dRNEA + blocked -M^-1 multiply), the CRBA mass matrix, and
@@ -194,8 +195,9 @@ class SimEngine
 
     /**
      * Executes @p in[i] into @p out[i] for every i, sharding packets over
-     * the fork-join pool (thread t owns indices t, t + T, ...).  Results
-     * are bit-identical to serial run() calls at any thread count.
+     * the persistent work-stealing executor.  Results are bit-identical
+     * to serial run() calls at any thread count: stealing reassigns which
+     * lane runs a packet, never where its output lands.
      *
      * Dynamics-gradient engines additionally route full groups of W
      * consecutive packets through the W-wide SIMD lane backend chosen by
@@ -204,8 +206,9 @@ class SimEngine
      * bit; set ROBOSHAPE_SIMD=off (or build with -DROBOSHAPE_SIMD=OFF) to
      * force the scalar path.
      *
-     * @param threads worker count; 0 defers to ROBOSHAPE_SWEEP_THREADS /
-     *        hardware concurrency (see core::sweep_worker_count).
+     * @param threads worker count; 0 defers to ROBOSHAPE_THREADS (or the
+     *        deprecated ROBOSHAPE_SWEEP_THREADS alias) / hardware
+     *        concurrency (see core::Executor::resolve_width).
      */
     void run_batch(std::span<const InputPacket> in,
                    std::span<EngineResult> out, BatchWorkspace &ws,

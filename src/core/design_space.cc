@@ -11,7 +11,7 @@
 #include <numeric>
 #include <tuple>
 
-#include "core/parallel.h"
+#include "core/executor.h"
 #include "core/sweep_context.h"
 
 namespace roboshape {
@@ -20,38 +20,68 @@ namespace core {
 DesignSpace
 DesignSpace::sweep(const topology::RobotModel &model,
                    const accel::TimingModel &timing,
-                   sched::KernelKind kernel)
+                   sched::KernelKind kernel, std::size_t threads)
 {
     DesignSpace space;
     space.context_ = std::make_shared<SweepContext>(model, timing, kernel);
     SweepContext &ctx = *space.context_;
     const std::size_t n = ctx.num_links();
     const std::size_t block_max = ctx.block_knob_max();
-
-    // Phase 1: the O(n) distinct schedules, across the thread pool.
-    ctx.precompute_stage_schedules();
-
-    // Phase 2: compose the n^2 * block_max points from the caches —
-    // arithmetic only, no scheduler runs.  Row-sharded over pes_fwd; each
-    // worker writes a disjoint, pre-sized slice, so the point order is
-    // identical to the serial triple loop.
+    const std::size_t mm_jobs =
+        kernel == sched::KernelKind::kDynamicsGradient ? n : 0;
     const double period = ctx.clock_period_ns();
     space.points_.resize(n * n * block_max);
-    parallel_for(n, [&](std::size_t row) {
-        const std::size_t pf = row + 1;
-        std::size_t idx = row * n * block_max;
-        for (std::size_t pb = 1; pb <= n; ++pb) {
-            for (std::size_t b = 1; b <= block_max; ++b, ++idx) {
-                DesignPoint &point = space.points_[idx];
-                point.params = {pf, pb, b};
-                point.cycles = ctx.cycles_no_pipelining(point.params);
-                point.latency_us =
-                    static_cast<double>(point.cycles) * period * 1e-3;
-                point.resources =
-                    accel::estimate_resources(point.params, n);
-            }
-        }
-    });
+
+    // One job graph instead of two barriers: schedule precompute feeds
+    // point composition directly.  Composition row pf reads forward(pf),
+    // every backward cache, and (gradient kernels) every blocked-multiply
+    // cache, so it depends on its own forward node plus one barrier node
+    // per shared cache family — the row starts the moment those are done,
+    // while other forward schedules are still being computed.  Each job
+    // writes only its own cache slot or its own pre-sized points_ slice,
+    // so the point order is identical to the serial triple loop at any
+    // width.
+    JobGraph graph;
+    std::vector<JobGraph::NodeId> fwd(n);
+    for (std::size_t k = 0; k < n; ++k)
+        fwd[k] = graph.add([&ctx, k](std::size_t) { ctx.forward(k + 1); });
+    const JobGraph::NodeId bwd_done = graph.add([](std::size_t) {});
+    for (std::size_t k = 0; k < n; ++k) {
+        const JobGraph::NodeId node =
+            graph.add([&ctx, k](std::size_t) { ctx.backward(k + 1); });
+        graph.add_edge(node, bwd_done);
+    }
+    const JobGraph::NodeId mm_done = graph.add([](std::size_t) {});
+    for (std::size_t k = 0; k < mm_jobs; ++k) {
+        const JobGraph::NodeId node = graph.add(
+            [&ctx, k](std::size_t) { ctx.block_multiply(k + 1); });
+        graph.add_edge(node, mm_done);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+        const JobGraph::NodeId node =
+            graph.add([&space, &ctx, row, n, block_max,
+                       period](std::size_t) {
+                const std::size_t pf = row + 1;
+                std::size_t idx = row * n * block_max;
+                for (std::size_t pb = 1; pb <= n; ++pb) {
+                    for (std::size_t b = 1; b <= block_max; ++b, ++idx) {
+                        DesignPoint &point = space.points_[idx];
+                        point.params = {pf, pb, b};
+                        point.cycles =
+                            ctx.cycles_no_pipelining(point.params);
+                        point.latency_us = static_cast<double>(
+                                               point.cycles) *
+                                           period * 1e-3;
+                        point.resources =
+                            accel::estimate_resources(point.params, n);
+                    }
+                }
+            });
+        graph.add_edge(fwd[row], node);
+        graph.add_edge(bwd_done, node);
+        graph.add_edge(mm_done, node);
+    }
+    Executor::instance().run(graph, threads);
     return space;
 }
 

@@ -42,20 +42,26 @@ class DesignSpace
      * Evaluates every knob combination in [1, N]^3.
      *
      * Schedules are memoized per knob (a SweepContext), so the N^3 points
-     * cost O(N) scheduler passes, and both the schedule computation and
-     * the point composition run across a thread pool (deterministic
-     * output: points are ordered by (pes_fwd, pes_bwd, block_size)
-     * regardless of worker count; set ROBOSHAPE_SWEEP_THREADS to pin the
-     * pool size).
+     * cost O(N) scheduler passes.  Schedule precompute and point
+     * composition run as ONE job graph on the work-stealing executor
+     * (core/executor.h): a composition row becomes ready the moment its
+     * forward schedule plus the backward/blocked-multiply caches are
+     * done, instead of waiting at a global barrier between the phases.
+     * Output is deterministic: points are ordered by (pes_fwd, pes_bwd,
+     * block_size) regardless of worker count or steal interleaving; set
+     * ROBOSHAPE_THREADS to pin the pool size.
      *
-     * @param model  evaluated robot (copied into the space).
-     * @param kernel kernel family to generate (paper Table 1).
+     * @param model   evaluated robot (copied into the space).
+     * @param kernel  kernel family to generate (paper Table 1).
+     * @param threads worker count for this sweep; 0 defers to the
+     *        environment / hardware default.
      */
     static DesignSpace sweep(const topology::RobotModel &model,
                              const accel::TimingModel &timing =
                                  accel::default_timing(),
                              sched::KernelKind kernel =
-                                 sched::KernelKind::kDynamicsGradient);
+                                 sched::KernelKind::kDynamicsGradient,
+                             std::size_t threads = 0);
 
     /**
      * Three-objective (cycles, LUTs, DSPs) Pareto subset — the candidate

@@ -1,74 +1,54 @@
 /**
  * @file
- * Minimal fork-join thread pool for design-space sweeps.
+ * Compatibility shim over the persistent work-stealing executor.
  *
- * The sweep's unit of work is one memoized schedule or one composed design
- * point; both are independent across indices, so a statically-strided
- * fork-join pool is enough: worker t handles indices t, t + T, t + 2T, ...
- * The sharding is deterministic, every index is owned by exactly one
- * worker, and workers only write to the slots they own — no locks anywhere
- * on the hot path.
+ * Historically this header WAS the parallel runtime: a fork-join pool
+ * that spawned fresh std::threads per call and statically strided the
+ * index space.  PR 7 replaced it with core::Executor (executor.h,
+ * docs/PARALLELISM.md) — one process-lifetime pool of parked workers
+ * with work-stealing deques.  The two entry points below keep the old
+ * API for existing call sites; new code should use the executor
+ * directly (it also offers lane-aware callbacks and job graphs).
+ *
+ * The determinism contract is unchanged: fn(i) is called exactly once
+ * per index, may only write state owned by index i, and results are
+ * bit-identical at any worker count.
  */
 
 #ifndef ROBOSHAPE_CORE_PARALLEL_H
 #define ROBOSHAPE_CORE_PARALLEL_H
 
-#include <algorithm>
 #include <cstddef>
-#include <cstdlib>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "core/executor.h"
 
 namespace roboshape {
 namespace core {
 
 /**
  * Worker count used for @p jobs: @p requested when nonzero, else the
- * ROBOSHAPE_SWEEP_THREADS environment variable when set, else the
- * hardware concurrency; always clamped to [1, jobs].
+ * validated ROBOSHAPE_THREADS environment override (or its deprecated
+ * ROBOSHAPE_SWEEP_THREADS alias) when set, else the hardware
+ * concurrency; always clamped to [1, jobs].
  */
 inline std::size_t
 sweep_worker_count(std::size_t jobs, std::size_t requested = 0)
 {
-    std::size_t threads = requested;
-    if (threads == 0) {
-        if (const char *env = std::getenv("ROBOSHAPE_SWEEP_THREADS"))
-            threads = static_cast<std::size_t>(
-                std::strtoul(env, nullptr, 10));
-    }
-    if (threads == 0)
-        threads = std::max<std::size_t>(
-            1, std::thread::hardware_concurrency());
-    return std::clamp<std::size_t>(threads, 1,
-                                   std::max<std::size_t>(jobs, 1));
+    return Executor::instance().resolve_width(jobs, requested);
 }
 
 /**
- * Runs fn(i) for every i in [0, count), striding the index space over a
- * pool of worker threads (see the file comment).  Runs inline without
- * spawning when one worker suffices.  @p fn must not throw; it may only
- * write to state owned by the index it was handed.
+ * Runs fn(i) for every i in [0, count) on the process-wide executor.
+ * Runs inline when one worker suffices.  @p fn must not throw; it may
+ * only write to state owned by the index it was handed.
  */
 template <typename Fn>
 void
 parallel_for(std::size_t count, Fn &&fn, std::size_t requested_threads = 0)
 {
-    const std::size_t workers = sweep_worker_count(count, requested_threads);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            fn(i);
-        return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) {
-        pool.emplace_back([&fn, t, workers, count] {
-            for (std::size_t i = t; i < count; i += workers)
-                fn(i);
-        });
-    }
-    for (std::thread &worker : pool)
-        worker.join();
+    Executor::instance().parallel_for(count, std::forward<Fn>(fn),
+                                      requested_threads);
 }
 
 } // namespace core

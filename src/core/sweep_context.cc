@@ -124,8 +124,11 @@ SweepContext::precompute_stage_schedules(std::size_t threads)
     const std::size_t n = num_links();
     const std::size_t mm_jobs = mm_.size();
     // Job layout: [0, n) forward, [n, 2n) backward, [2n, 2n + mm) blocked
-    // multiply.  Each job owns exactly one cache slot, so the statically
-    // sharded pool never needs a lock; already-filled slots are kept.
+    // multiply.  Each job owns exactly one cache slot, so no lock is needed
+    // at any steal interleaving; already-filled slots are kept.
+    // (DesignSpace::sweep no longer calls this — it folds the same jobs
+    // into its composition job graph — but standalone contexts still use
+    // it to make the lazy accessors concurrency-safe in one call.)
     parallel_for(
         2 * n + mm_jobs,
         [this, n](std::size_t job) {

@@ -15,10 +15,10 @@
  * all; it is computed lazily for full designs only).
  *
  * Thread-safety: precompute_stage_schedules() fills the single-knob caches
- * with a statically-sharded thread pool (each cache slot is written by
- * exactly one worker, no locks).  The lazy accessors mutate the caches and
- * must not race each other; call them from one thread, or precompute
- * first, after which reads are safe from any number of threads.
+ * across the work-stealing executor (each cache slot is written by exactly
+ * one job, no locks).  The lazy accessors mutate the caches and must not
+ * race each other; call them from one thread, or precompute first, after
+ * which reads are safe from any number of threads.
  */
 
 #ifndef ROBOSHAPE_CORE_SWEEP_CONTEXT_H
@@ -103,10 +103,11 @@ class SweepContext
 
     /**
      * Fills the forward, backward, and blocked-multiply caches (the
-     * single-knob schedules every sweep point needs) across a thread pool
-     * of @p threads workers (0 = ROBOSHAPE_SWEEP_THREADS or hardware
-     * concurrency).  Afterwards the corresponding accessors are read-only
-     * and safe to call concurrently.
+     * single-knob schedules every sweep point needs) across the executor
+     * with @p threads workers (0 = ROBOSHAPE_THREADS — or the deprecated
+     * ROBOSHAPE_SWEEP_THREADS alias — or hardware concurrency).
+     * Afterwards the corresponding accessors are read-only and safe to
+     * call concurrently.
      */
     void precompute_stage_schedules(std::size_t threads = 0);
 

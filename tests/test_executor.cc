@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Suite for the persistent work-stealing executor (core::Executor): index
+ * coverage and lane exclusivity of parallel_for, byte-identical sweep and
+ * run_batch outputs across thread counts {1, 2, 7, hw} and repeated runs
+ * under stealing, job-graph dependency ordering (chain and diamond),
+ * cycle rejection, env-var validation, and a counting-operator-new proof
+ * that warm submissions never touch the heap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "accel/sim_engine.h"
+#include "core/design_space.h"
+#include "core/executor.h"
+#include "dynamics/fd_derivatives.h"
+#include "dynamics/robot_state.h"
+#include "linalg/matrix.h"
+#include "topology/parametric_robots.h"
+#include "topology/robot_library.h"
+#include "topology/topology_info.h"
+
+// ----------------------------------------------- allocation counting ----
+// Same hook as test_sim_engine.cc: global new/delete are replaced for this
+// binary, ticking only between arm() and read(); sanitizer builds keep
+// their own allocator interceptors, so the hook is compiled out there.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ROBOSHAPE_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ROBOSHAPE_COUNT_ALLOCS 0
+#else
+#define ROBOSHAPE_COUNT_ALLOCS 1
+#endif
+#else
+#define ROBOSHAPE_COUNT_ALLOCS 1
+#endif
+
+namespace {
+std::atomic<bool> g_alloc_count_armed{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void
+alloc_counter_arm()
+{
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_alloc_count_armed.store(true, std::memory_order_relaxed);
+}
+
+std::size_t
+alloc_counter_read()
+{
+    g_alloc_count_armed.store(false, std::memory_order_relaxed);
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+#if ROBOSHAPE_COUNT_ALLOCS
+void *
+counted_alloc(std::size_t size)
+{
+    if (g_alloc_count_armed.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size ? size : 1);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+#endif
+} // namespace
+
+#if ROBOSHAPE_COUNT_ALLOCS
+void *
+operator new(std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+#endif
+
+namespace {
+
+using roboshape::core::DesignPoint;
+using roboshape::core::DesignSpace;
+using roboshape::core::Executor;
+using roboshape::core::JobGraph;
+using roboshape::core::kMaxExecutorLanes;
+
+/** The widths the determinism suites pin: serial, small, more lanes than
+ *  this machine likely has cores, and the hardware default (0). */
+constexpr std::size_t kWidths[] = {1, 2, 7, 0};
+
+// ------------------------------------------------------- parallel_for ----
+
+TEST(ExecutorParallelFor, RunsEveryIndexExactlyOnceAtAnyWidth)
+{
+    constexpr std::size_t kCount = 1000;
+    Executor &exec = Executor::instance();
+    for (const std::size_t width : kWidths) {
+        std::vector<std::atomic<int>> hits(kCount);
+        std::vector<std::uint64_t> out(kCount, 0);
+        exec.parallel_for(
+            kCount,
+            [&](std::size_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+                out[i] = i * i + 1;
+            },
+            width);
+        for (std::size_t i = 0; i < kCount; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at width "
+                                         << width;
+            EXPECT_EQ(out[i], i * i + 1);
+        }
+    }
+}
+
+TEST(ExecutorParallelFor, LaneIdsAreDenseAndExclusive)
+{
+    constexpr std::size_t kCount = 500;
+    constexpr std::size_t kWidth = 7;
+    Executor &exec = Executor::instance();
+    const std::size_t width = exec.resolve_width(kCount, kWidth);
+    ASSERT_EQ(width, kWidth);
+
+    std::vector<std::atomic<bool>> in_use(kWidth);
+    std::vector<std::atomic<std::uint64_t>> per_lane(kWidth);
+    exec.parallel_for_lanes(
+        kCount,
+        [&](std::size_t i, std::size_t lane) {
+            (void)i;
+            ASSERT_LT(lane, kWidth);
+            // A lane id is exclusive to one OS thread for the region, so
+            // this flag can never be observed already set.
+            EXPECT_FALSE(in_use[lane].exchange(true));
+            per_lane[lane].fetch_add(1, std::memory_order_relaxed);
+            in_use[lane].store(false);
+        },
+        kWidth);
+
+    std::uint64_t total = 0;
+    for (std::size_t lane = 0; lane < kWidth; ++lane)
+        total += per_lane[lane].load();
+    EXPECT_EQ(total, kCount);
+}
+
+TEST(ExecutorParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    constexpr std::size_t kOuter = 16;
+    constexpr std::size_t kInner = 8;
+    Executor &exec = Executor::instance();
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    exec.parallel_for(
+        kOuter,
+        [&](std::size_t i) {
+            exec.parallel_for_lanes(
+                kInner,
+                [&](std::size_t j, std::size_t lane) {
+                    // Nested regions run inline on the submitting thread.
+                    EXPECT_EQ(lane, 0u);
+                    hits[i * kInner + j].fetch_add(1);
+                },
+                4);
+        },
+        4);
+    for (std::size_t k = 0; k < kOuter * kInner; ++k)
+        EXPECT_EQ(hits[k].load(), 1);
+}
+
+TEST(ExecutorParallelFor, ZeroCountReturnsImmediately)
+{
+    bool ran = false;
+    Executor::instance().parallel_for(
+        0, [&](std::size_t) { ran = true; }, 4);
+    EXPECT_FALSE(ran);
+}
+
+TEST(ExecutorWidth, ResolveWidthClampsToCountAndCap)
+{
+    const Executor &exec = Executor::instance();
+    EXPECT_EQ(exec.resolve_width(100, 7), 7u);
+    EXPECT_EQ(exec.resolve_width(3, 7), 3u);
+    EXPECT_EQ(exec.resolve_width(0, 7), 1u);
+    EXPECT_EQ(exec.resolve_width(1, 0), 1u);
+    EXPECT_LE(exec.resolve_width(1 << 20, 0), kMaxExecutorLanes);
+    EXPECT_EQ(exec.resolve_width(1 << 20, 2 * kMaxExecutorLanes),
+              kMaxExecutorLanes);
+}
+
+// ------------------------------------------------- sweep determinism ----
+
+void
+expect_points_identical(const std::vector<DesignPoint> &a,
+                        const std::vector<DesignPoint> &b,
+                        const std::string &label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].params, b[i].params) << label << " point " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << label << " point " << i;
+        // Bit-exact, not approximately-equal: the composition arithmetic
+        // is identical work regardless of which lane runs it.
+        EXPECT_EQ(a[i].latency_us, b[i].latency_us)
+            << label << " point " << i;
+        EXPECT_EQ(a[i].resources.luts, b[i].resources.luts);
+        EXPECT_EQ(a[i].resources.dsps, b[i].resources.dsps);
+    }
+}
+
+TEST(ExecutorDeterminism, SweepPointsIdenticalAcrossThreadCounts)
+{
+    // An irregular topology (branching quadruped) and a deep serial chain
+    // exercise heterogeneous job costs, i.e. real stealing.
+    const roboshape::topology::RobotModel models[] = {
+        roboshape::topology::build_robot(
+            roboshape::topology::RobotId::kHyq),
+        roboshape::topology::make_serial_chain(12),
+    };
+    for (const auto &m : models) {
+        const DesignSpace reference = DesignSpace::sweep(
+            m, roboshape::accel::default_timing(),
+            roboshape::sched::KernelKind::kDynamicsGradient, 1);
+        for (const std::size_t width : kWidths) {
+            const DesignSpace space = DesignSpace::sweep(
+                m, roboshape::accel::default_timing(),
+                roboshape::sched::KernelKind::kDynamicsGradient, width);
+            expect_points_identical(reference.points(), space.points(),
+                                    m.name() + " at width " +
+                                        std::to_string(width));
+        }
+        // Repeated runs at one width must also agree (steal interleaving
+        // differs run to run; outputs must not).
+        for (int rep = 0; rep < 3; ++rep) {
+            const DesignSpace space = DesignSpace::sweep(
+                m, roboshape::accel::default_timing(),
+                roboshape::sched::KernelKind::kDynamicsGradient, 7);
+            expect_points_identical(reference.points(), space.points(),
+                                    m.name() + " repeat " +
+                                        std::to_string(rep));
+        }
+    }
+}
+
+TEST(ExecutorDeterminism, RunBatchIdenticalAcrossThreadCounts)
+{
+    using roboshape::accel::AcceleratorDesign;
+    using roboshape::accel::EngineResult;
+    using roboshape::accel::InputPacket;
+    using roboshape::accel::SimEngine;
+
+    const roboshape::topology::RobotModel m =
+        roboshape::topology::build_robot(
+            roboshape::topology::RobotId::kIiwa);
+    const roboshape::topology::TopologyInfo topo(m);
+    const AcceleratorDesign design(m, {4, 4, 4});
+    const SimEngine engine(design);
+
+    constexpr std::size_t kPackets = 23; // prime: uneven chunking
+    std::vector<roboshape::dynamics::RobotState> states;
+    std::vector<roboshape::dynamics::ForwardDynamicsGradients> refs;
+    std::vector<InputPacket> packets;
+    for (std::size_t i = 0; i < kPackets; ++i) {
+        states.push_back(roboshape::dynamics::random_state(
+            m, 500 + static_cast<int>(i)));
+        const auto &s = states.back();
+        refs.push_back(roboshape::dynamics::forward_dynamics_gradients(
+            m, topo, s.q, s.qd, s.tau));
+    }
+    for (std::size_t i = 0; i < kPackets; ++i)
+        packets.push_back({&states[i].q, &states[i].qd, &refs[i].qdd,
+                           &refs[i].mass_inv});
+
+    std::vector<EngineResult> serial(kPackets);
+    auto ws = engine.make_workspace();
+    for (std::size_t i = 0; i < kPackets; ++i)
+        engine.run(ws, packets[i], serial[i]);
+
+    for (const std::size_t width : kWidths) {
+        for (int rep = 0; rep < 2; ++rep) {
+            std::vector<EngineResult> batched(kPackets);
+            SimEngine::BatchWorkspace batch;
+            engine.run_batch(packets, batched, batch, width);
+            for (std::size_t i = 0; i < kPackets; ++i) {
+                EXPECT_EQ(roboshape::linalg::max_abs_diff(
+                              batched[i].dqdd_dq, serial[i].dqdd_dq),
+                          0.0)
+                    << "packet " << i << " width " << width << " rep "
+                    << rep;
+                EXPECT_EQ(roboshape::linalg::max_abs_diff(
+                              batched[i].dqdd_dqd, serial[i].dqdd_dqd),
+                          0.0);
+                EXPECT_EQ(roboshape::linalg::max_abs_diff(batched[i].tau,
+                                                          serial[i].tau),
+                          0.0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- job graph ----
+
+TEST(ExecutorJobGraph, ChainRunsInDependencyOrder)
+{
+    constexpr std::size_t kChain = 24;
+    for (const std::size_t width : kWidths) {
+        JobGraph graph;
+        std::atomic<std::uint64_t> clock{1};
+        std::vector<std::uint64_t> seq(kChain, 0);
+        std::vector<JobGraph::NodeId> ids;
+        for (std::size_t k = 0; k < kChain; ++k)
+            ids.push_back(graph.add([&, k](std::size_t) {
+                seq[k] = clock.fetch_add(1, std::memory_order_relaxed);
+            }));
+        for (std::size_t k = 1; k < kChain; ++k)
+            graph.add_edge(ids[k - 1], ids[k]);
+
+        Executor::instance().run(graph, width);
+        for (std::size_t k = 1; k < kChain; ++k)
+            EXPECT_LT(seq[k - 1], seq[k])
+                << "chain order broken at " << k << ", width " << width;
+    }
+}
+
+TEST(ExecutorJobGraph, DiamondWaitsForBothBranches)
+{
+    // a -> {b, c} -> d, repeated so steal interleavings vary.
+    for (int rep = 0; rep < 25; ++rep) {
+        JobGraph graph;
+        std::atomic<std::uint64_t> clock{1};
+        std::uint64_t seq[4] = {0, 0, 0, 0};
+        JobGraph::NodeId ids[4];
+        for (int k = 0; k < 4; ++k)
+            ids[k] = graph.add([&, k](std::size_t) {
+                seq[k] = clock.fetch_add(1, std::memory_order_relaxed);
+            });
+        graph.add_edge(ids[0], ids[1]);
+        graph.add_edge(ids[0], ids[2]);
+        graph.add_edge(ids[1], ids[3]);
+        graph.add_edge(ids[2], ids[3]);
+
+        Executor::instance().run(graph, 4);
+        EXPECT_LT(seq[0], seq[1]);
+        EXPECT_LT(seq[0], seq[2]);
+        EXPECT_LT(seq[1], seq[3]);
+        EXPECT_LT(seq[2], seq[3]);
+    }
+}
+
+TEST(ExecutorJobGraph, ReusedGraphRunsEveryNodeEachTime)
+{
+    constexpr std::size_t kNodes = 40;
+    JobGraph graph;
+    std::vector<std::atomic<int>> hits(kNodes);
+    std::vector<JobGraph::NodeId> ids;
+    for (std::size_t k = 0; k < kNodes; ++k)
+        ids.push_back(
+            graph.add([&, k](std::size_t) { hits[k].fetch_add(1); }));
+    // Sparse dependencies: every fourth node gates the next one.
+    for (std::size_t k = 4; k < kNodes; k += 4)
+        graph.add_edge(ids[k - 4], ids[k]);
+
+    for (int run = 1; run <= 3; ++run) {
+        Executor::instance().run(graph, 7);
+        for (std::size_t k = 0; k < kNodes; ++k)
+            EXPECT_EQ(hits[k].load(), run) << "node " << k;
+    }
+}
+
+TEST(ExecutorJobGraph, CycleThrowsInvalidArgument)
+{
+    JobGraph graph;
+    const JobGraph::NodeId a = graph.add([](std::size_t) {});
+    const JobGraph::NodeId b = graph.add([](std::size_t) {});
+    const JobGraph::NodeId c = graph.add([](std::size_t) {});
+    graph.add_edge(a, b);
+    graph.add_edge(b, c);
+    graph.add_edge(c, a);
+    EXPECT_THROW(Executor::instance().run(graph, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(Executor::instance().run(graph, 1),
+                 std::invalid_argument);
+}
+
+TEST(ExecutorJobGraph, EmptyGraphIsANoOp)
+{
+    JobGraph graph;
+    Executor::instance().run(graph, 4); // must not hang or throw
+    EXPECT_EQ(graph.size(), 0u);
+}
+
+// ---------------------------------------------------- allocation-free ----
+
+// A warm executor must keep parallel_for and JobGraph submissions off the
+// heap entirely: the region descriptor is member storage, callbacks stay
+// on the caller's stack, deques are pre-sized, and the exec.* registry
+// entries are pre-registered by the constructor.
+TEST(ExecutorAllocations, WarmParallelForIsAllocationFree)
+{
+#if !ROBOSHAPE_COUNT_ALLOCS
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+    constexpr std::size_t kCount = 128;
+    constexpr std::size_t kWidth = 4;
+    Executor &exec = Executor::instance();
+    std::vector<std::uint64_t> out(kCount, 0);
+    const auto body = [&](std::size_t i) { out[i] = i + 7; };
+    exec.parallel_for(kCount, body, kWidth); // warm-up spawns workers
+    alloc_counter_arm();
+    exec.parallel_for(kCount, body, kWidth);
+    exec.parallel_for(kCount, body, kWidth);
+    EXPECT_EQ(alloc_counter_read(), 0u);
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(out[i], i + 7);
+}
+
+TEST(ExecutorAllocations, WarmJobGraphRunsAreAllocationFree)
+{
+#if !ROBOSHAPE_COUNT_ALLOCS
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+    constexpr std::size_t kNodes = 32;
+    JobGraph graph;
+    std::vector<std::uint64_t> out(kNodes, 0);
+    std::vector<JobGraph::NodeId> ids;
+    for (std::size_t k = 0; k < kNodes; ++k)
+        ids.push_back(
+            graph.add([&out, k](std::size_t) { out[k] += k + 1; }));
+    for (std::size_t k = 1; k < kNodes; k += 2)
+        graph.add_edge(ids[k - 1], ids[k]);
+
+    Executor &exec = Executor::instance();
+    exec.run(graph, 4); // warm-up sizes pending_/scratch
+    alloc_counter_arm();
+    exec.run(graph, 4);
+    exec.run(graph, 4);
+    EXPECT_EQ(alloc_counter_read(), 0u);
+    for (std::size_t k = 0; k < kNodes; ++k)
+        EXPECT_EQ(out[k], 3 * (k + 1));
+}
+
+// ------------------------------------------------------ env validation ----
+
+// The env tests mutate the process environment; each restores it so the
+// surrounding tests see the default worker count.
+class ExecutorEnv : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        unsetenv("ROBOSHAPE_THREADS");
+        unsetenv("ROBOSHAPE_SWEEP_THREADS");
+    }
+};
+
+TEST_F(ExecutorEnv, ValidOverrideIsHonored)
+{
+    setenv("ROBOSHAPE_THREADS", "3", 1);
+    EXPECT_EQ(Executor::instance().worker_count(), 3u);
+    setenv("ROBOSHAPE_THREADS", "1", 1);
+    EXPECT_EQ(Executor::instance().worker_count(), 1u);
+}
+
+TEST_F(ExecutorEnv, NewNameWinsOverDeprecatedAlias)
+{
+    setenv("ROBOSHAPE_SWEEP_THREADS", "2", 1);
+    EXPECT_EQ(Executor::instance().worker_count(), 2u)
+        << "deprecated alias must still work";
+    setenv("ROBOSHAPE_THREADS", "5", 1);
+    EXPECT_EQ(Executor::instance().worker_count(), 5u)
+        << "ROBOSHAPE_THREADS must take precedence";
+}
+
+TEST_F(ExecutorEnv, GarbageValuesFallBackToDefault)
+{
+    unsetenv("ROBOSHAPE_THREADS");
+    unsetenv("ROBOSHAPE_SWEEP_THREADS");
+    const std::size_t fallback = Executor::instance().worker_count();
+    // Pre-PR-7 strtoul parsed "7abc" as 7 and "abc" as 0 silently; all of
+    // these must now be rejected whole, not prefix-parsed.
+    const char *garbage[] = {"abc", "7abc", "-2", "0", " 4",
+                             "99999999999999999999999999"};
+    for (const char *value : garbage) {
+        setenv("ROBOSHAPE_THREADS", value, 1);
+        EXPECT_EQ(Executor::instance().worker_count(), fallback)
+            << "value '" << value << "' must be rejected";
+    }
+}
+
+TEST_F(ExecutorEnv, OverrideIsCappedAtMaxLanes)
+{
+    setenv("ROBOSHAPE_THREADS", "100000", 1);
+    EXPECT_EQ(Executor::instance().worker_count(), kMaxExecutorLanes);
+}
+
+} // namespace

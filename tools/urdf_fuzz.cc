@@ -14,7 +14,11 @@
  * Seeds are the bundled robot-library URDFs plus every file in the
  * committed adversarial corpus (data/corpus/).  Mutations come from
  * io::mutate_urdf and are a pure function of the iteration index, so any
- * failure is reproducible with --replay <iteration>.
+ * failure is reproducible with --replay <iteration>.  The mutation storm
+ * shards iterations across the work-stealing executor (ROBOSHAPE_THREADS
+ * pins the width); the reported violation is the smallest violating
+ * iteration index, replayed serially, so output is independent of the
+ * worker count.
  *
  * Exit code 0 = invariant held for all iterations; 1 = violation (the
  * offending seed, mutation trail, and document are printed).
@@ -24,6 +28,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +42,7 @@
 #include <typeinfo>
 #include <vector>
 
+#include "core/executor.h"
 #include "io/fault_injection.h"
 #include "topology/robot_library.h"
 #include "topology/urdf_parser.h"
@@ -92,10 +98,11 @@ print_document(const std::string &text)
 
 /**
  * Runs both parser modes on @p text and checks the full invariant.
- * Returns kViolation (after printing why) on any breach.
+ * Returns kViolation on any breach, printing why to @p err (the storm
+ * workers pass a discarded stream; the serial replay passes std::cerr).
  */
 Outcome
-check_invariant(const std::string &text, Stats &stats)
+check_invariant(const std::string &text, Stats &stats, std::ostream &err)
 {
     bool strict_ok = false;
     RobotModel strict_model;
@@ -110,13 +117,13 @@ check_invariant(const std::string &text, Stats &stats)
         ++stats.xml_errors;
         ++stats.by_code[to_string(e.code())];
     } catch (const std::exception &e) {
-        std::cerr << "INVARIANT VIOLATION: parse_urdf leaked a non-parser "
-                     "exception: "
-                  << typeid(e).name() << ": " << e.what() << "\n";
+        err << "INVARIANT VIOLATION: parse_urdf leaked a non-parser "
+               "exception: "
+            << typeid(e).name() << ": " << e.what() << "\n";
         return Outcome::kViolation;
     } catch (...) {
-        std::cerr << "INVARIANT VIOLATION: parse_urdf leaked an unknown "
-                     "exception\n";
+        err << "INVARIANT VIOLATION: parse_urdf leaked an unknown "
+               "exception\n";
         return Outcome::kViolation;
     }
 
@@ -124,20 +131,20 @@ check_invariant(const std::string &text, Stats &stats)
     try {
         checked = parse_urdf_checked(text);
     } catch (const std::exception &e) {
-        std::cerr << "INVARIANT VIOLATION: parse_urdf_checked threw ("
-                  << typeid(e).name() << ": " << e.what() << ")\n";
+        err << "INVARIANT VIOLATION: parse_urdf_checked threw ("
+            << typeid(e).name() << ": " << e.what() << ")\n";
         return Outcome::kViolation;
     } catch (...) {
-        std::cerr << "INVARIANT VIOLATION: parse_urdf_checked threw an "
-                     "unknown exception\n";
+        err << "INVARIANT VIOLATION: parse_urdf_checked threw an "
+               "unknown exception\n";
         return Outcome::kViolation;
     }
 
     if (strict_ok != checked.ok()) {
-        std::cerr << "INVARIANT VIOLATION: strict/checked disagree (strict "
-                  << (strict_ok ? "ok" : "error") << ", checked "
-                  << (checked.ok() ? "ok" : "error") << ")\n"
-                  << checked.report.to_string();
+        err << "INVARIANT VIOLATION: strict/checked disagree (strict "
+            << (strict_ok ? "ok" : "error") << ", checked "
+            << (checked.ok() ? "ok" : "error") << ")\n"
+            << checked.report.to_string();
         return Outcome::kViolation;
     }
     if (!strict_ok)
@@ -159,11 +166,23 @@ check_invariant(const std::string &text, Stats &stats)
                            sizeof(la.inertia)) == 0;
     }
     if (!same) {
-        std::cerr << "INVARIANT VIOLATION: strict and checked parses "
-                     "produced different models\n";
+        err << "INVARIANT VIOLATION: strict and checked parses "
+               "produced different models\n";
         return Outcome::kViolation;
     }
     return Outcome::kModel;
+}
+
+/** Folds the per-lane tallies of the parallel storm into @p into.  Plain
+ *  summation: the totals are independent of how iterations were sharded. */
+void
+merge_stats(Stats &into, const Stats &from)
+{
+    into.parsed_ok += from.parsed_ok;
+    into.urdf_errors += from.urdf_errors;
+    into.xml_errors += from.xml_errors;
+    for (const auto &[code, count] : from.by_code)
+        into.by_code[code] += count;
 }
 
 std::vector<NamedUrdf>
@@ -252,7 +271,7 @@ main(int argc, char **argv)
     // construction; corpus files are allowed to be malformed).
     const std::size_t library_count = all_robot_urdfs().size();
     for (std::size_t s = 0; s < seeds.size(); ++s) {
-        const Outcome out = check_invariant(seeds[s].text, stats);
+        const Outcome out = check_invariant(seeds[s].text, stats, std::cerr);
         if (out == Outcome::kViolation ||
             (s < library_count && out != Outcome::kModel)) {
             std::cerr << "pristine seed '" << seeds[s].name
@@ -264,31 +283,70 @@ main(int argc, char **argv)
 
     // Phase 1: deterministic mutation storm.  Iteration i derives its
     // mutation seed purely from (opt.seed, i), so --replay reproduces any
-    // failure exactly.
-    const std::uint64_t begin =
-        opt.replay >= 0 ? static_cast<std::uint64_t>(opt.replay) : 0;
-    const std::uint64_t end =
-        opt.replay >= 0 ? begin + 1 : opt.iterations;
-    for (std::uint64_t i = begin; i < end; ++i) {
+    // failure exactly.  The storm shards iterations across the executor;
+    // each lane tallies into its own Stats and violations record only an
+    // iteration index, so the merged totals and the reported (smallest)
+    // violating iteration are independent of the sharding.  --replay runs
+    // its single iteration serially and verbosely.
+    if (opt.replay >= 0) {
+        const std::uint64_t i = static_cast<std::uint64_t>(opt.replay);
         const std::uint64_t mseed = opt.seed * 0x9E3779B97F4A7C15ull + i;
         const NamedUrdf &seed_doc = seeds[mseed % seeds.size()];
         const MutationResult mut = mutate_urdf(seed_doc.text, mseed);
-        if (opt.replay >= 0) {
-            std::cerr << "replay iteration " << i << ": seed '"
-                      << seed_doc.name << "', mutations:";
-            for (const auto k : mut.applied)
-                std::cerr << " " << mutation_name(k);
-            std::cerr << "\n";
-            print_document(mut.text);
-        }
-        if (check_invariant(mut.text, stats) == Outcome::kViolation) {
-            std::cerr << "iteration " << i << " (seed doc '"
+        std::cerr << "replay iteration " << i << ": seed '" << seed_doc.name
+                  << "', mutations:";
+        for (const auto k : mut.applied)
+            std::cerr << " " << mutation_name(k);
+        std::cerr << "\n";
+        print_document(mut.text);
+        if (check_invariant(mut.text, stats, std::cerr) ==
+            Outcome::kViolation)
+            return 1;
+    } else {
+        roboshape::core::Executor &exec =
+            roboshape::core::Executor::instance();
+        const std::size_t lanes = exec.resolve_width(opt.iterations);
+        std::vector<Stats> lane_stats(lanes);
+        constexpr std::uint64_t kNone = ~std::uint64_t{0};
+        std::atomic<std::uint64_t> first_violation{kNone};
+        exec.parallel_for_lanes(
+            opt.iterations,
+            [&](std::uint64_t i, std::size_t lane) {
+                const std::uint64_t mseed =
+                    opt.seed * 0x9E3779B97F4A7C15ull + i;
+                const NamedUrdf &seed_doc = seeds[mseed % seeds.size()];
+                const MutationResult mut = mutate_urdf(seed_doc.text, mseed);
+                std::ostringstream quiet; // per-call, discarded
+                if (check_invariant(mut.text, lane_stats[lane], quiet) ==
+                    Outcome::kViolation) {
+                    std::uint64_t cur =
+                        first_violation.load(std::memory_order_relaxed);
+                    while (i < cur &&
+                           !first_violation.compare_exchange_weak(cur, i))
+                        ;
+                }
+            },
+            /*requested=*/0);
+        for (const Stats &s : lane_stats)
+            merge_stats(stats, s);
+
+        const std::uint64_t violation = first_violation.load();
+        if (violation != kNone) {
+            // Replay the smallest violating iteration serially so the
+            // verbose diagnosis is printed exactly once, in order.
+            const std::uint64_t mseed =
+                opt.seed * 0x9E3779B97F4A7C15ull + violation;
+            const NamedUrdf &seed_doc = seeds[mseed % seeds.size()];
+            const MutationResult mut = mutate_urdf(seed_doc.text, mseed);
+            Stats scratch;
+            check_invariant(mut.text, scratch, std::cerr);
+            std::cerr << "iteration " << violation << " (seed doc '"
                       << seed_doc.name << "', mutations:";
             for (const auto k : mut.applied)
                 std::cerr << " " << mutation_name(k);
             std::cerr << ") violated the invariant; reproduce with:\n  "
                       << argv[0] << " --seed " << opt.seed << " --replay "
-                      << i;
+                      << violation;
             if (!opt.corpus_dir.empty())
                 std::cerr << " --corpus " << opt.corpus_dir;
             std::cerr << "\n";
