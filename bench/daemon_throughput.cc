@@ -1,0 +1,226 @@
+/**
+ * @file
+ * roboshaped load generator + "heavy traffic" regression gate
+ * (docs/SERVICE.md).
+ *
+ * Starts an in-process server on an ephemeral port, records one cold
+ * /v1/sweep (the request that actually runs the schedulers), then hammers
+ * the same topology from concurrent keep-alive clients — the steady state
+ * of a design service fronting a robot fleet, where topologies repeat and
+ * almost every request should be a cache hit.
+ *
+ * Gates (exit 1 on violation):
+ *   - every hot response is byte-identical to the cold response body
+ *     (the two-level cache must never serve a divergent rendering);
+ *   - every request answers 200 with an X-Roboshape-Cache: hit header
+ *     after the cold one;
+ *   - aggregate throughput >= 500 req/s across 8 concurrent clients.
+ *
+ * Reports p50/p99 per-request latency and requests/s; `--json <path>`
+ * writes the machine-readable document (committed baseline:
+ * BENCH_daemon_throughput.json, fields explained in EXPERIMENTS.md).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "service/handlers.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace roboshape;
+
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kRequestsPerClient = 200;
+constexpr double kGateRps = 500.0;
+constexpr int kTimeoutMs = 10000;
+
+net::HttpRequest
+sweep_request()
+{
+    net::HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/sweep";
+    request.version = "HTTP/1.1";
+    request.body = "{\"robot\": \"iiwa\"}";
+    return request;
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct ClientResult
+{
+    std::vector<double> latencies_us;
+    std::size_t mismatches = 0; ///< Non-200, missing hit, or body diff.
+};
+
+ClientResult
+run_client(std::uint16_t port, const std::string &expected_body)
+{
+    ClientResult result;
+    result.latencies_us.reserve(kRequestsPerClient);
+    net::TcpConn conn = net::dial(port, kTimeoutMs);
+    if (!conn.valid()) {
+        result.mismatches = kRequestsPerClient;
+        return result;
+    }
+    std::string leftover;
+    const net::HttpRequest request = sweep_request();
+    for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto response =
+            net::roundtrip(conn, request, leftover, kTimeoutMs);
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!response || response->status != 200 ||
+            response->body != expected_body ||
+            response->header("X-Roboshape-Cache") != "hit") {
+            ++result.mismatches;
+            continue;
+        }
+        result.latencies_us.push_back(us);
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::print_header(
+        "roboshaped daemon throughput: cached-topology sweep requests",
+        "design-as-a-service layer (docs/SERVICE.md), heavy-traffic gate");
+
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0; // ephemeral
+    options.workers = kClients;
+    options.queue_capacity = 256;
+    service::Server server(svc, options);
+    if (!server.start()) {
+        std::fprintf(stderr, "FAIL: cannot start server: %s\n",
+                     server.error().c_str());
+        return 1;
+    }
+
+    // Cold request: runs the schedulers and renders + caches the body.
+    std::string cold_body;
+    double cold_us = 0.0;
+    {
+        net::TcpConn conn = net::dial(server.port(), kTimeoutMs);
+        std::string leftover;
+        const auto start = std::chrono::steady_clock::now();
+        const auto response =
+            net::roundtrip(conn, sweep_request(), leftover, kTimeoutMs);
+        cold_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        if (!response || response->status != 200 ||
+            response->header("X-Roboshape-Cache") != "miss") {
+            std::fprintf(stderr, "FAIL: cold sweep request failed\n");
+            return 1;
+        }
+        cold_body = response->body;
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<ClientResult> results(kClients);
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (std::size_t c = 0; c < kClients; ++c)
+            clients.emplace_back([&, c] {
+                results[c] = run_client(server.port(), cold_body);
+            });
+        for (std::thread &t : clients)
+            t.join();
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    server.stop();
+
+    std::vector<double> latencies;
+    std::size_t mismatches = 0;
+    for (const ClientResult &r : results) {
+        latencies.insert(latencies.end(), r.latencies_us.begin(),
+                         r.latencies_us.end());
+        mismatches += r.mismatches;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t total = kClients * kRequestsPerClient;
+    const double p50 = percentile(latencies, 0.50);
+    const double p99 = percentile(latencies, 0.99);
+    const double rps = wall_s > 0.0
+                           ? static_cast<double>(latencies.size()) / wall_s
+                           : 0.0;
+
+    std::printf("clients               %zu\n", kClients);
+    std::printf("requests per client   %zu\n", kRequestsPerClient);
+    std::printf("cold sweep latency    %.1f us\n", cold_us);
+    std::printf("hot p50 latency       %.1f us\n", p50);
+    std::printf("hot p99 latency       %.1f us\n", p99);
+    std::printf("throughput            %.0f req/s (gate >= %.0f)\n", rps,
+                kGateRps);
+    std::printf("byte-identical        %s (%zu mismatches)\n",
+                mismatches == 0 ? "yes" : "NO", mismatches);
+
+    const bool complete = latencies.size() == total && mismatches == 0;
+    const bool fast_enough = rps >= kGateRps;
+
+    obs::RunReport report("daemon_throughput",
+                          "roboshaped cached-sweep load test");
+    report.set_robot("iiwa");
+    report.set_kernel("dynamics-gradient");
+    report.metric("clients", static_cast<std::uint64_t>(kClients));
+    report.metric("requests",
+                  static_cast<std::uint64_t>(latencies.size()));
+    report.metric("cold_latency_us", cold_us);
+    report.metric("p50_us", p50);
+    report.metric("p99_us", p99);
+    report.metric("throughput_rps", rps);
+    report.metric("gate_rps", kGateRps);
+    report.metric("byte_identical", mismatches == 0);
+    report.metric("ok", complete && fast_enough);
+    if (!bench::write_report(report,
+                             bench::json_out_path(argc, argv)))
+        return 1;
+
+    if (!complete) {
+        std::fprintf(stderr,
+                     "FAIL: %zu/%zu requests failed or diverged from the "
+                     "cold response\n",
+                     total - latencies.size() + mismatches, total);
+        return 1;
+    }
+    if (!fast_enough) {
+        std::fprintf(stderr, "FAIL: %.0f req/s below the %.0f req/s gate\n",
+                     rps, kGateRps);
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

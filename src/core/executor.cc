@@ -42,15 +42,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <cerrno>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "core/parse_uint.h"
 #include "obs/registry.h"
 #include "obs/wall_trace.h"
 
@@ -61,9 +62,10 @@ namespace {
 
 /**
  * Strictly parses a thread-count environment value: the full string must
- * be a positive decimal integer.  Returns 0 (no override) and warns once
- * per variable on garbage — the pre-PR-7 behavior of silently falling
- * back to hardware concurrency hid typos like ROBOSHAPE_THREADS=abc.
+ * be a positive decimal integer (core::parse_uint).  Returns 0 (no
+ * override) and warns once per variable on garbage — the pre-PR-7
+ * behavior of silently falling back to hardware concurrency hid typos
+ * like ROBOSHAPE_THREADS=abc.
  */
 std::size_t
 parse_thread_env(const char *name, std::atomic<bool> &warned)
@@ -71,16 +73,9 @@ parse_thread_env(const char *name, std::atomic<bool> &warned)
     const char *value = std::getenv(name);
     if (value == nullptr || *value == '\0')
         return 0;
-    // Require a plain digit string: strtoull itself tolerates leading
-    // whitespace and a sign, and silently wraps negatives to huge values.
-    const bool digits = *value >= '0' && *value <= '9';
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long parsed =
-        digits ? std::strtoull(value, &end, 10) : 0ull;
-    if (!digits || end == value || *end != '\0' || errno == ERANGE ||
-        parsed == 0ull ||
-        parsed > std::numeric_limits<std::size_t>::max()) {
+    const std::optional<std::uint64_t> parsed = parse_uint(
+        value, 1, std::numeric_limits<std::size_t>::max());
+    if (!parsed) {
         if (!warned.exchange(true))
             std::fprintf(stderr,
                          "roboshape: ignoring invalid %s='%s' (expected a "
@@ -89,7 +84,7 @@ parse_thread_env(const char *name, std::atomic<bool> &warned)
                          name, value);
         return 0;
     }
-    return static_cast<std::size_t>(parsed);
+    return static_cast<std::size_t>(*parsed);
 }
 
 /** Thread-count override from the environment, 0 when unset/invalid.

@@ -1,0 +1,26 @@
+#include "core/parse_uint.h"
+
+namespace roboshape {
+namespace core {
+
+std::optional<std::uint64_t>
+parse_uint(std::string_view text, std::uint64_t min, std::uint64_t max)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return std::nullopt; // would overflow
+        value = value * 10 + digit;
+    }
+    if (value < min || value > max)
+        return std::nullopt;
+    return value;
+}
+
+} // namespace core
+} // namespace roboshape

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Strict unsigned-integer string parsing shared by every front end.
+ *
+ * `std::stoul` / `std::strtoull` are the wrong tool for validating user
+ * input: they skip leading whitespace, accept a sign (silently wrapping
+ * "-1" to a huge value), and stop at the first non-digit, so "4abc"
+ * parses as 4.  PR 7 fixed that bug class for ROBOSHAPE_THREADS inside
+ * the executor; this header factors the strict parser out so the CLI
+ * tools, the fuzz harness, and the service layer all reject malformed
+ * numerics the same way instead of re-growing the bug.
+ *
+ * Contract: the WHOLE string must be plain decimal digits ("0".."9"+) —
+ * no sign, no whitespace, no prefix, no trailing garbage — and the value
+ * must fit in [min, max].  Anything else returns nullopt.
+ */
+
+#ifndef ROBOSHAPE_CORE_PARSE_UINT_H
+#define ROBOSHAPE_CORE_PARSE_UINT_H
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace roboshape {
+namespace core {
+
+/**
+ * Parses @p text as a strict decimal digit string in [@p min, @p max].
+ *
+ * Rejects (returns nullopt): empty strings, any non-digit character
+ * (signs, whitespace, hex/octal prefixes, trailing garbage), values that
+ * overflow std::uint64_t, and values outside the requested range.
+ * Redundant leading zeros are accepted ("007" == 7).
+ */
+std::optional<std::uint64_t>
+parse_uint(std::string_view text, std::uint64_t min = 0,
+           std::uint64_t max = std::numeric_limits<std::uint64_t>::max());
+
+} // namespace core
+} // namespace roboshape
+
+#endif // ROBOSHAPE_CORE_PARSE_UINT_H

@@ -1,0 +1,367 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/parse_uint.h"
+
+namespace roboshape {
+namespace net {
+
+namespace {
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+               return std::tolower(static_cast<unsigned char>(x)) ==
+                      std::tolower(static_cast<unsigned char>(y));
+           });
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Splits a CRLF- (or bare-LF-) terminated line off the front of @p s. */
+bool
+next_line(std::string_view &s, std::string_view &line)
+{
+    const std::size_t nl = s.find('\n');
+    if (nl == std::string_view::npos)
+        return false;
+    line = s.substr(0, nl);
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+    s.remove_prefix(nl + 1);
+    return true;
+}
+
+/** Parses "Name: value" header lines into @p headers until a blank line. */
+bool
+parse_header_lines(std::string_view &rest,
+                   std::vector<std::pair<std::string, std::string>> &headers)
+{
+    std::string_view line;
+    while (next_line(rest, line)) {
+        if (line.empty())
+            return true; // end of header block
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return false;
+        const std::string_view name = trim(line.substr(0, colon));
+        if (name.empty())
+            return false;
+        headers.emplace_back(std::string(name),
+                             std::string(trim(line.substr(colon + 1))));
+    }
+    return false; // ran out of input before the blank line
+}
+
+std::optional<std::string_view>
+find_header(const std::vector<std::pair<std::string, std::string>> &headers,
+            std::string_view name)
+{
+    for (const auto &[k, v] : headers)
+        if (iequals(k, name))
+            return std::string_view(v);
+    return std::nullopt;
+}
+
+/** Content-Length of @p headers; nullopt when absent, kMax+1 on garbage. */
+std::optional<std::uint64_t>
+content_length(const std::vector<std::pair<std::string, std::string>> &hs)
+{
+    const auto v = find_header(hs, "Content-Length");
+    if (!v)
+        return std::nullopt;
+    const auto n = core::parse_uint(*v);
+    if (!n)
+        return std::uint64_t{kMaxBodyBytes} + 1; // malformed -> reject
+    return *n;
+}
+
+} // namespace
+
+std::optional<std::string_view>
+HttpRequest::header(std::string_view name) const
+{
+    return find_header(headers, name);
+}
+
+bool
+HttpRequest::keep_alive() const
+{
+    const auto conn = header("Connection");
+    if (conn)
+        return !iequals(*conn, "close");
+    return version == "HTTP/1.1"; // 1.1 defaults to persistent
+}
+
+std::optional<std::string_view>
+HttpResponse::header(std::string_view name) const
+{
+    return find_header(headers, name);
+}
+
+void
+HttpResponse::set_header(std::string name, std::string value)
+{
+    headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string
+HttpResponse::serialize(bool keep_alive) const
+{
+    std::string out;
+    out.reserve(body.size() + 256);
+    out += "HTTP/1.1 ";
+    out += std::to_string(status);
+    out += ' ';
+    out += reason.empty() ? reason_phrase(status) : reason.c_str();
+    out += "\r\n";
+    for (const auto &[k, v] : headers) {
+        out += k;
+        out += ": ";
+        out += v;
+        out += "\r\n";
+    }
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: ";
+    out += keep_alive ? "keep-alive" : "close";
+    out += "\r\n\r\n";
+    out += body;
+    return out;
+}
+
+HttpResponse
+json_response(int status, std::string body)
+{
+    HttpResponse r;
+    r.status = status;
+    r.reason = reason_phrase(status);
+    r.set_header("Content-Type", "application/json");
+    r.body = std::move(body);
+    return r;
+}
+
+ReadResult
+parse_request_head(std::string_view text, HttpRequest &out)
+{
+    out = HttpRequest{};
+    std::string_view rest = text;
+    std::string_view line;
+    if (!next_line(rest, line) || line.empty())
+        return ReadResult::kMalformed;
+
+    // Request line: METHOD SP target SP HTTP/x.y
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos)
+        return ReadResult::kMalformed;
+    out.method = std::string(line.substr(0, sp1));
+    out.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    out.version = std::string(line.substr(sp2 + 1));
+    if (out.method.empty() || out.target.empty() ||
+        out.target.front() != '/')
+        return ReadResult::kMalformed;
+    if (out.version != "HTTP/1.1" && out.version != "HTTP/1.0")
+        return ReadResult::kUnsupported;
+
+    if (!parse_header_lines(rest, out.headers))
+        return ReadResult::kMalformed;
+    // Transfer codings are out of scope for a JSON point service.
+    if (out.header("Transfer-Encoding"))
+        return ReadResult::kUnsupported;
+    return ReadResult::kOk;
+}
+
+ReadResult
+read_request(TcpConn &conn, HttpRequest &out, std::string &leftover,
+             int timeout_ms)
+{
+    std::string buffer = std::move(leftover);
+    leftover.clear();
+
+    // Accumulate until the blank line ending the header block.
+    std::size_t head_end;
+    for (;;) {
+        head_end = buffer.find("\r\n\r\n");
+        if (head_end != std::string::npos) {
+            head_end += 4;
+            break;
+        }
+        if (buffer.size() > kMaxHeaderBytes)
+            return ReadResult::kTooLarge;
+        char chunk[4096];
+        const long n = conn.read_some(chunk, sizeof(chunk), timeout_ms);
+        if (n == 0)
+            return buffer.empty() ? ReadResult::kClosed
+                                  : ReadResult::kMalformed;
+        if (n < 0)
+            return buffer.empty() ? ReadResult::kClosed
+                                  : ReadResult::kTimeout;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (head_end > kMaxHeaderBytes)
+        return ReadResult::kTooLarge;
+
+    const ReadResult head =
+        parse_request_head(std::string_view(buffer).substr(0, head_end),
+                           out);
+    if (head != ReadResult::kOk)
+        return head;
+
+    const std::optional<std::uint64_t> length =
+        content_length(out.headers);
+    std::uint64_t want = 0;
+    if (length) {
+        if (*length > kMaxBodyBytes)
+            return ReadResult::kTooLarge;
+        want = *length;
+    }
+    while (buffer.size() - head_end < want) {
+        char chunk[16384];
+        const long n = conn.read_some(chunk, sizeof(chunk), timeout_ms);
+        if (n == 0)
+            return ReadResult::kMalformed; // truncated body
+        if (n < 0)
+            return ReadResult::kTimeout;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        if (buffer.size() - head_end > kMaxBodyBytes)
+            return ReadResult::kTooLarge;
+    }
+    out.body = buffer.substr(head_end, static_cast<std::size_t>(want));
+    // Stash any over-read (start of a pipelined next request).
+    leftover = buffer.substr(head_end + static_cast<std::size_t>(want));
+    return ReadResult::kOk;
+}
+
+bool
+parse_response(std::string_view text, HttpResponse &out,
+               std::size_t *consumed)
+{
+    out = HttpResponse{};
+    const std::size_t head_end = text.find("\r\n\r\n");
+    if (head_end == std::string_view::npos)
+        return false;
+    std::string_view rest = text.substr(0, head_end + 4);
+    std::string_view line;
+    if (!next_line(rest, line))
+        return false;
+    // Status line: HTTP/x.y SP code SP reason
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || line.substr(0, 4) != "HTTP")
+        return false;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    const std::string_view code =
+        line.substr(sp1 + 1, sp2 == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : sp2 - sp1 - 1);
+    const auto status = core::parse_uint(code, 100, 599);
+    if (!status)
+        return false;
+    out.status = static_cast<int>(*status);
+    if (sp2 != std::string_view::npos)
+        out.reason = std::string(line.substr(sp2 + 1));
+    if (!parse_header_lines(rest, out.headers))
+        return false;
+
+    const std::optional<std::uint64_t> length =
+        content_length(out.headers);
+    const std::uint64_t want = length.value_or(0);
+    if (want > kMaxBodyBytes)
+        return false;
+    const std::string_view after = text.substr(head_end + 4);
+    if (after.size() < want)
+        return false; // incomplete
+    out.body = std::string(after.substr(0, static_cast<std::size_t>(want)));
+    if (consumed)
+        *consumed = head_end + 4 + static_cast<std::size_t>(want);
+    return true;
+}
+
+std::string
+serialize_request(const HttpRequest &request)
+{
+    std::string out;
+    out.reserve(request.body.size() + 256);
+    out += request.method;
+    out += ' ';
+    out += request.target;
+    out += ' ';
+    out += request.version.empty() ? "HTTP/1.1" : request.version.c_str();
+    out += "\r\nHost: 127.0.0.1\r\n";
+    for (const auto &[k, v] : request.headers) {
+        out += k;
+        out += ": ";
+        out += v;
+        out += "\r\n";
+    }
+    if (!request.body.empty() || request.method == "POST") {
+        out += "Content-Length: ";
+        out += std::to_string(request.body.size());
+        out += "\r\n";
+    }
+    out += "\r\n";
+    out += request.body;
+    return out;
+}
+
+std::optional<HttpResponse>
+roundtrip(TcpConn &conn, const HttpRequest &request, std::string &leftover,
+          int timeout_ms)
+{
+    if (!conn.write_all(serialize_request(request), timeout_ms))
+        return std::nullopt;
+    std::string buffer = std::move(leftover);
+    leftover.clear();
+    HttpResponse response;
+    std::size_t consumed = 0;
+    while (!parse_response(buffer, response, &consumed)) {
+        if (buffer.size() > kMaxHeaderBytes + kMaxBodyBytes)
+            return std::nullopt;
+        char chunk[16384];
+        const long n = conn.read_some(chunk, sizeof(chunk), timeout_ms);
+        if (n <= 0)
+            return std::nullopt;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    leftover = buffer.substr(consumed);
+    return response;
+}
+
+const char *
+reason_phrase(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 411: return "Length Required";
+      case 413: return "Payload Too Large";
+      case 422: return "Unprocessable Entity";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      case 505: return "HTTP Version Not Supported";
+      default: return "Unknown";
+    }
+}
+
+} // namespace net
+} // namespace roboshape

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 message layer for the roboshaped daemon
+ * (docs/SERVICE.md).
+ *
+ * Only what a JSON design service needs, implemented from scratch:
+ *
+ *  - request parsing with hard limits (header block <= 16 KiB, body <=
+ *    8 MiB, Content-Length required for bodies; chunked transfer coding
+ *    and HTTP/2 are out of scope and rejected with a clear status);
+ *  - deterministic response serialization (no Date header: cache-hit
+ *    responses must be byte-identical to the cold response, and the
+ *    bench gate compares whole payloads);
+ *  - keep-alive bookkeeping (HTTP/1.1 default-on, "Connection: close"
+ *    honored both ways);
+ *  - a blocking read loop (`read_request`) and a tiny client
+ *    (`roundtrip`) shared by the tests and the load-generator bench.
+ *
+ * The pure-buffer parsers (`parse_request_head`, `parse_response`) are
+ * split from the socket loops so the unit tests can drive them without a
+ * live connection.
+ */
+
+#ifndef ROBOSHAPE_NET_HTTP_H
+#define ROBOSHAPE_NET_HTTP_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace roboshape {
+namespace net {
+
+/** Hard cap on the request-line + header block. */
+inline constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+/** Hard cap on a request body (URDFs are generous kilobytes, not MBs). */
+inline constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+/** One parsed request.  Header names are matched case-insensitively. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ... (uppercase as sent).
+    std::string target;  ///< Request target, e.g. "/v1/sweep".
+    std::string version; ///< "HTTP/1.0" or "HTTP/1.1".
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** First header named @p name (case-insensitive); nullopt if absent. */
+    std::optional<std::string_view> header(std::string_view name) const;
+
+    /** True when the connection may carry another request afterwards. */
+    bool keep_alive() const;
+};
+
+/** One response under construction or parsed from a client socket. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string reason = "OK";
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    std::optional<std::string_view> header(std::string_view name) const;
+
+    /** Appends a header (no dedup; callers add each name once). */
+    void set_header(std::string name, std::string value);
+
+    /**
+     * Serializes status line + headers + body.  Adds Content-Length
+     * always and "Connection: close" when @p keep_alive is false
+     * ("keep-alive" otherwise), so the peer never has to guess framing.
+     */
+    std::string serialize(bool keep_alive) const;
+};
+
+/** Convenience: a JSON response with Content-Type set. */
+HttpResponse json_response(int status, std::string body);
+
+/** Outcome of reading one request off a connection. */
+enum class ReadResult
+{
+    kOk,          ///< Request parsed; fields are valid.
+    kClosed,      ///< Peer closed before sending anything (normal).
+    kTimeout,     ///< Deadline expired mid-request.
+    kTooLarge,    ///< Header or body limit exceeded (respond 431/413).
+    kMalformed,   ///< Syntactically invalid (respond 400).
+    kUnsupported, ///< Valid HTTP we do not speak (respond 501/505).
+};
+
+/**
+ * Parses the head (request line + headers) of @p text, which must span
+ * exactly up to and including the blank line.  Returns kOk and fills
+ * everything but the body, or a failure classification.
+ */
+ReadResult parse_request_head(std::string_view text, HttpRequest &out);
+
+/**
+ * Reads one full request (head + Content-Length body) from @p conn.
+ * @p leftover carries bytes read past the previous message on a
+ * keep-alive connection; it is consumed first and refilled with any
+ * over-read on return.
+ */
+ReadResult read_request(TcpConn &conn, HttpRequest &out,
+                        std::string &leftover, int timeout_ms);
+
+/**
+ * Parses one complete serialized response (status line, headers, and a
+ * Content-Length body).  @p consumed receives the total message size so
+ * keep-alive clients can resynchronize.  False when @p text does not yet
+ * hold a complete message or is malformed.
+ */
+bool parse_response(std::string_view text, HttpResponse &out,
+                    std::size_t *consumed = nullptr);
+
+/**
+ * Blocking client round-trip on an established connection: sends
+ * @p request (serialized) and reads one response.  @p leftover threads
+ * keep-alive over-read exactly like read_request.  Nullopt on any
+ * transport or parse failure.
+ */
+std::optional<HttpResponse> roundtrip(TcpConn &conn,
+                                      const HttpRequest &request,
+                                      std::string &leftover,
+                                      int timeout_ms);
+
+/** Serializes a client request (adds Host, Content-Length). */
+std::string serialize_request(const HttpRequest &request);
+
+/** Standard reason phrase for @p status ("Unknown" when unmapped). */
+const char *reason_phrase(int status);
+
+} // namespace net
+} // namespace roboshape
+
+#endif // ROBOSHAPE_NET_HTTP_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * JSON request handlers of the roboshaped daemon (docs/SERVICE.md).
+ *
+ * The Service maps HTTP requests onto the pipeline:
+ *
+ *   GET  /healthz      liveness probe
+ *   GET  /v1/robots    bundled robot library listing
+ *   POST /v1/validate  checked URDF parse -> ValidationReport JSON
+ *   POST /v1/sweep     full design-space sweep -> Pareto frontier JSON
+ *   POST /v1/design    compiled-design metrics for one knob setting
+ *   POST /v1/report    roboshape.run_report/1 snapshot (design + counters)
+ *
+ * Request bodies name a robot either by library id ({"robot": "iiwa"}) or
+ * as inline URDF text ({"urdf": "<robot ...>"}); URDF ingestion reuses
+ * the hardened `parse_urdf_checked` front end, so malformed bodies come
+ * back as a 422 carrying the full diagnostic report rather than a bare
+ * error string.  Unknown body keys are rejected (400) — silent tolerance
+ * of typos is the bug class this PR is stamping out.
+ *
+ * Handlers are pure with respect to the connection: they see one
+ * HttpRequest and return one HttpResponse, so the whole surface is unit-
+ * testable without sockets.  Compute-heavy endpoints share the process-
+ * wide DesignCache; sweep schedule precompute runs as job graphs on the
+ * core::Executor, so concurrent requests multiplex onto the one
+ * work-stealing pool.
+ */
+
+#ifndef ROBOSHAPE_SERVICE_HANDLERS_H
+#define ROBOSHAPE_SERVICE_HANDLERS_H
+
+#include <string>
+
+#include "net/http.h"
+#include "service/cache.h"
+
+namespace roboshape {
+namespace service {
+
+class Service
+{
+  public:
+    Service() = default;
+
+    /** Dispatches one request; never throws (failures become 4xx/5xx). */
+    net::HttpResponse handle(const net::HttpRequest &request);
+
+    DesignCache &cache() { return cache_; }
+
+  private:
+    DesignCache cache_;
+};
+
+/** {"error": message} body with the given status. */
+net::HttpResponse error_response(int status, const std::string &message);
+
+} // namespace service
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SERVICE_HANDLERS_H

@@ -1,0 +1,182 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "net/http.h"
+#include "obs/registry.h"
+
+namespace roboshape {
+namespace service {
+
+namespace {
+
+/** Accept-poll granularity: how often loops re-check stopping_. */
+constexpr int kPollMs = 50;
+
+void
+count_response_class(int status)
+{
+    if (status < 300) {
+        ROBOSHAPE_OBS_COUNT("svc.responses_2xx", 1);
+    } else if (status < 500) {
+        ROBOSHAPE_OBS_COUNT("svc.responses_4xx", 1);
+    } else {
+        ROBOSHAPE_OBS_COUNT("svc.responses_5xx", 1);
+    }
+}
+
+} // namespace
+
+Server::Server(Service &service, ServerOptions options)
+    : service_(service), options_(options)
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+    if (options_.queue_capacity == 0)
+        options_.queue_capacity = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    if (running_)
+        return true;
+    if (!listener_.listen(options_.port)) {
+        error_ = listener_.error();
+        return false;
+    }
+    port_ = listener_.bound_port();
+    stopping_ = false;
+    running_ = true;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    workers_.reserve(options_.workers);
+    for (std::size_t i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running_)
+        return;
+    stopping_ = true;
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    // Workers drain whatever the accept thread already admitted, then
+    // exit; join order guarantees no new admissions race the drain.
+    queue_cv_.notify_all();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+    listener_.close();
+    running_ = false;
+}
+
+void
+Server::accept_loop()
+{
+    while (!stopping_) {
+        net::TcpConn conn = listener_.accept(kPollMs);
+        if (!conn.valid())
+            continue; // timeout: re-check stopping_
+        ROBOSHAPE_OBS_COUNT("svc.connections", 1);
+        std::size_t depth;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.size() >= options_.queue_capacity) {
+                // Overload: shed at admission, before any parsing.
+                ROBOSHAPE_OBS_COUNT("svc.rejected_overload", 1);
+                const net::HttpResponse rejection = error_response(
+                    429, "server overloaded: admission queue full");
+                conn.write_all(rejection.serialize(false), kPollMs);
+                continue; // conn closes on scope exit
+            }
+            queue_.push_back(std::move(conn));
+            depth = queue_.size();
+        }
+        ROBOSHAPE_OBS_RECORD("svc.queue_depth",
+                             static_cast<std::int64_t>(depth));
+        queue_cv_.notify_one();
+    }
+}
+
+void
+Server::worker_loop()
+{
+    for (;;) {
+        net::TcpConn conn;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and fully drained
+            conn = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        serve_connection(std::move(conn));
+    }
+}
+
+void
+Server::serve_connection(net::TcpConn conn)
+{
+    std::string leftover;
+    for (;;) {
+        net::HttpRequest request;
+        const net::ReadResult read = net::read_request(
+            conn, request, leftover, options_.request_timeout_ms);
+        if (read != net::ReadResult::kOk) {
+            // Transport-level failures that deserve a reply get one;
+            // silence (kClosed) and idle timeouts just close.
+            int status = 0;
+            switch (read) {
+              case net::ReadResult::kTooLarge: status = 413; break;
+              case net::ReadResult::kMalformed: status = 400; break;
+              case net::ReadResult::kUnsupported: status = 501; break;
+              default: break;
+            }
+            if (status != 0) {
+                const net::HttpResponse failure = error_response(
+                    status, "request rejected by the HTTP layer");
+                conn.write_all(failure.serialize(false),
+                               options_.request_timeout_ms);
+                count_response_class(status);
+            }
+            return;
+        }
+
+        ROBOSHAPE_OBS_COUNT("svc.requests", 1);
+        const auto start = std::chrono::steady_clock::now();
+        const net::HttpResponse response = service_.handle(request);
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        ROBOSHAPE_OBS_RECORD("svc.request_us",
+                             static_cast<std::int64_t>(us));
+        count_response_class(response.status);
+
+        // Stop extending sessions once shutdown begins: answer the
+        // in-flight request, then hang up.
+        const bool keep = request.keep_alive() && !stopping_;
+        if (!conn.write_all(response.serialize(keep),
+                            options_.request_timeout_ms))
+            return;
+        if (!keep)
+            return;
+    }
+}
+
+} // namespace service
+} // namespace roboshape

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests of the roboshaped service stack (docs/SERVICE.md): the shared
+ * strict numeric parser, the request-body JSON reader, the HTTP message
+ * layer, the handler surface (driven without sockets), and live-socket
+ * end-to-end round trips including concurrent cache sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parse_uint.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "service/cache.h"
+#include "service/handlers.h"
+#include "service/json_value.h"
+#include "service/server.h"
+#include "topology/robot_library.h"
+
+namespace {
+
+using namespace roboshape;
+
+// ---------------------------------------------------------------------------
+// core::parse_uint — the strict parser every CLI flag and env var uses.
+
+TEST(ParseUint, AcceptsPlainDecimal)
+{
+    EXPECT_EQ(core::parse_uint("0"), 0u);
+    EXPECT_EQ(core::parse_uint("7"), 7u);
+    EXPECT_EQ(core::parse_uint("18446744073709551615"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseUint, RejectsTrailingGarbage)
+{
+    // The std::stoul failure mode this replaces: "4abc" parsed as 4.
+    EXPECT_FALSE(core::parse_uint("4abc"));
+    EXPECT_FALSE(core::parse_uint("12 "));
+    EXPECT_FALSE(core::parse_uint(" 12"));
+    EXPECT_FALSE(core::parse_uint("1.5"));
+    EXPECT_FALSE(core::parse_uint("0x10"));
+}
+
+TEST(ParseUint, RejectsSignsAndEmpty)
+{
+    // strtoull wraps "-1" to UINT64_MAX; here it is simply not a digit.
+    EXPECT_FALSE(core::parse_uint("-1"));
+    EXPECT_FALSE(core::parse_uint("+1"));
+    EXPECT_FALSE(core::parse_uint(""));
+    EXPECT_FALSE(core::parse_uint("abc"));
+}
+
+TEST(ParseUint, RejectsOverflow)
+{
+    EXPECT_FALSE(core::parse_uint("18446744073709551616")); // 2^64
+    EXPECT_FALSE(core::parse_uint("99999999999999999999"));
+}
+
+TEST(ParseUint, EnforcesRange)
+{
+    EXPECT_EQ(core::parse_uint("4", 1, 8), 4u);
+    EXPECT_FALSE(core::parse_uint("0", 1, 8));
+    EXPECT_FALSE(core::parse_uint("9", 1, 8));
+    EXPECT_EQ(core::parse_uint("8", 1, 8), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// service::parse_json — the request-body reader.
+
+TEST(JsonValue, ParsesRequestShapedDocument)
+{
+    const auto doc = service::parse_json(
+        R"({"robot": "iiwa", "max_pes_fwd": 4, "deep": {"list": [1, 2.5,)"
+        R"( true, null, "x"]}})");
+    ASSERT_TRUE(doc);
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->get_string("robot"), "iiwa");
+    bool ok = true;
+    EXPECT_EQ(doc->get_uint("max_pes_fwd", 1, 4096, ok), 4u);
+    EXPECT_TRUE(ok);
+    const service::JsonValue *deep = doc->find("deep");
+    ASSERT_NE(deep, nullptr);
+    const service::JsonValue *list = deep->find("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->as_array().size(), 5u);
+    EXPECT_DOUBLE_EQ(list->as_array()[1].as_number(), 2.5);
+    EXPECT_TRUE(list->as_array()[3].is_null());
+}
+
+TEST(JsonValue, DecodesEscapesIncludingSurrogatePairs)
+{
+    const auto doc = service::parse_json(
+        R"({"s": "a\"b\\c\n\u0041\u00e9\ud83d\ude00"})");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->get_string("s"),
+              "a\"b\\c\nA\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(service::parse_json("", &error));
+    EXPECT_FALSE(service::parse_json("{", &error));
+    EXPECT_FALSE(service::parse_json("{}extra", &error));
+    EXPECT_FALSE(service::parse_json("{\"a\": 01}", &error));
+    EXPECT_FALSE(service::parse_json("{\"a\": 1,}", &error));
+    EXPECT_FALSE(service::parse_json("{\"a\": nul}", &error));
+    EXPECT_FALSE(service::parse_json("\"unpaired \\ud800\"", &error));
+    EXPECT_FALSE(error.empty()); // failures carry a description
+}
+
+TEST(JsonValue, RejectsExcessNesting)
+{
+    std::string text;
+    for (int i = 0; i < 80; ++i)
+        text += '[';
+    for (int i = 0; i < 80; ++i)
+        text += ']';
+    EXPECT_FALSE(service::parse_json(text));
+}
+
+TEST(JsonValue, GetUintDistinguishesAbsentFromMalformed)
+{
+    const auto doc = service::parse_json(
+        R"({"str": "4", "frac": 1.5, "neg": -1, "big": 1e30, "ok": 3})");
+    ASSERT_TRUE(doc);
+    bool ok = true;
+    EXPECT_FALSE(doc->get_uint("missing", 1, 10, ok));
+    EXPECT_TRUE(ok); // absent is not an error
+    EXPECT_FALSE(doc->get_uint("str", 1, 10, ok));
+    EXPECT_FALSE(ok); // present but wrong type is
+    ok = true;
+    EXPECT_FALSE(doc->get_uint("frac", 1, 10, ok));
+    EXPECT_FALSE(ok);
+    ok = true;
+    EXPECT_FALSE(doc->get_uint("neg", 1, 10, ok));
+    EXPECT_FALSE(ok);
+    ok = true;
+    EXPECT_EQ(doc->get_uint("ok", 1, 10, ok), 3u);
+    EXPECT_TRUE(ok);
+}
+
+// ---------------------------------------------------------------------------
+// net: pure-buffer HTTP parsers.
+
+TEST(Http, ParsesRequestHead)
+{
+    net::HttpRequest request;
+    const auto result = net::parse_request_head(
+        "POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\n",
+        request);
+    ASSERT_EQ(result, net::ReadResult::kOk);
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.target, "/v1/sweep");
+    EXPECT_EQ(request.version, "HTTP/1.1");
+    EXPECT_EQ(request.header("content-length"), "5"); // case-insensitive
+    EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(Http, KeepAliveSemantics)
+{
+    net::HttpRequest request;
+    ASSERT_EQ(net::parse_request_head(
+                  "GET / HTTP/1.1\r\nConnection: close\r\n\r\n", request),
+              net::ReadResult::kOk);
+    EXPECT_FALSE(request.keep_alive());
+    ASSERT_EQ(net::parse_request_head("GET / HTTP/1.0\r\n\r\n", request),
+              net::ReadResult::kOk);
+    EXPECT_FALSE(request.keep_alive()); // 1.0 defaults to close
+}
+
+TEST(Http, RejectsMalformedAndUnsupported)
+{
+    net::HttpRequest request;
+    EXPECT_EQ(net::parse_request_head("nonsense\r\n\r\n", request),
+              net::ReadResult::kMalformed);
+    EXPECT_EQ(net::parse_request_head("GET / HTTP/2.0\r\n\r\n", request),
+              net::ReadResult::kUnsupported);
+    EXPECT_EQ(net::parse_request_head("POST / HTTP/1.1\r\n"
+                                      "Transfer-Encoding: chunked\r\n\r\n",
+                                      request),
+              net::ReadResult::kUnsupported);
+}
+
+TEST(Http, ResponseSerializeParseRoundTrip)
+{
+    net::HttpResponse out = net::json_response(200, "{\"a\":1}");
+    out.set_header("X-Roboshape-Cache", "hit");
+    const std::string wire = out.serialize(true);
+    // Deterministic bodies: no Date or other time-varying headers.
+    EXPECT_EQ(wire.find("Date:"), std::string::npos);
+
+    net::HttpResponse in;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(net::parse_response(wire, in, &consumed));
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(in.status, 200);
+    EXPECT_EQ(in.body, "{\"a\":1}");
+    EXPECT_EQ(in.header("x-roboshape-cache"), "hit");
+}
+
+// ---------------------------------------------------------------------------
+// service: structural model hash.
+
+TEST(ModelHash, StableAndDiscriminating)
+{
+    const auto iiwa = topology::build_robot(topology::RobotId::kIiwa);
+    const auto iiwa2 = topology::build_robot(topology::RobotId::kIiwa);
+    const auto hyq = topology::build_robot(topology::RobotId::kHyq);
+    EXPECT_EQ(service::model_hash(iiwa), service::model_hash(iiwa2));
+    EXPECT_NE(service::model_hash(iiwa), service::model_hash(hyq));
+}
+
+// ---------------------------------------------------------------------------
+// service: handler surface, driven without sockets.
+
+net::HttpRequest
+post(const std::string &target, const std::string &body)
+{
+    net::HttpRequest request;
+    request.method = "POST";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    request.body = body;
+    return request;
+}
+
+net::HttpRequest
+get(const std::string &target)
+{
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    return request;
+}
+
+TEST(Service, HealthzAndRobots)
+{
+    service::Service svc;
+    const auto health = svc.handle(get("/healthz"));
+    EXPECT_EQ(health.status, 200);
+    EXPECT_TRUE(obs::validate_json(health.body));
+
+    const auto robots = svc.handle(get("/v1/robots"));
+    EXPECT_EQ(robots.status, 200);
+    EXPECT_TRUE(obs::validate_json(robots.body));
+    EXPECT_NE(robots.body.find("\"iiwa\""), std::string::npos);
+}
+
+TEST(Service, RejectsBadRequests)
+{
+    service::Service svc;
+    EXPECT_EQ(svc.handle(post("/v1/sweep", "")).status, 400);
+    EXPECT_EQ(svc.handle(post("/v1/sweep", "{nope")).status, 400);
+    EXPECT_EQ(svc.handle(post("/v1/sweep", "[1,2]")).status, 400);
+    EXPECT_EQ(svc.handle(post("/v1/sweep", R"({"bogus": 1})")).status, 400);
+    EXPECT_EQ(
+        svc.handle(post("/v1/sweep", R"({"robot": "x", "urdf": "y"})"))
+            .status,
+        400);
+    EXPECT_EQ(svc.handle(post("/v1/sweep", R"({"robot": "marvin"})")).status,
+              404);
+    EXPECT_EQ(svc.handle(
+                     post("/v1/sweep",
+                          R"({"robot": "iiwa", "kernel": "quantum"})"))
+                  .status,
+              400);
+    // Knob caps only exist on design/report.
+    EXPECT_EQ(svc.handle(post("/v1/sweep",
+                              R"({"robot": "iiwa", "max_pes_fwd": 2})"))
+                  .status,
+              400);
+    EXPECT_EQ(svc.handle(post("/v1/design",
+                              R"({"robot": "iiwa", "max_pes_fwd": 0})"))
+                  .status,
+              400);
+    EXPECT_EQ(svc.handle(get("/v1/sweep")).status, 405);
+    EXPECT_EQ(svc.handle(get("/nope")).status, 404);
+    // Every error body is machine-readable JSON.
+    EXPECT_TRUE(obs::validate_json(svc.handle(get("/nope")).body));
+}
+
+TEST(Service, ValidateReportsInsteadOfRejecting)
+{
+    service::Service svc;
+    const auto good = svc.handle(post("/v1/validate", R"({"robot": "iiwa"})"));
+    EXPECT_EQ(good.status, 200);
+    EXPECT_TRUE(obs::validate_json(good.body));
+    EXPECT_NE(good.body.find("\"ok\":true"), std::string::npos);
+
+    // Malformed URDF is still a *successful* validation request.
+    const auto bad = svc.handle(
+        post("/v1/validate", R"({"urdf": "<robot name='x'><oops"})"));
+    EXPECT_EQ(bad.status, 200);
+    EXPECT_TRUE(obs::validate_json(bad.body));
+    EXPECT_NE(bad.body.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(bad.body.find("diagnostics"), std::string::npos);
+}
+
+TEST(Service, ComputeEndpointsRejectBadUrdfWith422)
+{
+    service::Service svc;
+    const auto response = svc.handle(
+        post("/v1/sweep", R"({"urdf": "<robot name='x'><oops"})"));
+    EXPECT_EQ(response.status, 422);
+    EXPECT_TRUE(obs::validate_json(response.body));
+    EXPECT_NE(response.body.find("diagnostics"), std::string::npos);
+}
+
+TEST(Service, SweepCachesByteIdentically)
+{
+    service::Service svc;
+    const auto cold = svc.handle(post("/v1/sweep", R"({"robot": "iiwa"})"));
+    ASSERT_EQ(cold.status, 200);
+    EXPECT_TRUE(obs::validate_json(cold.body));
+    EXPECT_EQ(cold.header("X-Roboshape-Cache"), "miss");
+
+    const auto hot = svc.handle(post("/v1/sweep", R"({"robot": "IIWA"})"));
+    ASSERT_EQ(hot.status, 200);
+    EXPECT_EQ(hot.header("X-Roboshape-Cache"), "hit");
+    EXPECT_EQ(hot.body, cold.body); // byte-identical, case-folded name
+
+    // A different kernel is a different cache entry, not a hit.
+    const auto crba = svc.handle(
+        post("/v1/sweep", R"({"robot": "iiwa", "kernel": "crba"})"));
+    ASSERT_EQ(crba.status, 200);
+    EXPECT_EQ(crba.header("X-Roboshape-Cache"), "miss");
+    EXPECT_NE(crba.body, cold.body);
+    EXPECT_EQ(svc.cache().size(), 2u);
+}
+
+TEST(Service, DesignClampsKnobsAndReportsPlatforms)
+{
+    service::Service svc;
+    const auto response = svc.handle(post(
+        "/v1/design",
+        R"({"robot": "iiwa", "max_pes_fwd": 4096, "max_pes_bwd": 2})"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_TRUE(obs::validate_json(response.body));
+    // iiwa has 7 links: the 4096 cap clamps to 7.
+    EXPECT_NE(response.body.find("\"pes_fwd\":7"), std::string::npos);
+    EXPECT_NE(response.body.find("\"pes_bwd\":2"), std::string::npos);
+    EXPECT_NE(response.body.find("VCU118"), std::string::npos);
+    EXPECT_NE(response.body.find("VC707"), std::string::npos);
+
+    // Same knobs again: served from the body cache.
+    const auto again = svc.handle(post(
+        "/v1/design",
+        R"({"robot": "iiwa", "max_pes_fwd": 4096, "max_pes_bwd": 2})"));
+    EXPECT_EQ(again.header("X-Roboshape-Cache"), "hit");
+    EXPECT_EQ(again.body, response.body);
+}
+
+TEST(Service, ReportEmitsRunReportSchema)
+{
+    service::Service svc;
+    const auto response =
+        svc.handle(post("/v1/report", R"({"robot": "hyq"})"));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_TRUE(obs::validate_json(response.body));
+    EXPECT_NE(response.body.find("roboshape.run_report/1"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket end-to-end tests.
+
+TEST(ServerE2E, EveryLibraryRobotRoundTrips)
+{
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0;
+    options.workers = 2;
+    service::Server server(svc, options);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    for (const auto &ids :
+         {topology::all_robots(), topology::extended_robots()})
+        for (topology::RobotId id : ids) {
+            const std::string name = topology::robot_name(id);
+            net::TcpConn conn = net::dial(server.port(), 5000);
+            ASSERT_TRUE(conn.valid()) << name;
+            std::string leftover;
+            for (const char *target : {"/v1/validate", "/v1/design"}) {
+                const auto response = net::roundtrip(
+                    conn, post(target, "{\"robot\": \"" + name + "\"}"),
+                    leftover, 30000);
+                ASSERT_TRUE(response) << name << " " << target;
+                EXPECT_EQ(response->status, 200) << name << " " << target;
+                EXPECT_TRUE(obs::validate_json(response->body))
+                    << name << " " << target;
+            }
+        }
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(ServerE2E, ConcurrentClientsShareTheCache)
+{
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0;
+    options.workers = 8;
+    service::Server server(svc, options);
+    ASSERT_TRUE(server.start()) << server.error();
+
+#ifndef ROBOSHAPE_NO_OBS
+    std::uint64_t hits_before = 0;
+    for (const auto &c : obs::registry().counters())
+        if (c.name == "svc.cache_hits")
+            hits_before = c.value;
+#endif
+
+    // Single-client reference body first (the cold render).
+    std::string reference;
+    {
+        net::TcpConn conn = net::dial(server.port(), 5000);
+        ASSERT_TRUE(conn.valid());
+        std::string leftover;
+        const auto response = net::roundtrip(
+            conn, post("/v1/sweep", R"({"robot": "baxter"})"), leftover,
+            30000);
+        ASSERT_TRUE(response);
+        ASSERT_EQ(response->status, 200);
+        reference = response->body;
+    }
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 20;
+    std::vector<std::size_t> mismatches(kThreads, 0);
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        clients.emplace_back([&, t] {
+            net::TcpConn conn = net::dial(server.port(), 5000);
+            if (!conn.valid()) {
+                mismatches[t] = kPerThread;
+                return;
+            }
+            std::string leftover;
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                const auto response = net::roundtrip(
+                    conn, post("/v1/sweep", R"({"robot": "baxter"})"),
+                    leftover, 30000);
+                if (!response || response->status != 200 ||
+                    response->body != reference)
+                    ++mismatches[t];
+            }
+        });
+    for (std::thread &t : clients)
+        t.join();
+    server.stop();
+
+    for (std::size_t t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0u) << "client " << t;
+
+#ifndef ROBOSHAPE_NO_OBS
+    std::uint64_t hits_after = 0;
+    for (const auto &c : obs::registry().counters())
+        if (c.name == "svc.cache_hits")
+            hits_after = c.value;
+    EXPECT_GT(hits_after, hits_before);
+#endif
+}
+
+TEST(ServerE2E, OverloadShedsWith429)
+{
+    // One worker, queue capacity one.  An idle connection parks the
+    // worker inside read_request (it blocks until request_timeout_ms), a
+    // second idle connection fills the queue, so a third client MUST be
+    // answered 429 by the accept thread — deterministically, no timing
+    // races on how fast a "slow" request computes.
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0;
+    options.workers = 1;
+    options.queue_capacity = 1;
+    options.request_timeout_ms = 3000;
+    service::Server server(svc, options);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    net::TcpConn parked = net::dial(server.port(), 5000);
+    ASSERT_TRUE(parked.valid());
+    // Let the worker dequeue it and block reading a request that never
+    // comes; the queue is empty again afterwards.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    net::TcpConn queued = net::dial(server.port(), 5000);
+    ASSERT_TRUE(queued.valid());
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    // Queue full, worker busy: this one is shed at admission.
+    net::TcpConn probe = net::dial(server.port(), 5000);
+    ASSERT_TRUE(probe.valid());
+    std::string leftover;
+    const auto response = net::roundtrip(probe, get("/healthz"), leftover,
+                                         options.request_timeout_ms);
+    ASSERT_TRUE(response);
+    EXPECT_EQ(response->status, 429);
+    EXPECT_TRUE(obs::validate_json(response->body));
+    EXPECT_EQ(response->header("Connection"), "close");
+
+    parked.close();
+    queued.close();
+    server.stop();
+}
+
+} // namespace

@@ -10,6 +10,8 @@
  *                                                Chrome trace of the schedule
  *   roboshape stats <robot.urdf|--robot NAME> [--out report.json]
  *                                                counter registry snapshot
+ *   roboshape serve [--port N] [--threads N] [--queue N]
+ *                                                roboshaped HTTP daemon
  *
  * Options:
  *   --platform vcu118|vc707      resource envelope (default vcu118)
@@ -19,10 +21,19 @@
  *   --robot NAME                 library robot instead of a URDF file
  *                                (iiwa, HyQ, Baxter, ... — trace/stats)
  *   --out PATH                   artifact destination (trace/stats)
+ *   --port N                     serve: listen port (0 = ephemeral)
+ *   --threads N / --queue N      serve: worker pool / admission queue
+ *
+ * Every numeric flag goes through core::parse_uint — "4abc", "-1", and
+ * overflowing values are hard errors naming the flag, never silent
+ * truncation (docs/SERVICE.md covers the bug class).
  */
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -30,6 +41,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/sim_engine.h"
@@ -37,6 +49,7 @@
 #include "core/design_space.h"
 #include "core/design_export.h"
 #include "core/generator.h"
+#include "core/parse_uint.h"
 #include "core/sweep_context.h"
 #include "dynamics/fd_derivatives.h"
 #include "dynamics/robot_state.h"
@@ -46,6 +59,7 @@
 #include "obs/run_report.h"
 #include "obs/trace_export.h"
 #include "sched/timeline.h"
+#include "service/server.h"
 #include "topology/robot_library.h"
 #include "topology/topology_info.h"
 #include "topology/urdf_parser.h"
@@ -66,35 +80,83 @@ struct CliOptions
     sched::KernelKind kernel = sched::KernelKind::kDynamicsGradient;
     bool timeline = false;
     bool json = false;
+    std::size_t port = 8080;      ///< serve: listen port (0 = ephemeral).
+    std::size_t threads = 4;      ///< serve: worker pool size.
+    std::size_t queue = 64;       ///< serve: admission-queue capacity.
 };
 
 int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: roboshape <info|gen|sweep|rtl|trace|stats> "
+                 "usage: roboshape <info|gen|sweep|rtl|trace|stats|serve> "
                  "<robot.urdf> [out_dir] [--platform vcu118|vc707]\n"
                  "                 [--pes-fwd N] [--pes-bwd N] [--block N] "
                  "[--kernel gradient|crba|kinematics]\n"
                  "                 [--timeline] [--json] [--robot NAME] "
-                 "[--out PATH]\n");
+                 "[--out PATH]\n"
+                 "                 [--port N] [--threads N] [--queue N]\n");
     return 2;
+}
+
+/**
+ * Strict numeric-flag parse via core::parse_uint.  Failures name the
+ * flag and the offending token on stderr — "roboshape gen x.urdf
+ * --pes-fwd 4abc" must die loudly, not run with 4 PEs.
+ */
+std::optional<std::size_t>
+parse_flag_uint(const std::string &flag, const char *value,
+                std::uint64_t min, std::uint64_t max)
+{
+    if (!value) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag.c_str());
+        return std::nullopt;
+    }
+    const std::optional<std::uint64_t> parsed =
+        core::parse_uint(value, min, max);
+    if (!parsed) {
+        std::fprintf(stderr,
+                     "error: invalid value '%s' for %s (expected an "
+                     "unsigned integer in [%llu, %llu])\n",
+                     value, flag.c_str(),
+                     static_cast<unsigned long long>(min),
+                     static_cast<unsigned long long>(max));
+        return std::nullopt;
+    }
+    return static_cast<std::size_t>(*parsed);
 }
 
 std::optional<CliOptions>
 parse_args(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return std::nullopt;
     CliOptions opt;
     opt.command = argv[1];
-    // trace/stats take --robot NAME in place of the URDF positional; for
-    // them argv[2] is only a path when it is not an option.
+    const bool known_command =
+        opt.command == "info" || opt.command == "gen" ||
+        opt.command == "sweep" || opt.command == "rtl" ||
+        opt.command == "trace" || opt.command == "stats" ||
+        opt.command == "serve";
+    if (!known_command) {
+        std::fprintf(stderr, "error: unknown command '%s'\n",
+                     opt.command.c_str());
+        return std::nullopt;
+    }
+    // trace/stats take --robot NAME in place of the URDF positional, and
+    // serve takes no robot at all; for them argv[2] is only a path when
+    // it is not an option.
+    const bool positional_optional = opt.command == "trace" ||
+                                     opt.command == "stats" ||
+                                     opt.command == "serve";
     int first = 2;
-    if (argv[2][0] != '-') {
+    if (argc >= 3 && argv[2][0] != '-') {
         opt.urdf_path = argv[2];
         first = 3;
-    } else if (opt.command != "trace" && opt.command != "stats") {
+    } else if (!positional_optional) {
+        std::fprintf(stderr,
+                     "error: command '%s' requires a <robot.urdf> path\n",
+                     opt.command.c_str());
         return std::nullopt;
     }
     int positional = 0;
@@ -103,61 +165,103 @@ parse_args(int argc, char **argv)
         const auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
+        const auto knob = [&](std::uint64_t min, std::uint64_t max) {
+            return parse_flag_uint(arg, next(), min, max);
+        };
         if (arg == "--platform") {
             const char *v = next();
-            if (!v)
+            if (!v) {
+                std::fprintf(stderr, "error: --platform requires a value\n");
                 return std::nullopt;
-            if (std::strcmp(v, "vcu118") == 0)
+            }
+            if (std::strcmp(v, "vcu118") == 0) {
                 opt.platform = &accel::vcu118();
-            else if (std::strcmp(v, "vc707") == 0)
+            } else if (std::strcmp(v, "vc707") == 0) {
                 opt.platform = &accel::vc707();
-            else
+            } else {
+                std::fprintf(stderr,
+                             "error: unknown platform '%s' (expected "
+                             "vcu118|vc707)\n",
+                             v);
                 return std::nullopt;
+            }
         } else if (arg == "--pes-fwd") {
-            const char *v = next();
+            const auto v = knob(1, 4096);
             if (!v)
                 return std::nullopt;
-            opt.constraints.max_pes_fwd = std::stoul(v);
+            opt.constraints.max_pes_fwd = *v;
         } else if (arg == "--pes-bwd") {
-            const char *v = next();
+            const auto v = knob(1, 4096);
             if (!v)
                 return std::nullopt;
-            opt.constraints.max_pes_bwd = std::stoul(v);
+            opt.constraints.max_pes_bwd = *v;
         } else if (arg == "--block") {
-            const char *v = next();
+            const auto v = knob(1, 4096);
             if (!v)
                 return std::nullopt;
-            opt.constraints.max_block_size = std::stoul(v);
+            opt.constraints.max_block_size = *v;
+        } else if (arg == "--port") {
+            const auto v = knob(0, 65535);
+            if (!v)
+                return std::nullopt;
+            opt.port = *v;
+        } else if (arg == "--threads") {
+            const auto v = knob(1, 64);
+            if (!v)
+                return std::nullopt;
+            opt.threads = *v;
+        } else if (arg == "--queue") {
+            const auto v = knob(1, 4096);
+            if (!v)
+                return std::nullopt;
+            opt.queue = *v;
         } else if (arg == "--kernel") {
             const char *v = next();
-            if (!v)
+            if (!v) {
+                std::fprintf(stderr, "error: --kernel requires a value\n");
                 return std::nullopt;
-            if (std::strcmp(v, "gradient") == 0)
+            }
+            if (std::strcmp(v, "gradient") == 0) {
                 opt.kernel = sched::KernelKind::kDynamicsGradient;
-            else if (std::strcmp(v, "crba") == 0)
+            } else if (std::strcmp(v, "crba") == 0) {
                 opt.kernel = sched::KernelKind::kMassMatrix;
-            else if (std::strcmp(v, "kinematics") == 0)
+            } else if (std::strcmp(v, "kinematics") == 0) {
                 opt.kernel = sched::KernelKind::kForwardKinematics;
-            else
+            } else {
+                std::fprintf(stderr,
+                             "error: unknown kernel '%s' (expected "
+                             "gradient|crba|kinematics)\n",
+                             v);
                 return std::nullopt;
+            }
         } else if (arg == "--timeline") {
             opt.timeline = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--robot") {
             const char *v = next();
-            if (!v)
+            if (!v) {
+                std::fprintf(stderr, "error: --robot requires a value\n");
                 return std::nullopt;
+            }
             opt.robot = v;
         } else if (arg == "--out") {
             const char *v = next();
-            if (!v)
+            if (!v) {
+                std::fprintf(stderr, "error: --out requires a value\n");
                 return std::nullopt;
+            }
             opt.out_path = v;
+        } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            std::fprintf(stderr, "error: unknown option '%s'\n",
+                         arg.c_str());
+            return std::nullopt;
         } else if (positional == 0) {
             opt.out_dir = arg;
             ++positional;
         } else {
+            std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                         arg.c_str());
             return std::nullopt;
         }
     }
@@ -450,6 +554,45 @@ cmd_stats(const topology::RobotModel &model, const CliOptions &opt)
     return 0;
 }
 
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void
+on_shutdown_signal(int)
+{
+    g_shutdown = 1;
+}
+
+int
+cmd_serve(const CliOptions &opt)
+{
+    service::Service service;
+    service::ServerOptions sopt;
+    sopt.port = static_cast<std::uint16_t>(opt.port);
+    sopt.workers = opt.threads;
+    sopt.queue_capacity = opt.queue;
+    service::Server server(service, sopt);
+    if (!server.start()) {
+        std::fprintf(stderr, "error: cannot start roboshaped: %s\n",
+                     server.error().c_str());
+        return 1;
+    }
+    std::printf("roboshaped listening on 127.0.0.1:%u "
+                "(%zu workers, queue %zu)\n",
+                static_cast<unsigned>(server.port()), opt.threads,
+                opt.queue);
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_shutdown_signal);
+    std::signal(SIGTERM, on_shutdown_signal);
+    while (!g_shutdown)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Graceful drain: in-flight requests finish before stop() returns.
+    server.stop();
+    std::printf("roboshaped: drained and stopped\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -458,6 +601,9 @@ main(int argc, char **argv)
     const auto opt = parse_args(argc, argv);
     if (!opt)
         return usage();
+
+    if (opt->command == "serve")
+        return cmd_serve(*opt);
 
     topology::RobotModel model;
     if (!opt->robot.empty()) {
@@ -476,6 +622,10 @@ main(int argc, char **argv)
             return 1;
         }
     } else {
+        std::fprintf(stderr,
+                     "error: command '%s' requires a <robot.urdf> path or "
+                     "--robot NAME\n",
+                     opt->command.c_str());
         return usage();
     }
 
@@ -496,5 +646,8 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
+    // Unreachable: parse_args validated the command.
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 opt->command.c_str());
     return usage();
 }

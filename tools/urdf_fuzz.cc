@@ -36,6 +36,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "core/parse_uint.h"
 #include "io/fault_injection.h"
 #include "topology/robot_library.h"
 #include "topology/urdf_parser.h"
@@ -206,6 +208,32 @@ load_seeds(const Options &opt)
     return seeds;
 }
 
+/**
+ * Strict numeric flag: the whole token must be a decimal integer in
+ * [min, max].  `--iterations garbage` used to strtoull to 0 and the run
+ * "passed" having tested nothing — that silent vacuity is exactly the
+ * failure mode this harness exists to catch in the parser, so the
+ * harness's own flags hold themselves to the same standard.
+ */
+bool
+parse_flag_uint(const std::string &flag, const char *value,
+                std::uint64_t min, std::uint64_t max, std::uint64_t &out)
+{
+    if (!value) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        return false;
+    }
+    const auto parsed = roboshape::core::parse_uint(value, min, max);
+    if (!parsed) {
+        std::cerr << "error: invalid value '" << value << "' for " << flag
+                  << " (expected an unsigned integer in [" << min << ", "
+                  << max << "])\n";
+        return false;
+    }
+    out = *parsed;
+    return true;
+}
+
 bool
 parse_args(int argc, char **argv, Options &opt)
 {
@@ -215,27 +243,35 @@ parse_args(int argc, char **argv, Options &opt)
             return i + 1 < argc ? argv[++i] : nullptr;
         };
         if (arg == "--iterations") {
-            const char *v = next();
-            if (!v)
+            // 0 iterations is rejected explicitly: a fuzz run that tests
+            // nothing must not exit 0.
+            if (!parse_flag_uint(arg, next(), 1,
+                                 std::numeric_limits<std::uint64_t>::max(),
+                                 opt.iterations))
                 return false;
-            opt.iterations = std::strtoull(v, nullptr, 10);
         } else if (arg == "--seed") {
-            const char *v = next();
-            if (!v)
+            if (!parse_flag_uint(arg, next(), 0,
+                                 std::numeric_limits<std::uint64_t>::max(),
+                                 opt.seed))
                 return false;
-            opt.seed = std::strtoull(v, nullptr, 10);
         } else if (arg == "--corpus") {
             const char *v = next();
-            if (!v)
+            if (!v) {
+                std::cerr << "error: --corpus requires a value\n";
                 return false;
+            }
             opt.corpus_dir = v;
         } else if (arg == "--replay") {
-            const char *v = next();
-            if (!v)
+            std::uint64_t replay = 0;
+            if (!parse_flag_uint(
+                    arg, next(), 0,
+                    static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max()),
+                    replay))
                 return false;
-            opt.replay = std::strtoll(v, nullptr, 10);
+            opt.replay = static_cast<std::int64_t>(replay);
         } else {
-            std::cerr << "unknown argument: " << arg << "\n"
+            std::cerr << "error: unknown argument '" << arg << "'\n"
                       << "usage: urdf_fuzz [--iterations N] [--seed S] "
                          "[--corpus DIR] [--replay I]\n";
             return false;
