@@ -16,6 +16,8 @@
 #include <cstdio>
 #include <string>
 
+#include "core/parse_uint.h"
+
 #include "accel/design.h"
 #include "baselines/cpu_baseline.h"
 #include "control/accel_linearizer.h"
@@ -39,8 +41,18 @@ main(int argc, char **argv)
         id = topology::RobotId::kBaxter;
         knobs = {4, 4, 4};
     }
-    const std::size_t horizon =
-        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 24;
+    std::size_t horizon = 24;
+    if (argc > 2) {
+        const auto parsed = core::parse_uint(argv[2], 1, 4096);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "horizon must be a plain decimal in [1, 4096], "
+                         "got '%s'\n",
+                         argv[2]);
+            return 1;
+        }
+        horizon = static_cast<std::size_t>(*parsed);
+    }
 
     const topology::RobotModel model = topology::build_robot(id);
     const topology::TopologyInfo topo(model);

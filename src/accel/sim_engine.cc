@@ -358,6 +358,11 @@ SimEngine::prepare(EngineResult &out) const
     }
 }
 
+// The interpreter below is the zero-allocation warm path (PR 2 contract,
+// asserted by the counting-operator-new tests); roboshape_lint enforces it
+// lexically on top (docs/STATIC_ANALYSIS.md).  Growth belongs in compile()/
+// prepare()/the batch wrappers, all outside this region.
+// lint: warm-path begin
 void
 SimEngine::run(Workspace &ws, const InputPacket &in, EngineResult &out) const
 {
@@ -644,6 +649,7 @@ SimEngine::run_kinematics(Workspace &ws, const InputPacket &in,
                               obs::wall_now_ns());
     out.tasks_executed = trace_.size();
 }
+// lint: warm-path end
 
 void
 SimEngine::run_batch(std::span<const InputPacket> in,

@@ -28,8 +28,16 @@ namespace {
 // CPU feature probes (x86 only; false elsewhere).  One function per
 // feature because __builtin_cpu_supports requires a literal argument.
 #if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
-bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
-bool cpu_has_avx512f() { return __builtin_cpu_supports("avx512f"); }
+// [[maybe_unused]]: with ROBOSHAPE_SIMD=OFF no ISA backend references
+// the probes, and -Werror build configs must stay warning-free.
+[[maybe_unused]] bool cpu_has_avx2()
+{
+    return __builtin_cpu_supports("avx2");
+}
+[[maybe_unused]] bool cpu_has_avx512f()
+{
+    return __builtin_cpu_supports("avx512f");
+}
 #else
 [[maybe_unused]] bool cpu_has_avx2() { return false; }
 [[maybe_unused]] bool cpu_has_avx512f() { return false; }
@@ -120,7 +128,12 @@ set_lane_backend(std::string_view name)
 std::vector<const LaneBackend *>
 available_lane_backends()
 {
-    std::vector<const LaneBackend *> out{&kScalar};
+    // Reserve + push_back rather than list-init: GCC 12 under
+    // -fsanitize=undefined emits a spurious -Warray-bounds for the
+    // one-element initializer_list backing array here.
+    std::vector<const LaneBackend *> out;
+    out.reserve(4);
+    out.push_back(&kScalar);
 #ifdef ROBOSHAPE_SIMD_HAVE_GENERIC
     out.push_back(&kGeneric);
 #endif
@@ -166,7 +179,10 @@ marshal_gradient_group([[maybe_unused]] const topology::RobotModel &model,
     // packet.  A lane-major loop order would instead land every store
     // W*8 bytes from the previous one — a different cache line each
     // time — and the scatter cost then rivals the kernel itself on
-    // robots whose compute is cheap.
+    // robots whose compute is cheap.  (The resize preamble above is the
+    // grow-only cold setup — AlignedBuffer::resize reallocates only on
+    // capacity growth; the loops below are the warm transposition.)
+    // lint: warm-path begin
     for (std::size_t i = 0; i < n; ++i) {
         double *qi = ws.q.data() + i * W;
         double *qdi = ws.qd.data() + i * W;
@@ -193,6 +209,7 @@ marshal_gradient_group([[maybe_unused]] const topology::RobotModel &model,
                 dst[l] = (*packets[l].minv)(r, c);
         }
     }
+    // lint: warm-path end
 }
 
 void
@@ -200,9 +217,11 @@ demarshal_gradient_group(std::size_t n, std::size_t width, std::size_t tasks,
                          const LaneWorkspace &ws, EngineResult *out)
 {
     const std::size_t W = width;
+    // lint: warm-path begin
     for (std::size_t l = 0; l < W; ++l) {
         EngineResult &o = out[l];
-        o.tau.resize(n);
+        // Cold on first touch only: a warm EngineResult is already n-sized.
+        o.tau.resize(n); // NOLINT(no-alloc-warm-path)
         o.mm_stats.block_macs =
             ws.stats_q.block_macs[l] + ws.stats_qd.block_macs[l];
         o.mm_stats.block_nops =
@@ -226,7 +245,7 @@ demarshal_gradient_group(std::size_t n, std::size_t width, std::size_t tasks,
         for (std::size_t l = 0; l < W; ++l) {
             linalg::Matrix &m = out[l].*field;
             if (m.rows() != n || m.cols() != n)
-                m.resize(n, n);
+                m.resize(n, n); // NOLINT(no-alloc-warm-path) cold first touch
             dst[l] = m.data().data();
         }
         for (std::size_t k = 0; k < n * n; ++k) {
@@ -239,6 +258,7 @@ demarshal_gradient_group(std::size_t n, std::size_t width, std::size_t tasks,
     scatter(ws.dtau_dqd, &EngineResult::dtau_dqd);
     scatter(ws.dqdd_dq, &EngineResult::dqdd_dq);
     scatter(ws.dqdd_dqd, &EngineResult::dqdd_dqd);
+    // lint: warm-path end
 }
 
 } // namespace simd

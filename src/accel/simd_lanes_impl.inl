@@ -45,6 +45,10 @@ namespace roboshape {
 namespace accel {
 namespace simd {
 
+// The whole lane interpreter is warm: workspaces arrive pre-sized from
+// marshal_gradient_group and every loop below runs per batch group.
+// lint: warm-path begin
+
 namespace {
 
 constexpr int W = ROBOSHAPE_LANE_IMPL_WIDTH;
@@ -693,6 +697,8 @@ ROBOSHAPE_LANE_IMPL_FN(const GradientTraceView &t, LaneWorkspace &ws)
 {
     run_gradient_lanes(t, ws);
 }
+
+// lint: warm-path end
 
 } // namespace simd
 } // namespace accel

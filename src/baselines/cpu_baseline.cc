@@ -20,7 +20,9 @@ namespace baselines {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// The baseline's product IS a wall-time measurement; the clock is read
+// for reporting only and never feeds back into computed dynamics.
+using Clock = std::chrono::steady_clock; // NOLINT(no-nondeterminism)
 
 double
 us_between(Clock::time_point a, Clock::time_point b)

@@ -20,7 +20,9 @@ namespace {
 
 using linalg::Matrix;
 using linalg::Vector;
-using Clock = std::chrono::steady_clock;
+// Solve-time telemetry only (IlqrResult::*_us): the clock never enters
+// the optimization arithmetic, so trajectories stay bit-identical.
+using Clock = std::chrono::steady_clock; // NOLINT(no-nondeterminism)
 
 double
 us_since(Clock::time_point t0)

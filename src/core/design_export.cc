@@ -5,7 +5,7 @@
 
 #include "core/design_export.h"
 
-#include <sstream>
+#include "obs/json.h"
 
 namespace roboshape {
 namespace core {
@@ -13,19 +13,18 @@ namespace core {
 namespace {
 
 void
-emit_roms(std::ostringstream &os, const sched::TaskGraph &graph,
+emit_roms(obs::JsonWriter &w, const sched::TaskGraph &graph,
           const std::vector<std::vector<sched::TaskId>> &roms,
           const char *name)
 {
-    os << "    \"" << name << "\": [";
-    for (std::size_t pe = 0; pe < roms.size(); ++pe) {
-        os << (pe ? ", " : "") << "[";
-        for (std::size_t k = 0; k < roms[pe].size(); ++k)
-            os << (k ? ", " : "") << "\""
-               << graph.task(roms[pe][k]).label() << "\"";
-        os << "]";
+    w.key(name).begin_array();
+    for (const std::vector<sched::TaskId> &rom : roms) {
+        w.begin_array();
+        for (const sched::TaskId id : rom)
+            w.value(graph.task(id).label());
+        w.end_array();
     }
-    os << "]";
+    w.end_array();
 }
 
 } // namespace
@@ -37,48 +36,56 @@ design_to_json(const accel::AcceleratorDesign &design)
     const topology::TopologyMetrics m = topo.metrics();
     const auto &params = design.params();
 
-    std::ostringstream os;
-    os << "{\n";
-    os << "  \"robot\": \"" << design.model().name() << "\",\n";
-    os << "  \"kernel\": \"" << to_string(design.kernel()) << "\",\n";
-    os << "  \"topology\": {\n";
-    os << "    \"total_links\": " << m.total_links << ",\n";
-    os << "    \"max_leaf_depth\": " << m.max_leaf_depth << ",\n";
-    os << "    \"avg_leaf_depth\": " << m.avg_leaf_depth << ",\n";
-    os << "    \"max_descendants\": " << m.max_descendants << ",\n";
-    os << "    \"leaf_depth_stdev\": " << m.leaf_depth_stdev << ",\n";
-    os << "    \"limbs\": " << design.model().base_children().size()
-       << ",\n";
-    os << "    \"mass_matrix_sparsity\": " << topo.mass_matrix_sparsity()
-       << "\n  },\n";
-    os << "  \"knobs\": {\n";
-    os << "    \"pes_fwd\": " << params.pes_fwd << ",\n";
-    os << "    \"pes_bwd\": " << params.pes_bwd << ",\n";
-    os << "    \"size_block\": " << params.block_size << "\n  },\n";
-    os << "  \"timing\": {\n";
-    os << "    \"clock_period_ns\": " << design.clock_period_ns() << ",\n";
-    os << "    \"cycles_no_pipelining\": " << design.cycles_no_pipelining()
-       << ",\n";
-    os << "    \"cycles_pipelined\": " << design.cycles_pipelined()
-       << ",\n";
-    os << "    \"forward_stage_cycles\": "
-       << design.forward_stage().makespan << ",\n";
-    os << "    \"backward_stage_cycles\": "
-       << design.backward_stage().makespan << ",\n";
-    os << "    \"block_multiply_cycles\": "
-       << design.block_multiply().makespan << "\n  },\n";
-    os << "  \"resources\": {\n";
-    os << "    \"luts\": " << design.resources().luts << ",\n";
-    os << "    \"dsps\": " << design.resources().dsps << "\n  },\n";
-    os << "  \"schedules\": {\n";
-    emit_roms(os, design.task_graph(), design.forward_stage().forward_rom,
+    obs::JsonWriter w(2);
+    w.begin_object();
+    w.kv("robot", design.model().name());
+    w.kv("kernel", to_string(design.kernel()));
+
+    w.key("topology").begin_object();
+    w.kv("total_links", static_cast<std::uint64_t>(m.total_links));
+    w.kv("max_leaf_depth", static_cast<std::uint64_t>(m.max_leaf_depth));
+    w.kv("avg_leaf_depth", m.avg_leaf_depth);
+    w.kv("max_descendants", static_cast<std::uint64_t>(m.max_descendants));
+    w.kv("leaf_depth_stdev", m.leaf_depth_stdev);
+    w.kv("limbs",
+         static_cast<std::uint64_t>(design.model().base_children().size()));
+    w.kv("mass_matrix_sparsity", topo.mass_matrix_sparsity());
+    w.end_object();
+
+    w.key("knobs").begin_object();
+    w.kv("pes_fwd", static_cast<std::uint64_t>(params.pes_fwd));
+    w.kv("pes_bwd", static_cast<std::uint64_t>(params.pes_bwd));
+    w.kv("size_block", static_cast<std::uint64_t>(params.block_size));
+    w.end_object();
+
+    w.key("timing").begin_object();
+    w.kv("clock_period_ns", design.clock_period_ns());
+    w.kv("cycles_no_pipelining",
+         static_cast<std::uint64_t>(design.cycles_no_pipelining()));
+    w.kv("cycles_pipelined",
+         static_cast<std::uint64_t>(design.cycles_pipelined()));
+    w.kv("forward_stage_cycles",
+         static_cast<std::uint64_t>(design.forward_stage().makespan));
+    w.kv("backward_stage_cycles",
+         static_cast<std::uint64_t>(design.backward_stage().makespan));
+    w.kv("block_multiply_cycles",
+         static_cast<std::uint64_t>(design.block_multiply().makespan));
+    w.end_object();
+
+    w.key("resources").begin_object();
+    w.kv("luts", static_cast<std::uint64_t>(design.resources().luts));
+    w.kv("dsps", static_cast<std::uint64_t>(design.resources().dsps));
+    w.end_object();
+
+    w.key("schedules").begin_object();
+    emit_roms(w, design.task_graph(), design.forward_stage().forward_rom,
               "forward");
-    os << ",\n";
-    emit_roms(os, design.task_graph(),
-              design.backward_stage().backward_rom, "backward");
-    os << "\n  }\n";
-    os << "}\n";
-    return os.str();
+    emit_roms(w, design.task_graph(), design.backward_stage().backward_rom,
+              "backward");
+    w.end_object();
+
+    w.end_object();
+    return w.str() + "\n";
 }
 
 } // namespace core

@@ -324,6 +324,11 @@ struct Executor::Impl
         spawned_.store(workers_.size(), std::memory_order_release);
     }
 
+    // Steady-state worker protocol: park/join/execute/steal runs for the
+    // process lifetime and must never allocate — growth (pool spawn, deque
+    // buffers) happens in ensure_workers()/TaskDeque::push() outside this
+    // region.  Enforced lexically by roboshape_lint (no-alloc-warm-path).
+    // lint: warm-path begin
     void worker_loop(std::size_t lane)
     {
         t_inside_region = true; // nested submissions from tasks run inline
@@ -468,6 +473,7 @@ struct Executor::Impl
                                   static_cast<std::int32_t>(lane),
                                   static_cast<std::int32_t>(executed));
     }
+    // lint: warm-path end
 
     // --- region lifecycle (leader side) --------------------------------
 

@@ -269,7 +269,8 @@ operator<<(std::ostream &os, const Matrix &m)
 std::ostream &
 operator<<(std::ostream &os, const Vector &v)
 {
-    os << "[";
+    // Human-readable "[1, 2, 3]" debug rendering, not a JSON artifact.
+    os << "["; // NOLINT(json-writer-only)
     for (std::size_t i = 0; i < v.size(); ++i)
         os << (i ? ", " : "") << v[i];
     return os << "]";

@@ -161,7 +161,8 @@ JsonWriter::value(double v)
     for (int prec = 6; prec <= 17; ++prec) {
         std::snprintf(buf, sizeof buf, "%.*g", prec, v);
         double back = 0.0;
-        std::sscanf(buf, "%lf", &back);
+        // Round-trip probe of our own %g output, not input validation.
+        std::sscanf(buf, "%lf", &back); // NOLINT(banned-raw-parse)
         if (back == v)
             break;
     }

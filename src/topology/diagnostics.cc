@@ -152,7 +152,9 @@ std::string
 Diagnostic::to_string() const
 {
     std::ostringstream os;
-    os << (severity == Severity::kError ? "error" : "warning") << "["
+    // compiler-style "error[code]" prefix, not a JSON artifact.
+    os << (severity == Severity::kError ? "error" : "warning")
+       << "[" // NOLINT(json-writer-only)
        << topology::to_string(code) << "]";
     if (location.known())
         os << " " << location.to_string();

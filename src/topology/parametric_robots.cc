@@ -106,8 +106,11 @@ make_branching_tree(std::size_t depth, std::size_t branching,
             if (node.depth == depth)
                 continue;
             for (std::size_t b = 0; b < branching; ++b) {
-                const std::string child =
-                    "n" + std::to_string(++counter);
+                // Built via append rather than "n" + to_string(...):
+                // GCC 12's -Wrestrict false-positives on operator+(const
+                // char*, string&&) inlined here (GCC PR105651).
+                std::string child = "n";
+                child += std::to_string(++counter);
                 const double spread =
                     0.05 * (static_cast<double>(b) -
                             static_cast<double>(branching - 1) / 2.0);

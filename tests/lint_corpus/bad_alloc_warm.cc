@@ -1,0 +1,21 @@
+// Fixture: no-alloc-warm-path must fire on allocation inside an
+// annotated warm region, and stay silent outside it.
+#include <vector>
+
+void
+prepare(std::vector<double> &buf)
+{
+    buf.reserve(64); // cold path: fine out here
+}
+
+double
+step(std::vector<double> &buf, double x)
+{
+    // lint: warm-path begin
+    buf.push_back(x);
+    double *p = static_cast<double *>(malloc(sizeof(double)));
+    *p = x;
+    const double y = *p;
+    // lint: warm-path end
+    return y;
+}

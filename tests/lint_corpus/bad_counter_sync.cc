@@ -1,0 +1,11 @@
+// Fixture: counter-name-sync must fire on a counter the doc catalog
+// does not list.  (The test registers a catalog containing only
+// `corpus.listed` and `corpus.stale`.)
+#include "obs/registry.h"
+
+void
+touch()
+{
+    ROBOSHAPE_OBS_COUNT("corpus.not_in_doc", 1);
+    ROBOSHAPE_OBS_RECORD("corpus.listed", 5);
+}

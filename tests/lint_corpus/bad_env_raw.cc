@@ -1,0 +1,14 @@
+// Fixture: banned-env-raw must fire on raw environment reads.
+#include <cstdlib>
+
+const char *
+threads_knob()
+{
+    return std::getenv("ROBOSHAPE_THREADS");
+}
+
+const char *
+simd_knob()
+{
+    return secure_getenv("ROBOSHAPE_SIMD");
+}

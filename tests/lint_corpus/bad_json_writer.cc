@@ -1,0 +1,21 @@
+// Fixture: json-writer-only must fire on hand-assembled JSON through
+// both sink families (ostream << and printf).
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+std::string
+report_stream(const std::string &name, int cycles)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"name\": \"" << name << "\", \"cycles\": " << cycles;
+    os << "}";
+    return os.str();
+}
+
+void
+report_printf(const char *name, int cycles)
+{
+    std::printf("{\"name\": \"%s\", \"cycles\": %d}\n", name, cycles);
+}

@@ -1,0 +1,22 @@
+// Fixture: no-nondeterminism must fire on entropy and clock reads in
+// library code — call-shaped (rand, time) and type-shaped
+// (steady_clock, random_device) alike.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double
+jitter()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    return static_cast<double>(std::rand());
+}
+
+long
+stamp()
+{
+    std::random_device rd;
+    (void)rd;
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,21 @@
+// Fixture: banned-raw-parse must fire on each bare conversion call.
+#include <cstdlib>
+#include <string>
+
+unsigned long
+parse_knob(const std::string &text)
+{
+    return std::stoul(text);
+}
+
+double
+parse_gain(const char *text)
+{
+    return std::strtod(text, nullptr);
+}
+
+int
+parse_count(const char *text)
+{
+    return std::atoi(text);
+}

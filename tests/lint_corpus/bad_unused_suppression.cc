@@ -1,0 +1,7 @@
+// Fixture: a NOLINT naming a roboshape_lint rule that never fires on
+// its line must itself be reported, so stale annotations cannot rot.
+int
+add(int a, int b)
+{
+    return a + b; // NOLINT(banned-raw-parse)
+}

@@ -1,0 +1,21 @@
+// Fixture: a warm region that only reuses existing capacity.  assign()
+// is the sanctioned capacity-preserving clear; growth happens outside.
+#include <vector>
+
+void
+prepare(std::vector<double> &buf, std::size_t n)
+{
+    buf.resize(n); // cold setup, outside the region
+}
+
+double
+step(std::vector<double> &buf, double x)
+{
+    // lint: warm-path begin
+    buf.assign(buf.size(), x);
+    double acc = 0.0;
+    for (const double v : buf)
+        acc += v;
+    // lint: warm-path end
+    return acc;
+}

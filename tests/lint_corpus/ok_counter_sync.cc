@@ -1,0 +1,10 @@
+// Fixture: counters the catalog lists, plus the exempt test. prefix.
+#include "obs/registry.h"
+
+void
+touch()
+{
+    ROBOSHAPE_OBS_COUNT("corpus.listed", 1);
+    ROBOSHAPE_OBS_RECORD("corpus.stale", 2);
+    ROBOSHAPE_OBS_COUNT("test.corpus.scratch", 3);
+}

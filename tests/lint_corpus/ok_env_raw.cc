@@ -1,0 +1,13 @@
+// Fixture: "getenv" in comments and strings is not a call — only the
+// validated helpers may read the environment, and this file reads none.
+#include <cstddef>
+
+std::size_t
+thread_count(std::size_t configured)
+{
+    // A real knob would come through the validated ROBOSHAPE_THREADS
+    // helper in core/executor.cc, never a raw getenv here.
+    const char *doc = "see docs: getenv is banned outside the helpers";
+    (void)doc;
+    return configured ? configured : 1;
+}

@@ -1,0 +1,27 @@
+// Fixture: JsonWriter is the sanctioned path; non-JSON braces (printf
+// of a plain word, ostream of "[i]" index rendering) must not fire.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+std::string
+report(const std::string &name, int cycles)
+{
+    roboshape::obs::JsonWriter w;
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("cycles", cycles);
+    w.end_object();
+    return w.str();
+}
+
+std::string
+debug_index(int i)
+{
+    std::ostringstream os;
+    os << "lane[" << i << "]";
+    std::printf("lane %d ready\n", i);
+    return os.str();
+}

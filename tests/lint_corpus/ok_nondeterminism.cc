@@ -1,0 +1,22 @@
+// Fixture: the sanctioned alternatives — a seeded counter-based
+// generator and duration arithmetic that never reads a clock.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::chrono::microseconds
+budget_left(std::chrono::microseconds total, std::chrono::microseconds used)
+{
+    // "time" in a comment and "rand" in a string must not fire.
+    const char *label = "rand-free";
+    (void)label;
+    return total - used;
+}

@@ -1,0 +1,18 @@
+// Fixture: the strict parser is the sanctioned path; mentions of the
+// banned names inside comments ("use stoul here" — no) and string
+// literals ("strtod") must not fire either.
+#include <optional>
+#include <string_view>
+
+#include "core/parse_uint.h"
+
+std::optional<unsigned long>
+parse_knob(std::string_view text)
+{
+    const char *note = "never call atoi on user input";
+    (void)note;
+    const auto v = roboshape::core::parse_uint(text, 1, 64);
+    if (!v)
+        return std::nullopt;
+    return static_cast<unsigned long>(*v);
+}

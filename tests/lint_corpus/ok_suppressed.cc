@@ -1,0 +1,25 @@
+// Fixture: both suppression spellings silence real violations, and
+// NOLINT markers naming unknown (clang-tidy) rules are ignored without
+// tripping unused-suppression.
+#include <cstdlib>
+#include <string>
+
+unsigned long
+parse_trusted(const std::string &text)
+{
+    // Token pre-validated by the caller's grammar loop.
+    return std::stoul(text); // NOLINT(banned-raw-parse)
+}
+
+double
+parse_trusted_double(const char *text)
+{
+    // NOLINTNEXTLINE(banned-raw-parse)
+    return std::strtod(text, nullptr);
+}
+
+int
+identity(int v)
+{
+    return v; // NOLINT(bugprone-branch-clone)
+}

@@ -84,12 +84,12 @@ INSTANTIATE_TEST_SUITE_P(
     Robots, JacobianSweep,
     ::testing::Combine(::testing::ValuesIn(all_robots()),
                        ::testing::Values(3u, 7u)),
-    [](const auto &info) {
-        std::string name = robot_name(std::get<0>(info.param));
+    [](const auto &gen_info) {
+        std::string name = robot_name(std::get<0>(gen_info.param));
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
-        return name + "_s" + std::to_string(std::get<1>(info.param));
+        return name + "_s" + std::to_string(std::get<1>(gen_info.param));
     });
 
 TEST(Jacobian, SparsityFollowsAncestorClosure)

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * roboshape_lint library tests over the fixture corpus
+ * (tests/lint_corpus/, docs/STATIC_ANALYSIS.md).
+ *
+ * Every bad_* fixture's findings are pinned byte-for-byte against a
+ * golden bad_*.expected (regenerate intentionally with
+ * ROBOSHAPE_UPDATE_GOLDEN=1, same protocol as the trace golden in
+ * test_obs.cc); every ok_* fixture must be silent.  The suite also
+ * covers rule filtering, both counter-name-sync directions, suppression
+ * semantics, and the --json rendering.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+#include "obs/json.h"
+
+namespace {
+
+using roboshape::lint::Finding;
+using roboshape::lint::LintConfig;
+using roboshape::lint::Linter;
+
+const char *const kCorpusDir = ROBOSHAPE_SOURCE_DIR "/tests/lint_corpus/";
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Lints one corpus file against the corpus counter catalog. */
+std::vector<Finding>
+lint_fixture(const std::string &name, LintConfig config = {})
+{
+    config.doc_to_code = false; // single-file scans: code->doc only
+    Linter l(config);
+    l.set_counter_doc("tests/lint_corpus/counter_doc.md",
+                      read_file(std::string(kCorpusDir) + "counter_doc.md"));
+    l.add_file("tests/lint_corpus/" + name,
+               read_file(std::string(kCorpusDir) + name));
+    return l.finish();
+}
+
+std::string
+render(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &f : findings)
+        out += f.to_string() + "\n";
+    return out;
+}
+
+class BadFixtureGolden : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BadFixtureGolden, FindingsMatchGolden)
+{
+    const std::string name = GetParam();
+    const std::vector<Finding> findings = lint_fixture(name + ".cc");
+    ASSERT_FALSE(findings.empty()) << name << ".cc produced no findings";
+    const std::string rendered = render(findings);
+
+    const std::string golden_path =
+        std::string(kCorpusDir) + name + ".expected";
+    // Same regeneration switch as the trace golden (test_obs.cc).
+    if (std::getenv("ROBOSHAPE_UPDATE_GOLDEN") // NOLINT(banned-env-raw)
+        != nullptr) {
+        std::ofstream out(golden_path, std::ios::binary);
+        out << rendered;
+        ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+        return;
+    }
+    EXPECT_EQ(rendered, read_file(golden_path))
+        << "golden drift for " << name
+        << " (ROBOSHAPE_UPDATE_GOLDEN=1 regenerates)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BadFixtureGolden,
+                         ::testing::Values("bad_raw_parse", "bad_alloc_warm",
+                                           "bad_json_writer",
+                                           "bad_nondeterminism",
+                                           "bad_counter_sync", "bad_env_raw",
+                                           "bad_unused_suppression"),
+                         [](const auto &gen_info) {
+                             return std::string(gen_info.param);
+                         });
+
+class OkFixtureSilent : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OkFixtureSilent, ProducesNoFindings)
+{
+    const std::vector<Finding> findings =
+        lint_fixture(std::string(GetParam()) + ".cc");
+    EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, OkFixtureSilent,
+                         ::testing::Values("ok_raw_parse", "ok_alloc_warm",
+                                           "ok_json_writer",
+                                           "ok_nondeterminism",
+                                           "ok_counter_sync", "ok_env_raw",
+                                           "ok_suppressed"),
+                         [](const auto &gen_info) {
+                             return std::string(gen_info.param);
+                         });
+
+TEST(LintRules, EveryRuleFiresSomewhereInTheCorpus)
+{
+    std::set<std::string> fired;
+    for (const char *name :
+         {"bad_raw_parse", "bad_alloc_warm", "bad_json_writer",
+          "bad_nondeterminism", "bad_counter_sync", "bad_env_raw",
+          "bad_unused_suppression"})
+        for (const Finding &f : lint_fixture(std::string(name) + ".cc"))
+            fired.insert(f.rule);
+    for (const auto &info : roboshape::lint::rule_catalog())
+        EXPECT_TRUE(fired.count(std::string(info.name)))
+            << "no corpus fixture exercises rule " << info.name;
+    EXPECT_TRUE(fired.count("unused-suppression"));
+}
+
+TEST(LintRules, RuleFilterRunsOnlyTheNamedRule)
+{
+    LintConfig only_parse;
+    only_parse.rules = {"banned-raw-parse"};
+    for (const Finding &f :
+         lint_fixture("bad_raw_parse.cc", only_parse))
+        EXPECT_EQ(f.rule, "banned-raw-parse");
+    EXPECT_FALSE(lint_fixture("bad_raw_parse.cc", only_parse).empty());
+    // Other rules' fixtures go quiet under the filter...
+    EXPECT_TRUE(lint_fixture("bad_nondeterminism.cc", only_parse).empty());
+    LintConfig only_env;
+    only_env.rules = {"banned-env-raw"};
+    // ...and unused-suppression stays off under partial runs: a
+    // suppression for a disabled rule is not "stale".
+    EXPECT_TRUE(
+        lint_fixture("bad_unused_suppression.cc", only_env).empty());
+}
+
+TEST(LintRules, CounterSyncChecksBothDirections)
+{
+    LintConfig config;
+    config.doc_to_code = true;
+    Linter l(config);
+    l.set_counter_doc("tests/lint_corpus/counter_doc.md",
+                      read_file(std::string(kCorpusDir) + "counter_doc.md"));
+    l.add_file("tests/lint_corpus/bad_counter_sync.cc",
+               read_file(std::string(kCorpusDir) + "bad_counter_sync.cc"));
+    const std::vector<Finding> findings = l.finish();
+    bool code_to_doc = false, doc_to_code = false;
+    for (const Finding &f : findings) {
+        ASSERT_EQ(f.rule, "counter-name-sync") << f.to_string();
+        if (f.message.find("corpus.not_in_doc") != std::string::npos)
+            code_to_doc = true;
+        if (f.message.find("corpus.stale") != std::string::npos)
+            doc_to_code = true;
+    }
+    EXPECT_TRUE(code_to_doc) << "used-but-undocumented name not reported";
+    EXPECT_TRUE(doc_to_code) << "stale catalog entry not reported";
+}
+
+TEST(LintRules, SuppressionsAreHonoredAndUnusedOnesFlagged)
+{
+    EXPECT_TRUE(lint_fixture("ok_suppressed.cc").empty());
+    const std::vector<Finding> findings =
+        lint_fixture("bad_unused_suppression.cc");
+    ASSERT_EQ(findings.size(), 1u) << render(findings);
+    EXPECT_EQ(findings[0].rule, "unused-suppression");
+    EXPECT_NE(findings[0].message.find("banned-raw-parse"),
+              std::string::npos);
+}
+
+TEST(LintJson, ReportValidatesAndCarriesSchemaAndFindings)
+{
+    const std::vector<Finding> findings = lint_fixture("bad_raw_parse.cc");
+    const std::string json = roboshape::lint::findings_to_json(findings);
+    std::string error;
+    EXPECT_TRUE(roboshape::obs::validate_json(json, &error)) << error;
+    EXPECT_NE(json.find("roboshape.lint_report/1"), std::string::npos);
+    EXPECT_NE(json.find("banned-raw-parse"), std::string::npos);
+    EXPECT_NE(json.find("bad_raw_parse.cc"), std::string::npos);
+    // Empty reports are still valid documents.
+    const std::string empty = roboshape::lint::findings_to_json({});
+    EXPECT_TRUE(roboshape::obs::validate_json(empty, &error)) << error;
+}
+
+TEST(LintCatalog, KnownRuleNamesRoundTrip)
+{
+    // The six invariant rules plus the unused-suppression meta-rule.
+    EXPECT_EQ(roboshape::lint::rule_catalog().size(), 7u);
+    for (const auto &info : roboshape::lint::rule_catalog())
+        EXPECT_TRUE(roboshape::lint::is_known_rule(info.name));
+    EXPECT_FALSE(roboshape::lint::is_known_rule("bugprone-branch-clone"));
+    EXPECT_FALSE(roboshape::lint::is_known_rule(""));
+}
+
+TEST(LintTree, RepoFileCollectionExcludesTheCorpus)
+{
+    const std::vector<std::string> files =
+        roboshape::lint::collect_repo_files(ROBOSHAPE_SOURCE_DIR);
+    EXPECT_FALSE(files.empty());
+    for (const std::string &f : files)
+        EXPECT_EQ(f.find("tests/lint_corpus/"), std::string::npos) << f;
+}
+
+} // namespace

@@ -65,7 +65,8 @@ TEST(JsonWriter, DoublesRoundTripAndNonFiniteBecomesNull)
     EXPECT_NE(w.str().find("null"), std::string::npos);
 
     double back = 0.0;
-    std::sscanf(w.str().c_str() + 1, "%lf", &back);
+    // Reads back the writer's own output; not parsing external input.
+    std::sscanf(w.str().c_str() + 1, "%lf", &back); // NOLINT(banned-raw-parse)
     EXPECT_EQ(back, 0.1);
 }
 
@@ -272,7 +273,10 @@ TEST(TraceExport, GoldenFileByteExact)
 
     const std::string path = std::string(ROBOSHAPE_SOURCE_DIR) +
                              "/tests/golden/trace_bittle_fwd2_bwd2.json";
-    if (std::getenv("ROBOSHAPE_UPDATE_GOLDEN") != nullptr) {
+    // Presence-only regeneration switch, not a parsed knob like
+    // ROBOSHAPE_THREADS — no validated helper applies.
+    if (std::getenv("ROBOSHAPE_UPDATE_GOLDEN") // NOLINT(banned-env-raw)
+        != nullptr) {
         std::ofstream out(path);
         out << json;
         ASSERT_TRUE(out.good()) << "cannot write " << path;

@@ -150,12 +150,12 @@ INSTANTIATE_TEST_SUITE_P(
     RobotsAndPes, ScheduleValidity,
     ::testing::Combine(::testing::ValuesIn(all_robots()),
                        ::testing::Values(1, 2, 3, 7, 16)),
-    [](const auto &info) {
-        std::string name = robot_name(std::get<0>(info.param));
+    [](const auto &gen_info) {
+        std::string name = robot_name(std::get<0>(gen_info.param));
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
-        return name + "_pe" + std::to_string(std::get<1>(info.param));
+        return name + "_pe" + std::to_string(std::get<1>(gen_info.param));
     });
 
 TEST(Scheduler, MorePesNeverHurtTraversalLatency)

@@ -400,12 +400,12 @@ INSTANTIATE_TEST_SUITE_P(
         Table3Row{RobotId::kJaco2, 12, 9, 9.0, 12, 0.0},
         Table3Row{RobotId::kJaco3, 15, 9, 9.0, 15, 0.0},
         Table3Row{RobotId::kHyqWithArm, 19, 7, 3.8, 7, 1.6}),
-    [](const auto &info) {
-        std::string name = robot_name(info.param.id);
+    [](const auto &gen_info) {
+        std::string name = robot_name(gen_info.param.id);
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
-        return name + "_" + std::to_string(info.param.total_links);
+        return name + "_" + std::to_string(gen_info.param.total_links);
     });
 
 TEST(TopologyInfo, MassMatrixSparsityMatchesPaper)

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal C++ lexer for roboshape_lint (docs/STATIC_ANALYSIS.md).
+ *
+ * The lint rules ban *code* constructs — a bare `strtod` call, a printf'd
+ * `{` — so the scanner has to know the difference between an identifier in
+ * code, the same word inside a comment, and the same word inside a string
+ * literal.  A regex grep cannot: `// std::stoul is banned here` would
+ * count as a violation and `R"({"k":1})"` would hide one.  This lexer
+ * strips comments and both ordinary and raw string literals correctly,
+ * tracks 1-based line/column for every token, and keeps the comment text
+ * around so the rule passes can read `NOLINT(...)` suppressions and
+ * `lint: warm-path` region annotations.
+ *
+ * It is deliberately not a full C++ lexer: preprocessor directives are
+ * tokenized like ordinary code (good enough — the rules only look at
+ * identifier/call shapes), digraphs and trigraphs are ignored, and
+ * numeric literals are lumped into one token kind.
+ */
+
+#ifndef ROBOSHAPE_TOOLS_LINT_LEXER_H
+#define ROBOSHAPE_TOOLS_LINT_LEXER_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roboshape {
+namespace lint {
+
+enum class TokKind
+{
+    kIdentifier, ///< [A-Za-z_][A-Za-z0-9_]*  (keywords included).
+    kNumber,     ///< Integer/float literal (one blob, suffixes included).
+    kString,     ///< String literal; text() is the *decoded* content.
+    kChar,       ///< Character literal; text is the raw inner content.
+    kPunct,      ///< One operator/punctuator (longest-match, e.g. "<<").
+};
+
+/** One lexed token with its 1-based source position. */
+struct Token
+{
+    TokKind kind = TokKind::kPunct;
+    std::string text;        ///< Identifier spelling / decoded string body.
+    std::size_t offset = 0;  ///< Byte offset of the token start.
+    std::size_t line = 0;    ///< 1-based line of the token start.
+    std::size_t column = 0;  ///< 1-based column of the token start.
+};
+
+/** One comment (// or block) with position; text excludes the delimiters. */
+struct Comment
+{
+    std::string text;
+    std::size_t offset = 0;
+    std::size_t line = 0;     ///< 1-based line the comment starts on.
+    std::size_t column = 0;
+    std::size_t end_line = 0; ///< Last line the comment touches.
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Lexes @p src.  Never throws: malformed input (unterminated string or
+ * comment) is tolerated by consuming to end of line/file, because lint
+ * must degrade gracefully on the adversarial fixtures it scans.
+ */
+LexResult lex(std::string_view src);
+
+} // namespace lint
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOOLS_LINT_LEXER_H

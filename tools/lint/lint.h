@@ -1,0 +1,151 @@
+/**
+ * @file
+ * roboshape_lint: repo-native static analysis (docs/STATIC_ANALYSIS.md).
+ *
+ * PRs 1-8 established invariants that generic tooling cannot check —
+ * strict whole-string numeric parsing through core::parse_uint, JSON
+ * emission only through obs::JsonWriter, allocation-free warm paths in
+ * the engine/executor, bit-identical determinism in parallel regions,
+ * counter names kept in sync with docs/OBSERVABILITY.md, and environment
+ * access only through the validated helpers.  This library enforces each
+ * of them as a named, individually-suppressable rule over the token
+ * stream produced by lint/lexer.h, with file:line:col diagnostics and
+ * caret snippets reusing the ingestion Diagnostic machinery
+ * (topology/diagnostics.h).
+ *
+ * Rules (see rule_catalog() and docs/STATIC_ANALYSIS.md for details):
+ *
+ *   banned-raw-parse    bare stoul/strtod/atoi/sscanf-family calls
+ *   no-alloc-warm-path  allocation calls inside warm-path regions
+ *   json-writer-only    printf/ostream emission of JSON-shaped literals
+ *   no-nondeterminism   rand/clock/time in deterministic library code
+ *   counter-name-sync   obs counter literals <-> OBSERVABILITY.md catalog
+ *   banned-env-raw      getenv outside the validated env helpers
+ *
+ * Suppression: append `// NOLINT(rule-name)` to the offending line or
+ * put `// NOLINTNEXTLINE(rule-name)` on the line above (clang-tidy
+ * style; several rules may be comma-separated).  Suppressions that name
+ * a roboshape_lint rule but never fire are themselves reported as
+ * `unused-suppression`, so stale annotations cannot accumulate.  NOLINT
+ * markers naming only unknown (e.g. clang-tidy) rules are ignored.
+ */
+
+#ifndef ROBOSHAPE_TOOLS_LINT_LINT_H
+#define ROBOSHAPE_TOOLS_LINT_LINT_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roboshape {
+namespace lint {
+
+/** One rule violation (or meta-finding such as unused-suppression). */
+struct Finding
+{
+    std::string rule;
+    std::string file;        ///< Repo-relative path (forward slashes).
+    std::size_t line = 0;    ///< 1-based; 0 = whole-file.
+    std::size_t column = 0;  ///< 1-based; 0 = unknown.
+    std::string message;
+    std::string snippet;     ///< Source line + caret, may be empty.
+
+    /** "file:line:col: error[rule] message" (+ snippet lines). */
+    std::string to_string() const;
+};
+
+/** Name + one-line summary, for --list-rules and the docs. */
+struct RuleInfo
+{
+    std::string_view name;
+    std::string_view summary;
+};
+
+/** Every rule the engine knows, in canonical order. */
+const std::vector<RuleInfo> &rule_catalog();
+
+/** True when @p name names a rule in rule_catalog(). */
+bool is_known_rule(std::string_view name);
+
+struct LintConfig
+{
+    /** Rules to run; empty = all.  Unknown names are a caller error. */
+    std::set<std::string> rules;
+
+    /**
+     * Report catalog entries in the counter doc that no scanned file
+     * mentions.  Only meaningful when the whole tree is scanned; the CLI
+     * turns it off when given an explicit file list.
+     */
+    bool doc_to_code = true;
+};
+
+/**
+ * Accumulating lint session: feed every file, then finish().
+ *
+ *     Linter l;
+ *     l.set_counter_doc("docs/OBSERVABILITY.md", doc_text);
+ *     l.add_file("src/foo.cc", source_text);
+ *     std::vector<Finding> findings = l.finish();
+ */
+class Linter
+{
+  public:
+    explicit Linter(LintConfig config = {});
+    ~Linter(); ///< Out of line: members hold nested types defined in lint.cc.
+
+    /**
+     * Registers the observability doc whose counter catalog (the lines
+     * between the `lint:counter-catalog` begin/end markers) anchors the
+     * counter-name-sync rule.  Optional; without it the rule only checks
+     * that no file declares counters (vacuously true on fixtures).
+     */
+    void set_counter_doc(std::string rel_path, std::string_view content);
+
+    /** Lexes and lints one file; findings accumulate until finish(). */
+    void add_file(const std::string &rel_path, const std::string &content);
+
+    /**
+     * Completes cross-file rules (counter-name-sync, unused-suppression)
+     * and returns all findings sorted by (file, line, column, rule).
+     */
+    std::vector<Finding> finish();
+
+  private:
+    struct Suppression;
+    struct CounterUse;
+
+    void run_token_rules(const std::string &path, const std::string &content);
+    bool report(Finding f); ///< Applies suppressions; true if kept.
+    bool rule_enabled(std::string_view rule) const;
+
+    LintConfig config_;
+    std::string doc_path_;
+    std::map<std::string, std::size_t> doc_catalog_; ///< name -> doc line.
+    std::vector<Finding> findings_;
+    std::vector<Suppression> suppressions_; ///< Current file only.
+    std::vector<CounterUse> counter_uses_;
+    bool finished_ = false;
+};
+
+/**
+ * Renders findings as one deterministic JSON document (schema
+ * roboshape.lint_report/1) through obs::JsonWriter.
+ */
+std::string findings_to_json(const std::vector<Finding> &findings);
+
+/**
+ * Collects the repo files lint scans: *.h *.hpp *.cc *.cpp *.inl under
+ * src/ tools/ bench/ tests/ examples/ relative to @p root, excluding the
+ * lint fixture corpus (tests/lint_corpus/).  Returned paths are
+ * root-relative with forward slashes, sorted.
+ */
+std::vector<std::string> collect_repo_files(const std::string &root);
+
+} // namespace lint
+} // namespace roboshape
+
+#endif // ROBOSHAPE_TOOLS_LINT_LINT_H
