@@ -278,6 +278,11 @@ struct Executor::Impl
         std::size_t width = 1;
         std::atomic<std::size_t> remaining{0};
 
+        /** Trace-request id of the leading thread: workers adopt it for
+         *  the region so their exec.worker spans attribute to the request
+         *  whose job graph they are draining (obs/wall_trace.h). */
+        std::uint64_t trace_req = 0;
+
         /** Per-lane tallies, updated before the remaining_ decrement so
          *  the leader's acquire of remaining == 0 publishes them. */
         struct alignas(64) LaneTally
@@ -363,8 +368,11 @@ struct Executor::Impl
         }
         Region &r = region_;
         if (lane < r.width &&
-            r.remaining.load(std::memory_order_acquire) != 0)
+            r.remaining.load(std::memory_order_acquire) != 0) {
+            obs::set_trace_request_id(r.trace_req);
             work_loop(r, lane);
+            obs::set_trace_request_id(0);
+        }
         joined_.fetch_sub(1, std::memory_order_release);
     }
 
@@ -495,6 +503,7 @@ struct Executor::Impl
             std::this_thread::yield();
         region_.width = width;
         region_.remaining.store(num_tasks, std::memory_order_relaxed);
+        region_.trace_req = obs::trace_request_id();
         for (std::size_t lane = 0; lane < width; ++lane) {
             region_.tally[lane].tasks.store(0,
                                             std::memory_order_relaxed);

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Implementation of the shared Prometheus exposition encoder.
+ */
+
+#include "obs/prometheus.h"
+
+namespace roboshape {
+namespace obs {
+
+namespace {
+
+bool
+is_name_byte(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+void
+append_i64(std::string &out, std::int64_t v)
+{
+    out += std::to_string(v);
+}
+
+void
+append_u64(std::string &out, std::uint64_t v)
+{
+    out += std::to_string(v);
+}
+
+void
+append_quantile(std::string &out, const std::string &name,
+                const char *quantile, std::int64_t value)
+{
+    out += name;
+    out += "{quantile=\"";
+    out += quantile;
+    out += "\"} ";
+    append_i64(out, value);
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+prometheus_metric_name(std::string_view name)
+{
+    std::string out = "roboshape_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name)
+        out += is_name_byte(c) ? c : '_';
+    return out;
+}
+
+std::string
+prometheus_exposition(const std::vector<CounterSample> &counters,
+                      const std::vector<HistogramSample> &histograms)
+{
+    std::string out;
+    out.reserve(256 * (counters.size() + histograms.size()) + 64);
+    for (const CounterSample &c : counters) {
+        const std::string name = prometheus_metric_name(c.name);
+        out += "# TYPE ";
+        out += name;
+        out += " counter\n";
+        out += name;
+        out += ' ';
+        append_u64(out, c.value);
+        out += '\n';
+    }
+    for (const HistogramSample &h : histograms) {
+        const std::string name = prometheus_metric_name(h.name);
+        out += "# TYPE ";
+        out += name;
+        out += " summary\n";
+        append_quantile(out, name, "0.5", h.stats.p50());
+        append_quantile(out, name, "0.9", h.stats.p90());
+        append_quantile(out, name, "0.99", h.stats.p99());
+        out += name;
+        out += "_sum ";
+        append_i64(out, h.stats.sum);
+        out += '\n';
+        out += name;
+        out += "_count ";
+        append_u64(out, h.stats.count);
+        out += '\n';
+        out += "# TYPE ";
+        out += name;
+        out += "_min gauge\n";
+        out += name;
+        out += "_min ";
+        append_i64(out, h.stats.min);
+        out += '\n';
+        out += "# TYPE ";
+        out += name;
+        out += "_max gauge\n";
+        out += name;
+        out += "_max ";
+        append_i64(out, h.stats.max);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+prometheus_exposition()
+{
+    return prometheus_exposition(registry().counters(),
+                                 registry().histograms());
+}
+
+} // namespace obs
+} // namespace roboshape

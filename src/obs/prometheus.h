@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Prometheus text exposition of the counter/histogram registry
+ * (docs/OBSERVABILITY.md).
+ *
+ * One encoder shared by the daemon's `GET /metrics` endpoint and the CLI
+ * `roboshape stats --format prometheus` — no second hand-rolled
+ * formatter.  Output is the exposition text format (version 0.0.4):
+ * counters become `counter` families, histograms become `summary`
+ * families carrying the deterministic p50/p90/p99 bucket-bound quantiles
+ * plus `_sum`/`_count` and companion `_min`/`_max` gauges.  Families are
+ * emitted in sorted-name registry order, so two scrapes of identical
+ * registry state are byte-identical (the property
+ * `tools/promtext_check` asserts in CI).
+ */
+
+#ifndef ROBOSHAPE_OBS_PROMETHEUS_H
+#define ROBOSHAPE_OBS_PROMETHEUS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace roboshape {
+namespace obs {
+
+/**
+ * Metric name under exposition rules: "roboshape_" prefix, dots and any
+ * other non-[a-zA-Z0-9_] byte mapped to '_' ("svc.request_us" ->
+ * "roboshape_svc_request_us").
+ */
+std::string prometheus_metric_name(std::string_view name);
+
+/** Renders @p counters and @p histograms in their given order. */
+std::string
+prometheus_exposition(const std::vector<CounterSample> &counters,
+                      const std::vector<HistogramSample> &histograms);
+
+/** Snapshot of the process-wide registry, sorted-name order. */
+std::string prometheus_exposition();
+
+} // namespace obs
+} // namespace roboshape
+
+#endif // ROBOSHAPE_OBS_PROMETHEUS_H

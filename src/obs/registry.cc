@@ -18,6 +18,8 @@ Histogram::record(std::int64_t v) noexcept
 {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[histogram_bucket_index(v)].fetch_add(
+        1, std::memory_order_relaxed);
     // Lock-free min/max via compare-exchange loops; contention is rare
     // (values near the extremes only).
     std::int64_t cur = min_.load(std::memory_order_relaxed);
@@ -30,6 +32,32 @@ Histogram::record(std::int64_t v) noexcept
         ;
 }
 
+std::int64_t
+Histogram::Snapshot::quantile(double q) const noexcept
+{
+    if (count == 0 || buckets.empty())
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-th value, 1-based: ceil(q * count), at least 1 so
+    // p0 still lands in the first populated bucket.
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count) + 0.9999999999);
+    if (rank == 0)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= rank)
+            return histogram_bucket_upper(i);
+    }
+    return max; // unreachable when bucket counts sum to `count`
+}
+
 Histogram::Snapshot
 Histogram::snapshot() const noexcept
 {
@@ -40,6 +68,9 @@ Histogram::snapshot() const noexcept
         s.min = min_.load(std::memory_order_relaxed);
         s.max = max_.load(std::memory_order_relaxed);
     }
+    s.buckets.resize(kHistogramBuckets);
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     return s;
 }
 
@@ -52,6 +83,8 @@ Histogram::reset() noexcept
                std::memory_order_relaxed);
     max_.store(std::numeric_limits<std::int64_t>::min(),
                std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
 }
 
 /** unique_ptr values give entries stable addresses across rehashing. */

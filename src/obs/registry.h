@@ -32,6 +32,7 @@
 #define ROBOSHAPE_OBS_REGISTRY_H
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -62,9 +63,66 @@ class Counter
 };
 
 /**
- * Distribution summary: count, sum, min, max of recorded values.  Enough
- * to answer "how deep did the ready queue get" or "how balanced were the
- * batch shards" without bucket bookkeeping on the hot path.
+ * Histogram bucket layout: fixed log-spaced buckets with exact counts.
+ *
+ * Bucket 0 absorbs every value <= 0.  Values in [1, 2^kSubBits) get one
+ * bucket each (exact).  Larger values split each power-of-two octave into
+ * 2^kSubBits sub-buckets (<= 12.5% relative width at kSubBits = 3), the
+ * HdrHistogram layout.  The scheme is a pure function of the value — no
+ * sampling, no rebalancing — so bucket counts (and therefore quantiles)
+ * are bit-identical across runs, thread counts, and record orderings.
+ */
+inline constexpr unsigned kHistogramSubBits = 3;
+inline constexpr std::size_t kHistogramBuckets =
+    1 + ((64 - kHistogramSubBits) << kHistogramSubBits);
+
+/** Bucket index of @p v under the layout above (branch-light bit math). */
+constexpr std::size_t
+histogram_bucket_index(std::int64_t v) noexcept
+{
+    if (v <= 0)
+        return 0;
+    const auto u = static_cast<std::uint64_t>(v);
+    const unsigned msb =
+        63u - static_cast<unsigned>(std::countl_zero(u)); // one bit-scan
+    if (msb < kHistogramSubBits)
+        return 1 + static_cast<std::size_t>(u);
+    const std::uint64_t sub =
+        (u >> (msb - kHistogramSubBits)) & ((1u << kHistogramSubBits) - 1);
+    return 1 +
+           ((static_cast<std::size_t>(msb) - kHistogramSubBits + 1)
+            << kHistogramSubBits) +
+           static_cast<std::size_t>(sub);
+}
+
+/** Largest value mapping to bucket @p index (the quantile estimate). */
+constexpr std::int64_t
+histogram_bucket_upper(std::size_t index) noexcept
+{
+    if (index == 0)
+        return 0;
+    const std::size_t f = index - 1;
+    if (f < (std::size_t{1} << kHistogramSubBits))
+        return static_cast<std::int64_t>(f);
+    const std::size_t block = f >> kHistogramSubBits;
+    const std::size_t sub = f & ((std::size_t{1} << kHistogramSubBits) - 1);
+    const unsigned msb =
+        static_cast<unsigned>(block) + kHistogramSubBits - 1;
+    const std::uint64_t width = std::uint64_t{1} << (msb - kHistogramSubBits);
+    const std::uint64_t lower =
+        (std::uint64_t{1} << msb) + static_cast<std::uint64_t>(sub) * width;
+    const std::uint64_t upper = lower + width - 1;
+    return upper > static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())
+               ? std::numeric_limits<std::int64_t>::max()
+               : static_cast<std::int64_t>(upper);
+}
+
+/**
+ * Distribution summary: count, sum, min, max, and exact log-spaced bucket
+ * counts of recorded values — enough to answer "what is p99 of
+ * svc.request_us under load", not just "how deep did the queue get".
+ * The hot path stays lock-free: two relaxed adds plus rare min/max CAS.
  */
 class Histogram
 {
@@ -77,6 +135,7 @@ class Histogram
         std::int64_t sum = 0;
         std::int64_t min = 0; ///< 0 when count == 0.
         std::int64_t max = 0; ///< 0 when count == 0.
+        std::vector<std::uint64_t> buckets; ///< kHistogramBuckets counts.
 
         double mean() const
         {
@@ -84,6 +143,17 @@ class Histogram
                               : static_cast<double>(sum) /
                                     static_cast<double>(count);
         }
+
+        /**
+         * Upper bound of the bucket holding the value of rank
+         * ceil(q * count) — deterministic for a given multiset of recorded
+         * values regardless of thread interleaving.  0 when empty.
+         */
+        std::int64_t quantile(double q) const noexcept;
+
+        std::int64_t p50() const noexcept { return quantile(0.50); }
+        std::int64_t p90() const noexcept { return quantile(0.90); }
+        std::int64_t p99() const noexcept { return quantile(0.99); }
     };
 
     Snapshot snapshot() const noexcept;
@@ -94,6 +164,7 @@ class Histogram
     std::atomic<std::int64_t> sum_{0};
     std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
     std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+    std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
 };
 
 /** One named counter value in a registry snapshot. */

@@ -243,13 +243,15 @@ wall_spans_trace_json(const std::vector<WallSpan> &spans)
         w.kv("dur", static_cast<double>(s.t1_ns - s.t0_ns) / 1000.0);
         w.kv("pid", 0);
         w.kv("tid", static_cast<std::int64_t>(s.tid));
-        if (s.arg0 >= 0 || s.arg1 >= 0) {
+        if (s.arg0 >= 0 || s.arg1 >= 0 || s.req != 0) {
             w.key("args");
             w.begin_object();
             if (s.arg0 >= 0)
                 w.kv("link", static_cast<std::int64_t>(s.arg0));
             if (s.arg1 >= 0)
                 w.kv("column", static_cast<std::int64_t>(s.arg1));
+            if (s.req != 0)
+                w.kv("req", static_cast<std::int64_t>(s.req));
             w.end_object();
         }
         w.end_object();

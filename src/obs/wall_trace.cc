@@ -19,6 +19,8 @@ namespace obs {
 namespace {
 
 std::atomic<bool> g_tracing{false};
+std::atomic<int> g_forced{0};
+thread_local std::uint64_t t_request_id = 0;
 
 struct TraceStore
 {
@@ -63,7 +65,8 @@ wall_trace_enabled() noexcept
 #ifdef ROBOSHAPE_NO_OBS
     return false;
 #else
-    return g_tracing.load(std::memory_order_relaxed);
+    return g_tracing.load(std::memory_order_relaxed) ||
+           g_forced.load(std::memory_order_relaxed) > 0;
 #endif
 }
 
@@ -71,6 +74,30 @@ void
 set_wall_trace_enabled(bool on) noexcept
 {
     g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void
+set_trace_request_id(std::uint64_t id) noexcept
+{
+    t_request_id = id;
+}
+
+std::uint64_t
+trace_request_id() noexcept
+{
+    return t_request_id;
+}
+
+void
+begin_forced_wall_trace() noexcept
+{
+    g_forced.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+end_forced_wall_trace() noexcept
+{
+    g_forced.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void
@@ -99,8 +126,26 @@ record_wall_span(const char *name, const char *category,
     span.tid = s.tid_of(std::this_thread::get_id());
     span.arg0 = arg0;
     span.arg1 = arg1;
+    span.req = t_request_id;
     s.spans.push_back(span);
 }
+
+namespace {
+
+void
+sort_spans(std::vector<WallSpan> &spans)
+{
+    std::sort(spans.begin(), spans.end(),
+              [](const WallSpan &a, const WallSpan &b) {
+                  if (a.t0_ns != b.t0_ns)
+                      return a.t0_ns < b.t0_ns;
+                  if (a.t1_ns != b.t1_ns)
+                      return a.t1_ns < b.t1_ns;
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+}
+
+} // namespace
 
 std::vector<WallSpan>
 wall_trace_spans()
@@ -111,14 +156,27 @@ wall_trace_spans()
         std::lock_guard<std::mutex> lock(s.mu);
         out = s.spans;
     }
-    std::sort(out.begin(), out.end(),
-              [](const WallSpan &a, const WallSpan &b) {
-                  if (a.t0_ns != b.t0_ns)
-                      return a.t0_ns < b.t0_ns;
-                  if (a.t1_ns != b.t1_ns)
-                      return a.t1_ns < b.t1_ns;
-                  return std::strcmp(a.name, b.name) < 0;
-              });
+    sort_spans(out);
+    return out;
+}
+
+std::vector<WallSpan>
+take_wall_trace_spans(std::uint64_t req)
+{
+    TraceStore &s = store();
+    std::vector<WallSpan> out;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto keep = s.spans.begin();
+        for (auto it = s.spans.begin(); it != s.spans.end(); ++it) {
+            if (it->req == req)
+                out.push_back(*it);
+            else
+                *keep++ = *it;
+        }
+        s.spans.erase(keep, s.spans.end());
+    }
+    sort_spans(out);
     return out;
 }
 

@@ -39,6 +39,7 @@ struct WallSpan
     std::uint32_t tid = 0;   ///< Dense per-thread id (0 = first seen).
     std::int32_t arg0 = -1;  ///< Site-defined (e.g. link), -1 = unset.
     std::int32_t arg1 = -1;  ///< Site-defined (e.g. column), -1 = unset.
+    std::uint64_t req = 0;   ///< Owning request id, 0 = none.
 };
 
 /** Steady-clock timestamp in nanoseconds (monotonic within the process). */
@@ -46,6 +47,24 @@ std::uint64_t wall_now_ns() noexcept;
 
 bool wall_trace_enabled() noexcept;
 void set_wall_trace_enabled(bool on) noexcept;
+
+/**
+ * Per-request trace context (docs/SERVICE.md): the daemon stamps the
+ * current thread with the request id it is serving, and every span
+ * recorded from that thread — handler, DesignCache, executor job-graph
+ * workers (which adopt the leading thread's id, see core/executor.cc),
+ * SimEngine phases — carries it in WallSpan::req.  0 means "no request".
+ */
+void set_trace_request_id(std::uint64_t id) noexcept;
+std::uint64_t trace_request_id() noexcept;
+
+/**
+ * Forces tracing on while at least one traced request is in flight,
+ * independent of the set_wall_trace_enabled master switch.  Nestable;
+ * every begin must be paired with an end.
+ */
+void begin_forced_wall_trace() noexcept;
+void end_forced_wall_trace() noexcept;
 
 /** Discards all recorded spans. */
 void clear_wall_trace();
@@ -57,6 +76,13 @@ void record_wall_span(const char *name, const char *category,
 
 /** Snapshot of every recorded span, sorted by (t0, t1, name). */
 std::vector<WallSpan> wall_trace_spans();
+
+/**
+ * Removes and returns the spans stamped with request id @p req, sorted
+ * like wall_trace_spans().  The per-request Chrome-trace dump uses this
+ * so traced requests do not accumulate in the global store.
+ */
+std::vector<WallSpan> take_wall_trace_spans(std::uint64_t req);
 
 /** RAII span: times its scope and records on destruction when enabled. */
 class ScopedWallSpan

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON-lines structured access log of the roboshaped daemon
+ * (docs/OBSERVABILITY.md).
+ *
+ * Enabled with `roboshape serve --access-log <path>`: every handled
+ * request appends exactly one line, a compact JSON object with a fixed
+ * deterministic field order:
+ *
+ *   {"id":..,"endpoint":..,"method":..,"status":..,"cache":..,
+ *    "queue_wait_us":..,"handle_us":..,"bytes":..,"slow":..}
+ *
+ * `slow` is true when handle time reaches the `--slow-ms` threshold, so
+ * `grep '"slow":true'` is the tail-latency forensics query.  Lines are
+ * flushed as written and the file is flushed again on graceful drain —
+ * a SIGTERM'd daemon never truncates its last request.
+ */
+
+#ifndef ROBOSHAPE_SERVICE_ACCESS_LOG_H
+#define ROBOSHAPE_SERVICE_ACCESS_LOG_H
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "service/flight_recorder.h"
+
+namespace roboshape {
+namespace service {
+
+class AccessLog
+{
+  public:
+    /** Opens @p path for appending.  False (with error set) on failure. */
+    bool open(const std::string &path);
+
+    bool is_open() const;
+    const std::string &error() const { return error_; }
+
+    /** Appends one JSON line for @p r and flushes it. */
+    void write(const RequestRecord &r);
+
+    void flush();
+    void close();
+
+  private:
+    mutable std::mutex mu_;
+    std::ofstream out_;
+    std::string error_;
+};
+
+} // namespace service
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SERVICE_ACCESS_LOG_H

@@ -12,10 +12,15 @@
 #include "accel/params.h"
 #include "accel/platform.h"
 #include "accel/resource_model.h"
+#include "core/parse_uint.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
+#include "obs/wall_trace.h"
+#include "service/flight_recorder.h"
 #include "service/json_value.h"
+#include "service/trace_vault.h"
 #include "topology/robot_library.h"
 #include "topology/urdf_parser.h"
 
@@ -472,7 +477,208 @@ render_design_body(core::SweepContext &ctx,
     return w.str();
 }
 
+/** Response carrying non-JSON text (the Prometheus exposition). */
+HttpResponse
+text_response(int status, std::string body)
+{
+    HttpResponse r;
+    r.status = status;
+    r.reason = net::reason_phrase(status);
+    r.set_header("Content-Type",
+                 "text/plain; version=0.0.4; charset=utf-8");
+    r.body = std::move(body);
+    return r;
+}
+
+/** GET /metrics: the shared exposition encoder over the registry. */
+HttpResponse
+handle_metrics()
+{
+    return text_response(200, obs::prometheus_exposition());
+}
+
+/** GET /v1/statz: full registry snapshot with quantiles + provenance. */
+HttpResponse
+handle_statz(const DesignCache &cache)
+{
+    obs::JsonWriter w(2);
+    w.begin_object();
+    w.kv("schema", kMetricsDumpSchema);
+    w.key("build").begin_object();
+    w.kv("git_sha", obs::git_sha());
+    w.kv("service", "roboshaped");
+    w.end_object();
+    w.kv("cache_entries", static_cast<std::uint64_t>(cache.size()));
+    w.kv("wall_trace_enabled", obs::wall_trace_enabled());
+    w.key("counters").begin_array();
+    for (const obs::CounterSample &c : obs::registry().counters()) {
+        w.begin_object();
+        w.kv("name", c.name);
+        w.kv("value", c.value);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("histograms").begin_array();
+    for (const obs::HistogramSample &h : obs::registry().histograms()) {
+        w.begin_object();
+        w.kv("name", h.name);
+        w.kv("count", h.stats.count);
+        w.kv("sum", h.stats.sum);
+        w.kv("min", h.stats.min);
+        w.kv("max", h.stats.max);
+        w.kv("mean", h.stats.mean());
+        w.kv("p50", h.stats.p50());
+        w.kv("p90", h.stats.p90());
+        w.kv("p99", h.stats.p99());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return net::json_response(200, w.str());
+}
+
+/** {"enabled": bool} body of the trace-toggle endpoints. */
+HttpResponse
+trace_state_response()
+{
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("enabled", obs::wall_trace_enabled());
+    w.end_object();
+    return net::json_response(200, w.str());
+}
+
+/** POST /v1/debug/trace: runtime wall-trace toggle. */
+HttpResponse
+handle_debug_trace_toggle(const HttpRequest &request)
+{
+    if (request.body.empty())
+        return error_response(
+            400, "request body required: {\"enabled\": true|false}");
+    std::string parse_error;
+    const std::optional<JsonValue> body =
+        parse_json(request.body, &parse_error);
+    if (!body || !body->is_object())
+        return error_response(400, body
+                                       ? "request body must be a JSON "
+                                         "object"
+                                       : "invalid JSON: " + parse_error);
+    const JsonValue *enabled = nullptr;
+    for (const auto &[key, value] : body->members()) {
+        if (key != "enabled")
+            return error_response(400, "unknown request key '" + key +
+                                           "'");
+        enabled = &value;
+    }
+    if (enabled == nullptr || !enabled->is_bool())
+        return error_response(400, "'enabled' must be a boolean");
+    obs::set_wall_trace_enabled(enabled->as_bool());
+    if (!enabled->as_bool())
+        obs::clear_wall_trace();
+    return trace_state_response();
+}
+
+/** GET /v1/debug/trace/last and /v1/debug/trace/<id>. */
+HttpResponse
+handle_debug_trace_dump(std::string_view suffix)
+{
+    std::shared_ptr<const std::string> dump;
+    if (suffix == "last") {
+        dump = trace_vault().last();
+        if (!dump)
+            return error_response(404, "no traced request yet (send one "
+                                       "with X-Roboshape-Trace: 1)");
+    } else {
+        const std::optional<std::uint64_t> id = core::parse_uint(suffix);
+        if (!id)
+            return error_response(
+                400, "trace id must be a decimal request id or 'last'");
+        dump = trace_vault().find(*id);
+        if (!dump)
+            return error_response(404, "no trace recorded for request " +
+                                           std::string(suffix));
+    }
+    return net::json_response(200, *dump);
+}
+
+/** GET /v1/debug/requests: the flight-recorder ring. */
+HttpResponse
+handle_debug_requests()
+{
+    return net::json_response(200, flight_recorder().dump_json());
+}
+
+/** Dispatch of everything under /v1/debug/. */
+HttpResponse
+handle_debug(const HttpRequest &request)
+{
+    const std::string &target = request.target;
+    if (target == "/v1/debug/trace") {
+        if (request.method == "POST")
+            return handle_debug_trace_toggle(request);
+        if (request.method == "GET")
+            return trace_state_response();
+        return error_response(405, "use GET or POST /v1/debug/trace");
+    }
+    const std::string_view prefix = "/v1/debug/trace/";
+    if (target.size() > prefix.size() &&
+        std::string_view(target).substr(0, prefix.size()) == prefix) {
+        if (request.method != "GET")
+            return error_response(405, "use GET " + target);
+        return handle_debug_trace_dump(
+            std::string_view(target).substr(prefix.size()));
+    }
+    if (target == "/v1/debug/requests") {
+        if (request.method != "GET")
+            return error_response(405, "use GET /v1/debug/requests");
+        return handle_debug_requests();
+    }
+    return error_response(404, "no such endpoint: " + target);
+}
+
 } // namespace
+
+Endpoint
+classify_endpoint(std::string_view target) noexcept
+{
+    if (target == "/healthz")
+        return Endpoint::kHealthz;
+    if (target == "/v1/robots")
+        return Endpoint::kRobots;
+    if (target == "/v1/validate")
+        return Endpoint::kValidate;
+    if (target == "/v1/sweep")
+        return Endpoint::kSweep;
+    if (target == "/v1/design")
+        return Endpoint::kDesign;
+    if (target == "/v1/report")
+        return Endpoint::kReport;
+    if (target == "/metrics")
+        return Endpoint::kMetrics;
+    if (target == "/v1/statz")
+        return Endpoint::kStatz;
+    if (target.size() >= 9 && target.substr(0, 9) == "/v1/debug")
+        return Endpoint::kDebug;
+    return Endpoint::kOther;
+}
+
+const char *
+endpoint_name(Endpoint e) noexcept
+{
+    switch (e) {
+      case Endpoint::kHealthz: return "healthz";
+      case Endpoint::kRobots: return "robots";
+      case Endpoint::kValidate: return "validate";
+      case Endpoint::kSweep: return "sweep";
+      case Endpoint::kDesign: return "design";
+      case Endpoint::kReport: return "report";
+      case Endpoint::kMetrics: return "metrics";
+      case Endpoint::kStatz: return "statz";
+      case Endpoint::kDebug: return "debug";
+      case Endpoint::kOther: break;
+    }
+    return "other";
+}
 
 HttpResponse
 error_response(int status, const std::string &message)
@@ -488,6 +694,7 @@ HttpResponse
 Service::handle(const net::HttpRequest &request)
 {
     try {
+        ROBOSHAPE_OBS_SPAN(handle_span, "svc.handle");
         const std::string &target = request.target;
         const bool is_post = request.method == "POST";
         const bool is_get = request.method == "GET";
@@ -498,6 +705,14 @@ Service::handle(const net::HttpRequest &request)
         if (target == "/v1/robots")
             return is_get ? handle_robots()
                           : error_response(405, "use GET /v1/robots");
+        if (target == "/metrics")
+            return is_get ? handle_metrics()
+                          : error_response(405, "use GET /metrics");
+        if (target == "/v1/statz")
+            return is_get ? handle_statz(cache_)
+                          : error_response(405, "use GET /v1/statz");
+        if (classify_endpoint(target) == Endpoint::kDebug)
+            return handle_debug(request);
         if (target == "/v1/validate")
             return is_post ? handle_validate(request)
                            : error_response(405, "use POST /v1/validate");
@@ -518,6 +733,7 @@ Service::handle(const net::HttpRequest &request)
             const std::shared_ptr<CacheEntry> entry =
                 cache_.entry(hash, req->kernel, req->model);
             std::lock_guard<std::mutex> lock(entry->mutex());
+            ROBOSHAPE_OBS_SPAN(cache_span, "svc.cache_entry");
 
             if (target == "/v1/sweep") {
                 const std::string *body = entry->find_body("sweep");

@@ -10,6 +10,13 @@
  *   POST /v1/sweep     full design-space sweep -> Pareto frontier JSON
  *   POST /v1/design    compiled-design metrics for one knob setting
  *   POST /v1/report    roboshape.run_report/1 snapshot (design + counters)
+ *   GET  /metrics      Prometheus text exposition (obs/prometheus.h)
+ *   GET  /v1/statz     roboshape.metrics_dump/1 registry snapshot
+ *   POST /v1/debug/trace           toggle wall tracing {"enabled": bool}
+ *   GET  /v1/debug/trace           current toggle state
+ *   GET  /v1/debug/trace/last      Chrome trace of the last traced request
+ *   GET  /v1/debug/trace/<id>      ... of request <id> (X-Roboshape-Trace)
+ *   GET  /v1/debug/requests        flight-recorder dump (last N requests)
  *
  * Request bodies name a robot either by library id ({"robot": "iiwa"}) or
  * as inline URDF text ({"urdf": "<robot ...>"}); URDF ingestion reuses
@@ -30,12 +37,42 @@
 #define ROBOSHAPE_SERVICE_HANDLERS_H
 
 #include <string>
+#include <string_view>
 
 #include "net/http.h"
 #include "service/cache.h"
 
 namespace roboshape {
 namespace service {
+
+/** Schema tag of the GET /v1/statz registry dump. */
+inline constexpr const char *kMetricsDumpSchema =
+    "roboshape.metrics_dump/1";
+
+/**
+ * Telemetry label of a request target: the per-endpoint latency split
+ * (`svc.request_us.<endpoint>`, docs/OBSERVABILITY.md) and the flight
+ * recorder key on these, so the set is fixed and each label is a static
+ * string a lock-free record can point at.
+ */
+enum class Endpoint
+{
+    kHealthz,
+    kRobots,
+    kValidate,
+    kSweep,
+    kDesign,
+    kReport,
+    kMetrics,
+    kStatz,
+    kDebug,
+    kOther,
+};
+
+Endpoint classify_endpoint(std::string_view target) noexcept;
+
+/** Static label of @p e ("design", "sweep", ..., "other"). */
+const char *endpoint_name(Endpoint e) noexcept;
 
 class Service
 {

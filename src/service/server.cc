@@ -1,10 +1,15 @@
 #include "service/server.h"
 
-#include <chrono>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "net/http.h"
 #include "obs/registry.h"
+#include "obs/trace_export.h"
+#include "obs/wall_trace.h"
+#include "service/flight_recorder.h"
+#include "service/trace_vault.h"
 
 namespace roboshape {
 namespace service {
@@ -26,10 +31,75 @@ count_response_class(int status)
     }
 }
 
+/**
+ * Per-endpoint latency split.  One literal macro site per endpoint so
+ * the counter catalog (docs/OBSERVABILITY.md) and roboshape_lint's
+ * counter-name-sync rule keep seeing every histogram name in the tree.
+ */
+void
+record_endpoint_latency(Endpoint endpoint, std::int64_t us)
+{
+    switch (endpoint) {
+      case Endpoint::kHealthz:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.healthz", us);
+        break;
+      case Endpoint::kRobots:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.robots", us);
+        break;
+      case Endpoint::kValidate:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.validate", us);
+        break;
+      case Endpoint::kSweep:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.sweep", us);
+        break;
+      case Endpoint::kDesign:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.design", us);
+        break;
+      case Endpoint::kReport:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.report", us);
+        break;
+      case Endpoint::kMetrics:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.metrics", us);
+        break;
+      case Endpoint::kStatz:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.statz", us);
+        break;
+      case Endpoint::kDebug:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.debug", us);
+        break;
+      case Endpoint::kOther:
+        ROBOSHAPE_OBS_RECORD("svc.request_us.other", us);
+        break;
+    }
+}
+
+const char *
+method_label(const std::string &method)
+{
+    if (method == "GET")
+        return "GET";
+    if (method == "POST")
+        return "POST";
+    return "OTHER";
+}
+
+const char *
+cache_label(const net::HttpResponse &response)
+{
+    const auto verdict = response.header("X-Roboshape-Cache");
+    if (!verdict)
+        return "none";
+    if (*verdict == "hit")
+        return "hit";
+    if (*verdict == "miss")
+        return "miss";
+    return "none";
+}
+
 } // namespace
 
 Server::Server(Service &service, ServerOptions options)
-    : service_(service), options_(options)
+    : service_(service), options_(std::move(options))
 {
     if (options_.workers == 0)
         options_.workers = 1;
@@ -47,6 +117,11 @@ Server::start()
 {
     if (running_)
         return true;
+    if (!options_.access_log_path.empty() &&
+        !access_log_.open(options_.access_log_path)) {
+        error_ = access_log_.error();
+        return false;
+    }
     if (!listener_.listen(options_.port)) {
         error_ = listener_.error();
         return false;
@@ -78,6 +153,9 @@ Server::stop()
             w.join();
     workers_.clear();
     listener_.close();
+    // Every in-flight request is answered and logged by now: flush so a
+    // SIGTERM'd daemon never loses its last access-log lines.
+    access_log_.flush();
     running_ = false;
 }
 
@@ -100,7 +178,7 @@ Server::accept_loop()
                 conn.write_all(rejection.serialize(false), kPollMs);
                 continue; // conn closes on scope exit
             }
-            queue_.push_back(std::move(conn));
+            queue_.push_back({std::move(conn), obs::wall_now_ns()});
             depth = queue_.size();
         }
         ROBOSHAPE_OBS_RECORD("svc.queue_depth",
@@ -113,7 +191,7 @@ void
 Server::worker_loop()
 {
     for (;;) {
-        net::TcpConn conn;
+        Admission admitted;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             queue_cv_.wait(lock, [this] {
@@ -121,15 +199,18 @@ Server::worker_loop()
             });
             if (queue_.empty())
                 return; // stopping and fully drained
-            conn = std::move(queue_.front());
+            admitted = std::move(queue_.front());
             queue_.pop_front();
         }
-        serve_connection(std::move(conn));
+        const std::int64_t wait_us = static_cast<std::int64_t>(
+            (obs::wall_now_ns() - admitted.enqueue_ns) / 1000);
+        ROBOSHAPE_OBS_RECORD("svc.queue_wait_us", wait_us);
+        serve_connection(std::move(admitted.conn), wait_us);
     }
 }
 
 void
-Server::serve_connection(net::TcpConn conn)
+Server::serve_connection(net::TcpConn conn, std::int64_t queue_wait_us)
 {
     std::string leftover;
     for (;;) {
@@ -157,19 +238,58 @@ Server::serve_connection(net::TcpConn conn)
         }
 
         ROBOSHAPE_OBS_COUNT("svc.requests", 1);
-        // Request-latency telemetry (the svc.request_us histogram):
+        const std::uint64_t id =
+            next_request_id_.fetch_add(1, std::memory_order_relaxed);
+        const Endpoint endpoint = classify_endpoint(request.target);
+        const auto trace_header = request.header("X-Roboshape-Trace");
+        const bool traced = trace_header && *trace_header == "1";
+
+        // Per-request trace context: every span recorded on this thread
+        // (and on executor workers draining this request's job graphs)
+        // carries the request id.  A traced request also forces wall
+        // tracing on for its duration.
+        obs::set_trace_request_id(id);
+        if (traced)
+            obs::begin_forced_wall_trace();
+
+        // Request-latency telemetry (the svc.request_us histograms):
         // measured around the handler, never visible to it.
-        const auto start =
-            std::chrono::steady_clock::now(); // NOLINT(no-nondeterminism)
-        const net::HttpResponse response = service_.handle(request);
-        const auto us =
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() // NOLINT(no-nondeterminism)
-                - start)
-                .count();
-        ROBOSHAPE_OBS_RECORD("svc.request_us",
-                             static_cast<std::int64_t>(us));
+        const std::uint64_t t0 = obs::wall_now_ns();
+        net::HttpResponse response = service_.handle(request);
+        const auto us = static_cast<std::int64_t>(
+            (obs::wall_now_ns() - t0) / 1000);
+
+        if (traced) {
+            const std::vector<obs::WallSpan> spans =
+                obs::take_wall_trace_spans(id);
+            obs::end_forced_wall_trace();
+            trace_vault().store(id, obs::wall_spans_trace_json(spans));
+        }
+        obs::set_trace_request_id(0);
+
+        ROBOSHAPE_OBS_RECORD("svc.request_us", us);
+        record_endpoint_latency(endpoint, us);
         count_response_class(response.status);
+        response.set_header("X-Roboshape-Request-Id", std::to_string(id));
+
+        RequestRecord record;
+        record.id = id;
+        record.endpoint = endpoint_name(endpoint);
+        record.method = method_label(request.method);
+        record.status = response.status;
+        record.cache = cache_label(response);
+        record.queue_wait_us = queue_wait_us;
+        record.handle_us = us;
+        record.bytes = response.body.size();
+        record.slow =
+            us >= static_cast<std::int64_t>(options_.slow_ms) * 1000;
+        flight_recorder().record(record);
+        if (access_log_.is_open())
+            access_log_.write(record);
+
+        // Only the first request of a session waited in the admission
+        // queue; keep-alive successors were already on a worker.
+        queue_wait_us = 0;
 
         // Stop extending sessions once shutdown begins: answer the
         // in-flight request, then hang up.

@@ -21,7 +21,12 @@
  *
  * Observability (all svc.*, docs/OBSERVABILITY.md): connections accepted,
  * requests served, response classes, overload rejections, queue depth,
- * and per-request service time.
+ * admission-queue wait, and per-request service time split per endpoint
+ * (svc.request_us.<endpoint>).  Every request is minted a process-unique
+ * id (echoed as X-Roboshape-Request-Id), summarized into the flight
+ * recorder (service/flight_recorder.h), optionally appended to the
+ * JSON-lines access log, and — when it carries X-Roboshape-Trace: 1 —
+ * wall-traced end to end into the trace vault (service/trace_vault.h).
  */
 
 #ifndef ROBOSHAPE_SERVICE_SERVER_H
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "service/access_log.h"
 #include "service/handlers.h"
 
 namespace roboshape {
@@ -52,6 +58,10 @@ struct ServerOptions
     std::size_t queue_capacity = 64;
     /** Per-request socket read/write deadline. */
     int request_timeout_ms = 10000;
+    /** JSON-lines access log path; empty = disabled (access_log.h). */
+    std::string access_log_path;
+    /** Handle time (ms) at which a request is flagged slow. */
+    std::size_t slow_ms = 1000;
 };
 
 class Server
@@ -77,9 +87,17 @@ class Server
     const std::string &error() const { return error_; }
 
   private:
+    /** Admitted connection plus its admission timestamp: the dequeuing
+     *  worker turns the difference into svc.queue_wait_us. */
+    struct Admission
+    {
+        net::TcpConn conn;
+        std::uint64_t enqueue_ns = 0;
+    };
+
     void accept_loop();
     void worker_loop();
-    void serve_connection(net::TcpConn conn);
+    void serve_connection(net::TcpConn conn, std::int64_t queue_wait_us);
 
     Service &service_;
     ServerOptions options_;
@@ -89,12 +107,16 @@ class Server
 
     std::mutex mutex_;
     std::condition_variable queue_cv_;
-    std::deque<net::TcpConn> queue_;
+    std::deque<Admission> queue_;
 
     std::atomic<bool> stopping_{false};
     bool running_ = false;
     std::thread accept_thread_;
     std::vector<std::thread> workers_;
+
+    /** Request ids are minted here: dense, process-wide, starting at 1. */
+    std::atomic<std::uint64_t> next_request_id_{1};
+    AccessLog access_log_;
 };
 
 } // namespace service

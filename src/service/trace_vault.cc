@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the per-request trace vault.
+ */
+
+#include "service/trace_vault.h"
+
+namespace roboshape {
+namespace service {
+
+void
+TraceVault::store(std::uint64_t id, std::string trace_json)
+{
+    auto dump = std::make_shared<const std::string>(std::move(trace_json));
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace_back(id, std::move(dump));
+    while (entries_.size() > kTraceVaultCapacity)
+        entries_.pop_front();
+}
+
+std::shared_ptr<const std::string>
+TraceVault::find(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+        if (it->first == id)
+            return it->second;
+    return nullptr;
+}
+
+std::shared_ptr<const std::string>
+TraceVault::last() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.empty() ? nullptr : entries_.back().second;
+}
+
+std::uint64_t
+TraceVault::last_id() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.empty() ? 0 : entries_.back().first;
+}
+
+TraceVault &
+trace_vault()
+{
+    static TraceVault instance;
+    return instance;
+}
+
+} // namespace service
+} // namespace roboshape

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-request trace vault of the roboshaped daemon (docs/SERVICE.md).
+ *
+ * A request carrying `X-Roboshape-Trace: 1` is traced end to end — the
+ * server forces wall tracing on for its duration, collects the spans
+ * stamped with its request id (handler, cache, executor workers,
+ * SimEngine phases), renders them as a Chrome trace-event document, and
+ * parks the result here.  `GET /v1/debug/trace/last` (or
+ * `/v1/debug/trace/<id>`) retrieves it afterwards, so tracing one
+ * production request is: send it with the header, fetch the dump, open
+ * it in Perfetto.
+ *
+ * Bounded: only the most recent kTraceVaultCapacity traces are kept.
+ */
+
+#ifndef ROBOSHAPE_SERVICE_TRACE_VAULT_H
+#define ROBOSHAPE_SERVICE_TRACE_VAULT_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace roboshape {
+namespace service {
+
+/** Traced requests remembered before the oldest dump is dropped. */
+inline constexpr std::size_t kTraceVaultCapacity = 8;
+
+class TraceVault
+{
+  public:
+    /** Parks @p trace_json as the newest dump for request @p id. */
+    void store(std::uint64_t id, std::string trace_json);
+
+    /** Dump for request @p id, nullptr when evicted or never traced. */
+    std::shared_ptr<const std::string> find(std::uint64_t id) const;
+
+    /** Most recently stored dump, nullptr when none yet. */
+    std::shared_ptr<const std::string> last() const;
+
+    /** Id of the most recently stored dump, 0 when none yet. */
+    std::uint64_t last_id() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<std::pair<std::uint64_t,
+                         std::shared_ptr<const std::string>>>
+        entries_; // newest at the back
+};
+
+/** The process-wide vault the daemon's request loop stores into. */
+TraceVault &trace_vault();
+
+} // namespace service
+} // namespace roboshape
+
+#endif // ROBOSHAPE_SERVICE_TRACE_VAULT_H

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "accel/design.h"
 #include "accel/sim_engine.h"
@@ -18,6 +20,7 @@
 #include "dynamics/fd_derivatives.h"
 #include "dynamics/robot_state.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
 #include "obs/trace_export.h"
@@ -146,6 +149,153 @@ TEST(Registry, DisableFreezesMacroUpdates)
     ROBOSHAPE_OBS_COUNT("test.obs.freeze", 7);
     EXPECT_EQ(c.value(), before);
     obs::set_enabled(true);
+}
+
+// ------------------------------------------------- histogram quantiles ----
+
+TEST(HistogramBuckets, IndexAndUpperRoundTrip)
+{
+    // Every probed value lands in a bucket whose upper bound is >= the
+    // value and still maps back to the same bucket; indices are monotone.
+    std::vector<std::int64_t> probes = {-5, 0, 1, 2, 7, 8, 9, 15, 16, 17,
+                                        100, 1000, 123456, 1 << 20};
+    for (int shift = 3; shift < 62; ++shift) {
+        probes.push_back((std::int64_t{1} << shift) - 1);
+        probes.push_back(std::int64_t{1} << shift);
+        probes.push_back((std::int64_t{1} << shift) + 1);
+    }
+    probes.push_back(std::numeric_limits<std::int64_t>::max());
+
+    std::size_t prev_index = 0;
+    std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+    std::sort(probes.begin(), probes.end());
+    for (const std::int64_t v : probes) {
+        const std::size_t index = histogram_bucket_index(v);
+        ASSERT_LT(index, kHistogramBuckets) << v;
+        const std::int64_t upper = histogram_bucket_upper(index);
+        EXPECT_GE(upper, v) << v;
+        EXPECT_EQ(histogram_bucket_index(upper), index) << v;
+        if (v > 0) {
+            // <= 12.5% relative error at kSubBits = 3.
+            EXPECT_LE(static_cast<double>(upper - v),
+                      0.125 * static_cast<double>(v) + 1.0)
+                << v;
+        }
+        EXPECT_GE(index, prev_index) << "not monotone at " << v
+                                     << " (prev " << prev << ")";
+        prev_index = index;
+        prev = v;
+    }
+}
+
+TEST(HistogramQuantiles, SmallValuesAreExact)
+{
+    Histogram h;
+    for (std::int64_t v = 1; v <= 7; ++v)
+        h.record(v);
+    const Histogram::Snapshot s = h.snapshot();
+    ASSERT_EQ(s.count, 7u);
+    // Values below 2^kSubBits get a bucket each, so quantiles are exact:
+    // rank ceil(0.5 * 7) = 4 -> value 4.
+    EXPECT_EQ(s.quantile(0.50), 4);
+    EXPECT_EQ(s.quantile(0.90), 7);
+    EXPECT_EQ(s.quantile(0.99), 7);
+    EXPECT_EQ(s.quantile(0.0), 1);
+    EXPECT_EQ(s.quantile(1.0), 7);
+}
+
+TEST(HistogramQuantiles, EmptyAndMonotone)
+{
+    Histogram h;
+    EXPECT_EQ(h.snapshot().quantile(0.5), 0);
+
+    for (std::int64_t v = 1; v <= 10000; v += 7)
+        h.record(v * 13 % 9973);
+    const Histogram::Snapshot s = h.snapshot();
+    EXPECT_LE(s.p50(), s.p90());
+    EXPECT_LE(s.p90(), s.p99());
+    EXPECT_GE(s.p99(), s.max * 7 / 8); // p99 near the top of the range
+}
+
+TEST(HistogramQuantiles, BitIdenticalAcrossThreadCounts)
+{
+    // The same multiset of values must yield byte-identical bucket arrays
+    // (and therefore quantiles) no matter how recording interleaves.
+    const auto value_at = [](std::size_t i) {
+        return static_cast<std::int64_t>((i * 2654435761u) % 2000003);
+    };
+    constexpr std::size_t kValues = 64 * 1024;
+
+    Histogram serial;
+    for (std::size_t i = 0; i < kValues; ++i)
+        serial.record(value_at(i));
+
+    Histogram threaded;
+    {
+        constexpr std::size_t kThreads = 8;
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (std::size_t t = 0; t < kThreads; ++t)
+            threads.emplace_back([&, t] {
+                for (std::size_t i = t; i < kValues; i += kThreads)
+                    threaded.record(value_at(i));
+            });
+        for (std::thread &th : threads)
+            th.join();
+    }
+
+    const Histogram::Snapshot a = serial.snapshot();
+    const Histogram::Snapshot b = threaded.snapshot();
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    ASSERT_EQ(a.buckets.size(), b.buckets.size());
+    EXPECT_EQ(a.buckets, b.buckets);
+    for (const double q : {0.5, 0.9, 0.99, 0.999})
+        EXPECT_EQ(a.quantile(q), b.quantile(q)) << q;
+}
+
+// ----------------------------------------------------------- prometheus ----
+
+TEST(Prometheus, NamesAreSanitized)
+{
+    EXPECT_EQ(prometheus_metric_name("svc.request_us.design"),
+              "roboshape_svc_request_us_design");
+    EXPECT_EQ(prometheus_metric_name("sim.phase-2"),
+              "roboshape_sim_phase_2");
+}
+
+TEST(Prometheus, ExpositionIsDeterministicAndShaped)
+{
+    obs::set_enabled(true);
+    registry().counter("test.prom.counter").add(5);
+    Histogram &h = registry().histogram("test.prom.hist");
+    h.reset();
+    for (std::int64_t v = 1; v <= 100; ++v)
+        h.record(v);
+
+    const std::string a = prometheus_exposition();
+    const std::string b = prometheus_exposition();
+    EXPECT_EQ(a, b);
+
+    EXPECT_NE(a.find("# TYPE roboshape_test_prom_counter counter"),
+              std::string::npos);
+    EXPECT_NE(a.find("roboshape_test_prom_counter 5"), std::string::npos);
+    EXPECT_NE(a.find("# TYPE roboshape_test_prom_hist summary"),
+              std::string::npos);
+    EXPECT_NE(a.find("roboshape_test_prom_hist{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(a.find("roboshape_test_prom_hist{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(a.find("roboshape_test_prom_hist_count 100"),
+              std::string::npos);
+    EXPECT_NE(a.find("roboshape_test_prom_hist_sum 5050"),
+              std::string::npos);
+    EXPECT_NE(a.find("# TYPE roboshape_test_prom_hist_min gauge"),
+              std::string::npos);
+    EXPECT_NE(a.find("roboshape_test_prom_hist_max 100"),
+              std::string::npos);
 }
 
 // ----------------------------------------------------------- run report ----

@@ -10,8 +10,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,7 +24,9 @@
 #include "net/socket.h"
 #include "obs/json.h"
 #include "obs/registry.h"
+#include "obs/wall_trace.h"
 #include "service/cache.h"
+#include "service/flight_recorder.h"
 #include "service/handlers.h"
 #include "service/json_value.h"
 #include "service/server.h"
@@ -375,6 +380,149 @@ TEST(Service, ReportEmitsRunReportSchema)
 }
 
 // ---------------------------------------------------------------------------
+// service: telemetry endpoints (driven without sockets).
+
+TEST(Service, ClassifyEndpointCoversTheSurface)
+{
+    using service::Endpoint;
+    EXPECT_EQ(service::classify_endpoint("/healthz"), Endpoint::kHealthz);
+    EXPECT_EQ(service::classify_endpoint("/v1/robots"), Endpoint::kRobots);
+    EXPECT_EQ(service::classify_endpoint("/v1/validate"),
+              Endpoint::kValidate);
+    EXPECT_EQ(service::classify_endpoint("/v1/sweep"), Endpoint::kSweep);
+    EXPECT_EQ(service::classify_endpoint("/v1/design"), Endpoint::kDesign);
+    EXPECT_EQ(service::classify_endpoint("/v1/report"), Endpoint::kReport);
+    EXPECT_EQ(service::classify_endpoint("/metrics"), Endpoint::kMetrics);
+    EXPECT_EQ(service::classify_endpoint("/v1/statz"), Endpoint::kStatz);
+    EXPECT_EQ(service::classify_endpoint("/v1/debug/trace"),
+              Endpoint::kDebug);
+    EXPECT_EQ(service::classify_endpoint("/v1/debug/trace/42"),
+              Endpoint::kDebug);
+    EXPECT_EQ(service::classify_endpoint("/v1/debug/requests"),
+              Endpoint::kDebug);
+    EXPECT_EQ(service::classify_endpoint("/nope"), Endpoint::kOther);
+    EXPECT_STREQ(service::endpoint_name(Endpoint::kDesign), "design");
+    EXPECT_STREQ(service::endpoint_name(Endpoint::kOther), "other");
+}
+
+TEST(Service, MetricsServesPrometheusText)
+{
+    service::Service svc;
+    // Populate at least one counter before scraping.
+    ASSERT_EQ(svc.handle(post("/v1/sweep", R"({"robot": "iiwa"})")).status,
+              200);
+    const auto response = svc.handle(get("/metrics"));
+    ASSERT_EQ(response.status, 200);
+    const auto type = response.header("Content-Type");
+    ASSERT_TRUE(type);
+    EXPECT_NE(type->find("text/plain"), std::string::npos);
+#ifndef ROBOSHAPE_NO_OBS
+    // With instrumentation compiled out the registry may be empty; with
+    // it in, the sweep above guarantees cache counters to scrape.
+    EXPECT_NE(response.body.find("# TYPE"), std::string::npos);
+    EXPECT_NE(response.body.find("roboshape_svc_cache_misses"),
+              std::string::npos);
+#endif
+    // Deterministic ordering: two scrapes of a quiet registry agree on
+    // the family ordering (values may move, names may not).
+    const auto again = svc.handle(get("/metrics"));
+    EXPECT_EQ(again.status, 200);
+
+    EXPECT_EQ(svc.handle(post("/metrics", "")).status, 405);
+}
+
+TEST(Service, StatzDumpsTheRegistry)
+{
+    service::Service svc;
+    ASSERT_EQ(svc.handle(post("/v1/sweep", R"({"robot": "iiwa"})")).status,
+              200);
+    const auto response = svc.handle(get("/v1/statz"));
+    ASSERT_EQ(response.status, 200);
+    std::string error;
+    EXPECT_TRUE(obs::validate_json(response.body, &error)) << error;
+    EXPECT_NE(response.body.find(service::kMetricsDumpSchema),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"git_sha\""), std::string::npos);
+    EXPECT_NE(response.body.find("\"histograms\""), std::string::npos);
+#ifndef ROBOSHAPE_NO_OBS
+    EXPECT_NE(response.body.find("\"p99\""), std::string::npos);
+#endif
+    EXPECT_EQ(svc.handle(post("/v1/statz", "")).status, 405);
+}
+
+TEST(Service, DebugTraceTogglesAtRuntime)
+{
+    service::Service svc;
+    obs::set_wall_trace_enabled(false);
+
+    auto state = svc.handle(get("/v1/debug/trace"));
+    ASSERT_EQ(state.status, 200);
+    EXPECT_NE(state.body.find("false"), std::string::npos);
+
+    const auto on =
+        svc.handle(post("/v1/debug/trace", R"({"enabled": true})"));
+    ASSERT_EQ(on.status, 200);
+#ifndef ROBOSHAPE_NO_OBS
+    EXPECT_TRUE(obs::wall_trace_enabled());
+#endif
+    state = svc.handle(get("/v1/debug/trace"));
+#ifndef ROBOSHAPE_NO_OBS
+    EXPECT_NE(state.body.find("true"), std::string::npos);
+#endif
+
+    const auto off =
+        svc.handle(post("/v1/debug/trace", R"({"enabled": false})"));
+    ASSERT_EQ(off.status, 200);
+    EXPECT_FALSE(obs::wall_trace_enabled());
+
+    // Strict body: unknown keys, wrong types, and non-objects are 400.
+    EXPECT_EQ(svc.handle(post("/v1/debug/trace", "")).status, 400);
+    EXPECT_EQ(svc.handle(post("/v1/debug/trace", R"({"enabled": 1})"))
+                  .status,
+              400);
+    EXPECT_EQ(
+        svc.handle(post("/v1/debug/trace", R"({"enabled": true, "x": 1})"))
+            .status,
+        400);
+    // Unknown debug paths and bad trace ids.
+    EXPECT_EQ(svc.handle(get("/v1/debug/nope")).status, 404);
+    EXPECT_EQ(svc.handle(get("/v1/debug/trace/abc")).status, 400);
+}
+
+TEST(Service, DebugRequestsDumpIsValidJson)
+{
+    service::Service svc;
+    const auto response = svc.handle(get("/v1/debug/requests"));
+    ASSERT_EQ(response.status, 200);
+    std::string error;
+    EXPECT_TRUE(obs::validate_json(response.body, &error)) << error;
+    EXPECT_NE(response.body.find(service::kRequestsDumpSchema),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"requests\""), std::string::npos);
+}
+
+TEST(FlightRecorder, KeepsTheLastNInOrder)
+{
+    service::FlightRecorder recorder;
+    for (std::uint64_t i = 1; i <= service::kFlightRecorderCapacity + 10;
+         ++i) {
+        service::RequestRecord record;
+        record.id = i;
+        record.endpoint = "design";
+        record.method = "POST";
+        record.status = 200;
+        recorder.record(record);
+    }
+    const auto records = recorder.snapshot();
+    ASSERT_EQ(records.size(), service::kFlightRecorderCapacity);
+    // Oldest-first, ending at the newest id.
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_EQ(records[i].id, records[i - 1].id + 1);
+    EXPECT_EQ(records.back().id, service::kFlightRecorderCapacity + 10);
+    EXPECT_EQ(recorder.total(), service::kFlightRecorderCapacity + 10);
+}
+
+// ---------------------------------------------------------------------------
 // Live-socket end-to-end tests.
 
 TEST(ServerE2E, EveryLibraryRobotRoundTrips)
@@ -514,6 +662,171 @@ TEST(ServerE2E, OverloadShedsWith429)
     parked.close();
     queued.close();
     server.stop();
+}
+
+TEST(ServerE2E, RequestIdsEchoAndLandInTheFlightRecorder)
+{
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0;
+    options.workers = 2;
+    service::Server server(svc, options);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    net::TcpConn conn = net::dial(server.port(), 5000);
+    ASSERT_TRUE(conn.valid());
+    std::string leftover;
+    std::vector<std::string> ids;
+    for (int i = 0; i < 5; ++i) {
+        const auto response =
+            net::roundtrip(conn, get("/healthz"), leftover, 5000);
+        ASSERT_TRUE(response);
+        const auto id = response->header("X-Roboshape-Request-Id");
+        ASSERT_TRUE(id);
+        ids.emplace_back(*id);
+    }
+    // Ids on one keep-alive session are strictly increasing.
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+        const auto prev = core::parse_uint(ids[i - 1]);
+        const auto next = core::parse_uint(ids[i]);
+        ASSERT_TRUE(prev && next);
+        EXPECT_LT(*prev, *next);
+    }
+
+    const auto dump =
+        net::roundtrip(conn, get("/v1/debug/requests"), leftover, 5000);
+    ASSERT_TRUE(dump);
+    ASSERT_EQ(dump->status, 200);
+    std::string error;
+    EXPECT_TRUE(obs::validate_json(dump->body, &error)) << error;
+    // Every id appears, oldest first (the recorder preserves order).
+    std::size_t last = 0;
+    for (const std::string &id : ids) {
+        const std::size_t at =
+            dump->body.find("\"id\":" + id + ",", last);
+        ASSERT_NE(at, std::string::npos) << id;
+        last = at;
+    }
+    EXPECT_NE(dump->body.find("\"endpoint\":\"healthz\""),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(ServerE2E, TracedRequestYieldsAChromeTrace)
+{
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0;
+    options.workers = 2;
+    service::Server server(svc, options);
+    ASSERT_TRUE(server.start()) << server.error();
+    obs::set_wall_trace_enabled(false); // per-request tracing must not need it
+
+    net::TcpConn conn = net::dial(server.port(), 5000);
+    ASSERT_TRUE(conn.valid());
+    std::string leftover;
+    net::HttpRequest traced = post("/v1/design", R"({"robot": "iiwa"})");
+    traced.headers.emplace_back("X-Roboshape-Trace", "1");
+    const auto response = net::roundtrip(conn, traced, leftover, 30000);
+    ASSERT_TRUE(response);
+    ASSERT_EQ(response->status, 200);
+    const auto id = response->header("X-Roboshape-Request-Id");
+    ASSERT_TRUE(id);
+
+    for (const std::string &target :
+         {std::string("/v1/debug/trace/last"),
+          "/v1/debug/trace/" + std::string(*id)}) {
+        const auto dump = net::roundtrip(conn, get(target), leftover, 5000);
+        ASSERT_TRUE(dump) << target;
+        ASSERT_EQ(dump->status, 200) << target;
+        std::string error;
+        EXPECT_TRUE(obs::validate_json(dump->body, &error))
+            << target << ": " << error;
+        EXPECT_NE(dump->body.find("\"traceEvents\""), std::string::npos);
+#ifndef ROBOSHAPE_NO_OBS
+        // The handler span is always present; its events carry the id.
+        EXPECT_NE(dump->body.find("svc.handle"), std::string::npos);
+        EXPECT_NE(dump->body.find("\"req\": " + std::string(*id)),
+                  std::string::npos);
+#endif
+    }
+    // An untraced request must not disturb the vault.
+    ASSERT_TRUE(net::roundtrip(conn, get("/healthz"), leftover, 5000));
+    const auto still =
+        net::roundtrip(conn, get("/v1/debug/trace/last"), leftover, 5000);
+    ASSERT_TRUE(still);
+    EXPECT_EQ(still->status, 200);
+    server.stop();
+    EXPECT_FALSE(obs::wall_trace_enabled());
+}
+
+TEST(ServerE2E, GracefulDrainFinishesInFlightAndFlushesTheAccessLog)
+{
+    const std::string log_path = "test_access_log.jsonl";
+    std::remove(log_path.c_str());
+
+    service::Service svc;
+    service::ServerOptions options;
+    options.port = 0;
+    options.workers = 2;
+    options.access_log_path = log_path;
+    options.slow_ms = 1; // sweeps take > 1 ms: exercises the slow flag
+    service::Server server(svc, options);
+    ASSERT_TRUE(server.start()) << server.error();
+    const std::uint16_t port = server.port();
+
+    // A cold /v1/sweep on a big robot is genuinely in flight while the
+    // main thread calls stop() below.
+    std::optional<net::HttpResponse> slow_response;
+    std::thread client([&] {
+        net::TcpConn conn = net::dial(port, 5000);
+        if (!conn.valid())
+            return;
+        std::string leftover;
+        const auto response = net::roundtrip(
+            conn, post("/v1/sweep", R"({"robot": "humanoid"})"), leftover,
+            30000);
+        if (response)
+            slow_response = *response;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // stop() must let the in-flight sweep finish and answer.
+    server.stop();
+    client.join();
+    ASSERT_TRUE(slow_response) << "in-flight request was dropped";
+    EXPECT_EQ(slow_response->status, 200);
+    EXPECT_TRUE(obs::validate_json(slow_response->body));
+
+    // New connections are refused once stopped.
+    net::TcpConn refused = net::dial(port, 500);
+    if (refused.valid()) {
+        std::string leftover;
+        EXPECT_FALSE(
+            net::roundtrip(refused, get("/healthz"), leftover, 1000));
+    }
+
+    // The access log was flushed: one JSON line per request, fields in
+    // the documented order, the slow sweep flagged.
+    std::ifstream log(log_path);
+    ASSERT_TRUE(log.good());
+    std::string line;
+    std::size_t lines = 0;
+    bool saw_slow_sweep = false;
+    while (std::getline(log, line)) {
+        ++lines;
+        std::string error;
+        EXPECT_TRUE(obs::validate_json(line, &error)) << error;
+        EXPECT_EQ(line.rfind("{\"id\":", 0), 0u) << line;
+        EXPECT_LT(line.find("\"endpoint\""), line.find("\"status\""));
+        EXPECT_LT(line.find("\"status\""), line.find("\"handle_us\""));
+        if (line.find("\"endpoint\":\"sweep\"") != std::string::npos &&
+            line.find("\"slow\":true") != std::string::npos)
+            saw_slow_sweep = true;
+    }
+    EXPECT_EQ(lines, 1u);
+    EXPECT_TRUE(saw_slow_sweep);
+    std::remove(log_path.c_str());
 }
 
 } // namespace

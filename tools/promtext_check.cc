@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Prometheus text-exposition checker over stdin (exit 0 = well-formed).
+ *
+ * The CI daemon-smoke job pipes `GET /metrics` through this so "the
+ * endpoint answered" also means "the endpoint answered something a
+ * scraper can ingest".  Checked invariants (exposition format 0.0.4):
+ *
+ *   - every non-comment line is `name({labels})? value`
+ *   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+ *   - every sample's family is declared by a preceding `# TYPE` line
+ *   - values parse as finite decimal numbers (or +Inf/-Inf/NaN)
+ *   - no duplicate name+labels sample
+ *
+ *   curl -s localhost:8080/metrics | promtext_check
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+bool
+is_name_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+}
+
+bool
+is_name_byte(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+}
+
+/** Parses a metric name at s[pos...]; returns its length (0 = invalid). */
+std::size_t
+scan_name(const std::string &s, std::size_t pos)
+{
+    if (pos >= s.size() || !is_name_start(s[pos]))
+        return 0;
+    std::size_t end = pos + 1;
+    while (end < s.size() && is_name_byte(s[end]))
+        ++end;
+    return end - pos;
+}
+
+/** True iff @p token is a valid exposition value (decimal, Inf, NaN). */
+bool
+is_value(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    if (token == "+Inf" || token == "-Inf" || token == "NaN")
+        return true;
+    std::size_t i = 0;
+    if (token[i] == '+' || token[i] == '-')
+        ++i;
+    bool digits = false;
+    while (i < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[i]))) {
+        ++i;
+        digits = true;
+    }
+    if (i < token.size() && token[i] == '.') {
+        ++i;
+        while (i < token.size() &&
+               std::isdigit(static_cast<unsigned char>(token[i]))) {
+            ++i;
+            digits = true;
+        }
+    }
+    if (!digits)
+        return false;
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+        ++i;
+        if (i < token.size() && (token[i] == '+' || token[i] == '-'))
+            ++i;
+        bool exp_digits = false;
+        while (i < token.size() &&
+               std::isdigit(static_cast<unsigned char>(token[i]))) {
+            ++i;
+            exp_digits = true;
+        }
+        if (!exp_digits)
+            return false;
+    }
+    return i == token.size();
+}
+
+int
+fail(std::size_t line_no, const std::string &line, const char *why)
+{
+    std::fprintf(stderr, "promtext_check: line %zu: %s: %s\n", line_no, why,
+                 line.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    const std::string text = buffer.str();
+    if (text.empty()) {
+        std::fprintf(stderr, "promtext_check: empty input\n");
+        return 1;
+    }
+
+    std::set<std::string> typed_families;
+    std::set<std::string> seen_samples;
+    std::size_t samples = 0;
+    std::size_t line_no = 0;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // Only TYPE comments matter for the family check; HELP and
+            // free comments pass through.
+            if (line.rfind("# TYPE ", 0) == 0) {
+                const std::size_t len = scan_name(line, 7);
+                if (len == 0)
+                    return fail(line_no, line, "malformed TYPE comment");
+                typed_families.insert(line.substr(7, len));
+            }
+            continue;
+        }
+
+        const std::size_t name_len = scan_name(line, 0);
+        if (name_len == 0)
+            return fail(line_no, line, "invalid metric name");
+        const std::string name = line.substr(0, name_len);
+        std::size_t pos = name_len;
+
+        std::string labels;
+        if (pos < line.size() && line[pos] == '{') {
+            const std::size_t close = line.find('}', pos);
+            if (close == std::string::npos)
+                return fail(line_no, line, "unterminated label set");
+            labels = line.substr(pos, close - pos + 1);
+            pos = close + 1;
+        }
+
+        if (pos >= line.size() || line[pos] != ' ')
+            return fail(line_no, line, "expected ' ' before value");
+        const std::string value = line.substr(pos + 1);
+        if (!is_value(value))
+            return fail(line_no, line, "invalid sample value");
+
+        // A summary's quantile/sum/count samples belong to the family
+        // that declared them; strip the conventional suffixes first.
+        std::string family = name;
+        for (const char *suffix : {"_sum", "_count"}) {
+            const std::string s(suffix);
+            if (family.size() > s.size() &&
+                family.compare(family.size() - s.size(), s.size(), s) ==
+                    0 &&
+                typed_families.count(
+                    family.substr(0, family.size() - s.size()))) {
+                family = family.substr(0, family.size() - s.size());
+                break;
+            }
+        }
+        if (!typed_families.count(family))
+            return fail(line_no, line, "sample without a # TYPE family");
+
+        if (!seen_samples.insert(name + labels).second)
+            return fail(line_no, line, "duplicate name+labels sample");
+        ++samples;
+    }
+
+    if (samples == 0) {
+        std::fprintf(stderr, "promtext_check: no samples in input\n");
+        return 1;
+    }
+    return 0;
+}

@@ -21,8 +21,15 @@
  *   --robot NAME                 library robot instead of a URDF file
  *                                (iiwa, HyQ, Baxter, ... — trace/stats)
  *   --out PATH                   artifact destination (trace/stats)
+ *   --format text|prometheus     stats: human table or Prometheus text
+ *                                exposition (same encoder as GET /metrics)
  *   --port N                     serve: listen port (0 = ephemeral)
  *   --threads N / --queue N      serve: worker pool / admission queue
+ *   --access-log PATH            serve: JSON-lines access log
+ *   --slow-ms N                  serve: slow-request threshold (default 1000)
+ *
+ * While serving, SIGUSR1 dumps the flight recorder (the last N request
+ * summaries, service/flight_recorder.h) to stderr without stopping.
  *
  * Every numeric flag goes through core::parse_uint — "4abc", "-1", and
  * overflowing values are hard errors naming the flag, never silent
@@ -55,10 +62,12 @@
 #include "dynamics/robot_state.h"
 #include "io/payload.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
 #include "obs/trace_export.h"
 #include "sched/timeline.h"
+#include "service/flight_recorder.h"
 #include "service/server.h"
 #include "topology/robot_library.h"
 #include "topology/topology_info.h"
@@ -75,6 +84,8 @@ struct CliOptions
     std::string out_dir;
     std::string robot;    ///< Library robot name (trace/stats).
     std::string out_path; ///< --out artifact path (trace/stats).
+    std::string format = "text"; ///< stats: "text" or "prometheus".
+    std::string access_log_path; ///< serve: JSON-lines access log.
     const accel::FpgaPlatform *platform = &accel::vcu118();
     core::GeneratorConstraints constraints;
     sched::KernelKind kernel = sched::KernelKind::kDynamicsGradient;
@@ -83,6 +94,7 @@ struct CliOptions
     std::size_t port = 8080;      ///< serve: listen port (0 = ephemeral).
     std::size_t threads = 4;      ///< serve: worker pool size.
     std::size_t queue = 64;       ///< serve: admission-queue capacity.
+    std::size_t slow_ms = 1000;   ///< serve: slow-request threshold (ms).
 };
 
 int
@@ -94,8 +106,9 @@ usage()
                  "                 [--pes-fwd N] [--pes-bwd N] [--block N] "
                  "[--kernel gradient|crba|kinematics]\n"
                  "                 [--timeline] [--json] [--robot NAME] "
-                 "[--out PATH]\n"
-                 "                 [--port N] [--threads N] [--queue N]\n");
+                 "[--out PATH] [--format text|prometheus]\n"
+                 "                 [--port N] [--threads N] [--queue N] "
+                 "[--access-log PATH] [--slow-ms N]\n");
     return 2;
 }
 
@@ -215,6 +228,34 @@ parse_args(int argc, char **argv)
             if (!v)
                 return std::nullopt;
             opt.queue = *v;
+        } else if (arg == "--slow-ms") {
+            const auto v = knob(1, 3600000);
+            if (!v)
+                return std::nullopt;
+            opt.slow_ms = *v;
+        } else if (arg == "--access-log") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr,
+                             "error: --access-log requires a value\n");
+                return std::nullopt;
+            }
+            opt.access_log_path = v;
+        } else if (arg == "--format") {
+            const char *v = next();
+            if (!v) {
+                std::fprintf(stderr, "error: --format requires a value\n");
+                return std::nullopt;
+            }
+            if (std::strcmp(v, "text") != 0 &&
+                std::strcmp(v, "prometheus") != 0) {
+                std::fprintf(stderr,
+                             "error: unknown format '%s' (expected "
+                             "text|prometheus)\n",
+                             v);
+                return std::nullopt;
+            }
+            opt.format = v;
         } else if (arg == "--kernel") {
             const char *v = next();
             if (!v) {
@@ -513,23 +554,32 @@ cmd_stats(const topology::RobotModel &model, const CliOptions &opt)
     }
 
     const core::SweepMemoStats memo = ctx.memo_stats();
-    std::printf("stats: %s (%s, pes_fwd=%zu pes_bwd=%zu block=%zu)\n",
-                model.name().c_str(), to_string(opt.kernel), params.pes_fwd,
-                params.pes_bwd, params.block_size);
-    std::printf("sweep memoization: %llu hits / %llu misses\n",
-                static_cast<unsigned long long>(memo.hits()),
-                static_cast<unsigned long long>(memo.misses()));
-    std::printf("counters:\n");
-    for (const obs::CounterSample &c : obs::registry().counters())
-        std::printf("  %-32s %llu\n", c.name.c_str(),
-                    static_cast<unsigned long long>(c.value));
-    std::printf("histograms:\n");
-    for (const obs::HistogramSample &h : obs::registry().histograms())
-        std::printf("  %-32s count=%llu mean=%.1f min=%lld max=%lld\n",
-                    h.name.c_str(),
-                    static_cast<unsigned long long>(h.stats.count),
-                    h.stats.mean(), static_cast<long long>(h.stats.min),
-                    static_cast<long long>(h.stats.max));
+    if (opt.format == "prometheus") {
+        // Machine-readable mode: the exact encoder roboshaped serves on
+        // GET /metrics, so scrape pipelines and offline runs agree.
+        std::fputs(obs::prometheus_exposition().c_str(), stdout);
+    } else {
+        std::printf("stats: %s (%s, pes_fwd=%zu pes_bwd=%zu block=%zu)\n",
+                    model.name().c_str(), to_string(opt.kernel),
+                    params.pes_fwd, params.pes_bwd, params.block_size);
+        std::printf("sweep memoization: %llu hits / %llu misses\n",
+                    static_cast<unsigned long long>(memo.hits()),
+                    static_cast<unsigned long long>(memo.misses()));
+        std::printf("counters:\n");
+        for (const obs::CounterSample &c : obs::registry().counters())
+            std::printf("  %-32s %llu\n", c.name.c_str(),
+                        static_cast<unsigned long long>(c.value));
+        std::printf("histograms:\n");
+        for (const obs::HistogramSample &h : obs::registry().histograms())
+            std::printf("  %-32s count=%llu mean=%.1f min=%lld max=%lld "
+                        "p50=%lld p99=%lld\n",
+                        h.name.c_str(),
+                        static_cast<unsigned long long>(h.stats.count),
+                        h.stats.mean(), static_cast<long long>(h.stats.min),
+                        static_cast<long long>(h.stats.max),
+                        static_cast<long long>(h.stats.p50()),
+                        static_cast<long long>(h.stats.p99()));
+    }
 
     if (!opt.out_path.empty()) {
         obs::RunReport report("roboshape_cli", "stats");
@@ -549,17 +599,28 @@ cmd_stats(const topology::RobotModel &model, const CliOptions &opt)
             std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
             return 1;
         }
-        std::printf("report: %s\n", opt.out_path.c_str());
+        // Keep stdout pure exposition text in prometheus mode.
+        if (opt.format == "prometheus")
+            std::fprintf(stderr, "report: %s\n", opt.out_path.c_str());
+        else
+            std::printf("report: %s\n", opt.out_path.c_str());
     }
     return 0;
 }
 
 volatile std::sig_atomic_t g_shutdown = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void
 on_shutdown_signal(int)
 {
     g_shutdown = 1;
+}
+
+void
+on_dump_signal(int)
+{
+    g_dump = 1;
 }
 
 int
@@ -570,6 +631,8 @@ cmd_serve(const CliOptions &opt)
     sopt.port = static_cast<std::uint16_t>(opt.port);
     sopt.workers = opt.threads;
     sopt.queue_capacity = opt.queue;
+    sopt.access_log_path = opt.access_log_path;
+    sopt.slow_ms = opt.slow_ms;
     service::Server server(service, sopt);
     if (!server.start()) {
         std::fprintf(stderr, "error: cannot start roboshaped: %s\n",
@@ -584,8 +647,26 @@ cmd_serve(const CliOptions &opt)
 
     std::signal(SIGINT, on_shutdown_signal);
     std::signal(SIGTERM, on_shutdown_signal);
-    while (!g_shutdown)
+    std::signal(SIGUSR1, on_dump_signal);
+    // Socket writes already pass MSG_NOSIGNAL, but stdout/stderr may be
+    // pipes owned by a supervisor that hangs up first; a dead log pipe
+    // must not kill the daemon mid-drain.
+    std::signal(SIGPIPE, SIG_IGN);
+    while (!g_shutdown) {
+        if (g_dump) {
+            // SIGUSR1: post-mortem-without-the-mortem.  The handler only
+            // sets a flag; the ring is snapshotted and serialized here,
+            // on the main thread, where heap use is safe.
+            g_dump = 0;
+            const std::string dump = service::flight_recorder().dump_json();
+            std::fputs("roboshaped: flight recorder dump follows\n",
+                       stderr);
+            std::fputs(dump.c_str(), stderr);
+            std::fputc('\n', stderr);
+            std::fflush(stderr);
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
 
     // Graceful drain: in-flight requests finish before stop() returns.
     server.stop();
